@@ -1,0 +1,156 @@
+// Sec. V.A.1 reproduction: the single-node kernel-optimization experiment.
+// The paper reports, on one A64FX node (order-3 shapes, single precision):
+//
+//     Routine      Reference (s)   Optimized (s)   Speed up
+//     Gather           270.6          102.7          2.63x
+//     Deposition       246.2           53.51         4.60x
+//
+// Here the same two kernel structures are timed on the host CPU: the
+// baseline processes particles one at a time in arrival order, recomputing
+// shape weights per component; the optimized kernels require cell-sorted
+// particles and process runs with transposed per-run weight arrays,
+// vectorizing over particles with ijk fixed and touching each stencil value
+// once per run. The *shape* of the result (optimized wins; deposition gains
+// more than gather because its per-particle scatters collapse into one
+// store per tap per run) carries over to this host; the paper's 2.63x/4.60x
+// magnitudes are A64FX-specific — there the Fujitsu compiler leaves the
+// baseline nearly scalar (SIMD rate 2.3%, Sec. VI.B) while x86 GCC already
+// auto-vectorizes it, so the gap here is smaller and dominated by the
+// memory-locality part of the optimization.
+//
+// Also runs the N_grp group-size ablation (paper: powers of two, 32-128)
+// and the SP vs DP comparison behind Table III's MP mode, as
+// google-benchmark timings, followed by the summary table.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/diag/timers.hpp"
+#include "src/kernels/optimized_kernels.hpp"
+#include "src/kernels/reference_kernels.hpp"
+
+using namespace mrpic::kernels;
+
+namespace {
+
+constexpr int grid_n = 64;
+constexpr int ppc = 12;
+
+template <typename T>
+struct Setup {
+  KernelFields<T> fields;
+  KernelParticles<T> particles;
+  explicit Setup(bool sorted = true) {
+    fields.resize(grid_n, 4);
+    fields.randomize_eb(1234, T(1e9));
+    particles.init_uniform(grid_n, ppc, 999, static_cast<T>(1e7));
+    if (!sorted) { particles.shuffle(77); }
+  }
+};
+
+template <typename T>
+void BM_GatherReference(benchmark::State& state) {
+  Setup<T> s(/*sorted=*/state.range(0) != 0);
+  for (auto _ : state) {
+    gather_reference(s.particles, s.fields);
+    benchmark::DoNotOptimize(s.particles.exp_.data());
+  }
+  state.SetItemsProcessed(state.iterations() * s.particles.size());
+}
+
+template <typename T>
+void BM_GatherOptimized(benchmark::State& state) {
+  Setup<T> s;
+  const int ngrp = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    gather_optimized(s.particles, s.fields, ngrp);
+    benchmark::DoNotOptimize(s.particles.exp_.data());
+  }
+  state.SetItemsProcessed(state.iterations() * s.particles.size());
+}
+
+template <typename T>
+void BM_DepositReference(benchmark::State& state) {
+  Setup<T> s(/*sorted=*/state.range(0) != 0);
+  for (auto _ : state) {
+    s.fields.zero_j();
+    deposit_reference(s.particles, s.fields, T(1e-19));
+    benchmark::DoNotOptimize(s.fields.jx.ptr());
+  }
+  state.SetItemsProcessed(state.iterations() * s.particles.size());
+}
+
+template <typename T>
+void BM_DepositOptimized(benchmark::State& state) {
+  Setup<T> s;
+  const int ngrp = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    s.fields.zero_j();
+    deposit_optimized(s.particles, s.fields, T(1e-19), ngrp);
+    benchmark::DoNotOptimize(s.fields.jx.ptr());
+  }
+  state.SetItemsProcessed(state.iterations() * s.particles.size());
+}
+
+// Arg on the reference kernels: 0 = unsorted (arrival order), 1 = sorted.
+BENCHMARK(BM_GatherReference<float>)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GatherOptimized<float>)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DepositReference<float>)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DepositOptimized<float>)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GatherReference<double>)->Arg(0)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GatherOptimized<double>)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DepositReference<double>)->Arg(0)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DepositOptimized<double>)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// Summary table in the paper's format (single timing pass, SP). The
+// reference runs on arrival-order (unsorted) particles; the optimized path
+// on sorted ones, as in the paper's locality strategy.
+void print_summary_table() {
+  Setup<float> su(/*sorted=*/false);
+  Setup<float> ss(/*sorted=*/true);
+  const int reps = 6;
+  mrpic::diag::Stopwatch sw;
+  for (int r = 0; r < reps; ++r) { gather_reference(su.particles, su.fields); }
+  const double t_gather_ref = sw.seconds();
+  sw.restart();
+  for (int r = 0; r < reps; ++r) { gather_optimized(ss.particles, ss.fields); }
+  const double t_gather_opt = sw.seconds();
+  sw.restart();
+  for (int r = 0; r < reps; ++r) {
+    su.fields.zero_j();
+    deposit_reference(su.particles, su.fields, 1e-19f);
+  }
+  const double t_dep_ref = sw.seconds();
+  sw.restart();
+  for (int r = 0; r < reps; ++r) {
+    ss.fields.zero_j();
+    deposit_optimized(ss.particles, ss.fields, 1e-19f);
+  }
+  const double t_dep_opt = sw.seconds();
+
+  std::printf("\nSec. V.A.1 summary (this host, SP, order 3, %d^3 cells x %d ppc;\n",
+              grid_n, ppc);
+  std::printf("reference = per-particle on unsorted particles, optimized = grouped on\n");
+  std::printf("sorted particles):\n");
+  std::printf("  %-11s %14s %14s %9s %17s\n", "Routine", "Reference (s)", "Optimized (s)",
+              "Speed up", "paper (A64FX)");
+  std::printf("  %-11s %14.4f %14.4f %8.2fx %17s\n", "Gather", t_gather_ref, t_gather_opt,
+              t_gather_ref / t_gather_opt, "2.63x");
+  std::printf("  %-11s %14.4f %14.4f %8.2fx %17s\n", "Deposition", t_dep_ref, t_dep_opt,
+              t_dep_ref / t_dep_opt, "4.60x");
+  std::printf("(x86 note: GCC auto-vectorizes the baseline, unlike the A64FX Fujitsu\n");
+  std::printf("compiler baseline with 2.3%% SIMD rate, so the host gap is smaller)\n");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary_table();
+  return 0;
+}

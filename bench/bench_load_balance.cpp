@@ -1,0 +1,158 @@
+// Sec. V.C reproduction: multi-level dynamic load balancing for GPUs.
+// Three experiments on the simulated cluster:
+//
+//  1. Strategy ablation under a strongly imbalanced particle distribution
+//     (laser on a dense slab: most particles in a few boxes), comparing
+//     round-robin / space-filling-curve / knapsack step times. The paper
+//     (via its Ref. [32]) credits dynamic load balancing with up to 3.8x on
+//     laser/dense-target problems.
+//
+//  2. Dynamic rebalancing over a moving hot spot: costs drift (as when an
+//     MR patch is removed or a laser sweeps the target) and the balancer
+//     remaps when the imbalance threshold trips.
+//
+//  3. PML co-location: placing the PML boxes on the rank of their nearest
+//     parent box versus round-robin placement — the paper reports 25% from
+//     this optimization; the harness reports the change in inter-rank PML
+//     exchange traffic.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/cluster/sim_cluster.hpp"
+#include "src/dist/load_balancer.hpp"
+#include "src/fields/pml.hpp"
+#include "src/perf/machine.hpp"
+#include "src/perf/scaling_model.hpp"
+
+using namespace mrpic;
+
+namespace {
+
+// Per-box cost of a dense slab covering the first quarter of x: boxes over
+// the slab hold solid-density particle load, the rest near-vacuum.
+std::vector<Real> slab_costs(const BoxArray<3>& ba, const Box3& domain) {
+  std::vector<Real> costs(ba.size());
+  // Dense target in one corner octant of the domain: spatially clustered,
+  // so the locality-preserving SFC stacks the hot boxes on few ranks.
+  for (int i = 0; i < ba.size(); ++i) {
+    bool hot = true;
+    for (int d = 0; d < 3; ++d) { hot = hot && ba[i].lo(d) < domain.lo(d) + domain.length(d) / 2; }
+    costs[i] = hot ? 100.0 : 1.0; // ~solid vs trace plasma, per ms
+  }
+  return costs;
+}
+
+} // namespace
+
+int main() {
+  const auto& summit = perf::machine_by_name("Summit");
+  cluster::CommModel cm;
+  cm.latency_s = summit.net_latency_s;
+  cm.bandwidth_Bps = summit.net_bandwidth_Bps;
+
+  const Box3 domain(IntVect3(0, 0, 0), IntVect3(127, 127, 127));
+  const auto ba = BoxArray<3>::decompose(domain, 32); // 64 boxes
+  const int nranks = 16;
+  cluster::SimCluster cl(nranks, cm);
+  auto costs = slab_costs(ba, domain);
+  for (auto& v : costs) { v *= 1e-3; } // ms -> s
+
+  std::printf("1) strategy ablation: corner-target workload, %d boxes on %d ranks\n",
+              ba.size(), nranks);
+  std::printf("   (baseline = cost-blind SFC, WarpX's default placement, Sec. V.C)\n");
+  std::printf("   %-18s %12s %12s %12s %10s\n", "strategy", "compute s", "comm s",
+              "total s", "speedup");
+  // Paper default: SFC is built cost-blind; the LB strategies use costs.
+  const auto dm_sfc =
+      dist::DistributionMapping::make(ba, nranks, dist::Strategy::SpaceFillingCurve);
+  const double t_sfc = cl.step_cost(ba, dm_sfc, costs, 9, 4).total_s;
+  struct Variant {
+    const char* name;
+    dist::Strategy strategy;
+    bool use_costs;
+  };
+  const Variant variants[] = {
+      {"sfc (no LB)", dist::Strategy::SpaceFillingCurve, false},
+      {"round_robin", dist::Strategy::RoundRobin, false},
+      {"knapsack+costs", dist::Strategy::Knapsack, true},
+      {"sfc+costs", dist::Strategy::SpaceFillingCurve, true},
+  };
+  for (const auto& v : variants) {
+    const auto dm = dist::DistributionMapping::make(
+        ba, nranks, v.strategy, v.use_costs ? costs : std::vector<Real>{});
+    const auto cost = cl.step_cost(ba, dm, costs, 9, 4);
+    std::printf("   %-18s %12.5f %12.5f %12.5f %9.2fx\n", v.name, cost.compute_s,
+                cost.comm_s, cost.total_s, t_sfc / cost.total_s);
+  }
+  std::printf("   paper reference: dynamic LB gave up to 3.8x on laser-target runs [32]\n\n");
+
+  std::printf("2) dynamic rebalancing with a drifting hot spot\n");
+  dist::LoadBalanceConfig lbc;
+  lbc.strategy = dist::Strategy::Knapsack;
+  lbc.imbalance_threshold = 1.25;
+  dist::LoadBalancer lb(lbc);
+  auto dm = dist::DistributionMapping::make(ba, nranks, dist::Strategy::SpaceFillingCurve);
+  double with_lb = 0, without_lb = 0;
+  const auto dm_static = dm;
+  for (int step = 0; step < 16; ++step) {
+    // Hot region sweeps across x as the laser/window advances.
+    std::vector<Real> sweep(ba.size());
+    const int hot_lo = (step * 8) % 128;
+    for (int i = 0; i < ba.size(); ++i) {
+      const bool hot = ba[i].lo(0) >= hot_lo && ba[i].lo(0) < hot_lo + 32;
+      sweep[i] = (hot ? 40.0 : 1.0) * 1e-3;
+    }
+    lb.record_costs(sweep);
+    if (lb.should_rebalance(dm)) {
+      dm = lb.rebalance(ba, nranks);
+      lb.count_rebalance();
+    }
+    with_lb += cl.step_cost(ba, dm, sweep, 9, 4).total_s;
+    without_lb += cl.step_cost(ba, dm_static, sweep, 9, 4).total_s;
+  }
+  std::printf("   16 steps, %d rebalances: static %.4f s, dynamic %.4f s -> %.2fx\n\n",
+              lb.num_rebalances(), without_lb, with_lb, without_lb / with_lb);
+
+  std::printf("3) PML co-location (paper: 25%% gain)\n");
+  // Domain boxes + a PML ring chopped to the same granularity.
+  const auto dm_parent =
+      dist::DistributionMapping::make(ba, nranks, dist::Strategy::SpaceFillingCurve);
+  fields::PmlConfig pml_cfg;
+  pml_cfg.npml = 16;
+  const Geometry<3> geom(domain, RealVect3(0, 0, 0), RealVect3(1, 1, 1), {});
+  fields::Pml<3> pml(geom, domain, {true, true, true}, pml_cfg);
+  // Chop the ring boxes to 32^3 granularity for placement.
+  std::vector<Box3> pml_boxes;
+  for (const auto& b : pml.box_array().boxes()) {
+    for (const auto& p : b.chop(IntVect3(32))) { pml_boxes.push_back(p); }
+  }
+  const BoxArray<3> pml_ba(pml_boxes);
+  const auto dm_colocated = dist::colocate_pml(pml_ba, ba, dm_parent);
+  const auto dm_rr =
+      dist::DistributionMapping::make(pml_ba, nranks, dist::Strategy::RoundRobin);
+
+  // PML <-> parent exchange traffic: for each PML box, bytes to its
+  // overlapping (grown) parent boxes that live on other ranks.
+  auto pml_traffic = [&](const dist::DistributionMapping& pml_dm) {
+    std::int64_t bytes = 0;
+    for (int i = 0; i < pml_ba.size(); ++i) {
+      const auto gi = pml_ba[i].grown(4);
+      for (int j = 0; j < ba.size(); ++j) {
+        const auto region = gi & ba[j];
+        if (region.empty()) { continue; }
+        if (pml_dm.rank(i) != dm_parent.rank(j)) {
+          bytes += region.num_cells() * 12 * 8; // split components, DP
+        }
+      }
+    }
+    return bytes;
+  };
+  const auto b_rr = pml_traffic(dm_rr);
+  const auto b_co = pml_traffic(dm_colocated);
+  std::printf("   PML<->parent inter-rank traffic: round-robin %lld B, co-located %lld B\n",
+              static_cast<long long>(b_rr), static_cast<long long>(b_co));
+  std::printf("   reduction: %.1f%% of the exchange stays on-rank\n",
+              100.0 * (1.0 - static_cast<double>(b_co) / b_rr));
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Table II reproduction: machines used in the study, central computing
+// hardware, vendor-specified peak TFlop/s and TByte/s per device, and
+// published 2021/11 HPCG results, printed from the machine catalogue that
+// drives every performance model in this repository.
+
+#include <cstdio>
+
+#include "src/perf/machine.hpp"
+
+int main() {
+  std::printf("Table II: Machines used in this study\n");
+  std::printf("%-11s %-18s %12s %12s %12s %10s %8s\n", "Machine", "Compute HW",
+              "DP TFlop/s", "SP TFlop/s", "TByte/s/dev", "HPCG PF/s", "nodes");
+  std::printf("%.*s\n", 92,
+              "--------------------------------------------------------------------------"
+              "------------------");
+  for (const auto& m : mrpic::perf::catalogue()) {
+    char hpcg[32];
+    if (m.hpcg_pflops > 0) {
+      std::snprintf(hpcg, sizeof(hpcg), "%.2f", m.hpcg_pflops);
+    } else {
+      std::snprintf(hpcg, sizeof(hpcg), "n/a");
+    }
+    std::printf("%-11s %-18s %12.2f %12.2f %12.1f %10s %8d\n", m.name.c_str(),
+                m.device.c_str(), m.dp_tflops_device, m.sp_tflops_device, m.tbyte_s_device,
+                hpcg, m.total_nodes);
+  }
+  std::printf(
+      "\npaper values (Table II): Frontier MI250X 47.9/95.7 TF 3.3 TB/s; Fugaku A64FX\n"
+      "3.38/6.76 TF 1.0 TB/s HPCG 16.0 PF; Summit V100 7.5/15 TF 0.9 TB/s HPCG 2.93 PF;\n"
+      "Perlmutter A100 9.7/19.5 TF 1.6 TB/s HPCG 1.91 PF.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Fig. 5 (right) reproduction: strong scaling from a maximally-filled
+// multi-node base over the paper's measured ranges — Frontier 512-8192,
+// Fugaku 6144-152064, Summit 512-4096, Perlmutter 15-480 nodes — down to
+// the AMReX granularity limit of one block per device (blocks: Frontier
+// 256^3, Fugaku 64-96^3, Summit/Perlmutter 128^3). The paper's headline:
+// ~30% efficiency loss per order of magnitude of node count.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/cluster/sim_cluster.hpp"
+#include "src/perf/machine.hpp"
+#include "src/perf/scaling_model.hpp"
+
+using namespace mrpic;
+
+int main() {
+  struct Range {
+    const char* machine;
+    double n0, n1;
+  };
+  const Range ranges[] = {
+      {"Frontier", 512, 8192},
+      {"Fugaku", 6144, 152064},
+      {"Summit", 512, 4096},
+      {"Perlmutter", 15, 480},
+  };
+
+  std::printf("Fig. 5 (right): strong scaling, speedup & parallel efficiency\n");
+  std::printf("(model: efficiency = 1/(1 + (3/7) log10(N/N0)) -> 70%% per decade)\n\n");
+  perf::StrongScalingModel model;
+
+  for (const auto& r : ranges) {
+    const auto& m = perf::machine_by_name(r.machine);
+    // Base problem: memory-filled at N0 nodes with the machine's block size.
+    const double cells = std::pow(static_cast<double>(m.strong_block), 3) *
+                         m.devices_per_node * 4.0 * r.n0; // 4 blocks/device at base
+    const double nmax_granularity = perf::StrongScalingModel::max_nodes(m, cells);
+    std::printf("%s (blocks %d^3, base %0.f nodes, granularity limit %.0f nodes):\n",
+                r.machine, m.strong_block, r.n0, nmax_granularity);
+    std::printf("  %10s %10s %12s %12s\n", "nodes", "speedup", "efficiency", "ideal");
+    for (double n = r.n0; n <= r.n1 * 1.0001; n *= 2) {
+      if (n > nmax_granularity) {
+        std::printf("  %10.0f  -- beyond one-block-per-device granularity --\n", n);
+        break;
+      }
+      std::printf("  %10.0f %10.2f %11.1f%% %12.1f\n", n, model.speedup(n, r.n0),
+                  100 * model.efficiency(n, r.n0), n / r.n0);
+    }
+    const double decade_eff = model.efficiency(10 * r.n0, r.n0);
+    std::printf("  -> efficiency after one decade: %.0f%% (paper: ~70%%)\n\n",
+                100 * decade_eff);
+  }
+
+  // Mechanistic demonstration with the simulated cluster: fixed global
+  // problem spread over more ranks; per-rank compute shrinks while halo
+  // surface-to-volume grows.
+  std::printf("simulated cluster (fixed 128^3 domain, 32^3 blocks, Summit network):\n");
+  const auto& summit = perf::machine_by_name("Summit");
+  cluster::CommModel cm;
+  cm.latency_s = summit.net_latency_s;
+  cm.bandwidth_Bps = summit.net_bandwidth_Bps;
+  const Box3 domain(IntVect3(0, 0, 0), IntVect3(127, 127, 127));
+  const auto ba = BoxArray<3>::decompose(domain, 32); // 64 blocks
+  perf::StepTimeModel st;
+  const double box_comp =
+      st.node_seconds(summit, 32.0 * 32 * 32, 32.0 * 32 * 32) * summit.devices_per_node;
+  double t1 = 0;
+  for (int nranks : {1, 2, 4, 8, 16, 32, 64}) {
+    const auto dm =
+        dist::DistributionMapping::make(ba, nranks, dist::Strategy::SpaceFillingCurve);
+    cluster::SimCluster cl(nranks, cm);
+    const auto cost = cl.step_cost(ba, dm, std::vector<Real>(ba.size(), box_comp), 9, 4);
+    if (nranks == 1) { t1 = cost.total_s; }
+    std::printf("  %4d ranks: %.5f s/step  speedup %5.2f  efficiency %5.1f%%\n", nranks,
+                cost.total_s, t1 / cost.total_s, 100 * t1 / cost.total_s / nranks);
+  }
+  return 0;
+}

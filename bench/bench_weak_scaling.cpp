@@ -1,0 +1,87 @@
+// Fig. 5 (left) reproduction: weak-scaling efficiency of uniform-plasma runs
+// on Frontier, Fugaku, Summit and Perlmutter over the paper's measured node
+// ranges. Two independent sources are printed:
+//
+//  1. The calibrated analytic model (src/perf/scaling_model.hpp): the
+//     1 + a*g(N) + b*log2(N) cost shape solved through each machine's two
+//     paper-reported anchor efficiencies — this regenerates the full curve.
+//  2. The simulated cluster (src/cluster): actual halo-exchange message
+//     sizes/counts of the decomposed uniform-plasma BoxArray under each
+//     machine's latency/bandwidth, for the mechanistic small-scale trend
+//     (one box per rank, fixed per-rank work).
+//
+// Paper endpoints: Frontier 80% @ 8576, Fugaku 84% @ 152064, Summit 74% @
+// 4263 (with a 15% dip by 8 nodes), Perlmutter 62% @ 1088.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/cluster/sim_cluster.hpp"
+#include "src/perf/machine.hpp"
+#include "src/perf/scaling_model.hpp"
+
+using namespace mrpic;
+
+int main() {
+  std::printf("Fig. 5 (left): weak scaling efficiency [%%], model calibrated on the\n");
+  std::printf("paper's anchors (marked *)\n\n");
+
+  const std::vector<double> nodes = {1,   2,    4,    8,    16,   32,   64,   128,
+                                     256, 512,  1024, 2048, 4096, 8192, 16384, 65536,
+                                     152064};
+  std::printf("%8s", "nodes");
+  for (const auto& m : perf::catalogue()) { std::printf("%12s", m.name.c_str()); }
+  std::printf("\n");
+  for (double n : nodes) {
+    std::printf("%8.0f", n);
+    for (const auto& m : perf::catalogue()) {
+      if (n > m.nodes_available) {
+        std::printf("%12s", "-");
+        continue;
+      }
+      const auto model = perf::WeakScalingModel::for_machine(m);
+      const bool anchor = n == m.weak.nodes_early || n == m.weak.nodes_full;
+      std::printf("%11.1f%s", 100 * model.efficiency(n), anchor ? "*" : " ");
+    }
+    std::printf("\n");
+  }
+  // Full-machine row per machine.
+  std::printf("%8s", "full");
+  for (const auto& m : perf::catalogue()) {
+    const auto model = perf::WeakScalingModel::for_machine(m);
+    std::printf("%11.1f%s", 100 * model.efficiency(m.weak.nodes_full),
+                true ? "*" : " ");
+  }
+  std::printf("\npaper:  Frontier 80.0*   Fugaku 84.0*   Summit 74.0*   Perlmutter 62.0*\n");
+
+  // Mechanistic check with the simulated cluster: per-rank halo time grows
+  // as the decomposition acquires interior ranks, then saturates — the
+  // Summit 2->8 node effect.
+  std::printf("\nsimulated cluster (3D uniform plasma, one 64^3 box per rank,\n");
+  std::printf("Summit network parameters): relative step time vs ranks\n");
+  const auto& summit = perf::machine_by_name("Summit");
+  cluster::CommModel cm;
+  cm.latency_s = summit.net_latency_s;
+  cm.bandwidth_Bps = summit.net_bandwidth_Bps;
+  double t1 = 0;
+  for (int rpd : {1, 2, 3, 4}) { // ranks per dimension
+    const int nranks = rpd * rpd * rpd;
+    const Box3 domain(IntVect3(0, 0, 0), IntVect3(64 * rpd - 1, 64 * rpd - 1, 64 * rpd - 1));
+    const auto ba = BoxArray<3>::decompose(domain, 64);
+    const auto dm = dist::DistributionMapping::make(ba, nranks,
+                                                    dist::Strategy::SpaceFillingCurve);
+    cluster::SimCluster cl(nranks, cm);
+    // Fixed compute per box (memory-bound estimate for 64^3 cells + 1 ppc).
+    perf::StepTimeModel st;
+    // One 64^3 box on one device: node_seconds is per full node, so scale
+    // back up by devices per node.
+    const double comp = st.node_seconds(summit, 64.0 * 64 * 64, 64.0 * 64 * 64) *
+                        summit.devices_per_node;
+    const auto cost = cl.step_cost(ba, dm, std::vector<Real>(ba.size(), comp), 9, 4);
+    if (rpd == 1) { t1 = cost.total_s; }
+    std::printf("  %4d ranks: %.4f s/step  efficiency %5.1f %%  (%lld inter-rank msgs)\n",
+                nranks, cost.total_s, 100 * t1 / cost.total_s,
+                static_cast<long long>(cost.num_messages));
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+#include "src/amr/box.hpp"
+
+namespace mrpic {
+
+template <int DIM>
+std::vector<Box<DIM>> Box<DIM>::chop(const IV& max_size) const {
+  std::vector<Box> pieces{*this};
+  for (int d = 0; d < DIM; ++d) {
+    std::vector<Box> next;
+    next.reserve(pieces.size());
+    for (const Box& b : pieces) {
+      const int len = b.length(d);
+      const int nchunk = (len + max_size[d] - 1) / max_size[d];
+      // Distribute cells as evenly as possible: the first `rem` chunks get
+      // one extra cell.
+      const int base = len / nchunk;
+      const int rem = len % nchunk;
+      int start = b.lo(d);
+      for (int c = 0; c < nchunk; ++c) {
+        const int n = base + (c < rem ? 1 : 0);
+        Box piece = b;
+        piece.m_lo[d] = start;
+        piece.m_hi[d] = start + n - 1;
+        next.push_back(piece);
+        start += n;
+      }
+    }
+    pieces.swap(next);
+  }
+  return pieces;
+}
+
+template class Box<2>;
+template class Box<3>;
+
+} // namespace mrpic

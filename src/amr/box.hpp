@@ -1,0 +1,146 @@
+#pragma once
+
+// Box<DIM>: a rectangular region of the cell-centered index lattice,
+// represented by inclusive lower and upper corners (mirrors AMReX's Box).
+//
+// Field data in mrpic is always allocated on the index range of a grown cell
+// box; staggered (Yee) component locations are an *interpretation* of the
+// index (see fields/field_set.hpp), not a separate allocation type, which
+// keeps every component of a fab the same size.
+
+#include <cassert>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "src/amr/int_vect.hpp"
+
+namespace mrpic {
+
+template <int DIM>
+class Box {
+public:
+  using IV = IntVect<DIM>;
+
+  constexpr Box() : m_lo(0), m_hi(-1) {} // default: empty box
+  constexpr Box(const IV& lo, const IV& hi) : m_lo(lo), m_hi(hi) {}
+
+  // Box covering [0, n) cells in each direction.
+  static constexpr Box from_extent(const IV& n) { return Box(IV::zero(), n - IV::unit()); }
+
+  constexpr const IV& lo() const { return m_lo; }
+  constexpr const IV& hi() const { return m_hi; }
+  constexpr int lo(int d) const { return m_lo[d]; }
+  constexpr int hi(int d) const { return m_hi[d]; }
+
+  constexpr bool operator==(const Box&) const = default;
+
+  constexpr bool empty() const {
+    for (int d = 0; d < DIM; ++d) {
+      if (m_hi[d] < m_lo[d]) { return true; }
+    }
+    return false;
+  }
+
+  constexpr IV size() const {
+    IV s;
+    for (int d = 0; d < DIM; ++d) { s[d] = m_hi[d] - m_lo[d] + 1; }
+    return s;
+  }
+  constexpr int length(int d) const { return m_hi[d] - m_lo[d] + 1; }
+  constexpr std::int64_t num_cells() const { return empty() ? 0 : size().product(); }
+
+  constexpr bool contains(const IV& p) const { return m_lo.all_le(p) && p.all_le(m_hi); }
+  constexpr bool contains(const Box& b) const {
+    return b.empty() || (m_lo.all_le(b.m_lo) && b.m_hi.all_le(m_hi));
+  }
+  constexpr bool intersects(const Box& b) const { return !(*this & b).empty(); }
+
+  // Intersection.
+  friend constexpr Box operator&(const Box& a, const Box& b) {
+    return Box(IV::component_max(a.m_lo, b.m_lo), IV::component_min(a.m_hi, b.m_hi));
+  }
+
+  // Minimal box containing both.
+  friend constexpr Box bounding(const Box& a, const Box& b) {
+    if (a.empty()) { return b; }
+    if (b.empty()) { return a; }
+    return Box(IV::component_min(a.m_lo, b.m_lo), IV::component_max(a.m_hi, b.m_hi));
+  }
+
+  constexpr Box& grow(int n) {
+    m_lo -= IV(n);
+    m_hi += IV(n);
+    return *this;
+  }
+  constexpr Box& grow(const IV& n) {
+    m_lo -= n;
+    m_hi += n;
+    return *this;
+  }
+  constexpr Box& grow(int d, int n) {
+    m_lo[d] -= n;
+    m_hi[d] += n;
+    return *this;
+  }
+  constexpr Box grown(int n) const { return Box(*this).grow(n); }
+  constexpr Box grown(const IV& n) const { return Box(*this).grow(n); }
+
+  constexpr Box& shift(const IV& s) {
+    m_lo += s;
+    m_hi += s;
+    return *this;
+  }
+  constexpr Box& shift(int d, int n) {
+    m_lo[d] += n;
+    m_hi[d] += n;
+    return *this;
+  }
+  constexpr Box shifted(const IV& s) const { return Box(*this).shift(s); }
+  constexpr Box shifted(int d, int n) const { return Box(*this).shift(d, n); }
+
+  // Coarsen by integer ratio: the smallest coarse box whose refinement covers
+  // this box (AMReX convention: lo floor-divided, hi floor-divided).
+  constexpr Box coarsened(const IV& ratio) const {
+    return Box(m_lo.coarsened(ratio), m_hi.coarsened(ratio));
+  }
+  constexpr Box coarsened(int r) const { return coarsened(IV(r)); }
+
+  // Refine by integer ratio: the union of the fine cells of all coarse cells.
+  constexpr Box refined(const IV& ratio) const {
+    IV hi;
+    for (int d = 0; d < DIM; ++d) { hi[d] = (m_hi[d] + 1) * ratio[d] - 1; }
+    return Box(m_lo.scaled(ratio), hi);
+  }
+  constexpr Box refined(int r) const { return refined(IV(r)); }
+
+  // Linear offset of p within this box (Fortran order: first index fastest).
+  constexpr std::int64_t index(const IV& p) const {
+    std::int64_t off = 0;
+    std::int64_t stride = 1;
+    for (int d = 0; d < DIM; ++d) {
+      off += (p[d] - m_lo[d]) * stride;
+      stride *= length(d);
+    }
+    return off;
+  }
+
+  // Chop this box into pieces no larger than max_size in any direction,
+  // splitting as evenly as possible. Used by BoxArray::max_size.
+  std::vector<Box> chop(const IV& max_size) const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Box& b) {
+    return os << '[' << b.m_lo << ".." << b.m_hi << ']';
+  }
+
+private:
+  IV m_lo, m_hi;
+};
+
+using Box2 = Box<2>;
+using Box3 = Box<3>;
+
+extern template class Box<2>;
+extern template class Box<3>;
+
+} // namespace mrpic

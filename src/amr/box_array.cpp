@@ -1,0 +1,18 @@
+#include "src/amr/box_array.hpp"
+
+namespace mrpic {
+
+template <int DIM>
+bool BoxArray<DIM>::is_disjoint() const {
+  for (int i = 0; i < size(); ++i) {
+    for (int j = i + 1; j < size(); ++j) {
+      if (m_boxes[i].intersects(m_boxes[j])) { return false; }
+    }
+  }
+  return true;
+}
+
+template class BoxArray<2>;
+template class BoxArray<3>;
+
+} // namespace mrpic

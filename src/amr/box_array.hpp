@@ -1,0 +1,103 @@
+#pragma once
+
+// BoxArray<DIM>: an ordered collection of disjoint cell boxes that covers a
+// level's valid region. Created by chopping a domain box into blocks of at
+// most max_grid_size cells per side (the AMReX "blocking" that defines the
+// granularity of domain decomposition and load balancing).
+
+#include <vector>
+
+#include "src/amr/box.hpp"
+
+namespace mrpic {
+
+template <int DIM>
+class BoxArray {
+public:
+  using IV = IntVect<DIM>;
+
+  BoxArray() = default;
+  explicit BoxArray(const Box<DIM>& single) : m_boxes{single} {}
+  explicit BoxArray(std::vector<Box<DIM>> boxes) : m_boxes(std::move(boxes)) {}
+
+  // Decompose `domain` into blocks of at most `max_grid_size` per side.
+  static BoxArray decompose(const Box<DIM>& domain, const IV& max_grid_size) {
+    return BoxArray(domain.chop(max_grid_size));
+  }
+  static BoxArray decompose(const Box<DIM>& domain, int max_grid_size) {
+    return decompose(domain, IV(max_grid_size));
+  }
+
+  int size() const { return static_cast<int>(m_boxes.size()); }
+  bool empty() const { return m_boxes.empty(); }
+  const Box<DIM>& operator[](int i) const { return m_boxes[i]; }
+  const std::vector<Box<DIM>>& boxes() const { return m_boxes; }
+
+  bool operator==(const BoxArray&) const = default;
+
+  // Bounding box of all boxes.
+  Box<DIM> minimal_box() const {
+    Box<DIM> b;
+    for (const auto& bx : m_boxes) { b = bounding(b, bx); }
+    return b;
+  }
+
+  std::int64_t total_cells() const {
+    std::int64_t n = 0;
+    for (const auto& bx : m_boxes) { n += bx.num_cells(); }
+    return n;
+  }
+
+  // True if p is in some box; optionally returns the box index.
+  bool contains(const IV& p, int* which = nullptr) const {
+    for (int i = 0; i < size(); ++i) {
+      if (m_boxes[i].contains(p)) {
+        if (which != nullptr) { *which = i; }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Indices of boxes intersecting `region`.
+  std::vector<int> intersecting(const Box<DIM>& region) const {
+    std::vector<int> out;
+    for (int i = 0; i < size(); ++i) {
+      if (m_boxes[i].intersects(region)) { out.push_back(i); }
+    }
+    return out;
+  }
+
+  // Checks pairwise disjointness of the valid (cell) regions.
+  bool is_disjoint() const;
+
+  // Every box shifted by s (moving window re-anchoring keeps index boxes
+  // fixed; this helper exists for patch motion in index space).
+  BoxArray shifted(const IV& s) const {
+    std::vector<Box<DIM>> out;
+    out.reserve(m_boxes.size());
+    for (const auto& b : m_boxes) { out.push_back(b.shifted(s)); }
+    return BoxArray(std::move(out));
+  }
+
+  BoxArray coarsened(const IV& ratio) const {
+    std::vector<Box<DIM>> out;
+    out.reserve(m_boxes.size());
+    for (const auto& b : m_boxes) { out.push_back(b.coarsened(ratio)); }
+    return BoxArray(std::move(out));
+  }
+  BoxArray refined(const IV& ratio) const {
+    std::vector<Box<DIM>> out;
+    out.reserve(m_boxes.size());
+    for (const auto& b : m_boxes) { out.push_back(b.refined(ratio)); }
+    return BoxArray(std::move(out));
+  }
+
+private:
+  std::vector<Box<DIM>> m_boxes;
+};
+
+extern template class BoxArray<2>;
+extern template class BoxArray<3>;
+
+} // namespace mrpic

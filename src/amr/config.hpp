@@ -1,0 +1,33 @@
+#pragma once
+
+// Global configuration for the mrpic framework.
+//
+// The core simulation uses double precision throughout ("DP mode" in the
+// paper). The kernel micro-benchmarks in src/kernels are additionally
+// templated on float to reproduce the paper's SP/MP rows.
+
+#include <cstdint>
+
+namespace mrpic {
+
+using Real = double;
+
+// Default number of ghost (guard) cells carried by field MultiFabs.
+// Order-3 Esirkepov deposition of a particle that has just crossed the
+// high-side box boundary (deposition happens before redistribution) touches
+// up to 4 cells beyond the valid region, so 4 guards cover every
+// interpolation/deposition used in this code base.
+inline constexpr int default_num_ghost = 4;
+
+namespace constants {
+// SI physical constants (CODATA-2018 rounded).
+inline constexpr Real c       = 2.99792458e8;       // speed of light [m/s]
+inline constexpr Real eps0    = 8.8541878128e-12;   // vacuum permittivity [F/m]
+inline constexpr Real mu0     = 1.25663706212e-6;   // vacuum permeability [H/m]
+inline constexpr Real q_e     = 1.602176634e-19;    // elementary charge [C]
+inline constexpr Real m_e     = 9.1093837015e-31;   // electron mass [kg]
+inline constexpr Real m_p     = 1.67262192369e-27;  // proton mass [kg]
+inline constexpr Real pi      = 3.14159265358979323846;
+} // namespace constants
+
+} // namespace mrpic

@@ -1,0 +1,8 @@
+#include "src/amr/geometry.hpp"
+
+namespace mrpic {
+
+template class Geometry<2>;
+template class Geometry<3>;
+
+} // namespace mrpic

@@ -1,0 +1,101 @@
+#pragma once
+
+// Geometry<DIM>: the physical problem domain — the mapping between the cell
+// index lattice and physical coordinates — plus periodicity flags.
+//
+// Index convention: the *node* with index i along direction d sits at
+//   x = prob_lo[d] + i * dx[d]
+// so cell i occupies [prob_lo + i dx, prob_lo + (i+1) dx). A component with
+// Yee staggering s (0 = nodal, 1 = half-cell offset) at index i sits at
+//   x = prob_lo[d] + (i + 0.5 s) * dx[d].
+
+#include <array>
+
+#include "src/amr/box.hpp"
+#include "src/amr/config.hpp"
+#include "src/amr/real_vect.hpp"
+
+namespace mrpic {
+
+template <int DIM>
+class Geometry {
+public:
+  using IV = IntVect<DIM>;
+  using RV = RealVect<DIM>;
+
+  Geometry() = default;
+
+  Geometry(const Box<DIM>& domain, const RV& prob_lo, const RV& prob_hi,
+           const std::array<bool, DIM>& periodic = {})
+      : m_domain(domain), m_prob_lo(prob_lo), m_prob_hi(prob_hi), m_periodic(periodic) {
+    for (int d = 0; d < DIM; ++d) {
+      m_dx[d] = (prob_hi[d] - prob_lo[d]) / static_cast<Real>(domain.length(d));
+      m_inv_dx[d] = Real(1) / m_dx[d];
+    }
+  }
+
+  const Box<DIM>& domain() const { return m_domain; }
+  const RV& prob_lo() const { return m_prob_lo; }
+  const RV& prob_hi() const { return m_prob_hi; }
+  const RV& dx() const { return m_dx; }
+  const RV& inv_dx() const { return m_inv_dx; }
+  Real cell_size(int d) const { return m_dx[d]; }
+  bool is_periodic(int d) const { return m_periodic[d]; }
+  const std::array<bool, DIM>& periodicity() const { return m_periodic; }
+  bool any_periodic() const {
+    for (int d = 0; d < DIM; ++d) {
+      if (m_periodic[d]) { return true; }
+    }
+    return false;
+  }
+
+  // Position of node index i along direction d.
+  Real node_pos(int i, int d) const { return m_prob_lo[d] + static_cast<Real>(i) * m_dx[d]; }
+  // Position of cell center.
+  Real cell_center(int i, int d) const {
+    return m_prob_lo[d] + (static_cast<Real>(i) + Real(0.5)) * m_dx[d];
+  }
+
+  // Cell index containing physical position x along direction d.
+  int cell_index(Real x, int d) const {
+    return static_cast<int>(std::floor((x - m_prob_lo[d]) * m_inv_dx[d]));
+  }
+
+  // Refined/coarsened geometry over the same physical domain.
+  Geometry refined(const IV& ratio) const {
+    return Geometry(m_domain.refined(ratio), m_prob_lo, m_prob_hi, m_periodic);
+  }
+  Geometry refined(int r) const { return refined(IV(r)); }
+  Geometry coarsened(const IV& ratio) const {
+    return Geometry(m_domain.coarsened(ratio), m_prob_lo, m_prob_hi, m_periodic);
+  }
+
+  // Shift the whole domain by n cells along direction d (moving window):
+  // index space is preserved, the physical anchor moves.
+  void shift_physical(int d, int ncells) {
+    const Real s = static_cast<Real>(ncells) * m_dx[d];
+    m_prob_lo[d] += s;
+    m_prob_hi[d] += s;
+  }
+
+  // Place the anchor at an absolute position, preserving the extent
+  // (checkpoint/restart support; cell sizes are unchanged).
+  void set_anchor(const RV& prob_lo) {
+    for (int d = 0; d < DIM; ++d) {
+      const Real extent = m_prob_hi[d] - m_prob_lo[d];
+      m_prob_lo[d] = prob_lo[d];
+      m_prob_hi[d] = prob_lo[d] + extent;
+    }
+  }
+
+private:
+  Box<DIM> m_domain;
+  RV m_prob_lo{}, m_prob_hi{};
+  RV m_dx{}, m_inv_dx{};
+  std::array<bool, DIM> m_periodic{};
+};
+
+extern template class Geometry<2>;
+extern template class Geometry<3>;
+
+} // namespace mrpic

@@ -1,0 +1,130 @@
+#pragma once
+
+// IntVect<DIM>: a DIM-dimensional integer index vector, the basic coordinate
+// type of the structured-mesh index space (mirrors AMReX's IntVect).
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace mrpic {
+
+template <int DIM>
+class IntVect {
+  static_assert(DIM == 2 || DIM == 3, "mrpic supports 2D and 3D index spaces");
+
+public:
+  constexpr IntVect() : m_v{} {}
+
+  // Broadcast constructor: all components set to `s`.
+  constexpr explicit IntVect(int s) {
+    for (int d = 0; d < DIM; ++d) { m_v[d] = s; }
+  }
+
+  constexpr IntVect(int i, int j) requires(DIM == 2) : m_v{i, j} {}
+  constexpr IntVect(int i, int j, int k) requires(DIM == 3) : m_v{i, j, k} {}
+
+  static constexpr IntVect zero() { return IntVect(0); }
+  static constexpr IntVect unit() { return IntVect(1); }
+  static constexpr IntVect dim_vec(int d, int val = 1) {
+    IntVect v;
+    v[d] = val;
+    return v;
+  }
+
+  constexpr int  operator[](int d) const { return m_v[d]; }
+  constexpr int& operator[](int d) { return m_v[d]; }
+
+  constexpr bool operator==(const IntVect&) const = default;
+
+  constexpr IntVect& operator+=(const IntVect& o) {
+    for (int d = 0; d < DIM; ++d) { m_v[d] += o.m_v[d]; }
+    return *this;
+  }
+  constexpr IntVect& operator-=(const IntVect& o) {
+    for (int d = 0; d < DIM; ++d) { m_v[d] -= o.m_v[d]; }
+    return *this;
+  }
+  constexpr IntVect& operator*=(int s) {
+    for (int d = 0; d < DIM; ++d) { m_v[d] *= s; }
+    return *this;
+  }
+
+  friend constexpr IntVect operator+(IntVect a, const IntVect& b) { return a += b; }
+  friend constexpr IntVect operator-(IntVect a, const IntVect& b) { return a -= b; }
+  friend constexpr IntVect operator*(IntVect a, int s) { return a *= s; }
+  friend constexpr IntVect operator*(int s, IntVect a) { return a *= s; }
+  friend constexpr IntVect operator-(IntVect a) {
+    for (int d = 0; d < DIM; ++d) { a[d] = -a[d]; }
+    return a;
+  }
+
+  // All-components comparisons (partial order on the index lattice).
+  constexpr bool all_le(const IntVect& o) const {
+    for (int d = 0; d < DIM; ++d) {
+      if (m_v[d] > o.m_v[d]) { return false; }
+    }
+    return true;
+  }
+  constexpr bool all_lt(const IntVect& o) const {
+    for (int d = 0; d < DIM; ++d) {
+      if (m_v[d] >= o.m_v[d]) { return false; }
+    }
+    return true;
+  }
+  constexpr bool all_ge(const IntVect& o) const { return o.all_le(*this); }
+  constexpr bool all_gt(const IntVect& o) const { return o.all_lt(*this); }
+
+  constexpr int min_component() const { return *std::min_element(m_v.begin(), m_v.end()); }
+  constexpr int max_component() const { return *std::max_element(m_v.begin(), m_v.end()); }
+
+  constexpr std::int64_t product() const {
+    std::int64_t p = 1;
+    for (int d = 0; d < DIM; ++d) { p *= m_v[d]; }
+    return p;
+  }
+
+  static constexpr IntVect component_min(const IntVect& a, const IntVect& b) {
+    IntVect r;
+    for (int d = 0; d < DIM; ++d) { r[d] = std::min(a[d], b[d]); }
+    return r;
+  }
+  static constexpr IntVect component_max(const IntVect& a, const IntVect& b) {
+    IntVect r;
+    for (int d = 0; d < DIM; ++d) { r[d] = std::max(a[d], b[d]); }
+    return r;
+  }
+
+  // Element-wise integer ops used by coarsen/refine.
+  constexpr IntVect scaled(const IntVect& factor) const {
+    IntVect r;
+    for (int d = 0; d < DIM; ++d) { r[d] = m_v[d] * factor[d]; }
+    return r;
+  }
+  // Floor division (rounds toward -infinity), the correct coarsening map for
+  // negative indices.
+  constexpr IntVect coarsened(const IntVect& ratio) const {
+    IntVect r;
+    for (int d = 0; d < DIM; ++d) {
+      const int q = m_v[d] >= 0 ? m_v[d] / ratio[d] : -((-m_v[d] + ratio[d] - 1) / ratio[d]);
+      r[d] = q;
+    }
+    return r;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const IntVect& v) {
+    os << '(';
+    for (int d = 0; d < DIM; ++d) { os << v[d] << (d + 1 < DIM ? "," : ")"); }
+    return os;
+  }
+
+private:
+  std::array<int, DIM> m_v;
+};
+
+using IntVect2 = IntVect<2>;
+using IntVect3 = IntVect<3>;
+
+} // namespace mrpic

@@ -1,0 +1,114 @@
+#pragma once
+
+// MultiFab<DIM>: multi-component field data distributed over the boxes of a
+// BoxArray, with ghost (guard) cells, halo exchange (FillBoundary), ghost
+// accumulation (SumBoundary, used after current deposition) and copies
+// between different BoxArrays (ParallelCopy, used by mesh refinement).
+//
+// Transport note: this build hosts every fab in-process (single address
+// space); the DistributionMapping is carried for cost accounting and drives
+// the simulated-cluster communication model (src/cluster), which is how the
+// paper's multi-node behaviour is reproduced on one host (see DESIGN.md §1).
+
+#include <memory>
+#include <vector>
+
+#include "src/amr/basefab.hpp"
+#include "src/amr/box_array.hpp"
+#include "src/amr/geometry.hpp"
+#include "src/dist/distribution_mapping.hpp"
+
+namespace mrpic {
+
+template <int DIM>
+class MultiFab {
+public:
+  using IV = IntVect<DIM>;
+
+  MultiFab() = default;
+
+  MultiFab(const BoxArray<DIM>& ba, const dist::DistributionMapping& dm, int ncomp,
+           int ngrow)
+      : m_ba(ba), m_dm(dm), m_ncomp(ncomp), m_ngrow(ngrow) {
+    m_fabs.reserve(ba.size());
+    for (int i = 0; i < ba.size(); ++i) {
+      m_fabs.emplace_back(ba[i].grown(ngrow), ncomp);
+    }
+  }
+
+  // Convenience: trivial distribution (all boxes on rank 0).
+  MultiFab(const BoxArray<DIM>& ba, int ncomp, int ngrow)
+      : MultiFab(ba, dist::DistributionMapping(std::vector<int>(ba.size(), 0), 1), ncomp,
+                 ngrow) {}
+
+  const BoxArray<DIM>& box_array() const { return m_ba; }
+  const dist::DistributionMapping& dist_map() const { return m_dm; }
+  int num_comp() const { return m_ncomp; }
+  int num_ghost() const { return m_ngrow; }
+  int num_fabs() const { return static_cast<int>(m_fabs.size()); }
+  bool empty() const { return m_fabs.empty(); }
+
+  FArrayBox<DIM>& fab(int i) { return m_fabs[i]; }
+  const FArrayBox<DIM>& fab(int i) const { return m_fabs[i]; }
+  Array4<Real> array(int i) { return m_fabs[i].array(); }
+  Array4<const Real> const_array(int i) const { return m_fabs[i].const_array(); }
+
+  // Valid (owned) cell box of fab i.
+  const Box<DIM>& valid_box(int i) const { return m_ba[i]; }
+  // Allocated region of fab i (valid grown by ngrow).
+  Box<DIM> grown_box(int i) const { return m_ba[i].grown(m_ngrow); }
+
+  void set_val(Real v) {
+    for (auto& f : m_fabs) { f.set_val(v); }
+  }
+  void set_val(Real v, int comp) {
+    for (int i = 0; i < num_fabs(); ++i) {
+      m_fabs[i].for_each_cell(grown_box(i),
+                              [&](const IV& p) { m_fabs[i](p, comp) = v; });
+    }
+  }
+
+  // dst = dst * a + src * b (on valid+ghost region; box arrays must match).
+  void lin_comb(Real a, Real b, const MultiFab& src, int scomp, int dcomp, int ncomp);
+
+  // Fill ghost cells of every fab from the valid data of overlapping fabs,
+  // honoring the periodicity of `geom`.
+  void fill_boundary(const Geometry<DIM>& geom);
+
+  // Add ghost-cell data of every fab into the valid cells of the owning fabs
+  // (charge/current deposition reduction), honoring periodicity. Ghost
+  // regions are zeroed afterwards; call fill_boundary to re-sync if needed.
+  void sum_boundary(const Geometry<DIM>& geom);
+
+  // Copy data from `src` (same index space, possibly different BoxArray)
+  // where regions overlap. Regions are valid boxes grown by src_ghost /
+  // dst_ghost respectively. If `add`, accumulate instead of assign.
+  void parallel_copy(const MultiFab& src, int scomp, int dcomp, int ncomp,
+                     int src_ghost = 0, int dst_ghost = 0, bool add = false);
+
+  // Reductions over valid regions.
+  Real sum(int comp = 0) const;
+  Real max_abs(int comp = 0) const;
+  // Sum of v^2 over valid cells (for energy diagnostics).
+  Real sum_sq(int comp = 0) const;
+
+  // Shift the stored data of every fab by `ncells` along direction `d`
+  // toward negative indices (moving-window scroll): value(i) <- value(i+n).
+  // Freshly exposed cells at the high end are set to fill_value.
+  void shift_data(int d, int ncells, Real fill_value = 0);
+
+private:
+  // Periodic shift vectors (in index space), including the zero shift.
+  std::vector<IV> periodic_shifts(const Geometry<DIM>& geom) const;
+
+  BoxArray<DIM> m_ba;
+  dist::DistributionMapping m_dm;
+  int m_ncomp = 0;
+  int m_ngrow = 0;
+  std::vector<FArrayBox<DIM>> m_fabs;
+};
+
+extern template class MultiFab<2>;
+extern template class MultiFab<3>;
+
+} // namespace mrpic

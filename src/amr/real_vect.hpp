@@ -1,0 +1,71 @@
+#pragma once
+
+// RealVect<DIM>: DIM-dimensional vector of physical coordinates.
+
+#include <array>
+#include <cmath>
+#include <ostream>
+
+#include "src/amr/config.hpp"
+#include "src/amr/int_vect.hpp"
+
+namespace mrpic {
+
+template <int DIM>
+class RealVect {
+public:
+  constexpr RealVect() : m_v{} {}
+  constexpr explicit RealVect(Real s) {
+    for (int d = 0; d < DIM; ++d) { m_v[d] = s; }
+  }
+  constexpr RealVect(Real x, Real y) requires(DIM == 2) : m_v{x, y} {}
+  constexpr RealVect(Real x, Real y, Real z) requires(DIM == 3) : m_v{x, y, z} {}
+
+  constexpr explicit RealVect(const IntVect<DIM>& iv) {
+    for (int d = 0; d < DIM; ++d) { m_v[d] = static_cast<Real>(iv[d]); }
+  }
+
+  constexpr Real  operator[](int d) const { return m_v[d]; }
+  constexpr Real& operator[](int d) { return m_v[d]; }
+
+  constexpr bool operator==(const RealVect&) const = default;
+
+  constexpr RealVect& operator+=(const RealVect& o) {
+    for (int d = 0; d < DIM; ++d) { m_v[d] += o.m_v[d]; }
+    return *this;
+  }
+  constexpr RealVect& operator-=(const RealVect& o) {
+    for (int d = 0; d < DIM; ++d) { m_v[d] -= o.m_v[d]; }
+    return *this;
+  }
+  constexpr RealVect& operator*=(Real s) {
+    for (int d = 0; d < DIM; ++d) { m_v[d] *= s; }
+    return *this;
+  }
+
+  friend constexpr RealVect operator+(RealVect a, const RealVect& b) { return a += b; }
+  friend constexpr RealVect operator-(RealVect a, const RealVect& b) { return a -= b; }
+  friend constexpr RealVect operator*(RealVect a, Real s) { return a *= s; }
+  friend constexpr RealVect operator*(Real s, RealVect a) { return a *= s; }
+
+  constexpr Real dot(const RealVect& o) const {
+    Real s = 0;
+    for (int d = 0; d < DIM; ++d) { s += m_v[d] * o.m_v[d]; }
+    return s;
+  }
+  Real norm() const { return std::sqrt(dot(*this)); }
+
+  friend std::ostream& operator<<(std::ostream& os, const RealVect& v) {
+    os << '(';
+    for (int d = 0; d < DIM; ++d) { os << v[d] << (d + 1 < DIM ? "," : ")"); }
+    return os;
+  }
+
+private:
+  std::array<Real, DIM> m_v;
+};
+
+using RealVect2 = RealVect<2>;
+using RealVect3 = RealVect<3>;
+
+} // namespace mrpic

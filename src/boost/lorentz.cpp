@@ -1,0 +1,71 @@
+#include "src/boost/lorentz.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mrpic::boost {
+
+using mrpic::constants::c;
+
+BoostedFrame::BoostedFrame(Real gamma) : m_gamma(gamma) {
+  assert(gamma >= 1);
+  m_beta = std::sqrt(1 - 1 / (gamma * gamma));
+}
+
+std::array<Real, 2> BoostedFrame::event_to_boosted(Real t, Real x) const {
+  return {m_gamma * (t - m_beta * x / c), m_gamma * (x - m_beta * c * t)};
+}
+
+std::array<Real, 2> BoostedFrame::event_to_lab(Real tp, Real xp) const {
+  return {m_gamma * (tp + m_beta * xp / c), m_gamma * (xp + m_beta * c * tp)};
+}
+
+std::array<Real, 3> BoostedFrame::momentum_to_boosted(const std::array<Real, 3>& u) const {
+  const Real u2 = u[0] * u[0] + u[1] * u[1] + u[2] * u[2];
+  const Real gp = std::sqrt(1 + u2 / (c * c)); // particle gamma (u0/c)
+  return {m_gamma * (u[0] - m_beta * c * gp), u[1], u[2]};
+}
+
+std::array<Real, 3> BoostedFrame::momentum_to_lab(const std::array<Real, 3>& u) const {
+  const Real u2 = u[0] * u[0] + u[1] * u[1] + u[2] * u[2];
+  const Real gp = std::sqrt(1 + u2 / (c * c));
+  return {m_gamma * (u[0] + m_beta * c * gp), u[1], u[2]};
+}
+
+void BoostedFrame::fields_to_boosted(std::array<Real, 3>& E, std::array<Real, 3>& B) const {
+  const Real v = m_beta * c;
+  const std::array<Real, 3> e = E, b = B;
+  // Boost along x: parallel components unchanged.
+  E[1] = m_gamma * (e[1] - v * b[2]);
+  E[2] = m_gamma * (e[2] + v * b[1]);
+  B[1] = m_gamma * (b[1] + v * e[2] / (c * c));
+  B[2] = m_gamma * (b[2] - v * e[1] / (c * c));
+}
+
+void BoostedFrame::fields_to_lab(std::array<Real, 3>& E, std::array<Real, 3>& B) const {
+  const Real v = m_beta * c;
+  const std::array<Real, 3> e = E, b = B;
+  E[1] = m_gamma * (e[1] + v * b[2]);
+  E[2] = m_gamma * (e[2] - v * b[1]);
+  B[1] = m_gamma * (b[1] - v * e[2] / (c * c));
+  B[2] = m_gamma * (b[2] + v * e[1] / (c * c));
+}
+
+Real BoostedFrame::plasma_drift_ux() const { return -m_gamma * m_beta * c; }
+
+Real BoostedFrame::speedup_estimate(Real gamma_boost) {
+  const Real beta = std::sqrt(1 - 1 / (gamma_boost * gamma_boost));
+  return (1 + beta) * (1 + beta) * gamma_boost * gamma_boost;
+}
+
+Real invariant_e2_c2b2(const std::array<Real, 3>& E, const std::array<Real, 3>& B) {
+  const Real e2 = E[0] * E[0] + E[1] * E[1] + E[2] * E[2];
+  const Real b2 = B[0] * B[0] + B[1] * B[1] + B[2] * B[2];
+  return e2 - c * c * b2;
+}
+
+Real invariant_e_dot_b(const std::array<Real, 3>& E, const std::array<Real, 3>& B) {
+  return E[0] * B[0] + E[1] * B[1] + E[2] * B[2];
+}
+
+} // namespace mrpic::boost

@@ -1,0 +1,79 @@
+#pragma once
+
+// Lorentz-boosted-frame utilities (paper Table I "Boosted frame" and
+// Sec. VIII.B: "modeling in Lorentz boosted frame, which gives several
+// orders of magnitude speedups over standard laboratory-frame modeling",
+// citing Vay PRL 2007).
+//
+// The boost is along +x with velocity beta*c. Provided here:
+//  - four-vector transforms for particle position/momentum,
+//  - the electromagnetic field transform,
+//  - plasma initialization helpers (density contraction + drift),
+//  - laser parameter transforms for a pulse counter-propagating to the
+//    boost (the standard LWFA configuration),
+//  - the Vay (2007) estimate of the computational speedup.
+
+#include <array>
+
+#include "src/amr/config.hpp"
+
+namespace mrpic::boost {
+
+class BoostedFrame {
+public:
+  // gamma >= 1; boost along +x.
+  explicit BoostedFrame(Real gamma);
+
+  Real gamma() const { return m_gamma; }
+  Real beta() const { return m_beta; }
+
+  // --- kinematics -------------------------------------------------------
+  // Transform an event (t, x) lab -> boosted. Positions in meters, t in s.
+  // Only the x coordinate mixes with time.
+  std::array<Real, 2> event_to_boosted(Real t, Real x) const; // {t', x'}
+  std::array<Real, 2> event_to_lab(Real tp, Real xp) const;
+
+  // Proper velocity u = gamma_p * v (m/s, as stored by ParticleTile):
+  // u'_x = gamma (u_x - beta c gamma_p), transverse unchanged.
+  std::array<Real, 3> momentum_to_boosted(const std::array<Real, 3>& u) const;
+  std::array<Real, 3> momentum_to_lab(const std::array<Real, 3>& u) const;
+
+  // --- fields -----------------------------------------------------------
+  // E'_x = E_x, E'_perp = gamma (E + v x B)_perp; B'_x = B_x,
+  // B'_perp = gamma (B - v x E / c^2)_perp.
+  void fields_to_boosted(std::array<Real, 3>& E, std::array<Real, 3>& B) const;
+  void fields_to_lab(std::array<Real, 3>& E, std::array<Real, 3>& B) const;
+
+  // --- plasma & laser setup --------------------------------------------
+  // A lab-frame plasma at rest with density n appears contracted and
+  // drifting: n' = gamma n, u'_x = -gamma beta c.
+  Real plasma_density_boosted(Real n_lab) const { return m_gamma * n_lab; }
+  Real plasma_drift_ux() const;
+
+  // A laser propagating in +x (with the boost) is redshifted:
+  // lambda' = lambda gamma (1 + beta); duration dilates by the same factor;
+  // a0 is invariant.
+  Real copropagating_wavelength(Real lambda_lab) const {
+    return lambda_lab * m_gamma * (1 + m_beta);
+  }
+  Real copropagating_duration(Real tau_lab) const {
+    return tau_lab * m_gamma * (1 + m_beta);
+  }
+
+  // Vay (2007): the range of space/time scales of a lab-frame LWFA stage
+  // collapses by ~(1+beta)^2 gamma^2 in the optimal boosted frame — the
+  // expected reduction in the number of time steps for a stage of length
+  // L_acc driven by a laser of wavelength lambda.
+  static Real speedup_estimate(Real gamma_boost);
+
+private:
+  Real m_gamma;
+  Real m_beta;
+};
+
+// Electromagnetic invariants (test/diagnostic helpers): both are preserved
+// by any Lorentz transformation.
+Real invariant_e2_c2b2(const std::array<Real, 3>& E, const std::array<Real, 3>& B);
+Real invariant_e_dot_b(const std::array<Real, 3>& E, const std::array<Real, 3>& B);
+
+} // namespace mrpic::boost

@@ -1,0 +1,3 @@
+#include "src/cluster/comm_model.hpp"
+
+// Header-only; anchors the module in the library build.

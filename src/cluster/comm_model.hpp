@@ -1,0 +1,35 @@
+#pragma once
+
+// Communication cost model for the simulated cluster: the latency/bandwidth
+// alpha-beta model that underlies the reproduction of the paper's multi-node
+// behaviour on a single host (DESIGN.md §1). Message cost = latency +
+// bytes/bandwidth; on-rank copies are free (bandwidth-only, charged at the
+// intra-node rate).
+
+#include <cstdint>
+
+#include "src/amr/config.hpp"
+
+namespace mrpic::cluster {
+
+struct CommModel {
+  double latency_s = 2e-6;          // per-message network latency [s]
+  double bandwidth_Bps = 12.5e9;    // inter-rank bandwidth [bytes/s]
+  double intranode_Bps = 200e9;     // same-rank (device-local) copy rate
+  double allreduce_latency_s = 5e-6; // per-hop cost of a reduction tree
+
+  double message_time(std::int64_t bytes, bool same_rank) const {
+    if (same_rank) { return static_cast<double>(bytes) / intranode_Bps; }
+    return latency_s + static_cast<double>(bytes) / bandwidth_Bps;
+  }
+
+  // log2-tree allreduce across nranks.
+  double allreduce_time(int nranks, std::int64_t bytes) const {
+    if (nranks <= 1) { return 0; }
+    int hops = 0;
+    for (int n = nranks - 1; n > 0; n >>= 1) { ++hops; }
+    return hops * (allreduce_latency_s + static_cast<double>(bytes) / bandwidth_Bps);
+  }
+};
+
+} // namespace mrpic::cluster

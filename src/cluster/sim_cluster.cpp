@@ -1,0 +1,62 @@
+#include "src/cluster/sim_cluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace mrpic::cluster {
+
+template <int DIM>
+StepCost SimCluster::step_cost(const mrpic::BoxArray<DIM>& ba,
+                               const dist::DistributionMapping& dm,
+                               const std::vector<Real>& box_compute_s, int ncomp, int ngrow,
+                               int bytes_per_value) const {
+  assert(dm.size() == ba.size());
+  assert(static_cast<int>(box_compute_s.size()) == ba.size());
+
+  StepCost cost;
+  std::vector<double> rank_compute(m_nranks, 0.0);
+  std::vector<double> rank_comm(m_nranks, 0.0);
+
+  for (int i = 0; i < ba.size(); ++i) {
+    rank_compute[dm.rank(i)] += static_cast<double>(box_compute_s[i]);
+  }
+
+  // Halo exchange: for each pair of boxes whose grown region overlaps the
+  // other's valid region, one message of the intersection volume. Receiver
+  // and sender are both charged (send+recv occupy both NICs).
+  for (int i = 0; i < ba.size(); ++i) {
+    const auto gi = ba[i].grown(ngrow);
+    for (int j = 0; j < ba.size(); ++j) {
+      if (i == j) { continue; }
+      const auto region = gi & ba[j];
+      if (region.empty()) { continue; }
+      const std::int64_t bytes = region.num_cells() * ncomp * bytes_per_value;
+      const bool same_rank = dm.rank(i) == dm.rank(j);
+      const double t = m_comm.message_time(bytes, same_rank);
+      rank_comm[dm.rank(i)] += t;
+      if (!same_rank) {
+        rank_comm[dm.rank(j)] += t;
+        cost.total_bytes += bytes;
+        ++cost.num_messages;
+      }
+    }
+  }
+
+  cost.compute_s = *std::max_element(rank_compute.begin(), rank_compute.end());
+  cost.comm_s = *std::max_element(rank_comm.begin(), rank_comm.end());
+  cost.total_s = cost.compute_s + cost.comm_s;
+  const double mean =
+      std::accumulate(rank_compute.begin(), rank_compute.end(), 0.0) / m_nranks;
+  cost.imbalance = mean > 0 ? cost.compute_s / mean : 1.0;
+  return cost;
+}
+
+template StepCost SimCluster::step_cost<2>(const mrpic::BoxArray<2>&,
+                                           const dist::DistributionMapping&,
+                                           const std::vector<Real>&, int, int, int) const;
+template StepCost SimCluster::step_cost<3>(const mrpic::BoxArray<3>&,
+                                           const dist::DistributionMapping&,
+                                           const std::vector<Real>&, int, int, int) const;
+
+} // namespace mrpic::cluster

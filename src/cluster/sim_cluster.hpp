@@ -1,0 +1,57 @@
+#pragma once
+
+// SimCluster: a simulated distributed-memory runtime. The box -> rank
+// assignment of a DistributionMapping is executed virtually: per-rank
+// compute time comes from per-box costs, halo-exchange time from the actual
+// ghost-region intersections of the BoxArray (message sizes and partner
+// counts are exact; only the wire transport is modeled). This is the
+// substitute for MPI on real machines (DESIGN.md §1) and drives the
+// load-balancing and scaling benchmarks.
+
+#include <vector>
+
+#include "src/amr/box_array.hpp"
+#include "src/cluster/comm_model.hpp"
+#include "src/dist/distribution_mapping.hpp"
+
+namespace mrpic::cluster {
+
+struct StepCost {
+  double compute_s = 0;        // max over ranks of summed box costs
+  double comm_s = 0;           // max over ranks of halo-exchange time
+  double total_s = 0;          // compute + comm
+  double imbalance = 1;        // max/mean compute
+  std::int64_t total_bytes = 0;   // bytes crossing rank boundaries
+  std::int64_t num_messages = 0;  // inter-rank messages
+};
+
+class SimCluster {
+public:
+  SimCluster(int nranks, CommModel comm = {}) : m_nranks(nranks), m_comm(comm) {}
+
+  int nranks() const { return m_nranks; }
+  const CommModel& comm() const { return m_comm; }
+
+  // Cost of one step: per-box compute seconds + halo exchange of `ncomp`
+  // components with `ngrow` ghosts over `ba` distributed by `dm`.
+  // `bytes_per_value` is 8 (DP) or 4 (SP).
+  template <int DIM>
+  StepCost step_cost(const mrpic::BoxArray<DIM>& ba, const dist::DistributionMapping& dm,
+                     const std::vector<Real>& box_compute_s, int ncomp, int ngrow,
+                     int bytes_per_value = 8) const;
+
+private:
+  int m_nranks;
+  CommModel m_comm;
+};
+
+extern template StepCost SimCluster::step_cost<2>(const mrpic::BoxArray<2>&,
+                                                  const dist::DistributionMapping&,
+                                                  const std::vector<Real>&, int, int,
+                                                  int) const;
+extern template StepCost SimCluster::step_cost<3>(const mrpic::BoxArray<3>&,
+                                                  const dist::DistributionMapping&,
+                                                  const std::vector<Real>&, int, int,
+                                                  int) const;
+
+} // namespace mrpic::cluster

@@ -1,0 +1,267 @@
+// One explicit PIC cycle (paper Fig. 3) with mesh refinement, moving window,
+// PML boundaries and dynamic load balancing. Included by simulation.cpp.
+
+#include "src/particles/sorting.hpp"
+
+namespace mrpic::core {
+
+template <int DIM>
+void Simulation<DIM>::step() {
+  assert(m_initialized);
+  auto t_step = m_timers.scope("step");
+
+  // 1. Particles: gather -> push -> deposit (fills J on every level).
+  {
+    auto t = m_timers.scope("particles");
+    advance_particles();
+  }
+
+  // 2. External sources: laser antenna currents at t^{n+1/2} (level 0; the
+  // laser enters MR patches through the parent term of the aux fields).
+  {
+    auto t = m_timers.scope("laser");
+    for (const auto& laser : m_lasers) {
+      laser.deposit_current(m_fields, m_time + m_dt / 2);
+    }
+  }
+
+  // 3. Current reductions: fold ghost deposits into owners, then couple the
+  // fine-patch current to the coarse companion and the parent.
+  {
+    auto t = m_timers.scope("current_sync");
+    m_fields.J().sum_boundary(m_fields.geom());
+    if (m_patch && m_patch->active()) {
+      m_patch->fine().J().sum_boundary(m_patch->fine().geom());
+      m_patch->sync_currents(m_fields.J());
+    }
+  }
+
+  // 4. Maxwell solve on all grids: B half / E full / B half.
+  {
+    auto t = m_timers.scope("field_solve");
+    solve_fields();
+  }
+
+  // 5. Auxiliary gather fields for the next step.
+  if (m_patch && m_patch->active()) {
+    auto t = m_timers.scope("mr_aux");
+    m_patch->build_aux(m_fields);
+  }
+
+  // 6. Moving window: scroll grids, drop/trim/inject particles.
+  {
+    auto t = m_timers.scope("moving_window");
+    apply_moving_window();
+  }
+
+  // 7. Particle housekeeping: redistribute, migrate across levels, sort.
+  {
+    auto t = m_timers.scope("redistribute");
+    for (auto& sd : m_species) { sd.level0.redistribute(m_fields.geom()); }
+    if (m_patch) { migrate_patch_particles(); }
+    if (m_cfg.sort_interval > 0 && (m_step + 1) % m_cfg.sort_interval == 0) {
+      for (auto& sd : m_species) {
+        for (int ti = 0; ti < sd.level0.num_tiles(); ++ti) {
+          particles::sort_tile_by_cell(sd.level0.tile(ti), m_fields.geom(),
+                                       sd.level0.box_array()[ti]);
+        }
+      }
+    }
+  }
+
+  // 8. Patch lifecycle + load balancing.
+  maybe_remove_patch();
+  if (m_cfg.dynamic_lb && (m_step + 1) % m_cfg.lb_interval == 0) { maybe_rebalance(); }
+
+  m_time += m_dt;
+  ++m_step;
+}
+
+template <int DIM>
+void Simulation<DIM>::advance_particles() {
+  m_fields.zero_current();
+  if (m_patch && m_patch->active()) {
+    m_patch->fine().zero_current();
+    m_patch->coarse().zero_current();
+  }
+
+  for (auto& sd : m_species) {
+    const Real q = sd.level0.species().charge;
+    const Real mass = sd.level0.species().mass;
+
+    // Level 0: tile-by-tile against the tile's own fab.
+    for (int ti = 0; ti < sd.level0.num_tiles(); ++ti) {
+      auto& tile = sd.level0.tile(ti);
+      if (tile.size() == 0) { continue; }
+      particles::gather_fields<DIM>(m_cfg.shape_order, tile, m_fields.geom(),
+                                    m_fields.E().const_array(ti),
+                                    m_fields.B().const_array(ti), m_gathered);
+      for (int d = 0; d < DIM; ++d) { m_x_old[d] = tile.x[d]; }
+      particles::push_particles<DIM>(m_cfg.pusher, tile, m_gathered, q, mass, m_dt);
+      particles::deposit_current<DIM>(m_cfg.deposition, m_cfg.shape_order, tile, m_x_old,
+                                      m_fields.geom(), m_fields.J().array(ti), q, m_dt);
+    }
+
+    // Patch interior: gather from the auxiliary solution, deposit fine.
+    if (m_patch && m_patch->active() && sd.patch.total_particles() > 0) {
+      auto& tile = sd.patch.tile(0);
+      const auto& fine_geom = m_patch->fine().geom();
+      particles::gather_fields<DIM>(m_cfg.shape_order, tile, fine_geom,
+                                    m_patch->aux_E().const_array(0),
+                                    m_patch->aux_B().const_array(0), m_gathered);
+      for (int d = 0; d < DIM; ++d) { m_x_old[d] = tile.x[d]; }
+      particles::push_particles<DIM>(m_cfg.pusher, tile, m_gathered, q, mass, m_dt);
+      particles::deposit_current<DIM>(m_cfg.deposition, m_cfg.shape_order, tile, m_x_old,
+                                      fine_geom, m_patch->fine().J().array(0), q, m_dt);
+    }
+  }
+}
+
+template <int DIM>
+void Simulation<DIM>::exchange_level0() {
+  m_fields.fill_boundary();
+  if (m_pml) {
+    m_pml->exchange_from_interior(m_fields);
+    m_pml->fill_boundary();
+    m_pml->copy_to_interior(m_fields);
+  }
+}
+
+template <int DIM>
+void Simulation<DIM>::solve_fields() {
+  const Real dt = m_dt;
+
+  if (m_psatd) {
+    // Spectral path: one exact step for the whole field state.
+    m_psatd->advance(m_fields, dt);
+    exchange_level0();
+    return;
+  }
+
+  exchange_level0();
+  m_solver.evolve_b(m_fields, dt / 2);
+  if (m_pml) { m_pml->evolve_b(dt / 2); }
+  if (m_patch) { m_patch->evolve_b(dt / 2); }
+
+  exchange_level0();
+  m_solver.evolve_e(m_fields, dt);
+  if (m_pml) { m_pml->evolve_e(dt); }
+  if (m_patch) { m_patch->evolve_e(dt); }
+
+  exchange_level0();
+  m_solver.evolve_b(m_fields, dt / 2);
+  if (m_pml) { m_pml->evolve_b(dt / 2); }
+  if (m_patch) { m_patch->evolve_b(dt / 2); }
+
+  // Leave ghosts consistent for the next gather.
+  exchange_level0();
+}
+
+template <int DIM>
+void Simulation<DIM>::apply_moving_window() {
+  if (!m_window.active(m_time)) { return; }
+  const int dir = m_window.dir();
+  const int ncells = m_window.advance(m_time, m_dt, m_fields);
+  if (ncells == 0) { return; }
+
+  if (m_pml) { m_pml->shift_data(dir, ncells); }
+  if (m_patch && m_patch->active()) { m_patch->shift_window(dir, ncells); }
+
+  const auto& geom = m_fields.geom();
+  // Drop particles that fell off the trailing edge...
+  for (auto& sd : m_species) {
+    sd.level0.remove_below(dir, geom.prob_lo()[dir]);
+    sd.patch.remove_below(dir, geom.prob_lo()[dir]);
+  }
+  // ...and fill the freshly exposed strip at the leading edge.
+  mrpic::Box<DIM> strip = geom.domain();
+  auto lo = strip.lo();
+  lo[dir] = strip.hi(dir) - ncells + 1;
+  strip = mrpic::Box<DIM>(lo, strip.hi());
+  for (auto& sd : m_species) {
+    if (!sd.injector) { continue; }
+    plasma::PlasmaInjector<DIM> inj(*sd.injector);
+    inj.inject(sd.level0, geom, strip);
+  }
+}
+
+template <int DIM>
+void Simulation<DIM>::migrate_patch_particles() {
+  if (!m_patch) { return; }
+  const auto& geom = m_fields.geom();
+
+  for (auto& sd : m_species) {
+    if (m_patch->active()) {
+      // Level 0 -> patch interior.
+      for (int ti = 0; ti < sd.level0.num_tiles(); ++ti) {
+        auto& tile = sd.level0.tile(ti);
+        std::size_t i = 0;
+        while (i < tile.size()) {
+          std::array<Real, DIM> pos;
+          for (int d = 0; d < DIM; ++d) { pos[d] = tile.x[d][i]; }
+          if (m_patch->in_interior(geom, pos)) {
+            tile.transfer_to(i, sd.patch.tile(0));
+          } else {
+            ++i;
+          }
+        }
+      }
+    }
+    // Patch -> level 0 for particles that left the interior (or all of them
+    // when the patch has been removed).
+    auto& ptile = sd.patch.tile(0);
+    if (sd.patch.num_tiles() == 0) { continue; }
+    std::size_t i = 0;
+    while (i < ptile.size()) {
+      std::array<Real, DIM> pos;
+      for (int d = 0; d < DIM; ++d) { pos[d] = ptile.x[d][i]; }
+      if (!m_patch->active() || !m_patch->in_interior(geom, pos)) {
+        mrpic::IntVect<DIM> cell;
+        for (int d = 0; d < DIM; ++d) { cell[d] = geom.cell_index(pos[d], d); }
+        int dest = -1;
+        if (sd.level0.box_array().contains(cell, &dest)) {
+          ptile.transfer_to(i, sd.level0.tile(dest));
+        } else {
+          ptile.erase(i); // left the domain
+        }
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+template <int DIM>
+void Simulation<DIM>::maybe_remove_patch() {
+  if (!m_patch || !m_patch->active()) { return; }
+  const Real threshold = m_cfg.mr_remove_when_lo_above;
+  if (std::isnan(threshold)) { return; }
+  if (m_fields.geom().prob_lo()[0] > threshold) {
+    m_patch->remove();
+    migrate_patch_particles(); // hand every patch particle back to level 0
+  }
+}
+
+template <int DIM>
+void Simulation<DIM>::maybe_rebalance() {
+  // Cost heuristic per box: cells + measured particle weight (the paper's
+  // in-situ cost instrumentation is modeled by particle counts; see also
+  // dist::LoadBalancer for timed costs).
+  const auto& ba = m_fields.box_array();
+  std::vector<Real> costs(ba.size());
+  for (int i = 0; i < ba.size(); ++i) {
+    costs[i] = Real(0.1) * static_cast<Real>(ba[i].num_cells());
+  }
+  for (const auto& sd : m_species) {
+    for (int ti = 0; ti < sd.level0.num_tiles(); ++ti) {
+      costs[ti] += Real(0.9) * static_cast<Real>(sd.level0.tile(ti).size());
+    }
+  }
+  m_lb.record_costs(costs);
+  if (m_lb.should_rebalance(m_dm)) {
+    m_dm = m_lb.rebalance(ba, m_cfg.nranks);
+    m_lb.count_rebalance();
+  }
+}
+
+} // namespace mrpic::core

@@ -1,0 +1,121 @@
+#include "src/core/simulation.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace mrpic::core {
+
+template <int DIM>
+Simulation<DIM>::Simulation(SimulationConfig<DIM> cfg) : m_cfg(std::move(cfg)), m_lb(m_cfg.lb) {}
+
+template <int DIM>
+int Simulation<DIM>::add_species(particles::Species sp) {
+  assert(!m_initialized);
+  m_species.push_back(SpeciesData{particles::ParticleContainer<DIM>(sp, {}),
+                                  particles::ParticleContainer<DIM>(sp, {}), std::nullopt});
+  return static_cast<int>(m_species.size()) - 1;
+}
+
+template <int DIM>
+int Simulation<DIM>::add_species(particles::Species sp, plasma::InjectorConfig<DIM> injector) {
+  const int id = add_species(std::move(sp));
+  m_species[id].injector = std::move(injector);
+  return id;
+}
+
+template <int DIM>
+void Simulation<DIM>::add_laser(const laser::LaserConfig& cfg) {
+  assert(!m_initialized);
+  m_lasers.emplace_back(cfg);
+}
+
+template <int DIM>
+void Simulation<DIM>::set_moving_window(int dir, Real speed, Real start_time) {
+  assert(!m_initialized);
+  m_window = fields::MovingWindow<DIM>(dir, speed, start_time);
+}
+
+template <int DIM>
+void Simulation<DIM>::enable_mr_patch(const typename mr::MRPatch<DIM>::Config& cfg) {
+  assert(!m_initialized);
+  const mrpic::Geometry<DIM> geom(m_cfg.domain, m_cfg.prob_lo, m_cfg.prob_hi,
+                                  m_cfg.periodic);
+  m_patch = std::make_unique<mr::MRPatch<DIM>>(geom, cfg);
+}
+
+template <int DIM>
+void Simulation<DIM>::init() {
+  assert(!m_initialized);
+  const mrpic::Geometry<DIM> geom(m_cfg.domain, m_cfg.prob_lo, m_cfg.prob_hi,
+                                  m_cfg.periodic);
+  const auto ba = mrpic::BoxArray<DIM>::decompose(m_cfg.domain, m_cfg.max_grid_size);
+  m_dm = dist::DistributionMapping::make(ba, m_cfg.nranks, m_cfg.lb.strategy);
+  m_fields = fields::FieldSet<DIM>(geom, ba, m_dm);
+
+  if (m_cfg.maxwell == MaxwellSolver::PSATD) {
+    // Spectral solve: fully periodic, one global box, no PML/MR.
+    for (int d = 0; d < DIM; ++d) { assert(m_cfg.periodic[d]); }
+    assert(ba.size() == 1 && "PSATD requires a single-box level");
+    assert(!m_cfg.use_pml && m_patch == nullptr);
+    m_psatd = std::make_unique<fields::PsatdSolver<DIM>>(geom);
+  }
+
+  if (m_cfg.use_pml) {
+    std::array<bool, DIM> absorb;
+    for (int d = 0; d < DIM; ++d) { absorb[d] = !m_cfg.periodic[d]; }
+    m_pml = std::make_unique<fields::Pml<DIM>>(geom, m_cfg.domain, absorb, m_cfg.pml);
+  }
+
+  // Global time step: the finest level sets the CFL limit (no subcycling,
+  // paper Sec. V.B).
+  if (m_cfg.forced_dt > 0) {
+    m_dt = m_cfg.forced_dt;
+  } else if (m_patch) {
+    m_dt = fields::cfl_dt(geom.refined(m_patch->config().ratio), m_cfg.cfl);
+  } else {
+    m_dt = fields::cfl_dt(geom, m_cfg.cfl);
+  }
+
+  // Build particle containers on the final box arrays and load plasma.
+  for (auto& sd : m_species) {
+    const auto sp = sd.level0.species();
+    sd.level0 = particles::ParticleContainer<DIM>(sp, ba);
+    if (m_patch) {
+      sd.patch =
+          particles::ParticleContainer<DIM>(sp, mrpic::BoxArray<DIM>(m_patch->fine_region()));
+    }
+    if (sd.injector) {
+      plasma::PlasmaInjector<DIM> inj(*sd.injector);
+      inj.inject_all(sd.level0, geom);
+    }
+  }
+  m_initialized = true;
+
+  // Seed patch containers and the auxiliary gather fields.
+  if (m_patch) {
+    migrate_patch_particles();
+    m_patch->build_aux(m_fields);
+  }
+}
+
+template <int DIM>
+Real Simulation<DIM>::total_energy() const {
+  Real e = m_fields.field_energy();
+  for (const auto& sd : m_species) {
+    e += sd.level0.kinetic_energy() + sd.patch.kinetic_energy();
+  }
+  return e;
+}
+
+} // namespace mrpic::core
+
+// The PIC step machinery lives in pic_step.ipp; it must be visible here so
+// the explicit class instantiations below cover every member.
+#include "src/core/pic_step.ipp"
+
+namespace mrpic::core {
+
+template class Simulation<2>;
+template class Simulation<3>;
+
+} // namespace mrpic::core

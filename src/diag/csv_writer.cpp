@@ -1,0 +1,53 @@
+#include "src/diag/csv_writer.hpp"
+
+namespace mrpic::diag {
+
+bool CsvSeries::write(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) { return false; }
+  for (std::size_t i = 0; i < m_columns.size(); ++i) {
+    os << m_columns[i] << (i + 1 < m_columns.size() ? ',' : '\n');
+  }
+  for (const auto& row : m_rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i] << (i + 1 < row.size() ? ',' : '\n');
+    }
+  }
+  return static_cast<bool>(os);
+}
+
+bool write_field_2d(const std::string& path, const mrpic::MultiFab<2>& mf, int comp) {
+  std::ofstream os(path);
+  if (!os) { return false; }
+  os << "i,j,value\n";
+  for (int m = 0; m < mf.num_fabs(); ++m) {
+    const auto& vb = mf.valid_box(m);
+    const auto a = mf.const_array(m);
+    for (int j = vb.lo(1); j <= vb.hi(1); ++j) {
+      for (int i = vb.lo(0); i <= vb.hi(0); ++i) {
+        os << i << ',' << j << ',' << a(i, j, 0, comp) << '\n';
+      }
+    }
+  }
+  return static_cast<bool>(os);
+}
+
+bool write_field_slice_3d(const std::string& path, const mrpic::MultiFab<3>& mf, int comp,
+                          int k) {
+  std::ofstream os(path);
+  if (!os) { return false; }
+  os << "i,j,value\n";
+  for (int m = 0; m < mf.num_fabs(); ++m) {
+    const auto& vb = mf.valid_box(m);
+    if (k < vb.lo(2) || k > vb.hi(2)) { continue; }
+    const auto a = mf.const_array(m);
+    for (int j = vb.lo(1); j <= vb.hi(1); ++j) {
+      for (int i = vb.lo(0); i <= vb.hi(0); ++i) {
+        os << i << ',' << j << ',' << a(i, j, k, comp) << '\n';
+      }
+    }
+  }
+  return static_cast<bool>(os);
+}
+
+} // namespace mrpic::diag

@@ -1,0 +1,39 @@
+#pragma once
+
+// Lightweight CSV output for time series and 2D field slices (the repo's
+// stand-in for WarpX's openPMD diagnostics; enough to plot every figure).
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/amr/config.hpp"
+#include "src/amr/multifab.hpp"
+
+namespace mrpic::diag {
+
+// Accumulates rows of named columns, written on flush().
+class CsvSeries {
+public:
+  explicit CsvSeries(std::vector<std::string> columns) : m_columns(std::move(columns)) {}
+
+  void add_row(const std::vector<Real>& values) { m_rows.push_back(values); }
+  std::size_t num_rows() const { return m_rows.size(); }
+  const std::vector<std::vector<Real>>& rows() const { return m_rows; }
+
+  bool write(const std::string& path) const;
+
+private:
+  std::vector<std::string> m_columns;
+  std::vector<std::vector<Real>> m_rows;
+};
+
+// Write one component of a 2D MultiFab (valid regions) as CSV rows
+// i,j,value. Returns false on I/O failure.
+bool write_field_2d(const std::string& path, const mrpic::MultiFab<2>& mf, int comp);
+
+// Write an x-z (2D: x-y) plane slice of a 3D MultiFab at index k.
+bool write_field_slice_3d(const std::string& path, const mrpic::MultiFab<3>& mf, int comp,
+                          int k);
+
+} // namespace mrpic::diag

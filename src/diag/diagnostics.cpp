@@ -1,0 +1,84 @@
+#include "src/diag/diagnostics.hpp"
+
+#include <cmath>
+
+namespace mrpic::diag {
+
+namespace {
+
+// Yee divergence of an E-staggered 3-component field at nodal points:
+// (F_x(i) - F_x(i-1))/dx + ... (component index i sits at i+1/2).
+template <int DIM>
+Real div_at(const mrpic::Array4<const Real>& f, const mrpic::IntVect<DIM>& p,
+            const mrpic::RealVect<DIM>& inv_dx) {
+  if constexpr (DIM == 2) {
+    return (f(p[0], p[1], 0, 0) - f(p[0] - 1, p[1], 0, 0)) * inv_dx[0] +
+           (f(p[0], p[1], 0, 1) - f(p[0], p[1] - 1, 0, 1)) * inv_dx[1];
+  } else {
+    return (f(p[0], p[1], p[2], 0) - f(p[0] - 1, p[1], p[2], 0)) * inv_dx[0] +
+           (f(p[0], p[1], p[2], 1) - f(p[0], p[1] - 1, p[2], 1)) * inv_dx[1] +
+           (f(p[0], p[1], p[2], 2) - f(p[0], p[1], p[2] - 1, 2)) * inv_dx[2];
+  }
+}
+
+} // namespace
+
+template <int DIM>
+Real gauss_residual(const fields::FieldSet<DIM>& f, const mrpic::MultiFab<DIM>& rho) {
+  const auto inv_dx = f.geom().inv_dx();
+  Real worst = 0;
+  for (int m = 0; m < rho.num_fabs(); ++m) {
+    const auto e = f.E().const_array(m);
+    const auto r = rho.const_array(m);
+    const auto interior = rho.valid_box(m).grown(-1);
+    rho.fab(m).for_each_cell(interior, [&](const mrpic::IntVect<DIM>& p) {
+      Real div;
+      if constexpr (DIM == 2) {
+        div = div_at<2>(e, p, inv_dx);
+        worst = std::max(worst,
+                         std::abs(div - r(p[0], p[1], 0, 0) / mrpic::constants::eps0));
+      } else {
+        div = div_at<3>(e, p, inv_dx);
+        worst = std::max(
+            worst, std::abs(div - r(p[0], p[1], p[2], 0) / mrpic::constants::eps0));
+      }
+    });
+  }
+  return worst;
+}
+
+template <int DIM>
+Real continuity_residual(const mrpic::MultiFab<DIM>& rho_old,
+                         const mrpic::MultiFab<DIM>& rho_new, const mrpic::MultiFab<DIM>& J,
+                         const mrpic::Geometry<DIM>& geom, Real dt) {
+  const auto inv_dx = geom.inv_dx();
+  Real worst = 0;
+  for (int m = 0; m < J.num_fabs(); ++m) {
+    const auto j4 = J.const_array(m);
+    const auto r0 = rho_old.const_array(m);
+    const auto r1 = rho_new.const_array(m);
+    const auto interior = J.valid_box(m).grown(-1);
+    J.fab(m).for_each_cell(interior, [&](const mrpic::IntVect<DIM>& p) {
+      const Real div = div_at<DIM>(j4, p, inv_dx);
+      Real drho;
+      if constexpr (DIM == 2) {
+        drho = (r1(p[0], p[1], 0, 0) - r0(p[0], p[1], 0, 0)) / dt;
+      } else {
+        drho = (r1(p[0], p[1], p[2], 0) - r0(p[0], p[1], p[2], 0)) / dt;
+      }
+      worst = std::max(worst, std::abs(drho + div));
+    });
+  }
+  return worst;
+}
+
+template Real gauss_residual<2>(const fields::FieldSet<2>&, const mrpic::MultiFab<2>&);
+template Real gauss_residual<3>(const fields::FieldSet<3>&, const mrpic::MultiFab<3>&);
+template Real continuity_residual<2>(const mrpic::MultiFab<2>&, const mrpic::MultiFab<2>&,
+                                     const mrpic::MultiFab<2>&, const mrpic::Geometry<2>&,
+                                     Real);
+template Real continuity_residual<3>(const mrpic::MultiFab<3>&, const mrpic::MultiFab<3>&,
+                                     const mrpic::MultiFab<3>&, const mrpic::Geometry<3>&,
+                                     Real);
+
+} // namespace mrpic::diag

@@ -1,0 +1,39 @@
+#pragma once
+
+// Reduced diagnostics computed in-situ each step ("light self-diagnostics"
+// in the paper's benchmark protocol): charge in the window, field and
+// particle energy, and divergence/continuity residuals used by the
+// correctness tests.
+
+#include "src/amr/multifab.hpp"
+#include "src/fields/field_set.hpp"
+#include "src/particles/particle_container.hpp"
+
+namespace mrpic::diag {
+
+// Max |div E - rho/eps0| over the interior of the valid regions (Gauss law
+// residual; exact conservation requires Esirkepov deposition + consistent
+// initialization). rho must be nodal, deposited with the same shape order.
+template <int DIM>
+Real gauss_residual(const fields::FieldSet<DIM>& f, const mrpic::MultiFab<DIM>& rho);
+
+// Max |(rho_new - rho_old)/dt + div J| over interior cells: the discrete
+// continuity residual that Esirkepov deposition satisfies to round-off.
+template <int DIM>
+Real continuity_residual(const mrpic::MultiFab<DIM>& rho_old,
+                         const mrpic::MultiFab<DIM>& rho_new,
+                         const mrpic::MultiFab<DIM>& J, const mrpic::Geometry<DIM>& geom,
+                         Real dt);
+
+extern template Real gauss_residual<2>(const fields::FieldSet<2>&, const mrpic::MultiFab<2>&);
+extern template Real gauss_residual<3>(const fields::FieldSet<3>&, const mrpic::MultiFab<3>&);
+extern template Real continuity_residual<2>(const mrpic::MultiFab<2>&,
+                                            const mrpic::MultiFab<2>&,
+                                            const mrpic::MultiFab<2>&,
+                                            const mrpic::Geometry<2>&, Real);
+extern template Real continuity_residual<3>(const mrpic::MultiFab<3>&,
+                                            const mrpic::MultiFab<3>&,
+                                            const mrpic::MultiFab<3>&,
+                                            const mrpic::Geometry<3>&, Real);
+
+} // namespace mrpic::diag

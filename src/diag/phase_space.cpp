@@ -1,0 +1,72 @@
+#include "src/diag/phase_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+namespace mrpic::diag {
+
+using mrpic::constants::c;
+
+template <int DIM>
+Real PhaseSpace::value_of(const particles::ParticleTile<DIM>& t, std::size_t p, Axis axis,
+                          Real mass) const {
+  switch (axis) {
+    case Axis::X0: return t.x[0][p];
+    case Axis::X1: return DIM > 1 ? t.x[1][p] : Real(0);
+    case Axis::Ux: return t.u[0][p];
+    case Axis::Uy: return t.u[1][p];
+    case Axis::Uz: return t.u[2][p];
+    case Axis::Energy: {
+      const Real u2 = t.u[0][p] * t.u[0][p] + t.u[1][p] * t.u[1][p] + t.u[2][p] * t.u[2][p];
+      return (std::sqrt(1 + u2 / (c * c)) - 1) * mass * c * c;
+    }
+  }
+  return 0;
+}
+
+template <int DIM>
+void PhaseSpace::accumulate(const particles::ParticleContainer<DIM>& pc) {
+  const Real mass = pc.species().mass;
+  const Real ia_scale = m_cfg.na / (m_cfg.a_max - m_cfg.a_min);
+  const Real ib_scale = m_cfg.nb / (m_cfg.b_max - m_cfg.b_min);
+  for (int ti = 0; ti < pc.num_tiles(); ++ti) {
+    const auto& t = pc.tile(ti);
+    for (std::size_t p = 0; p < t.size(); ++p) {
+      const Real a = value_of<DIM>(t, p, m_cfg.ax, mass);
+      const Real b = value_of<DIM>(t, p, m_cfg.ay, mass);
+      if (a < m_cfg.a_min || a >= m_cfg.a_max || b < m_cfg.b_min || b >= m_cfg.b_max) {
+        continue;
+      }
+      const int ia = static_cast<int>((a - m_cfg.a_min) * ia_scale);
+      const int ib = static_cast<int>((b - m_cfg.b_min) * ib_scale);
+      m_counts[static_cast<std::size_t>(ib) * m_cfg.na + ia] += t.w[p];
+    }
+  }
+}
+
+Real PhaseSpace::total() const {
+  Real s = 0;
+  for (Real v : m_counts) { s += v; }
+  return s;
+}
+
+bool PhaseSpace::write(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) { return false; }
+  os << "a,b,weight\n";
+  const Real da = (m_cfg.a_max - m_cfg.a_min) / m_cfg.na;
+  const Real db = (m_cfg.b_max - m_cfg.b_min) / m_cfg.nb;
+  for (int ib = 0; ib < m_cfg.nb; ++ib) {
+    for (int ia = 0; ia < m_cfg.na; ++ia) {
+      os << m_cfg.a_min + (ia + Real(0.5)) * da << ',' << m_cfg.b_min + (ib + Real(0.5)) * db
+         << ',' << at(ia, ib) << '\n';
+    }
+  }
+  return static_cast<bool>(os);
+}
+
+template void PhaseSpace::accumulate<2>(const particles::ParticleContainer<2>&);
+template void PhaseSpace::accumulate<3>(const particles::ParticleContainer<3>&);
+
+} // namespace mrpic::diag

@@ -1,0 +1,65 @@
+#pragma once
+
+// Phase-space diagnostics: 2D histograms of particle coordinates (x vs u_x,
+// x vs energy, ...) — the standard way to see trapping, injection and
+// acceleration structure (the paper's Fig. 2/7 visualizations are built
+// from exactly this kind of reduced particle data).
+
+#include <string>
+#include <vector>
+
+#include "src/amr/config.hpp"
+#include "src/particles/particle_container.hpp"
+
+namespace mrpic::diag {
+
+// Which particle quantity feeds a histogram axis.
+enum class Axis {
+  X0,      // position along dim 0 [m]
+  X1,      // position along dim 1 [m]
+  Ux,      // proper velocity u_x [m/s]
+  Uy,
+  Uz,
+  Energy,  // kinetic energy [J]
+};
+
+struct PhaseSpaceConfig {
+  Axis ax = Axis::X0;
+  Axis ay = Axis::Ux;
+  Real a_min = 0, a_max = 1;
+  Real b_min = 0, b_max = 1;
+  int na = 64, nb = 64;
+};
+
+class PhaseSpace {
+public:
+  explicit PhaseSpace(PhaseSpaceConfig cfg)
+      : m_cfg(cfg), m_counts(static_cast<std::size_t>(cfg.na) * cfg.nb, Real(0)) {}
+
+  const PhaseSpaceConfig& config() const { return m_cfg; }
+
+  // Accumulate the weights of every particle of `pc` (out-of-range
+  // particles are dropped). Can be called repeatedly (multiple containers,
+  // multiple levels).
+  template <int DIM>
+  void accumulate(const particles::ParticleContainer<DIM>& pc);
+
+  Real at(int ia, int ib) const {
+    return m_counts[static_cast<std::size_t>(ib) * m_cfg.na + ia];
+  }
+  Real total() const;
+  void reset() { std::fill(m_counts.begin(), m_counts.end(), Real(0)); }
+
+  // CSV rows: a_center, b_center, weight.
+  bool write(const std::string& path) const;
+
+private:
+  template <int DIM>
+  Real value_of(const particles::ParticleTile<DIM>& t, std::size_t p, Axis axis,
+                Real mass) const;
+
+  PhaseSpaceConfig m_cfg;
+  std::vector<Real> m_counts;
+};
+
+} // namespace mrpic::diag

@@ -1,0 +1,3 @@
+#include "src/diag/timers.hpp"
+
+// Header-only; translation unit anchors the module in the library.

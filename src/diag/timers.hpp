@@ -1,0 +1,81 @@
+#pragma once
+
+// Accumulating named timers (TinyProfiler-style): every PIC stage is timed
+// per step; the per-box variants feed measured costs to the dynamic load
+// balancer, mirroring WarpX's runtime cost instrumentation.
+
+#include <chrono>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mrpic::diag {
+
+class Timers {
+public:
+  using clock = std::chrono::steady_clock;
+
+  class Scope {
+  public:
+    Scope(Timers& t, const std::string& name) : m_t(&t), m_name(name), m_start(clock::now()) {}
+    ~Scope() { m_t->add(m_name, elapsed()); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    double elapsed() const {
+      return std::chrono::duration<double>(clock::now() - m_start).count();
+    }
+
+  private:
+    Timers* m_t;
+    std::string m_name;
+    clock::time_point m_start;
+  };
+
+  Scope scope(const std::string& name) { return Scope(*this, name); }
+
+  void add(const std::string& name, double seconds) {
+    auto& e = m_entries[name];
+    e.total += seconds;
+    ++e.count;
+  }
+
+  double total(const std::string& name) const {
+    const auto it = m_entries.find(name);
+    return it == m_entries.end() ? 0.0 : it->second.total;
+  }
+  std::int64_t count(const std::string& name) const {
+    const auto it = m_entries.find(name);
+    return it == m_entries.end() ? 0 : it->second.count;
+  }
+
+  void reset() { m_entries.clear(); }
+
+  void report(std::ostream& os) const {
+    for (const auto& [name, e] : m_entries) {
+      os << "  " << name << ": " << e.total << " s over " << e.count << " calls\n";
+    }
+  }
+
+private:
+  struct Entry {
+    double total = 0;
+    std::int64_t count = 0;
+  };
+  std::map<std::string, Entry> m_entries;
+};
+
+// Simple stopwatch for benches.
+class Stopwatch {
+public:
+  Stopwatch() : m_start(Timers::clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(Timers::clock::now() - m_start).count();
+  }
+  void restart() { m_start = Timers::clock::now(); }
+
+private:
+  Timers::clock::time_point m_start;
+};
+
+} // namespace mrpic::diag

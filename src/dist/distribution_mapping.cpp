@@ -1,0 +1,131 @@
+#include "src/dist/distribution_mapping.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "src/dist/knapsack.hpp"
+#include "src/dist/morton.hpp"
+
+namespace mrpic::dist {
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::RoundRobin: return "round_robin";
+    case Strategy::SpaceFillingCurve: return "sfc";
+    case Strategy::Knapsack: return "knapsack";
+  }
+  return "unknown";
+}
+
+namespace {
+
+template <int DIM>
+std::vector<Real> default_costs(const mrpic::BoxArray<DIM>& ba) {
+  std::vector<Real> costs(ba.size());
+  for (int i = 0; i < ba.size(); ++i) {
+    costs[i] = static_cast<Real>(ba[i].num_cells());
+  }
+  return costs;
+}
+
+// Cut a cost-ordered sequence into nranks contiguous segments of roughly
+// equal cumulative cost. Greedy: close a segment once its cost reaches the
+// remaining-average.
+std::vector<int> cut_curve(const std::vector<int>& order, const std::vector<Real>& costs,
+                           int nranks) {
+  std::vector<int> ranks(order.size(), 0);
+  Real remaining = 0;
+  for (Real c : costs) { remaining += c; }
+  int rank = 0;
+  Real seg = 0;
+  int segments_left = nranks;
+  // Target cost of the current segment, fixed at segment start (recomputing
+  // it per item would shrink the target as the segment fills and close
+  // segments early).
+  Real target = remaining / segments_left;
+  for (std::size_t t = 0; t < order.size(); ++t) {
+    ranks[order[t]] = rank;
+    seg += costs[order[t]];
+    remaining -= costs[order[t]];
+    // Close when the target is met (with a half-item tolerance so a segment
+    // straddling the boundary takes the closer cut), or when exactly one
+    // item must remain for each remaining segment.
+    const std::size_t items_left = order.size() - t - 1;
+    const bool must_close = items_left > 0 &&
+                            items_left == static_cast<std::size_t>(segments_left - 1);
+    if ((seg + Real(0.5) * costs[order[t]] >= target || must_close) && rank + 1 < nranks) {
+      ++rank;
+      --segments_left;
+      seg = 0;
+      target = remaining / segments_left;
+    }
+  }
+  return ranks;
+}
+
+} // namespace
+
+template <int DIM>
+DistributionMapping DistributionMapping::make(const mrpic::BoxArray<DIM>& ba, int nranks,
+                                              Strategy strategy,
+                                              const std::vector<Real>& costs_in) {
+  assert(nranks >= 1);
+  const int n = ba.size();
+  std::vector<Real> costs = costs_in.empty() ? default_costs(ba) : costs_in;
+  assert(static_cast<int>(costs.size()) == n);
+
+  std::vector<int> ranks(n, 0);
+  switch (strategy) {
+    case Strategy::RoundRobin: {
+      for (int i = 0; i < n; ++i) { ranks[i] = i % nranks; }
+      break;
+    }
+    case Strategy::SpaceFillingCurve: {
+      // Z-sort boxes by the Morton key of their (shifted non-negative)
+      // centers, then cut the curve into cost-balanced contiguous segments.
+      auto mb = ba.minimal_box();
+      std::vector<std::uint64_t> keys(n);
+      for (int i = 0; i < n; ++i) {
+        mrpic::IntVect<DIM> c;
+        for (int d = 0; d < DIM; ++d) {
+          c[d] = (ba[i].lo(d) + ba[i].hi(d)) / 2 - mb.lo(d);
+        }
+        keys[i] = morton_key(c);
+      }
+      std::vector<int> order(n);
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](int a, int b) { return keys[a] < keys[b]; });
+      ranks = cut_curve(order, costs, nranks);
+      break;
+    }
+    case Strategy::Knapsack: {
+      ranks = knapsack_partition(costs, nranks).assignment;
+      break;
+    }
+  }
+  return DistributionMapping(std::move(ranks), nranks);
+}
+
+std::vector<Real> DistributionMapping::rank_loads(const std::vector<Real>& costs) const {
+  std::vector<Real> loads(m_nranks, Real(0));
+  for (int i = 0; i < size(); ++i) { loads[m_ranks[i]] += costs[i]; }
+  return loads;
+}
+
+Real DistributionMapping::imbalance(const std::vector<Real>& costs) const {
+  const auto loads = rank_loads(costs);
+  const Real mx = *std::max_element(loads.begin(), loads.end());
+  const Real total = std::accumulate(loads.begin(), loads.end(), Real(0));
+  const Real mean = total / m_nranks;
+  return mean > 0 ? mx / mean : Real(1);
+}
+
+template DistributionMapping DistributionMapping::make<2>(const mrpic::BoxArray<2>&, int,
+                                                          Strategy,
+                                                          const std::vector<Real>&);
+template DistributionMapping DistributionMapping::make<3>(const mrpic::BoxArray<3>&, int,
+                                                          Strategy,
+                                                          const std::vector<Real>&);
+
+} // namespace mrpic::dist

@@ -1,0 +1,59 @@
+#pragma once
+
+// DistributionMapping: the box -> rank assignment for a BoxArray, with the
+// three strategies described in the paper (Sec. V.C):
+//   - round robin:        box i -> rank i % nranks
+//   - space-filling curve: boxes Z-sorted by Morton key of their centers,
+//                          then the curve is cut into nranks contiguous
+//                          segments of approximately equal cost
+//   - knapsack:           cost-balanced with no locality consideration
+//
+// The same object is used by the in-process MultiFab (where all boxes are
+// resident) and by the simulated cluster runtime (where rank assignment
+// drives communication cost accounting).
+
+#include <vector>
+
+#include "src/amr/box_array.hpp"
+#include "src/amr/config.hpp"
+
+namespace mrpic::dist {
+
+enum class Strategy { RoundRobin, SpaceFillingCurve, Knapsack };
+
+const char* to_string(Strategy s);
+
+class DistributionMapping {
+public:
+  DistributionMapping() = default;
+
+  explicit DistributionMapping(std::vector<int> ranks, int nranks)
+      : m_ranks(std::move(ranks)), m_nranks(nranks) {}
+
+  // Build a mapping for `ba` over `nranks` ranks. `costs` (one entry per
+  // box) weights the SFC cuts and the knapsack; if empty, each box's cost is
+  // its cell count.
+  template <int DIM>
+  static DistributionMapping make(const mrpic::BoxArray<DIM>& ba, int nranks,
+                                  Strategy strategy,
+                                  const std::vector<Real>& costs = {});
+
+  int size() const { return static_cast<int>(m_ranks.size()); }
+  int nranks() const { return m_nranks; }
+  int rank(int box) const { return m_ranks[box]; }
+  const std::vector<int>& ranks() const { return m_ranks; }
+
+  bool operator==(const DistributionMapping&) const = default;
+
+  // Load (sum of costs) per rank under this mapping.
+  std::vector<Real> rank_loads(const std::vector<Real>& costs) const;
+
+  // max load / mean load; 1.0 = perfect.
+  Real imbalance(const std::vector<Real>& costs) const;
+
+private:
+  std::vector<int> m_ranks;
+  int m_nranks = 1;
+};
+
+} // namespace mrpic::dist

@@ -1,0 +1,93 @@
+#include "src/dist/knapsack.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+
+namespace mrpic::dist {
+
+namespace {
+
+struct RankLoad {
+  Real load;
+  int rank;
+  bool operator>(const RankLoad& o) const { return load > o.load; }
+};
+
+} // namespace
+
+KnapsackResult knapsack_partition(const std::vector<Real>& weights, int nranks,
+                                  bool do_swap_refinement) {
+  assert(nranks >= 1);
+  KnapsackResult res;
+  const int n = static_cast<int>(weights.size());
+  res.assignment.assign(n, 0);
+  res.rank_loads.assign(nranks, Real(0));
+  if (n == 0) {
+    res.max_load = 0;
+    res.efficiency = 1;
+    return res;
+  }
+
+  // LPT: sort items by descending weight, always give the next item to the
+  // currently least-loaded rank (min-heap).
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return weights[a] > weights[b]; });
+
+  std::priority_queue<RankLoad, std::vector<RankLoad>, std::greater<>> heap;
+  for (int r = 0; r < nranks; ++r) { heap.push({Real(0), r}); }
+  for (int idx : order) {
+    RankLoad rl = heap.top();
+    heap.pop();
+    res.assignment[idx] = rl.rank;
+    rl.load += weights[idx];
+    res.rank_loads[rl.rank] = rl.load;
+    heap.push(rl);
+  }
+
+  // Pairwise swap refinement: try moving one item from the heaviest rank to
+  // the lightest as long as it lowers the max load.
+  if (do_swap_refinement) {
+    std::vector<std::vector<int>> items(nranks);
+    for (int i = 0; i < n; ++i) { items[res.assignment[i]].push_back(i); }
+    for (int pass = 0; pass < 8; ++pass) {
+      const auto hi_it = std::max_element(res.rank_loads.begin(), res.rank_loads.end());
+      const auto lo_it = std::min_element(res.rank_loads.begin(), res.rank_loads.end());
+      const int hi = static_cast<int>(hi_it - res.rank_loads.begin());
+      const int lo = static_cast<int>(lo_it - res.rank_loads.begin());
+      if (hi == lo) { break; }
+      const Real gap = res.rank_loads[hi] - res.rank_loads[lo];
+      // Best single move: the item on `hi` whose weight is closest to gap/2
+      // without exceeding gap (so the move strictly reduces the max).
+      int best = -1;
+      Real best_dist = gap; // must be < gap to improve
+      for (std::size_t t = 0; t < items[hi].size(); ++t) {
+        const Real w = weights[items[hi][t]];
+        if (w < gap) {
+          const Real dist = std::abs(w - gap / 2);
+          if (best < 0 || dist < best_dist) {
+            best = static_cast<int>(t);
+            best_dist = dist;
+          }
+        }
+      }
+      if (best < 0) { break; }
+      const int item = items[hi][best];
+      items[hi].erase(items[hi].begin() + best);
+      items[lo].push_back(item);
+      res.assignment[item] = lo;
+      res.rank_loads[hi] -= weights[item];
+      res.rank_loads[lo] += weights[item];
+    }
+  }
+
+  res.max_load = *std::max_element(res.rank_loads.begin(), res.rank_loads.end());
+  const Real total = std::accumulate(res.rank_loads.begin(), res.rank_loads.end(), Real(0));
+  res.efficiency = res.max_load > 0 ? (total / nranks) / res.max_load : Real(1);
+  return res;
+}
+
+} // namespace mrpic::dist

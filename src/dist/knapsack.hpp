@@ -1,0 +1,26 @@
+#pragma once
+
+// Knapsack load balancing: distribute weighted items across ranks so that the
+// maximum rank load is minimized, with no consideration of locality. As in
+// AMReX, the NP-hard problem is solved heuristically: Longest-Processing-Time
+// (LPT) greedy assignment followed by a pairwise-swap refinement pass.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/amr/config.hpp"
+
+namespace mrpic::dist {
+
+struct KnapsackResult {
+  std::vector<int> assignment;   // item index -> rank
+  std::vector<Real> rank_loads;  // total weight per rank
+  Real max_load = 0;
+  Real efficiency = 0; // mean load / max load, 1.0 = perfectly balanced
+};
+
+// weights[i] is the cost of item i; nranks >= 1.
+KnapsackResult knapsack_partition(const std::vector<Real>& weights, int nranks,
+                                  bool do_swap_refinement = true);
+
+} // namespace mrpic::dist

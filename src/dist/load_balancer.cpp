@@ -1,0 +1,68 @@
+#include "src/dist/load_balancer.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+namespace mrpic::dist {
+
+void LoadBalancer::record_costs(const std::vector<Real>& new_costs) {
+  if (m_costs.size() != new_costs.size()) {
+    m_costs = new_costs;
+    return;
+  }
+  const Real a = m_cfg.cost_smoothing;
+  for (std::size_t i = 0; i < m_costs.size(); ++i) {
+    m_costs[i] = (1 - a) * m_costs[i] + a * new_costs[i];
+  }
+}
+
+bool LoadBalancer::should_rebalance(const DistributionMapping& dm) const {
+  if (m_costs.empty() || dm.size() != static_cast<int>(m_costs.size())) { return false; }
+  return dm.imbalance(m_costs) > m_cfg.imbalance_threshold;
+}
+
+namespace {
+
+// Squared distance between box centers (in index space of the same level).
+template <int DIM>
+std::int64_t center_dist2(const mrpic::Box<DIM>& a, const mrpic::Box<DIM>& b) {
+  std::int64_t d2 = 0;
+  for (int d = 0; d < DIM; ++d) {
+    // Centers in doubled coordinates to stay integral.
+    const std::int64_t ca = a.lo(d) + a.hi(d);
+    const std::int64_t cb = b.lo(d) + b.hi(d);
+    d2 += (ca - cb) * (ca - cb);
+  }
+  return d2;
+}
+
+} // namespace
+
+template <int DIM>
+DistributionMapping colocate_pml(const mrpic::BoxArray<DIM>& pml_boxes,
+                                 const mrpic::BoxArray<DIM>& parent_boxes,
+                                 const DistributionMapping& parent_dm) {
+  assert(parent_dm.size() == parent_boxes.size());
+  std::vector<int> ranks(pml_boxes.size(), 0);
+  for (int i = 0; i < pml_boxes.size(); ++i) {
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    for (int j = 0; j < parent_boxes.size(); ++j) {
+      const std::int64_t d2 = center_dist2(pml_boxes[i], parent_boxes[j]);
+      if (d2 < best) {
+        best = d2;
+        ranks[i] = parent_dm.rank(j);
+      }
+    }
+  }
+  return DistributionMapping(std::move(ranks), parent_dm.nranks());
+}
+
+template DistributionMapping colocate_pml<2>(const mrpic::BoxArray<2>&,
+                                             const mrpic::BoxArray<2>&,
+                                             const DistributionMapping&);
+template DistributionMapping colocate_pml<3>(const mrpic::BoxArray<3>&,
+                                             const mrpic::BoxArray<3>&,
+                                             const DistributionMapping&);
+
+} // namespace mrpic::dist

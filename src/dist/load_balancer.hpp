@@ -1,0 +1,62 @@
+#pragma once
+
+// Dynamic load balancing (paper Sec. V.C): boxes carry measured runtime
+// costs; when the imbalance of the current DistributionMapping exceeds a
+// threshold, a new mapping is computed with the configured strategy. Also
+// implements the PML co-location heuristic: PML boxes are placed on the rank
+// of the spatially closest parent-grid box, which the paper credits with a
+// 25% performance gain.
+
+#include <vector>
+
+#include "src/amr/box_array.hpp"
+#include "src/dist/distribution_mapping.hpp"
+
+namespace mrpic::dist {
+
+struct LoadBalanceConfig {
+  Strategy strategy = Strategy::SpaceFillingCurve;
+  // Rebalance when max_load / mean_load exceeds this factor.
+  Real imbalance_threshold = Real(1.1);
+  // Exponential smoothing factor for cost measurements (1 = use newest only).
+  Real cost_smoothing = Real(0.5);
+};
+
+class LoadBalancer {
+public:
+  explicit LoadBalancer(LoadBalanceConfig cfg = {}) : m_cfg(cfg) {}
+
+  const LoadBalanceConfig& config() const { return m_cfg; }
+
+  // Record a new cost observation per box (e.g. measured kernel seconds or a
+  // particles+cells heuristic). Costs are exponentially smoothed.
+  void record_costs(const std::vector<Real>& new_costs);
+  const std::vector<Real>& costs() const { return m_costs; }
+  void reset_costs() { m_costs.clear(); }
+
+  // True if the given mapping's imbalance exceeds the threshold.
+  bool should_rebalance(const DistributionMapping& dm) const;
+
+  // Compute a new mapping for `ba` using smoothed costs.
+  template <int DIM>
+  DistributionMapping rebalance(const mrpic::BoxArray<DIM>& ba, int nranks) const {
+    return DistributionMapping::make(ba, nranks, m_cfg.strategy, m_costs);
+  }
+
+  int num_rebalances() const { return m_num_rebalances; }
+  void count_rebalance() { ++m_num_rebalances; }
+
+private:
+  LoadBalanceConfig m_cfg;
+  std::vector<Real> m_costs;
+  int m_num_rebalances = 0;
+};
+
+// Assign each PML box to the rank of the nearest box of the parent grid
+// (minimizing the frequent PML<->parent data exchanges).
+template <int DIM>
+DistributionMapping colocate_pml(const mrpic::BoxArray<DIM>& pml_boxes,
+                                 const mrpic::BoxArray<DIM>& parent_boxes,
+                                 const DistributionMapping& parent_dm);
+
+} // namespace mrpic::dist

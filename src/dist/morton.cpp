@@ -1,0 +1,33 @@
+#include "src/dist/morton.hpp"
+
+namespace mrpic::dist {
+
+std::uint64_t spread_bits_3(std::uint32_t x) {
+  std::uint64_t v = x & 0x1fffff; // 21 bits
+  v = (v | v << 32) & 0x1f00000000ffffULL;
+  v = (v | v << 16) & 0x1f0000ff0000ffULL;
+  v = (v | v << 8) & 0x100f00f00f00f00fULL;
+  v = (v | v << 4) & 0x10c30c30c30c30c3ULL;
+  v = (v | v << 2) & 0x1249249249249249ULL;
+  return v;
+}
+
+std::uint64_t spread_bits_2(std::uint32_t x) {
+  std::uint64_t v = x;
+  v = (v | v << 16) & 0x0000ffff0000ffffULL;
+  v = (v | v << 8) & 0x00ff00ff00ff00ffULL;
+  v = (v | v << 4) & 0x0f0f0f0f0f0f0f0fULL;
+  v = (v | v << 2) & 0x3333333333333333ULL;
+  v = (v | v << 1) & 0x5555555555555555ULL;
+  return v;
+}
+
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y) {
+  return spread_bits_2(x) | (spread_bits_2(y) << 1);
+}
+
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return spread_bits_3(x) | (spread_bits_3(y) << 1) | (spread_bits_3(z) << 2);
+}
+
+} // namespace mrpic::dist

@@ -1,0 +1,32 @@
+#pragma once
+
+// Morton (Z-order) encoding used by the space-filling-curve distribution
+// strategy: spatially close boxes get close curve positions, so contiguous
+// curve segments assigned to a rank minimize halo-exchange partners.
+
+#include <cstdint>
+
+#include "src/amr/int_vect.hpp"
+
+namespace mrpic::dist {
+
+// Spread the low 21 bits of x so that there are two zero bits between
+// consecutive bits (3D interleave component).
+std::uint64_t spread_bits_3(std::uint32_t x);
+
+// Spread the low 32 bits of x with one zero bit between bits (2D).
+std::uint64_t spread_bits_2(std::uint32_t x);
+
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y);
+std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y, std::uint32_t z);
+
+// Morton key of a (non-negative) index vector.
+inline std::uint64_t morton_key(const mrpic::IntVect<2>& p) {
+  return morton_encode(static_cast<std::uint32_t>(p[0]), static_cast<std::uint32_t>(p[1]));
+}
+inline std::uint64_t morton_key(const mrpic::IntVect<3>& p) {
+  return morton_encode(static_cast<std::uint32_t>(p[0]), static_cast<std::uint32_t>(p[1]),
+                       static_cast<std::uint32_t>(p[2]));
+}
+
+} // namespace mrpic::dist

@@ -1,0 +1,103 @@
+#include "src/fields/fdtd.hpp"
+
+#include <cmath>
+
+#include "src/amr/parallel_for.hpp"
+
+namespace mrpic::fields {
+
+using mrpic::constants::c;
+using mrpic::constants::eps0;
+
+template <int DIM>
+Real cfl_dt(const mrpic::Geometry<DIM>& geom, Real cfl) {
+  Real s = 0;
+  for (int d = 0; d < DIM; ++d) {
+    const Real dx = geom.cell_size(d);
+    s += Real(1) / (dx * dx);
+  }
+  return cfl / (c * std::sqrt(s));
+}
+
+template <int DIM>
+void FDTDSolver<DIM>::evolve_b(FieldSet<DIM>& f, Real dt) const {
+  auto& B = f.B();
+  const auto& E = f.E();
+  const auto& geom = f.geom();
+  const Real dtdx = dt / geom.cell_size(0);
+  const Real dtdy = dt / geom.cell_size(1);
+
+  for (int m = 0; m < B.num_fabs(); ++m) {
+    auto b = B.array(m);
+    const auto e = E.const_array(m);
+    const auto& bx = B.valid_box(m);
+    if constexpr (DIM == 2) {
+      mrpic::parallel_for(bx, [=](int i, int j) {
+        // Bx -= dt dEz/dy ; By += dt dEz/dx ; Bz -= dt (dEy/dx - dEx/dy)
+        b(i, j, 0, X) -= dtdy * (e(i, j + 1, 0, Z) - e(i, j, 0, Z));
+        b(i, j, 0, Y) += dtdx * (e(i + 1, j, 0, Z) - e(i, j, 0, Z));
+        b(i, j, 0, Z) -= dtdx * (e(i + 1, j, 0, Y) - e(i, j, 0, Y)) -
+                         dtdy * (e(i, j + 1, 0, X) - e(i, j, 0, X));
+      });
+    } else {
+      const Real dtdz = dt / geom.cell_size(2);
+      mrpic::parallel_for(bx, [=](int i, int j, int k) {
+        b(i, j, k, X) -= dtdy * (e(i, j + 1, k, Z) - e(i, j, k, Z)) -
+                         dtdz * (e(i, j, k + 1, Y) - e(i, j, k, Y));
+        b(i, j, k, Y) -= dtdz * (e(i, j, k + 1, X) - e(i, j, k, X)) -
+                         dtdx * (e(i + 1, j, k, Z) - e(i, j, k, Z));
+        b(i, j, k, Z) -= dtdx * (e(i + 1, j, k, Y) - e(i, j, k, Y)) -
+                         dtdy * (e(i, j + 1, k, X) - e(i, j, k, X));
+      });
+    }
+  }
+}
+
+template <int DIM>
+void FDTDSolver<DIM>::evolve_e(FieldSet<DIM>& f, Real dt) const {
+  auto& E = f.E();
+  const auto& B = f.B();
+  const auto& J = f.J();
+  const auto& geom = f.geom();
+  const Real c2dtdx = c * c * dt / geom.cell_size(0);
+  const Real c2dtdy = c * c * dt / geom.cell_size(1);
+  const Real dtseps = dt / eps0;
+
+  for (int m = 0; m < E.num_fabs(); ++m) {
+    auto e = E.array(m);
+    const auto b = B.const_array(m);
+    const auto j4 = J.const_array(m);
+    const auto& bx = E.valid_box(m);
+    if constexpr (DIM == 2) {
+      mrpic::parallel_for(bx, [=](int i, int j) {
+        e(i, j, 0, X) += c2dtdy * (b(i, j, 0, Z) - b(i, j - 1, 0, Z)) -
+                         dtseps * j4(i, j, 0, X);
+        e(i, j, 0, Y) += -c2dtdx * (b(i, j, 0, Z) - b(i - 1, j, 0, Z)) -
+                         dtseps * j4(i, j, 0, Y);
+        e(i, j, 0, Z) += c2dtdx * (b(i, j, 0, Y) - b(i - 1, j, 0, Y)) -
+                         c2dtdy * (b(i, j, 0, X) - b(i, j - 1, 0, X)) -
+                         dtseps * j4(i, j, 0, Z);
+      });
+    } else {
+      const Real c2dtdz = c * c * dt / geom.cell_size(2);
+      mrpic::parallel_for(bx, [=](int i, int j, int k) {
+        e(i, j, k, X) += c2dtdy * (b(i, j, k, Z) - b(i, j - 1, k, Z)) -
+                         c2dtdz * (b(i, j, k, Y) - b(i, j, k - 1, Y)) -
+                         dtseps * j4(i, j, k, X);
+        e(i, j, k, Y) += c2dtdz * (b(i, j, k, X) - b(i, j, k - 1, X)) -
+                         c2dtdx * (b(i, j, k, Z) - b(i - 1, j, k, Z)) -
+                         dtseps * j4(i, j, k, Y);
+        e(i, j, k, Z) += c2dtdx * (b(i, j, k, Y) - b(i - 1, j, k, Y)) -
+                         c2dtdy * (b(i, j, k, X) - b(i, j - 1, k, X)) -
+                         dtseps * j4(i, j, k, Z);
+      });
+    }
+  }
+}
+
+template class FDTDSolver<2>;
+template class FDTDSolver<3>;
+template Real cfl_dt<2>(const mrpic::Geometry<2>&, Real);
+template Real cfl_dt<3>(const mrpic::Geometry<3>&, Real);
+
+} // namespace mrpic::fields

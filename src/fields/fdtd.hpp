@@ -1,0 +1,45 @@
+#pragma once
+
+// Second-order finite-difference time-domain (FDTD) Maxwell solver on the
+// staggered Yee lattice (Yee 1966), the standard explicit field solver of
+// the PIC recipe (paper Sec. IV). The PIC cycle uses the split update
+//   evolve_b(dt/2); evolve_e(dt); evolve_b(dt/2);
+// which keeps E and B synchronized at integer time steps for the particle
+// push while preserving the leapfrog structure.
+
+#include "src/amr/config.hpp"
+#include "src/fields/field_set.hpp"
+
+namespace mrpic::fields {
+
+// Largest stable time step for the Yee scheme: dt = cfl / (c sqrt(sum 1/dx^2)).
+template <int DIM>
+Real cfl_dt(const mrpic::Geometry<DIM>& geom, Real cfl = Real(0.98));
+
+template <int DIM>
+class FDTDSolver {
+public:
+  FDTDSolver() = default;
+
+  // B <- B - dt curl E, on valid cells of every fab. Requires E ghosts
+  // filled; call fields.fill_boundary() (and PML exchange) first.
+  void evolve_b(FieldSet<DIM>& fields, Real dt) const;
+
+  // E <- E + dt (c^2 curl B - J / eps0), on valid cells. Requires B ghosts.
+  void evolve_e(FieldSet<DIM>& fields, Real dt) const;
+
+  // Number of floating point operations per cell of one evolve_b + evolve_e
+  // pair (used by the FLOP accounting in src/perf).
+  static constexpr std::int64_t flops_per_cell() {
+    // 3 B comps * (2 curl diffs: 2 sub + 2 mul + 1 sub + 1 fma) +
+    // 3 E comps * (same + J term: +2)
+    return DIM == 3 ? 3 * 7 + 3 * 9 : 3 * 5 + 3 * 7;
+  }
+};
+
+extern template class FDTDSolver<2>;
+extern template class FDTDSolver<3>;
+extern template Real cfl_dt<2>(const mrpic::Geometry<2>&, Real);
+extern template Real cfl_dt<3>(const mrpic::Geometry<3>&, Real);
+
+} // namespace mrpic::fields

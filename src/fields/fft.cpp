@@ -1,0 +1,103 @@
+#include "src/fields/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mrpic::fields {
+
+bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void fft_1d(Complex* data, int n, bool inverse) {
+  assert(is_power_of_two(n));
+  // Bit-reversal permutation.
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; j & bit; bit >>= 1) { j ^= bit; }
+    j ^= bit;
+    if (i < j) { std::swap(data[i], data[j]); }
+  }
+  // Butterflies.
+  for (int len = 2; len <= n; len <<= 1) {
+    const Real ang = 2 * constants::pi / len * (inverse ? 1 : -1);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (int i = 0; i < n; i += len) {
+      Complex w(1);
+      for (int j = 0; j < len / 2; ++j) {
+        const Complex u = data[i + j];
+        const Complex v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+namespace {
+
+// Transform along a strided axis: nlines lines of length n with stride.
+void fft_axis(Complex* data, int n, std::int64_t stride, std::int64_t nlines,
+              std::int64_t line_stride, bool inverse) {
+  std::vector<Complex> scratch(n);
+  for (std::int64_t l = 0; l < nlines; ++l) {
+    Complex* base = data + l * line_stride;
+    if (stride == 1) {
+      fft_1d(base, n, inverse);
+    } else {
+      for (int i = 0; i < n; ++i) { scratch[i] = base[i * stride]; }
+      fft_1d(scratch.data(), n, inverse);
+      for (int i = 0; i < n; ++i) { base[i * stride] = scratch[i]; }
+    }
+  }
+}
+
+} // namespace
+
+void fft_2d(Complex* data, int nx, int ny, bool inverse) {
+  // x lines: ny lines of length nx, contiguous.
+  fft_axis(data, nx, 1, ny, nx, inverse);
+  // y lines: nx lines of length ny, stride nx; consecutive lines offset 1.
+  std::vector<Complex> scratch(ny);
+  for (int i = 0; i < nx; ++i) {
+    for (int j = 0; j < ny; ++j) { scratch[j] = data[i + static_cast<std::int64_t>(j) * nx]; }
+    fft_1d(scratch.data(), ny, inverse);
+    for (int j = 0; j < ny; ++j) { data[i + static_cast<std::int64_t>(j) * nx] = scratch[j]; }
+  }
+}
+
+void fft_3d(Complex* data, int nx, int ny, int nz, bool inverse) {
+  const std::int64_t plane = static_cast<std::int64_t>(nx) * ny;
+  // x axis.
+  fft_axis(data, nx, 1, static_cast<std::int64_t>(ny) * nz, nx, inverse);
+  // y axis: for each (i, k) line.
+  std::vector<Complex> scratch(std::max(ny, nz));
+  for (int k = 0; k < nz; ++k) {
+    for (int i = 0; i < nx; ++i) {
+      Complex* base = data + i + k * plane;
+      for (int j = 0; j < ny; ++j) { scratch[j] = base[static_cast<std::int64_t>(j) * nx]; }
+      fft_1d(scratch.data(), ny, inverse);
+      for (int j = 0; j < ny; ++j) { base[static_cast<std::int64_t>(j) * nx] = scratch[j]; }
+    }
+  }
+  // z axis: for each (i, j) line.
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      Complex* base = data + i + static_cast<std::int64_t>(j) * nx;
+      for (int k = 0; k < nz; ++k) { scratch[k] = base[k * plane]; }
+      fft_1d(scratch.data(), nz, inverse);
+      for (int k = 0; k < nz; ++k) { base[k * plane] = scratch[k]; }
+    }
+  }
+}
+
+void fft_normalize(Complex* data, std::int64_t n_total, std::int64_t n_modes) {
+  const Real s = Real(1) / static_cast<Real>(n_modes);
+  for (std::int64_t i = 0; i < n_total; ++i) { data[i] *= s; }
+}
+
+Real fft_wavenumber(int m, int n, Real dx) {
+  const int folded = m <= n / 2 ? m : m - n;
+  return 2 * constants::pi * folded / (n * dx);
+}
+
+} // namespace mrpic::fields

@@ -1,0 +1,36 @@
+#pragma once
+
+// Self-contained complex FFT (iterative radix-2 Cooley-Tukey) and
+// multi-dimensional helpers, supporting the PSATD spectral Maxwell solver.
+// Sizes must be powers of two. No external FFT dependency is used so the
+// spectral solver stays as self-contained as the rest of the framework.
+
+#include <complex>
+#include <vector>
+
+#include "src/amr/config.hpp"
+
+namespace mrpic::fields {
+
+using Complex = std::complex<Real>;
+
+// In-place FFT of length n = 2^k. inverse=true applies the unscaled inverse
+// transform; call normalize() (or divide by n) afterwards.
+void fft_1d(Complex* data, int n, bool inverse);
+
+// Row-column FFT over a dense 2D array (Fortran order: i fastest).
+void fft_2d(Complex* data, int nx, int ny, bool inverse);
+
+// 3D transform (Fortran order).
+void fft_3d(Complex* data, int nx, int ny, int nz, bool inverse);
+
+// Scale by 1/(product of dims) after an inverse transform.
+void fft_normalize(Complex* data, std::int64_t n_total, std::int64_t n_modes);
+
+// Angular wavenumber of mode index m of an n-point DFT with spacing dx:
+// k = 2 pi f, with f folded to the negative half above n/2.
+Real fft_wavenumber(int m, int n, Real dx);
+
+bool is_power_of_two(int n);
+
+} // namespace mrpic::fields

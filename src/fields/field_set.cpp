@@ -1,0 +1,8 @@
+#include "src/fields/field_set.hpp"
+
+namespace mrpic::fields {
+
+template class FieldSet<2>;
+template class FieldSet<3>;
+
+} // namespace mrpic::fields

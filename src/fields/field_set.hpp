@@ -1,0 +1,72 @@
+#pragma once
+
+// FieldSet<DIM>: the electromagnetic state of one mesh level — E, B (both
+// 3-component even in 2D simulations) and the current density J, plus the
+// level's Geometry, BoxArray and DistributionMapping.
+
+#include "src/amr/geometry.hpp"
+#include "src/amr/multifab.hpp"
+#include "src/fields/yee.hpp"
+
+namespace mrpic::fields {
+
+template <int DIM>
+class FieldSet {
+public:
+  FieldSet() = default;
+
+  FieldSet(const mrpic::Geometry<DIM>& geom, const mrpic::BoxArray<DIM>& ba,
+           const mrpic::dist::DistributionMapping& dm, int ngrow = mrpic::default_num_ghost)
+      : m_geom(geom),
+        m_E(ba, dm, 3, ngrow),
+        m_B(ba, dm, 3, ngrow),
+        m_J(ba, dm, 3, ngrow) {}
+
+  FieldSet(const mrpic::Geometry<DIM>& geom, const mrpic::BoxArray<DIM>& ba,
+           int ngrow = mrpic::default_num_ghost)
+      : FieldSet(geom, ba,
+                 mrpic::dist::DistributionMapping(std::vector<int>(ba.size(), 0), 1),
+                 ngrow) {}
+
+  const mrpic::Geometry<DIM>& geom() const { return m_geom; }
+  mrpic::Geometry<DIM>& geom() { return m_geom; }
+  const mrpic::BoxArray<DIM>& box_array() const { return m_E.box_array(); }
+  int num_ghost() const { return m_E.num_ghost(); }
+
+  mrpic::MultiFab<DIM>& E() { return m_E; }
+  mrpic::MultiFab<DIM>& B() { return m_B; }
+  mrpic::MultiFab<DIM>& J() { return m_J; }
+  const mrpic::MultiFab<DIM>& E() const { return m_E; }
+  const mrpic::MultiFab<DIM>& B() const { return m_B; }
+  const mrpic::MultiFab<DIM>& J() const { return m_J; }
+
+  void zero_current() { m_J.set_val(0); }
+
+  void fill_boundary() {
+    m_E.fill_boundary(m_geom);
+    m_B.fill_boundary(m_geom);
+  }
+
+  // Total field energy U = eps0/2 sum(E^2) dV + 1/(2 mu0) sum(B^2) dV over
+  // valid cells (staggered locations treated as independent samples).
+  Real field_energy() const {
+    Real dv = 1;
+    for (int d = 0; d < DIM; ++d) { dv *= m_geom.cell_size(d); }
+    Real e2 = 0, b2 = 0;
+    for (int c = 0; c < 3; ++c) {
+      e2 += m_E.sum_sq(c);
+      b2 += m_B.sum_sq(c);
+    }
+    using namespace mrpic::constants;
+    return (Real(0.5) * eps0 * e2 + Real(0.5) / mu0 * b2) * dv;
+  }
+
+private:
+  mrpic::Geometry<DIM> m_geom;
+  mrpic::MultiFab<DIM> m_E, m_B, m_J;
+};
+
+extern template class FieldSet<2>;
+extern template class FieldSet<3>;
+
+} // namespace mrpic::fields

@@ -1,0 +1,10 @@
+#include "src/fields/moving_window.hpp"
+
+namespace mrpic::fields {
+
+// MovingWindow is header-only; this translation unit anchors the module and
+// forces an instantiation to catch template errors at library build time.
+template class MovingWindow<2>;
+template class MovingWindow<3>;
+
+} // namespace mrpic::fields

@@ -1,0 +1,281 @@
+#include "src/fields/pml.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "src/amr/parallel_for.hpp"
+
+namespace mrpic::fields {
+
+using mrpic::constants::c;
+
+namespace {
+
+// First/second split component receiving the interior value in exchanges.
+// (Only the totals matter for the stencils; the chosen first component is
+// the one that evolves in 2D so that 2D valid-region dynamics are complete.)
+constexpr std::array<int, 3> e_first = {EXY, EYX, EZX};
+constexpr std::array<int, 3> e_second = {EXZ, EYZ, EZY};
+constexpr std::array<int, 3> b_first = {BXY, BYX, BZX};
+constexpr std::array<int, 3> b_second = {BXZ, BYZ, BZY};
+
+// Exponential-time-stepping damping coefficients for dF/dt = -sigma F + T:
+//   F <- d1 F + d2 T,  d1 = exp(-sigma dt), d2 = (1 - d1)/sigma (dt if s==0).
+struct Damp {
+  Real d1, d2;
+};
+inline Damp damping(Real sigma, Real dt) {
+  if (sigma <= 0) { return {Real(1), dt}; }
+  const Real d1 = std::exp(-sigma * dt);
+  return {d1, (Real(1) - d1) / sigma};
+}
+
+} // namespace
+
+template <int DIM>
+Pml<DIM>::Pml(const mrpic::Geometry<DIM>& geom, const mrpic::Box<DIM>& inner,
+              const std::array<bool, DIM>& absorb, PmlConfig cfg, int ngrow)
+    : m_geom(geom), m_inner(inner), m_absorb(absorb), m_cfg(cfg) {
+  for (int d = 0; d < DIM; ++d) {
+    m_sigma_max[d] = -(cfg.grade_order + 1) * std::log(cfg.reflection) * c /
+                     (2 * cfg.npml * geom.cell_size(d));
+  }
+
+  // Build the ring: cartesian product of {lo-skirt, span, hi-skirt} segments
+  // per direction, excluding the all-span (= interior) combination.
+  struct Seg {
+    int lo, hi;
+    bool is_span;
+  };
+  std::array<std::vector<Seg>, DIM> segs;
+  for (int d = 0; d < DIM; ++d) {
+    if (absorb[d]) {
+      segs[d].push_back({inner.lo(d) - cfg.npml, inner.lo(d) - 1, false});
+    }
+    segs[d].push_back({inner.lo(d), inner.hi(d), true});
+    if (absorb[d]) {
+      segs[d].push_back({inner.hi(d) + 1, inner.hi(d) + cfg.npml, false});
+    }
+  }
+  std::vector<mrpic::Box<DIM>> boxes;
+  if constexpr (DIM == 2) {
+    for (const auto& sx : segs[0]) {
+      for (const auto& sy : segs[1]) {
+        if (sx.is_span && sy.is_span) { continue; }
+        boxes.emplace_back(IV(sx.lo, sy.lo), IV(sx.hi, sy.hi));
+      }
+    }
+  } else {
+    for (const auto& sx : segs[0]) {
+      for (const auto& sy : segs[1]) {
+        for (const auto& sz : segs[2]) {
+          if (sx.is_span && sy.is_span && sz.is_span) { continue; }
+          boxes.emplace_back(IV(sx.lo, sy.lo, sz.lo), IV(sx.hi, sy.hi, sz.hi));
+        }
+      }
+    }
+  }
+  if (!boxes.empty()) {
+    m_fab = mrpic::MultiFab<DIM>(mrpic::BoxArray<DIM>(std::move(boxes)), NUM_PML_COMP,
+                                 ngrow);
+  }
+}
+
+template <int DIM>
+Real Pml<DIM>::sigma(int d, Real pos) const {
+  if (!m_absorb[d]) { return 0; }
+  const Real lo = static_cast<Real>(m_inner.lo(d));
+  const Real hi = static_cast<Real>(m_inner.hi(d) + 1);
+  Real xi = 0;
+  if (pos < lo) {
+    xi = (lo - pos) / m_cfg.npml;
+  } else if (pos > hi) {
+    xi = (pos - hi) / m_cfg.npml;
+  } else {
+    return 0;
+  }
+  xi = std::min(xi, Real(1));
+  return m_sigma_max[d] * std::pow(xi, m_cfg.grade_order);
+}
+
+template <int DIM>
+void Pml<DIM>::exchange_from_interior(const FieldSet<DIM>& f) {
+  if (empty()) { return; }
+  const auto& iba = f.box_array();
+  for (int i = 0; i < m_fab.num_fabs(); ++i) {
+    const auto gi = m_fab.grown_box(i);
+    auto& dst = m_fab.fab(i);
+    for (int j = 0; j < iba.size(); ++j) {
+      const auto region = gi & iba[j];
+      if (region.empty()) { continue; }
+      for (int comp = 0; comp < 3; ++comp) {
+        dst.copy_from(f.E().fab(j), region, comp, e_first[comp], 1);
+        dst.copy_from(f.B().fab(j), region, comp, b_first[comp], 1);
+        dst.for_each_cell(region, [&](const IV& p) {
+          dst(p, e_second[comp]) = 0;
+          dst(p, b_second[comp]) = 0;
+        });
+      }
+    }
+  }
+}
+
+template <int DIM>
+void Pml<DIM>::fill_boundary() {
+  if (empty()) { return; }
+  // The ring's own geometry is non-periodic for ghost purposes; pass the
+  // interior geometry with periodicity stripped.
+  mrpic::Geometry<DIM> g(m_geom.domain(), m_geom.prob_lo(), m_geom.prob_hi(), {});
+  m_fab.fill_boundary(g);
+}
+
+template <int DIM>
+void Pml<DIM>::copy_to_interior(FieldSet<DIM>& f) const {
+  if (empty()) { return; }
+  const auto& iba = f.box_array();
+  const int ng = f.num_ghost();
+  const auto& pba = m_fab.box_array();
+  for (int j = 0; j < iba.size(); ++j) {
+    const auto gj = iba[j].grown(ng);
+    auto& edst = f.E().fab(j);
+    auto& bdst = f.B().fab(j);
+    for (int i = 0; i < pba.size(); ++i) {
+      const auto region = gj & pba[i];
+      if (region.empty()) { continue; }
+      const auto& src = m_fab.fab(i);
+      src.for_each_cell(region, [&](const IV& p) {
+        for (int comp = 0; comp < 3; ++comp) {
+          edst(p, comp) = src(p, e_first[comp]) + src(p, e_second[comp]);
+          bdst(p, comp) = src(p, b_first[comp]) + src(p, b_second[comp]);
+        }
+      });
+    }
+  }
+}
+
+template <int DIM>
+void Pml<DIM>::evolve_b(Real dt) {
+  if (empty()) { return; }
+  const Real idx = Real(1) / m_geom.cell_size(0);
+  const Real idy = Real(1) / m_geom.cell_size(1);
+  [[maybe_unused]] const Real idz = DIM == 3 ? Real(1) / m_geom.cell_size(2) : Real(0);
+
+  for (int m = 0; m < m_fab.num_fabs(); ++m) {
+    auto a = m_fab.array(m);
+    const auto& bx = m_fab.valid_box(m);
+    // E totals from split components.
+    auto Ex = [a](int i, int j, int k) { return a(i, j, k, EXY) + a(i, j, k, EXZ); };
+    auto Ey = [a](int i, int j, int k) { return a(i, j, k, EYZ) + a(i, j, k, EYX); };
+    auto Ez = [a](int i, int j, int k) { return a(i, j, k, EZX) + a(i, j, k, EZY); };
+
+    auto update = [&](int i, int j, int k) {
+      // Bx splits (Bx staggering: (0,1,1)):
+      {
+        const Damp wy = damping(sigma(1, j + Real(0.5)), dt);
+        a(i, j, k, BXY) = wy.d1 * a(i, j, k, BXY) +
+                          wy.d2 * (-(Ez(i, j + 1, k) - Ez(i, j, k)) * idy);
+        if constexpr (DIM == 3) {
+          const Damp wz = damping(sigma(2, k + Real(0.5)), dt);
+          a(i, j, k, BXZ) = wz.d1 * a(i, j, k, BXZ) +
+                            wz.d2 * ((Ey(i, j, k + 1) - Ey(i, j, k)) * idz);
+        }
+      }
+      // By splits (stag (1,0,1)):
+      {
+        const Damp wx = damping(sigma(0, i + Real(0.5)), dt);
+        a(i, j, k, BYX) = wx.d1 * a(i, j, k, BYX) +
+                          wx.d2 * ((Ez(i + 1, j, k) - Ez(i, j, k)) * idx);
+        if constexpr (DIM == 3) {
+          const Damp wz = damping(sigma(2, k + Real(0.5)), dt);
+          a(i, j, k, BYZ) = wz.d1 * a(i, j, k, BYZ) +
+                            wz.d2 * (-(Ex(i, j, k + 1) - Ex(i, j, k)) * idz);
+        }
+      }
+      // Bz splits (stag (1,1,0)):
+      {
+        const Damp wx = damping(sigma(0, i + Real(0.5)), dt);
+        const Damp wy = damping(sigma(1, j + Real(0.5)), dt);
+        a(i, j, k, BZX) = wx.d1 * a(i, j, k, BZX) +
+                          wx.d2 * (-(Ey(i + 1, j, k) - Ey(i, j, k)) * idx);
+        a(i, j, k, BZY) = wy.d1 * a(i, j, k, BZY) +
+                          wy.d2 * ((Ex(i, j + 1, k) - Ex(i, j, k)) * idy);
+      }
+    };
+
+    if constexpr (DIM == 2) {
+      mrpic::parallel_for(bx, [&](int i, int j) { update(i, j, 0); });
+    } else {
+      mrpic::parallel_for(bx, [&](int i, int j, int k) { update(i, j, k); });
+    }
+  }
+}
+
+template <int DIM>
+void Pml<DIM>::evolve_e(Real dt) {
+  if (empty()) { return; }
+  const Real c2 = c * c;
+  const Real idx = Real(1) / m_geom.cell_size(0);
+  const Real idy = Real(1) / m_geom.cell_size(1);
+  [[maybe_unused]] const Real idz = DIM == 3 ? Real(1) / m_geom.cell_size(2) : Real(0);
+
+  for (int m = 0; m < m_fab.num_fabs(); ++m) {
+    auto a = m_fab.array(m);
+    const auto& bx = m_fab.valid_box(m);
+    auto Bx = [a](int i, int j, int k) { return a(i, j, k, BXY) + a(i, j, k, BXZ); };
+    auto By = [a](int i, int j, int k) { return a(i, j, k, BYZ) + a(i, j, k, BYX); };
+    auto Bz = [a](int i, int j, int k) { return a(i, j, k, BZX) + a(i, j, k, BZY); };
+
+    auto update = [&](int i, int j, int k) {
+      // Ex splits (stag (1,0,0)):
+      {
+        const Damp wy = damping(sigma(1, Real(j)), dt);
+        a(i, j, k, EXY) = wy.d1 * a(i, j, k, EXY) +
+                          wy.d2 * (c2 * (Bz(i, j, k) - Bz(i, j - 1, k)) * idy);
+        if constexpr (DIM == 3) {
+          const Damp wz = damping(sigma(2, Real(k)), dt);
+          a(i, j, k, EXZ) = wz.d1 * a(i, j, k, EXZ) +
+                            wz.d2 * (-c2 * (By(i, j, k) - By(i, j, k - 1)) * idz);
+        }
+      }
+      // Ey splits (stag (0,1,0)):
+      {
+        const Damp wx = damping(sigma(0, Real(i)), dt);
+        a(i, j, k, EYX) = wx.d1 * a(i, j, k, EYX) +
+                          wx.d2 * (-c2 * (Bz(i, j, k) - Bz(i - 1, j, k)) * idx);
+        if constexpr (DIM == 3) {
+          const Damp wz = damping(sigma(2, Real(k)), dt);
+          a(i, j, k, EYZ) = wz.d1 * a(i, j, k, EYZ) +
+                            wz.d2 * (c2 * (Bx(i, j, k) - Bx(i, j, k - 1)) * idz);
+        }
+      }
+      // Ez splits (stag (0,0,1)):
+      {
+        const Damp wx = damping(sigma(0, Real(i)), dt);
+        const Damp wy = damping(sigma(1, Real(j)), dt);
+        a(i, j, k, EZX) = wx.d1 * a(i, j, k, EZX) +
+                          wx.d2 * (c2 * (By(i, j, k) - By(i - 1, j, k)) * idx);
+        a(i, j, k, EZY) = wy.d1 * a(i, j, k, EZY) +
+                          wy.d2 * (-c2 * (Bx(i, j, k) - Bx(i, j - 1, k)) * idy);
+      }
+    };
+
+    if constexpr (DIM == 2) {
+      mrpic::parallel_for(bx, [&](int i, int j) { update(i, j, 0); });
+    } else {
+      mrpic::parallel_for(bx, [&](int i, int j, int k) { update(i, j, k); });
+    }
+  }
+}
+
+template <int DIM>
+Real Pml<DIM>::max_abs() const {
+  Real m = 0;
+  for (int c2 = 0; c2 < NUM_PML_COMP; ++c2) { m = std::max(m, m_fab.max_abs(c2)); }
+  return m;
+}
+
+template class Pml<2>;
+template class Pml<3>;
+
+} // namespace mrpic::fields

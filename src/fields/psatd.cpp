@@ -1,0 +1,218 @@
+#include "src/fields/psatd.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/fields/yee.hpp"
+
+namespace mrpic::fields {
+
+using mrpic::constants::c;
+using mrpic::constants::eps0;
+
+template <int DIM>
+PsatdSolver<DIM>::PsatdSolver(const mrpic::Geometry<DIM>& geom) : m_geom(geom) {
+  m_nmodes = 1;
+  for (int d = 0; d < DIM; ++d) {
+    assert(geom.is_periodic(d) && "PSATD requires a fully periodic domain");
+    m_n[d] = geom.domain().length(d);
+    assert(is_power_of_two(m_n[d]) && "PSATD extents must be powers of two");
+    m_nmodes *= m_n[d];
+  }
+  for (int comp = 0; comp < 3; ++comp) {
+    m_E[comp].resize(m_nmodes);
+    m_B[comp].resize(m_nmodes);
+    m_J[comp].resize(m_nmodes);
+  }
+}
+
+template <int DIM>
+void PsatdSolver<DIM>::transform(std::vector<Complex>& a, bool inv) {
+  if constexpr (DIM == 2) {
+    fft_2d(a.data(), m_n[0], m_n[1], inv);
+  } else {
+    fft_3d(a.data(), m_n[0], m_n[1], m_n[2], inv);
+  }
+  if (inv) { fft_normalize(a.data(), m_nmodes, m_nmodes); }
+}
+
+template <int DIM>
+void PsatdSolver<DIM>::stagger_shift(std::vector<Complex>& a, int comp, Stag stag,
+                                     int sign) {
+  const auto& s3 = stag == Stag::E_like ? e_stag3[comp] : b_stag3[comp];
+  bool any = false;
+  for (int d = 0; d < DIM; ++d) { any = any || s3[d] != 0; }
+  if (!any) { return; }
+  const auto dx = m_geom.dx();
+  auto phase_axis = [&](int m, int n, int d) {
+    if (s3[d] == 0) { return Real(0); }
+    return Real(sign) * fft_wavenumber(m, n, dx[d]) * dx[d] / 2;
+  };
+  if constexpr (DIM == 2) {
+    std::int64_t idx = 0;
+    for (int mj = 0; mj < m_n[1]; ++mj) {
+      const Real py = phase_axis(mj, m_n[1], 1);
+      for (int mi = 0; mi < m_n[0]; ++mi) {
+        const Real ph = phase_axis(mi, m_n[0], 0) + py;
+        a[idx++] *= Complex(std::cos(ph), std::sin(ph));
+      }
+    }
+  } else {
+    std::int64_t idx = 0;
+    for (int mk = 0; mk < m_n[2]; ++mk) {
+      const Real pz = phase_axis(mk, m_n[2], 2);
+      for (int mj = 0; mj < m_n[1]; ++mj) {
+        const Real py = phase_axis(mj, m_n[1], 1) + pz;
+        for (int mi = 0; mi < m_n[0]; ++mi) {
+          const Real ph = phase_axis(mi, m_n[0], 0) + py;
+          a[idx++] *= Complex(std::cos(ph), std::sin(ph));
+        }
+      }
+    }
+  }
+}
+
+template <int DIM>
+void PsatdSolver<DIM>::forward(const mrpic::MultiFab<DIM>& src,
+                               std::array<std::vector<Complex>, 3>& dst, Stag stag) {
+  assert(src.num_fabs() == 1 && src.box_array()[0] == m_geom.domain());
+  const auto a = src.const_array(0);
+  const auto& dom = m_geom.domain();
+  for (int comp = 0; comp < 3; ++comp) {
+    std::int64_t idx = 0;
+    if constexpr (DIM == 2) {
+      for (int j = dom.lo(1); j <= dom.hi(1); ++j) {
+        for (int i = dom.lo(0); i <= dom.hi(0); ++i) {
+          dst[comp][idx++] = Complex(a(i, j, 0, comp), 0);
+        }
+      }
+    } else {
+      for (int k = dom.lo(2); k <= dom.hi(2); ++k) {
+        for (int j = dom.lo(1); j <= dom.hi(1); ++j) {
+          for (int i = dom.lo(0); i <= dom.hi(0); ++i) {
+            dst[comp][idx++] = Complex(a(i, j, k, comp), 0);
+          }
+        }
+      }
+    }
+    transform(dst[comp], false);
+    // Shift staggered samples to true nodal spectral coefficients.
+    stagger_shift(dst[comp], comp, stag, -1);
+  }
+}
+
+template <int DIM>
+void PsatdSolver<DIM>::inverse(std::array<std::vector<Complex>, 3>& src,
+                               mrpic::MultiFab<DIM>& dst, Stag stag) {
+  auto a = dst.array(0);
+  const auto& dom = m_geom.domain();
+  for (int comp = 0; comp < 3; ++comp) {
+    // Shift nodal coefficients back to the component's staggered samples.
+    stagger_shift(src[comp], comp, stag, +1);
+    transform(src[comp], true);
+    std::int64_t idx = 0;
+    if constexpr (DIM == 2) {
+      for (int j = dom.lo(1); j <= dom.hi(1); ++j) {
+        for (int i = dom.lo(0); i <= dom.hi(0); ++i) {
+          a(i, j, 0, comp) = src[comp][idx++].real();
+        }
+      }
+    } else {
+      for (int k = dom.lo(2); k <= dom.hi(2); ++k) {
+        for (int j = dom.lo(1); j <= dom.hi(1); ++j) {
+          for (int i = dom.lo(0); i <= dom.hi(0); ++i) {
+            a(i, j, k, comp) = src[comp][idx++].real();
+          }
+        }
+      }
+    }
+  }
+}
+
+template <int DIM>
+void PsatdSolver<DIM>::advance(FieldSet<DIM>& f, Real dt) {
+  forward(f.E(), m_E, Stag::E_like);
+  forward(f.B(), m_B, Stag::B_like);
+  forward(f.J(), m_J, Stag::E_like); // J is staggered like E
+
+  const auto dx = m_geom.dx();
+  const auto update_mode = [&](std::int64_t idx, const std::array<Real, 3>& kvec) {
+    const Real k2 = kvec[0] * kvec[0] + kvec[1] * kvec[1] + kvec[2] * kvec[2];
+    Complex E[3] = {m_E[0][idx], m_E[1][idx], m_E[2][idx]};
+    Complex B[3] = {m_B[0][idx], m_B[1][idx], m_B[2][idx]};
+    Complex J[3] = {m_J[0][idx], m_J[1][idx], m_J[2][idx]};
+
+    if (k2 == 0) {
+      // Mean mode: dE/dt = -J/eps0, B static.
+      for (int cc = 0; cc < 3; ++cc) { m_E[cc][idx] = E[cc] - dt / eps0 * J[cc]; }
+      return;
+    }
+    const Real k = std::sqrt(k2);
+    const Real kh[3] = {kvec[0] / k, kvec[1] / k, kvec[2] / k};
+    const Real C = std::cos(c * k * dt);
+    const Real S = std::sin(c * k * dt);
+
+    // Longitudinal / transverse split.
+    auto dot = [&](const Complex v[3]) {
+      return v[0] * kh[0] + v[1] * kh[1] + v[2] * kh[2];
+    };
+    const Complex EL = dot(E);
+    const Complex JL = dot(J);
+    Complex ET[3], JT[3];
+    for (int cc = 0; cc < 3; ++cc) {
+      ET[cc] = E[cc] - EL * kh[cc];
+      JT[cc] = J[cc] - JL * kh[cc];
+    }
+    // khat x V (real unit vector x complex vector).
+    auto cross = [&](const Complex v[3], Complex out[3]) {
+      out[0] = kh[1] * v[2] - kh[2] * v[1];
+      out[1] = kh[2] * v[0] - kh[0] * v[2];
+      out[2] = kh[0] * v[1] - kh[1] * v[0];
+    };
+    Complex kxB[3], kxE[3], kxJ[3];
+    cross(B, kxB);
+    cross(ET, kxE);
+    cross(JT, kxJ);
+
+    const Complex I(0, 1);
+    for (int cc = 0; cc < 3; ++cc) {
+      // Homogeneous rotation + particular (constant-J) solution.
+      const Complex Enew = C * ET[cc] + I * c * S * kxB[cc]            // transverse
+                           - S / (eps0 * c * k) * JT[cc]               // J drive
+                           + (EL - dt / eps0 * JL) * kh[cc];           // longitudinal
+      const Complex Bnew = C * B[cc] - I * (S / c) * kxE[cc]           // rotation
+                           + I * (1 - C) / (eps0 * c * c * k) * kxJ[cc];
+      m_E[cc][idx] = Enew;
+      m_B[cc][idx] = Bnew;
+    }
+  };
+
+  if constexpr (DIM == 2) {
+    std::int64_t idx = 0;
+    for (int mj = 0; mj < m_n[1]; ++mj) {
+      const Real ky = fft_wavenumber(mj, m_n[1], dx[1]);
+      for (int mi = 0; mi < m_n[0]; ++mi) {
+        update_mode(idx++, {fft_wavenumber(mi, m_n[0], dx[0]), ky, Real(0)});
+      }
+    }
+  } else {
+    std::int64_t idx = 0;
+    for (int mk = 0; mk < m_n[2]; ++mk) {
+      const Real kz = fft_wavenumber(mk, m_n[2], dx[2]);
+      for (int mj = 0; mj < m_n[1]; ++mj) {
+        const Real ky = fft_wavenumber(mj, m_n[1], dx[1]);
+        for (int mi = 0; mi < m_n[0]; ++mi) {
+          update_mode(idx++, {fft_wavenumber(mi, m_n[0], dx[0]), ky, kz});
+        }
+      }
+    }
+  }
+
+  inverse(m_E, f.E(), Stag::E_like);
+  inverse(m_B, f.B(), Stag::B_like);
+}
+
+template class PsatdSolver<2>;
+template class PsatdSolver<3>;
+
+} // namespace mrpic::fields

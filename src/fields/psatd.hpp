@@ -1,0 +1,69 @@
+#pragma once
+
+// Pseudo-Spectral Analytical Time-Domain (PSATD) Maxwell solver — the last
+// capability row of paper Table I and a pillar of its outlook (Sec. VIII.B:
+// "unique algorithms for control of the numerical Cherenkov instability
+// using properties of the Pseudo-Spectral Analytical Time-Domain Maxwell
+// solver").
+//
+// In Fourier space the source-free Maxwell equations decouple per mode and
+// integrate EXACTLY over any dt:
+//   E+_T = C E_T + i c S (khat x B),       C = cos(c k dt)
+//   B+   = C B   - (i/c) S (khat x E_T),   S = sin(c k dt)
+//   E+_L = E_L                             (longitudinal mode static)
+// With a current J held constant across the step (the standard PSATD
+// assumption), the particular solution adds
+//   E+_T += -S/(eps0 c k) J_T
+//   E+_L += -dt/eps0      J_L              (k = 0 likewise)
+//   B+   += -(1 - C)/(eps0 c^2 k) i (k x J) / k
+// There is no CFL limit and no numerical dispersion: vacuum waves advance
+// at exactly c — which the tests verify to machine precision.
+//
+// Scope: fully periodic, single-box levels with power-of-two extents (the
+// spectral transform is global). Yee staggering is handled spectrally: each
+// component's samples are shifted to nodal positions by the phase factor
+// exp(-i k.s dx/2) after the forward transform and shifted back before the
+// inverse, so the solver composes exactly with the staggered
+// gather/deposition pipeline (cfg.maxwell = MaxwellSolver::PSATD).
+
+#include "src/fields/fft.hpp"
+#include "src/fields/field_set.hpp"
+
+namespace mrpic::fields {
+
+template <int DIM>
+class PsatdSolver {
+public:
+  // geom must be periodic in every direction with power-of-two extents;
+  // fields must be a single-box level covering the whole domain.
+  explicit PsatdSolver(const mrpic::Geometry<DIM>& geom);
+
+  // Advance E, B by dt with the currents in f.J() (gathered at t^{n+1/2}).
+  // Reads/writes the valid region of the single fab; call f.fill_boundary()
+  // afterwards if ghost data is needed.
+  void advance(FieldSet<DIM>& f, Real dt);
+
+  // No CFL limit; any dt is stable. Exposed for symmetry with FDTDSolver.
+  static constexpr bool unconditionally_stable() { return true; }
+
+private:
+  mrpic::Geometry<DIM> m_geom;
+  std::array<int, DIM> m_n{};
+  std::int64_t m_nmodes = 0;
+  // Scratch spectra for E, B, J (3 components each).
+  std::array<std::vector<Complex>, 3> m_E, m_B, m_J;
+
+  enum class Stag { E_like, B_like };
+  void forward(const mrpic::MultiFab<DIM>& src, std::array<std::vector<Complex>, 3>& dst,
+               Stag stag);
+  void inverse(std::array<std::vector<Complex>, 3>& src, mrpic::MultiFab<DIM>& dst,
+               Stag stag);
+  void transform(std::vector<Complex>& a, bool inv);
+  // Multiply spectrum by exp(sign * i k . s dx / 2) for component comp.
+  void stagger_shift(std::vector<Complex>& a, int comp, Stag stag, int sign);
+};
+
+extern template class PsatdSolver<2>;
+extern template class PsatdSolver<3>;
+
+} // namespace mrpic::fields

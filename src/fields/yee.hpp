@@ -1,0 +1,59 @@
+#pragma once
+
+// Yee-lattice staggering conventions.
+//
+// Index convention (see Geometry): a component with staggering s in direction
+// d at index i sits at physical position prob_lo[d] + (i + 0.5 s) dx[d].
+//
+// Standard Yee staggering:
+//   Ex (1,0,0)  Ey (0,1,0)  Ez (0,0,1)
+//   Bx (0,1,1)  By (1,0,1)  Bz (1,1,0)
+// In 2D (x,y simulation plane, d/dz == 0) the third entry is dropped:
+//   Ex (1,0)  Ey (0,1)  Ez (0,0)   Bx (0,1)  By (1,0)  Bz (1,1)
+
+#include <array>
+
+#include "src/amr/int_vect.hpp"
+
+namespace mrpic::fields {
+
+// Field component ids, used to index the 3-component E/B/J MultiFabs.
+enum Comp : int { X = 0, Y = 1, Z = 2 };
+
+// Staggering of E components: e_stag[comp][dir] in {0,1}.
+inline constexpr std::array<std::array<int, 3>, 3> e_stag3 = {{
+    {{1, 0, 0}}, // Ex
+    {{0, 1, 0}}, // Ey
+    {{0, 0, 1}}, // Ez
+}};
+
+inline constexpr std::array<std::array<int, 3>, 3> b_stag3 = {{
+    {{0, 1, 1}}, // Bx
+    {{1, 0, 1}}, // By
+    {{1, 1, 0}}, // Bz
+}};
+
+// Current density J is staggered like E.
+inline constexpr std::array<std::array<int, 3>, 3> j_stag3 = e_stag3;
+
+// Dimension-aware accessors (2D drops the z direction entry).
+template <int DIM>
+constexpr mrpic::IntVect<DIM> e_stag(int comp) {
+  mrpic::IntVect<DIM> s;
+  for (int d = 0; d < DIM; ++d) { s[d] = e_stag3[comp][d]; }
+  return s;
+}
+
+template <int DIM>
+constexpr mrpic::IntVect<DIM> b_stag(int comp) {
+  mrpic::IntVect<DIM> s;
+  for (int d = 0; d < DIM; ++d) { s[d] = b_stag3[comp][d]; }
+  return s;
+}
+
+template <int DIM>
+constexpr mrpic::IntVect<DIM> j_stag(int comp) {
+  return e_stag<DIM>(comp);
+}
+
+} // namespace mrpic::fields

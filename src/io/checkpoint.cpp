@@ -1,0 +1,199 @@
+#include "src/io/checkpoint.hpp"
+
+#include <fstream>
+
+namespace mrpic::io {
+
+namespace {
+
+// --- primitive serialization -------------------------------------------
+
+template <typename T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool get(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+void put_vec(std::ostream& os, const std::vector<Real>& v) {
+  put(os, static_cast<std::uint64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(Real)));
+}
+
+bool get_vec(std::istream& is, std::vector<Real>& v) {
+  std::uint64_t n = 0;
+  if (!get(is, n)) { return false; }
+  v.resize(n);
+  is.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(Real)));
+  return static_cast<bool>(is);
+}
+
+// --- composite sections ---------------------------------------------------
+
+template <int DIM>
+void put_multifab(std::ostream& os, const mrpic::MultiFab<DIM>& mf) {
+  put(os, static_cast<std::int32_t>(mf.num_fabs()));
+  for (int i = 0; i < mf.num_fabs(); ++i) {
+    const auto& f = mf.fab(i);
+    put(os, static_cast<std::uint64_t>(f.size()));
+    os.write(reinterpret_cast<const char*>(f.data()),
+             static_cast<std::streamsize>(f.size() * sizeof(Real)));
+  }
+}
+
+template <int DIM>
+bool get_multifab(std::istream& is, mrpic::MultiFab<DIM>& mf) {
+  std::int32_t nfabs = 0;
+  if (!get(is, nfabs) || nfabs != mf.num_fabs()) { return false; }
+  for (int i = 0; i < mf.num_fabs(); ++i) {
+    auto& f = mf.fab(i);
+    std::uint64_t n = 0;
+    if (!get(is, n) || n != f.size()) { return false; }
+    is.read(reinterpret_cast<char*>(f.data()),
+            static_cast<std::streamsize>(n * sizeof(Real)));
+    if (!is) { return false; }
+  }
+  return true;
+}
+
+template <int DIM>
+void put_fieldset(std::ostream& os, fields::FieldSet<DIM>& f) {
+  // Physical anchor (moving window) + field data.
+  for (int d = 0; d < DIM; ++d) { put(os, f.geom().prob_lo()[d]); }
+  put_multifab(os, f.E());
+  put_multifab(os, f.B());
+  put_multifab(os, f.J());
+}
+
+template <int DIM>
+bool get_fieldset(std::istream& is, fields::FieldSet<DIM>& f) {
+  mrpic::RealVect<DIM> lo;
+  for (int d = 0; d < DIM; ++d) {
+    if (!get(is, lo[d])) { return false; }
+  }
+  f.geom().set_anchor(lo);
+  return get_multifab(is, f.E()) && get_multifab(is, f.B()) && get_multifab(is, f.J());
+}
+
+template <int DIM>
+void put_particles(std::ostream& os, const particles::ParticleContainer<DIM>& pc) {
+  put(os, static_cast<std::int32_t>(pc.num_tiles()));
+  for (int t = 0; t < pc.num_tiles(); ++t) {
+    const auto& tile = pc.tile(t);
+    for (int d = 0; d < DIM; ++d) { put_vec(os, tile.x[d]); }
+    for (int cc = 0; cc < 3; ++cc) { put_vec(os, tile.u[cc]); }
+    put_vec(os, tile.w);
+  }
+}
+
+template <int DIM>
+bool get_particles(std::istream& is, particles::ParticleContainer<DIM>& pc) {
+  std::int32_t ntiles = 0;
+  if (!get(is, ntiles) || ntiles != pc.num_tiles()) { return false; }
+  for (int t = 0; t < pc.num_tiles(); ++t) {
+    auto& tile = pc.tile(t);
+    for (int d = 0; d < DIM; ++d) {
+      if (!get_vec(is, tile.x[d])) { return false; }
+    }
+    for (int cc = 0; cc < 3; ++cc) {
+      if (!get_vec(is, tile.u[cc])) { return false; }
+    }
+    if (!get_vec(is, tile.w)) { return false; }
+  }
+  return true;
+}
+
+} // namespace
+
+template <int DIM>
+bool write_checkpoint(const std::string& path, core::Simulation<DIM>& sim) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) { return false; }
+
+  put(os, checkpoint_magic);
+  put(os, static_cast<std::int32_t>(DIM));
+  put(os, sim.time());
+  put(os, static_cast<std::int32_t>(sim.step_count()));
+  put(os, sim.window().accumulated());
+
+  put_fieldset(os, sim.fields());
+  const bool has_pml = sim.domain_pml() != nullptr;
+  put(os, static_cast<std::int32_t>(has_pml ? 1 : 0));
+  if (has_pml) { put_multifab(os, sim.domain_pml()->split_fab()); }
+
+  const auto* patch = sim.patch();
+  put(os, static_cast<std::int32_t>(patch != nullptr ? (patch->active() ? 2 : 1) : 0));
+  if (patch != nullptr && patch->active()) {
+    auto* p = sim.patch();
+    put_fieldset(os, p->fine());
+    put_fieldset(os, p->coarse());
+    put_multifab(os, p->fine_pml().split_fab());
+    put_multifab(os, p->coarse_pml().split_fab());
+  }
+
+  put(os, static_cast<std::int32_t>(sim.num_species()));
+  for (int s = 0; s < sim.num_species(); ++s) {
+    put_particles(os, sim.species_level0(s));
+    put_particles(os, sim.species_patch(s));
+  }
+  return static_cast<bool>(os);
+}
+
+template <int DIM>
+bool read_checkpoint(const std::string& path, core::Simulation<DIM>& sim) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) { return false; }
+
+  std::uint64_t magic = 0;
+  std::int32_t dim = 0;
+  Real time = 0, window_acc = 0;
+  std::int32_t step = 0;
+  if (!get(is, magic) || magic != checkpoint_magic) { return false; }
+  if (!get(is, dim) || dim != DIM) { return false; }
+  if (!get(is, time) || !get(is, step) || !get(is, window_acc)) { return false; }
+
+  if (!get_fieldset(is, sim.fields())) { return false; }
+  std::int32_t has_pml = 0;
+  if (!get(is, has_pml)) { return false; }
+  if (has_pml != 0) {
+    if (sim.domain_pml() == nullptr) { return false; }
+    if (!get_multifab(is, sim.domain_pml()->split_fab())) { return false; }
+  }
+
+  std::int32_t patch_state = 0;
+  if (!get(is, patch_state)) { return false; }
+  if ((patch_state != 0) != (sim.patch() != nullptr)) { return false; }
+  if (patch_state == 1 && sim.patch()->active()) { sim.patch()->remove(); }
+  if (patch_state == 2) {
+    auto* p = sim.patch();
+    if (!get_fieldset(is, p->fine()) || !get_fieldset(is, p->coarse())) { return false; }
+    if (!get_multifab(is, p->fine_pml().split_fab())) { return false; }
+    if (!get_multifab(is, p->coarse_pml().split_fab())) { return false; }
+  }
+
+  std::int32_t nspecies = 0;
+  if (!get(is, nspecies) || nspecies != sim.num_species()) { return false; }
+  for (int s = 0; s < nspecies; ++s) {
+    if (!get_particles(is, sim.species_level0(s))) { return false; }
+    if (!get_particles(is, sim.species_patch(s))) { return false; }
+  }
+
+  sim.set_time_and_step(time, step);
+  sim.window().set_accumulated(window_acc);
+  // The auxiliary gather fields are derived state: rebuild them from the
+  // restored parent/patch solution so the next gather is bit-identical.
+  if (patch_state == 2) { sim.patch()->build_aux(sim.fields()); }
+  return true;
+}
+
+template bool write_checkpoint<2>(const std::string&, core::Simulation<2>&);
+template bool write_checkpoint<3>(const std::string&, core::Simulation<3>&);
+template bool read_checkpoint<2>(const std::string&, core::Simulation<2>&);
+template bool read_checkpoint<3>(const std::string&, core::Simulation<3>&);
+
+} // namespace mrpic::io

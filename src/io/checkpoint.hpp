@@ -1,0 +1,42 @@
+#pragma once
+
+// Checkpoint/restart for Simulation: a binary snapshot of the complete
+// evolving state — every field MultiFab (including ghosts and PML split
+// fields), every particle container on every level, the clock, the
+// moving-window anchors and the sub-cell shift accumulator.
+//
+// Protocol: rebuild the Simulation from the same SimulationConfig (and the
+// same add_species/add_laser/enable_mr_patch calls), call init(), then
+// read_checkpoint(). A restored run continues bit-identically to the
+// original (verified by tests/io/test_checkpoint.cpp), the property that
+// makes long campaign runs restartable after machine failures — routine
+// practice at the paper's 152k-node scale.
+//
+// Format: little-endian binary; a magic/version header, then sections. The
+// grid structure itself (BoxArray, ncomp, ghosts) is not serialized — it is
+// reconstructed from the config, and the reader verifies sizes match.
+
+#include <string>
+
+#include "src/core/simulation.hpp"
+
+namespace mrpic::io {
+
+inline constexpr std::uint64_t checkpoint_magic = 0x4d525049435f4b31ULL; // "MRPIC_K1"
+
+// Write the full state of `sim` to `path`. Returns false on I/O failure.
+template <int DIM>
+bool write_checkpoint(const std::string& path, core::Simulation<DIM>& sim);
+
+// Restore state written by write_checkpoint into a Simulation built from
+// the identical configuration (init() already called). Returns false on
+// I/O failure or on a structure mismatch (wrong DIM, fab count or sizes).
+template <int DIM>
+bool read_checkpoint(const std::string& path, core::Simulation<DIM>& sim);
+
+extern template bool write_checkpoint<2>(const std::string&, core::Simulation<2>&);
+extern template bool write_checkpoint<3>(const std::string&, core::Simulation<3>&);
+extern template bool read_checkpoint<2>(const std::string&, core::Simulation<2>&);
+extern template bool read_checkpoint<3>(const std::string&, core::Simulation<3>&);
+
+} // namespace mrpic::io

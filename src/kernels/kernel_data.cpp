@@ -1,0 +1,58 @@
+#include <algorithm>
+#include "src/kernels/kernel_data.hpp"
+
+#include <cmath>
+
+namespace mrpic::kernels {
+
+template <typename T>
+void KernelParticles<T>::init_uniform(int n, int ppc, std::uint64_t seed, T u_scale) {
+  const std::size_t np = static_cast<std::size_t>(n) * n * n * ppc;
+  resize(np);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> jitter(0.05, 0.95);
+  std::normal_distribution<double> mom(0.0, 1.0);
+  std::size_t idx = 0;
+  // Cell-major emission order == cell-sorted layout.
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        for (int pp = 0; pp < ppc; ++pp) {
+          x[idx] = static_cast<T>(i + jitter(rng));
+          y[idx] = static_cast<T>(j + jitter(rng));
+          z[idx] = static_cast<T>(k + jitter(rng));
+          ux[idx] = u_scale * static_cast<T>(mom(rng));
+          uy[idx] = u_scale * static_cast<T>(mom(rng));
+          uz[idx] = u_scale * static_cast<T>(mom(rng));
+          w[idx] = T(1);
+          ++idx;
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void KernelParticles<T>::shuffle(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::size_t> perm(size());
+  for (std::size_t i = 0; i < perm.size(); ++i) { perm[i] = i; }
+  std::shuffle(perm.begin(), perm.end(), rng);
+  auto apply = [&](std::vector<T>& v) {
+    std::vector<T> tmp(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) { tmp[i] = v[perm[i]]; }
+    v.swap(tmp);
+  };
+  apply(x);
+  apply(y);
+  apply(z);
+  apply(ux);
+  apply(uy);
+  apply(uz);
+  apply(w);
+}
+
+template struct KernelParticles<float>;
+template struct KernelParticles<double>;
+
+} // namespace mrpic::kernels

@@ -1,0 +1,104 @@
+#pragma once
+
+// Standalone data structures for the kernel-optimization experiment of
+// paper Sec. V.A.1 (single-node A64FX tuning): a single-box 3D field and a
+// SoA particle set, templated on precision so the SP ("MP mode") and DP
+// rows of the paper's speedup table and of Table III can both be produced.
+//
+// Positions are kept in grid-index units (the staggering/normalization is
+// hoisted out of the timed kernels, as in the production gather).
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/amr/config.hpp"
+
+namespace mrpic::kernels {
+
+// One scalar field component on an (nx+2g)^3 allocation; index (i,j,k) in
+// [-g, n+g).
+template <typename T>
+struct Field3 {
+  int nx = 0, ny = 0, nz = 0, ng = 0;
+  std::vector<T> data;
+
+  void resize(int nx_, int ny_, int nz_, int ng_) {
+    nx = nx_;
+    ny = ny_;
+    nz = nz_;
+    ng = ng_;
+    data.assign(static_cast<std::size_t>(sx()) * sy() * sz(), T(0));
+  }
+  int sx() const { return nx + 2 * ng; }
+  int sy() const { return ny + 2 * ng; }
+  int sz() const { return nz + 2 * ng; }
+  std::int64_t index(int i, int j, int k) const {
+    return (i + ng) + static_cast<std::int64_t>(sx()) * ((j + ng) +
+           static_cast<std::int64_t>(sy()) * (k + ng));
+  }
+  T& operator()(int i, int j, int k) { return data[index(i, j, k)]; }
+  T operator()(int i, int j, int k) const { return data[index(i, j, k)]; }
+  T* ptr() { return data.data(); }
+  const T* ptr() const { return data.data(); }
+
+  void fill_random(std::uint64_t seed, T amplitude) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (auto& v : data) { v = amplitude * static_cast<T>(dist(rng)); }
+  }
+};
+
+// The six electromagnetic components plus the three current components.
+template <typename T>
+struct KernelFields {
+  Field3<T> ex, ey, ez, bx, by, bz;
+  Field3<T> jx, jy, jz;
+
+  void resize(int n, int ng) {
+    for (Field3<T>* f : {&ex, &ey, &ez, &bx, &by, &bz, &jx, &jy, &jz}) {
+      f->resize(n, n, n, ng);
+    }
+  }
+  void randomize_eb(std::uint64_t seed, T amplitude) {
+    std::uint64_t s = seed;
+    for (Field3<T>* f : {&ex, &ey, &ez, &bx, &by, &bz}) { f->fill_random(++s, amplitude); }
+  }
+  void zero_j() {
+    for (Field3<T>* f : {&jx, &jy, &jz}) {
+      std::fill(f->data.begin(), f->data.end(), T(0));
+    }
+  }
+};
+
+// SoA particles; positions in grid units within [0, n)^3.
+template <typename T>
+struct KernelParticles {
+  std::vector<T> x, y, z;    // position [cells]
+  std::vector<T> ux, uy, uz; // proper velocity [m/s]
+  std::vector<T> w;          // weight
+  // Gathered per-particle fields (outputs of the gather kernels).
+  std::vector<T> exp_, eyp, ezp, bxp, byp, bzp;
+
+  std::size_t size() const { return x.size(); }
+
+  void resize(std::size_t n) {
+    for (auto* v : {&x, &y, &z, &ux, &uy, &uz, &w, &exp_, &eyp, &ezp, &bxp, &byp, &bzp}) {
+      v->assign(n, T(0));
+    }
+  }
+
+  // ppc particles per cell on a jittered sub-lattice, sorted cell-major
+  // (the production code keeps tiles sorted; the grouped kernels rely on it).
+  void init_uniform(int n, int ppc, std::uint64_t seed, T u_scale);
+
+  // Randomly permute the particle order (the arrival-order state an
+  // unsorted baseline operates on; paper Sec. V.A.1 lists sorting among the
+  // locality optimizations).
+  void shuffle(std::uint64_t seed);
+};
+
+extern template struct KernelParticles<float>;
+extern template struct KernelParticles<double>;
+
+} // namespace mrpic::kernels

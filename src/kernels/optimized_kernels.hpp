@@ -1,0 +1,50 @@
+#pragma once
+
+// Optimized gather/deposition kernels implementing the paper's A64FX
+// strategy (Sec. V.A.1): "vectorizing the computation of the coefficient ijk
+// for multiple particles (vectorizing over p with ijk fixed) requires some
+// data reorganization but allows extending loops to arbitrary sizes which is
+// ideal for vectorization ... implemented on small groups of cells of size
+// N_grp".
+//
+// Particles must be cell-sorted. For each run of particles sharing a cell
+// (chunked to N_grp), the shape weights of all particles are computed once
+// into transposed [tap][particle] arrays (stage 1, contiguous and
+// auto-vectorizable), the six components reuse them, and every stencil tap's
+// field value is loaded exactly once per run instead of once per particle
+// (stage 2: long vectorizable inner loops over p with ijk fixed). The
+// deposition accumulates into a per-run register-local stencil buffer and
+// scatters it once per run.
+//
+// Half-staggered weights are arranged on a 5-tap window anchored at the cell
+// (the half-shift moves the 4-point support by 0 or 1), so all particles of
+// a run share their tap indices — the "data reorganization cost" the paper
+// mentions, repaid by the vector inner loops.
+
+#include "src/kernels/kernel_data.hpp"
+
+namespace mrpic::kernels {
+
+inline constexpr int default_ngrp = 64; // paper: powers of two, 32-128
+
+template <typename T>
+void gather_optimized(KernelParticles<T>& p, const KernelFields<T>& f,
+                      int ngrp = default_ngrp);
+
+template <typename T>
+void deposit_optimized(const KernelParticles<T>& p, KernelFields<T>& f, T q_dt_factor,
+                       int ngrp = default_ngrp);
+
+std::int64_t gather_optimized_flops_per_particle();
+std::int64_t deposit_optimized_flops_per_particle();
+
+extern template void gather_optimized<float>(KernelParticles<float>&,
+                                             const KernelFields<float>&, int);
+extern template void gather_optimized<double>(KernelParticles<double>&,
+                                              const KernelFields<double>&, int);
+extern template void deposit_optimized<float>(const KernelParticles<float>&,
+                                              KernelFields<float>&, float, int);
+extern template void deposit_optimized<double>(const KernelParticles<double>&,
+                                               KernelFields<double>&, double, int);
+
+} // namespace mrpic::kernels

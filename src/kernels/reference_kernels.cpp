@@ -1,0 +1,105 @@
+#include "src/kernels/reference_kernels.hpp"
+
+#include <cmath>
+
+namespace mrpic::kernels {
+
+namespace {
+
+// Order-3 B-spline weights; returns first index.
+template <typename T>
+inline int shape3(T* w, T x) {
+  const int i = static_cast<int>(std::floor(x));
+  const T d = x - static_cast<T>(i);
+  const T d2 = d * d;
+  const T d3 = d2 * d;
+  w[0] = (T(1) - 3 * d + 3 * d2 - d3) / T(6);
+  w[1] = (T(4) - 6 * d2 + 3 * d3) / T(6);
+  w[2] = (T(1) + 3 * d + 3 * d2 - 3 * d3) / T(6);
+  w[3] = d3 / T(6);
+  return i - 1;
+}
+
+// Interpolate one component with staggering (sx,sy,sz); weights recomputed
+// per call — the baseline's redundant work.
+template <typename T>
+inline T interp_one(const Field3<T>& f, T x, T y, T z, int sx, int sy, int sz) {
+  T wx[4], wy[4], wz[4];
+  const int i0 = shape3(wx, x - T(0.5) * sx);
+  const int j0 = shape3(wy, y - T(0.5) * sy);
+  const int k0 = shape3(wz, z - T(0.5) * sz);
+  T acc = 0;
+  for (int c = 0; c < 4; ++c) {
+    for (int b = 0; b < 4; ++b) {
+      const T wyz = wy[b] * wz[c];
+      for (int a = 0; a < 4; ++a) {
+        acc += wx[a] * wyz * f(i0 + a, j0 + b, k0 + c);
+      }
+    }
+  }
+  return acc;
+}
+
+} // namespace
+
+template <typename T>
+void gather_reference(KernelParticles<T>& p, const KernelFields<T>& f) {
+  const std::size_t np = p.size();
+  for (std::size_t i = 0; i < np; ++i) {
+    const T x = p.x[i], y = p.y[i], z = p.z[i];
+    p.exp_[i] = interp_one(f.ex, x, y, z, 1, 0, 0);
+    p.eyp[i] = interp_one(f.ey, x, y, z, 0, 1, 0);
+    p.ezp[i] = interp_one(f.ez, x, y, z, 0, 0, 1);
+    p.bxp[i] = interp_one(f.bx, x, y, z, 0, 1, 1);
+    p.byp[i] = interp_one(f.by, x, y, z, 1, 0, 1);
+    p.bzp[i] = interp_one(f.bz, x, y, z, 1, 1, 0);
+  }
+}
+
+template <typename T>
+void deposit_reference(const KernelParticles<T>& p, KernelFields<T>& f, T q_dt_factor) {
+  const std::size_t np = p.size();
+  const T c2 = static_cast<T>(mrpic::constants::c) * static_cast<T>(mrpic::constants::c);
+  for (std::size_t i = 0; i < np; ++i) {
+    const T x = p.x[i], y = p.y[i], z = p.z[i];
+    const T u2 = p.ux[i] * p.ux[i] + p.uy[i] * p.uy[i] + p.uz[i] * p.uz[i];
+    const T invg = T(1) / std::sqrt(T(1) + u2 / c2);
+    const T qw = q_dt_factor * p.w[i];
+    const T amp[3] = {qw * p.ux[i] * invg, qw * p.uy[i] * invg, qw * p.uz[i] * invg};
+    Field3<T>* J[3] = {&f.jx, &f.jy, &f.jz};
+    const int stag[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+    for (int comp = 0; comp < 3; ++comp) {
+      T wx[4], wy[4], wz[4];
+      const int i0 = shape3(wx, x - T(0.5) * stag[comp][0]);
+      const int j0 = shape3(wy, y - T(0.5) * stag[comp][1]);
+      const int k0 = shape3(wz, z - T(0.5) * stag[comp][2]);
+      for (int c = 0; c < 4; ++c) {
+        for (int b = 0; b < 4; ++b) {
+          const T wyz = wy[b] * wz[c] * amp[comp];
+          for (int a = 0; a < 4; ++a) {
+            (*J[comp])(i0 + a, j0 + b, k0 + c) += wx[a] * wyz;
+          }
+        }
+      }
+    }
+  }
+}
+
+std::int64_t gather_reference_flops_per_particle() {
+  // 6 components x (3 shape evals x 16 + 64 taps x 3 flops + 16 wyz muls).
+  return 6 * (3 * 16 + 64 * 3 + 16);
+}
+
+std::int64_t deposit_reference_flops_per_particle() {
+  // gamma (~12) + 3 amps (6) + 3 comps x (3 x 16 shapes + 16 wyz x 2 + 64 x 2).
+  return 12 + 6 + 3 * (3 * 16 + 16 * 2 + 64 * 2);
+}
+
+template void gather_reference<float>(KernelParticles<float>&, const KernelFields<float>&);
+template void gather_reference<double>(KernelParticles<double>&, const KernelFields<double>&);
+template void deposit_reference<float>(const KernelParticles<float>&, KernelFields<float>&,
+                                       float);
+template void deposit_reference<double>(const KernelParticles<double>&,
+                                        KernelFields<double>&, double);
+
+} // namespace mrpic::kernels

@@ -1,0 +1,34 @@
+#pragma once
+
+// Reference (baseline) gather and current-deposition kernels: one particle
+// at a time, shape weights recomputed per component, short fixed-trip-count
+// inner loops over the stencil taps (the structure the paper describes as
+// vectorizing poorly: "trying to vectorize the interpolation coefficient
+// computation for a single particle (vectorizing over ijk with p fixed)
+// leads to inefficient code, in particular due to very small loops").
+// Order-3 shapes, Yee staggering, direct v*S deposition.
+
+#include "src/kernels/kernel_data.hpp"
+
+namespace mrpic::kernels {
+
+template <typename T>
+void gather_reference(KernelParticles<T>& p, const KernelFields<T>& f);
+
+template <typename T>
+void deposit_reference(const KernelParticles<T>& p, KernelFields<T>& f, T q_dt_factor);
+
+// Algorithmic FLOPs of the order-3 kernels (per particle), for Table III.
+std::int64_t gather_reference_flops_per_particle();
+std::int64_t deposit_reference_flops_per_particle();
+
+extern template void gather_reference<float>(KernelParticles<float>&,
+                                             const KernelFields<float>&);
+extern template void gather_reference<double>(KernelParticles<double>&,
+                                              const KernelFields<double>&);
+extern template void deposit_reference<float>(const KernelParticles<float>&,
+                                              KernelFields<float>&, float);
+extern template void deposit_reference<double>(const KernelParticles<double>&,
+                                               KernelFields<double>&, double);
+
+} // namespace mrpic::kernels

@@ -1,0 +1,83 @@
+#include "src/laser/laser_antenna.hpp"
+
+#include "src/amr/parallel_for.hpp"
+#include "src/fields/yee.hpp"
+
+namespace mrpic::laser {
+
+using namespace mrpic::constants;
+
+template <int DIM>
+Real LaserAntenna<DIM>::field_at(Real ty, Real tz, Real t) const {
+  const Real k = 2 * pi / m_cfg.wavelength;
+  const Real w0 = m_cfg.waist;
+  const Real zf = m_cfg.focal_distance;
+  const Real zR = pi * w0 * w0 / m_cfg.wavelength; // Rayleigh length
+
+  // Beam width and curvature at the antenna plane (distance zf from focus).
+  Real wa = w0;
+  Real curv = 0; // k/(2R)
+  if (zf != 0) {
+    wa = w0 * std::sqrt(1 + (zf / zR) * (zf / zR));
+    const Real R = zf * (1 + (zR / zf) * (zR / zf));
+    curv = k / (2 * R);
+  }
+
+  const Real r2 = ty * ty + tz * tz;
+  // Slab (2D) beams focus like 1/sqrt(w); full 3D beams like 1/w.
+  const Real amp_geo = DIM == 2 ? std::sqrt(w0 / wa) : (w0 / wa);
+  const Real env_t = std::exp(-((t - m_cfg.t_peak) / m_cfg.duration) *
+                              ((t - m_cfg.t_peak) / m_cfg.duration));
+  const Real env_r = std::exp(-r2 / (wa * wa));
+  const Real phase = m_cfg.omega() * (t - m_cfg.t_peak) + curv * r2 +
+                     k * std::sin(m_cfg.tilt) * ty;
+  return m_cfg.peak_field() * amp_geo * env_t * env_r * std::sin(phase);
+}
+
+template <int DIM>
+void LaserAntenna<DIM>::deposit_current(fields::FieldSet<DIM>& f, Real t) const {
+  if (!active(t)) { return; }
+  auto& geom = f.geom();
+  const int i0 = geom.cell_index(m_cfg.x_antenna, 0);
+  if (!geom.domain().contains([&] {
+        mrpic::IntVect<DIM> p(0);
+        p[0] = i0;
+        for (int d = 1; d < DIM; ++d) { p[d] = geom.domain().lo(d); }
+        return p;
+      }())) {
+    return;
+  }
+
+  const int comp = m_cfg.polarization; // 1 = Jy, 2 = Jz
+  const auto stag = fields::j_stag<DIM>(comp);
+  const Real dx = geom.cell_size(0);
+  const Real amp = -2 * eps0 * c / dx;
+
+  auto& J = f.J();
+  for (int m = 0; m < J.num_fabs(); ++m) {
+    const auto& vb = J.valid_box(m);
+    if (i0 < vb.lo(0) || i0 > vb.hi(0)) { continue; }
+    auto j4 = J.array(m);
+    if constexpr (DIM == 2) {
+      for (int j = vb.lo(1); j <= vb.hi(1); ++j) {
+        const Real y = geom.node_pos(j, 1) + Real(0.5) * stag[1] * geom.cell_size(1);
+        const Real ty = y - m_cfg.center[0];
+        j4(i0, j, 0, comp) += amp * field_at(ty, 0, t);
+      }
+    } else {
+      for (int k = vb.lo(2); k <= vb.hi(2); ++k) {
+        const Real z = geom.node_pos(k, 2) + Real(0.5) * stag[2] * geom.cell_size(2);
+        for (int j = vb.lo(1); j <= vb.hi(1); ++j) {
+          const Real y = geom.node_pos(j, 1) + Real(0.5) * stag[1] * geom.cell_size(1);
+          j4(i0, j, k, comp) +=
+              amp * field_at(y - m_cfg.center[0], z - m_cfg.center[1], t);
+        }
+      }
+    }
+  }
+}
+
+template class LaserAntenna<2>;
+template class LaserAntenna<3>;
+
+} // namespace mrpic::laser

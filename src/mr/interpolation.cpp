@@ -1,0 +1,114 @@
+#include "src/mr/interpolation.hpp"
+
+#include <cmath>
+
+namespace mrpic::mr {
+
+namespace {
+
+// A 1D up-to-three-point sample: value = sum_t w[t] * f(i0 + t).
+struct Sample1D {
+  int i0;
+  Real w[3];
+};
+
+// Fine sample locations for a coarse staggered index I (restriction).
+// Nodal directions (s = 0) at ratio 2 use full weighting (1/4, 1/2, 1/4):
+// a pure point sample at even fine indices would silently drop any current
+// living on odd fine indices (sub-coarse structure must be folded in, not
+// aliased away). Half-staggered directions average the two straddling fine
+// samples. Other ratios fall back to the point/average sample at the
+// coarse location: fine index i = r I + s(r-1)/2.
+inline Sample1D restrict_sample(int I, int stag, int ratio) {
+  if (ratio == 2 && stag == 0) {
+    return {2 * I - 1, {Real(0.25), Real(0.5), Real(0.25)}};
+  }
+  const int t2 = 2 * ratio * I + stag * (ratio - 1); // 2 * fine index target
+  if (t2 % 2 == 0) { return {t2 / 2, {Real(1), Real(0), Real(0)}}; }
+  return {(t2 - 1) / 2, {Real(0.5), Real(0.5), Real(0)}};
+}
+
+// Coarse sample for a fine staggered index i (interpolation): coarse
+// coordinate xi = (2 i + s - r s) / (2 r) in coarse-index units.
+inline Sample1D interp_sample(int i, int stag, int ratio) {
+  const Real xi = (2 * i + stag - ratio * stag) / Real(2 * ratio);
+  const Real fl = std::floor(xi);
+  const int I0 = static_cast<int>(fl);
+  const Real w = xi - fl;
+  return {I0, {1 - w, w, Real(0)}};
+}
+
+template <int DIM, typename SampleFn>
+void apply(const mrpic::FArrayBox<DIM>& src, mrpic::FArrayBox<DIM>& dst,
+           const mrpic::Box<DIM>& region, int comp_src, int comp_dst,
+           const mrpic::IntVect<DIM>& stag, int ratio, bool add, SampleFn&& sample_fn) {
+  using IV = mrpic::IntVect<DIM>;
+  dst.for_each_cell(region, [&](const IV& p) {
+    Sample1D s[DIM];
+    for (int d = 0; d < DIM; ++d) { s[d] = sample_fn(p[d], stag[d], ratio); }
+    Real acc = 0;
+    if constexpr (DIM == 2) {
+      for (int b = 0; b < 3; ++b) {
+        const Real wb = s[1].w[b];
+        if (wb == 0) { continue; }
+        for (int a = 0; a < 3; ++a) {
+          const Real wa = s[0].w[a];
+          if (wa == 0) { continue; }
+          acc += wa * wb * src(IV(s[0].i0 + a, s[1].i0 + b), comp_src);
+        }
+      }
+    } else {
+      for (int cc = 0; cc < 3; ++cc) {
+        const Real wc = s[2].w[cc];
+        if (wc == 0) { continue; }
+        for (int b = 0; b < 3; ++b) {
+          const Real wb = s[1].w[b];
+          if (wb == 0) { continue; }
+          for (int a = 0; a < 3; ++a) {
+            const Real wa = s[0].w[a];
+            if (wa == 0) { continue; }
+            acc += wa * wb * wc * src(IV(s[0].i0 + a, s[1].i0 + b, s[2].i0 + cc), comp_src);
+          }
+        }
+      }
+    }
+    if (add) {
+      dst(p, comp_dst) += acc;
+    } else {
+      dst(p, comp_dst) = acc;
+    }
+  });
+}
+
+} // namespace
+
+template <int DIM>
+void restrict_to_coarse(const mrpic::FArrayBox<DIM>& fine, mrpic::FArrayBox<DIM>& coarse,
+                        const mrpic::Box<DIM>& region, int comp_src, int comp_dst,
+                        const mrpic::IntVect<DIM>& stag, int ratio, bool add) {
+  apply<DIM>(fine, coarse, region, comp_src, comp_dst, stag, ratio, add,
+             [](int i, int s, int r) { return restrict_sample(i, s, r); });
+}
+
+template <int DIM>
+void interp_to_fine(const mrpic::FArrayBox<DIM>& coarse, mrpic::FArrayBox<DIM>& fine,
+                    const mrpic::Box<DIM>& region, int comp_src, int comp_dst,
+                    const mrpic::IntVect<DIM>& stag, int ratio, bool add) {
+  apply<DIM>(coarse, fine, region, comp_src, comp_dst, stag, ratio, add,
+             [](int i, int s, int r) { return interp_sample(i, s, r); });
+}
+
+template void restrict_to_coarse<2>(const mrpic::FArrayBox<2>&, mrpic::FArrayBox<2>&,
+                                    const mrpic::Box<2>&, int, int, const mrpic::IntVect<2>&,
+                                    int, bool);
+template void restrict_to_coarse<3>(const mrpic::FArrayBox<3>&, mrpic::FArrayBox<3>&,
+                                    const mrpic::Box<3>&, int, int, const mrpic::IntVect<3>&,
+                                    int, bool);
+template void interp_to_fine<2>(const mrpic::FArrayBox<2>&, mrpic::FArrayBox<2>&,
+                                const mrpic::Box<2>&, int, int, const mrpic::IntVect<2>&, int,
+                                bool);
+template void interp_to_fine<3>(const mrpic::FArrayBox<3>&, mrpic::FArrayBox<3>&,
+                                const mrpic::Box<3>&, int, int, const mrpic::IntVect<3>&, int,
+                                bool);
+
+} // namespace mrpic::mr

@@ -1,0 +1,50 @@
+#pragma once
+
+// Inter-level transfer operators for electromagnetic mesh refinement
+// (Vay et al. 2004/2012, paper Sec. V.B):
+//
+//  - restrict_to_coarse: sample/average a fine staggered field onto the
+//    collocated coarse grid (used to move the fine-patch current onto the
+//    auxiliary coarse patch and the parent grid).
+//  - interp_to_fine: linear interpolation of a coarse staggered field onto
+//    fine staggered locations (the operator I in the substitution
+//    F(a) = F(f) + I[F(s) - F(c)]).
+//
+// Both operate per component with the Yee staggering s in {0,1}^DIM and an
+// integer refinement ratio r: a coarse sample with staggering s at index I
+// sits at fine coordinate r*(I + s/2); for r=2, s=0 maps to a direct fine
+// sample and s=1 to the average of the two straddling fine samples.
+
+#include "src/amr/multifab.hpp"
+
+namespace mrpic::mr {
+
+// Restrict component comp of `fine` onto `coarse` over the coarse cell
+// region `region` (in coarse index space). `stag` is the Yee staggering of
+// the component; `ratio` the refinement ratio. Set `add` to accumulate.
+template <int DIM>
+void restrict_to_coarse(const mrpic::FArrayBox<DIM>& fine, mrpic::FArrayBox<DIM>& coarse,
+                        const mrpic::Box<DIM>& region, int comp_src, int comp_dst,
+                        const mrpic::IntVect<DIM>& stag, int ratio, bool add);
+
+// Interpolate component comp of `coarse` onto fine staggered locations over
+// the fine-index region `region`. Set `add` to accumulate into `fine`.
+template <int DIM>
+void interp_to_fine(const mrpic::FArrayBox<DIM>& coarse, mrpic::FArrayBox<DIM>& fine,
+                    const mrpic::Box<DIM>& region, int comp_src, int comp_dst,
+                    const mrpic::IntVect<DIM>& stag, int ratio, bool add);
+
+extern template void restrict_to_coarse<2>(const mrpic::FArrayBox<2>&, mrpic::FArrayBox<2>&,
+                                           const mrpic::Box<2>&, int, int,
+                                           const mrpic::IntVect<2>&, int, bool);
+extern template void restrict_to_coarse<3>(const mrpic::FArrayBox<3>&, mrpic::FArrayBox<3>&,
+                                           const mrpic::Box<3>&, int, int,
+                                           const mrpic::IntVect<3>&, int, bool);
+extern template void interp_to_fine<2>(const mrpic::FArrayBox<2>&, mrpic::FArrayBox<2>&,
+                                       const mrpic::Box<2>&, int, int,
+                                       const mrpic::IntVect<2>&, int, bool);
+extern template void interp_to_fine<3>(const mrpic::FArrayBox<3>&, mrpic::FArrayBox<3>&,
+                                       const mrpic::Box<3>&, int, int,
+                                       const mrpic::IntVect<3>&, int, bool);
+
+} // namespace mrpic::mr

@@ -1,0 +1,43 @@
+#pragma once
+
+// Field gathering: interpolation of the Yee-staggered E and B fields onto
+// particle positions with B-spline shapes of order 1-3 (paper Fig. 3, the
+// "field gathering" stage; one of the two hotspots of the PIC cycle).
+
+#include <vector>
+
+#include "src/amr/array4.hpp"
+#include "src/amr/geometry.hpp"
+#include "src/particles/particle_container.hpp"
+
+namespace mrpic::particles {
+
+// Per-particle gathered field buffers (SoA scratch reused across tiles).
+struct GatheredFields {
+  std::array<std::vector<Real>, 3> E, B;
+  void resize(std::size_t n) {
+    for (auto& v : E) { v.resize(n); }
+    for (auto& v : B) { v.resize(n); }
+  }
+  std::size_t size() const { return E[0].size(); }
+};
+
+// Gather E,B (Array4 views of one fab, 3 components each) at the positions
+// of every particle in `tile`. Positions must lie within the fab's valid
+// region (ghost layers cover the staggered stencils).
+template <int DIM>
+void gather_fields(int order, const ParticleTile<DIM>& tile,
+                   const mrpic::Geometry<DIM>& geom, const Array4<const Real>& E,
+                   const Array4<const Real>& B, GatheredFields& out);
+
+// FLOPs per particle of one gather at the given order/dimension.
+std::int64_t gather_flops_per_particle(int order, int dim);
+
+extern template void gather_fields<2>(int, const ParticleTile<2>&,
+                                      const mrpic::Geometry<2>&, const Array4<const Real>&,
+                                      const Array4<const Real>&, GatheredFields&);
+extern template void gather_fields<3>(int, const ParticleTile<3>&,
+                                      const mrpic::Geometry<3>&, const Array4<const Real>&,
+                                      const Array4<const Real>&, GatheredFields&);
+
+} // namespace mrpic::particles

@@ -1,0 +1,118 @@
+#include "src/particles/particle_container.hpp"
+
+#include <cmath>
+
+namespace mrpic::particles {
+
+using mrpic::constants::c;
+
+template <int DIM>
+Real ParticleContainer<DIM>::kinetic_energy() const {
+  Real s = 0;
+  const Real mc2 = m_species.mass * c * c;
+  for (const auto& t : m_tiles) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const Real u2 = t.u[0][i] * t.u[0][i] + t.u[1][i] * t.u[1][i] + t.u[2][i] * t.u[2][i];
+      const Real gamma = std::sqrt(1 + u2 / (c * c));
+      s += t.w[i] * (gamma - 1) * mc2;
+    }
+  }
+  return s;
+}
+
+template <int DIM>
+int ParticleContainer<DIM>::find_tile(const mrpic::Geometry<DIM>& geom,
+                                      const std::array<Real, DIM>& pos) const {
+  mrpic::IntVect<DIM> cell;
+  for (int d = 0; d < DIM; ++d) { cell[d] = geom.cell_index(pos[d], d); }
+  int which = -1;
+  if (m_ba.contains(cell, &which)) { return which; }
+  return -1;
+}
+
+template <int DIM>
+bool ParticleContainer<DIM>::add_particle(const mrpic::Geometry<DIM>& geom,
+                                          const std::array<Real, DIM>& pos,
+                                          const std::array<Real, 3>& mom, Real weight) {
+  const int t = find_tile(geom, pos);
+  if (t < 0) { return false; }
+  m_tiles[t].push_back(pos, mom, weight);
+  return true;
+}
+
+template <int DIM>
+std::int64_t ParticleContainer<DIM>::redistribute(const mrpic::Geometry<DIM>& geom) {
+  std::int64_t removed = 0;
+  for (int ti = 0; ti < num_tiles(); ++ti) {
+    auto& t = m_tiles[ti];
+    const auto& home = m_ba[ti];
+    std::size_t i = 0;
+    while (i < t.size()) {
+      // Wrap periodic directions first.
+      for (int d = 0; d < DIM; ++d) {
+        if (!geom.is_periodic(d)) { continue; }
+        const Real L = geom.prob_hi()[d] - geom.prob_lo()[d];
+        Real& x = t.x[d][i];
+        while (x < geom.prob_lo()[d]) { x += L; }
+        while (x >= geom.prob_hi()[d]) { x -= L; }
+      }
+      mrpic::IntVect<DIM> cell;
+      for (int d = 0; d < DIM; ++d) { cell[d] = geom.cell_index(t.x[d][i], d); }
+      if (home.contains(cell)) {
+        ++i;
+        continue;
+      }
+      int dest = -1;
+      if (m_ba.contains(cell, &dest) && dest != ti) {
+        t.transfer_to(i, m_tiles[dest]); // swap-with-last: re-check index i
+      } else if (dest == ti) {
+        ++i;
+      } else {
+        t.erase(i);
+        ++removed;
+      }
+    }
+  }
+  return removed;
+}
+
+template <int DIM>
+std::int64_t ParticleContainer<DIM>::remove_below(int d, Real xmin) {
+  std::int64_t removed = 0;
+  for (auto& t : m_tiles) {
+    std::size_t i = 0;
+    while (i < t.size()) {
+      if (t.x[d][i] < xmin) {
+        t.erase(i);
+        ++removed;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return removed;
+}
+
+template <int DIM>
+void ParticleContainer<DIM>::regrid(const mrpic::Geometry<DIM>& geom,
+                                    const mrpic::BoxArray<DIM>& ba) {
+  std::vector<ParticleTile<DIM>> old_tiles = std::move(m_tiles);
+  m_ba = ba;
+  m_tiles.assign(ba.size(), {});
+  for (auto& t : old_tiles) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      std::array<Real, DIM> pos;
+      std::array<Real, 3> mom;
+      for (int d = 0; d < DIM; ++d) { pos[d] = t.x[d][i]; }
+      for (int cc = 0; cc < 3; ++cc) { mom[cc] = t.u[cc][i]; }
+      add_particle(geom, pos, mom, t.w[i]);
+    }
+  }
+}
+
+template class ParticleContainer<2>;
+template class ParticleContainer<3>;
+template struct ParticleTile<2>;
+template struct ParticleTile<3>;
+
+} // namespace mrpic::particles

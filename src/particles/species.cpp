@@ -1,0 +1,4 @@
+#include "src/particles/species.hpp"
+
+// Species is a plain aggregate; this translation unit exists to anchor the
+// module in the build.

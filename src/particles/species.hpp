@@ -1,0 +1,33 @@
+#pragma once
+
+// Species: the physical identity of a macroparticle population (charge,
+// mass, name). Macroparticles carry a weight w = number of physical
+// particles represented, so the charge of one macroparticle is q*w.
+
+#include <string>
+
+#include "src/amr/config.hpp"
+
+namespace mrpic::particles {
+
+struct Species {
+  std::string name;
+  Real charge = 0; // [C] physical particle charge (signed)
+  Real mass = 0;   // [kg]
+
+  static Species electron(std::string name = "electrons") {
+    using namespace mrpic::constants;
+    return {std::move(name), -q_e, m_e};
+  }
+  static Species proton(std::string name = "protons") {
+    using namespace mrpic::constants;
+    return {std::move(name), q_e, m_p};
+  }
+  // Fully stripped ion with charge state z and mass number a.
+  static Species ion(std::string name, int z, Real a) {
+    using namespace mrpic::constants;
+    return {std::move(name), z * q_e, a * m_p};
+  }
+};
+
+} // namespace mrpic::particles

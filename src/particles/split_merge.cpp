@@ -1,0 +1,142 @@
+#include "src/particles/split_merge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace mrpic::particles {
+
+using mrpic::constants::c;
+
+namespace {
+
+template <int DIM>
+Real kinetic_energy_one(const ParticleTile<DIM>& t, std::size_t i, Real mass) {
+  const Real u2 = t.u[0][i] * t.u[0][i] + t.u[1][i] * t.u[1][i] + t.u[2][i] * t.u[2][i];
+  return t.w[i] * (std::sqrt(1 + u2 / (c * c)) - 1) * mass * c * c;
+}
+
+} // namespace
+
+template <int DIM>
+SplitMergeStats split_heavy(ParticleTile<DIM>& tile, const mrpic::Geometry<DIM>& geom,
+                            Real /*mass*/, const SplitConfig& cfg) {
+  SplitMergeStats stats;
+  if (cfg.w_max <= 0) { return stats; }
+  const std::size_t n0 = tile.size();
+  for (std::size_t i = 0; i < n0; ++i) {
+    if (tile.w[i] <= cfg.w_max) { continue; }
+    // Displacement direction: motion if moving, else x.
+    std::array<Real, DIM> dir{};
+    Real norm = 0;
+    for (int d = 0; d < DIM; ++d) {
+      dir[d] = tile.u[d][i];
+      norm += dir[d] * dir[d];
+    }
+    if (norm == 0) {
+      dir[0] = 1;
+      norm = 1;
+    }
+    norm = std::sqrt(norm);
+    // Offset scaled per-direction by the local cell size.
+    std::array<Real, DIM> pos_a, pos_b;
+    for (int d = 0; d < DIM; ++d) {
+      const Real off = cfg.offset_cells * geom.cell_size(d) * dir[d] / norm;
+      pos_a[d] = tile.x[d][i] + off;
+      pos_b[d] = tile.x[d][i] - off;
+    }
+    const std::array<Real, 3> mom = {tile.u[0][i], tile.u[1][i], tile.u[2][i]};
+    const Real half = tile.w[i] / 2;
+    // Replace the original in place with half A, append half B: charge,
+    // momentum and center of charge are all conserved exactly.
+    for (int d = 0; d < DIM; ++d) { tile.x[d][i] = pos_a[d]; }
+    tile.w[i] = half;
+    tile.push_back(pos_b, mom, half);
+    ++stats.splits;
+  }
+  return stats;
+}
+
+template <int DIM>
+SplitMergeStats merge_crowded(ParticleTile<DIM>& tile, const mrpic::Geometry<DIM>& geom,
+                              const mrpic::Box<DIM>& valid, Real mass,
+                              const MergeConfig& cfg) {
+  SplitMergeStats stats;
+  const std::size_t np = tile.size();
+  if (np < 2) { return stats; }
+
+  // Bin particle indices per cell.
+  std::vector<std::vector<std::size_t>> bins(static_cast<std::size_t>(valid.num_cells()));
+  for (std::size_t i = 0; i < np; ++i) {
+    mrpic::IntVect<DIM> cell;
+    bool inside = true;
+    for (int d = 0; d < DIM; ++d) {
+      cell[d] = geom.cell_index(tile.x[d][i], d);
+      inside = inside && cell[d] >= valid.lo(d) && cell[d] <= valid.hi(d);
+    }
+    if (inside) { bins[static_cast<std::size_t>(valid.index(cell))].push_back(i); }
+  }
+
+  std::vector<std::size_t> dead;
+  for (auto& bin : bins) {
+    if (bin.size() <= cfg.max_per_cell) { continue; }
+    // Sort the cell's particles by |u| so similar-momentum particles are
+    // adjacent, then pair greedily while the cell stays overcrowded.
+    std::sort(bin.begin(), bin.end(), [&](std::size_t a, std::size_t b) {
+      const Real ua = tile.u[0][a] * tile.u[0][a] + tile.u[1][a] * tile.u[1][a] +
+                      tile.u[2][a] * tile.u[2][a];
+      const Real ub = tile.u[0][b] * tile.u[0][b] + tile.u[1][b] * tile.u[1][b] +
+                      tile.u[2][b] * tile.u[2][b];
+      return ua < ub;
+    });
+    std::size_t remaining = bin.size();
+    for (std::size_t t = 0; t + 1 < bin.size() && remaining > cfg.max_per_cell; t += 2) {
+      const std::size_t a = bin[t], b = bin[t + 1];
+      // Momentum similarity gate.
+      Real du2 = 0, u2 = 0;
+      for (int cc = 0; cc < 3; ++cc) {
+        const Real d = tile.u[cc][a] - tile.u[cc][b];
+        du2 += d * d;
+        const Real m = (tile.u[cc][a] + tile.u[cc][b]) / 2;
+        u2 += m * m;
+      }
+      if (du2 > cfg.momentum_tolerance * cfg.momentum_tolerance * std::max(u2, c * c * 1e-12)) {
+        continue;
+      }
+      const Real e_before = kinetic_energy_one(tile, a, mass) +
+                            kinetic_energy_one(tile, b, mass);
+      const Real wa = tile.w[a], wb = tile.w[b];
+      const Real wsum = wa + wb;
+      // Weighted means conserve charge, momentum and center of charge.
+      for (int d = 0; d < DIM; ++d) {
+        tile.x[d][a] = (wa * tile.x[d][a] + wb * tile.x[d][b]) / wsum;
+      }
+      for (int cc = 0; cc < 3; ++cc) {
+        tile.u[cc][a] = (wa * tile.u[cc][a] + wb * tile.u[cc][b]) / wsum;
+      }
+      tile.w[a] = wsum;
+      stats.energy_change += kinetic_energy_one(tile, a, mass) - e_before;
+      dead.push_back(b);
+      ++stats.merges;
+      --remaining;
+    }
+  }
+
+  // Remove merged-away particles (descending order keeps indices valid
+  // under swap-with-last erase).
+  std::sort(dead.begin(), dead.end(), std::greater<>());
+  for (std::size_t i : dead) { tile.erase(i); }
+  return stats;
+}
+
+template SplitMergeStats split_heavy<2>(ParticleTile<2>&, const mrpic::Geometry<2>&, Real,
+                                        const SplitConfig&);
+template SplitMergeStats split_heavy<3>(ParticleTile<3>&, const mrpic::Geometry<3>&, Real,
+                                        const SplitConfig&);
+template SplitMergeStats merge_crowded<2>(ParticleTile<2>&, const mrpic::Geometry<2>&,
+                                          const mrpic::Box<2>&, Real, const MergeConfig&);
+template SplitMergeStats merge_crowded<3>(ParticleTile<3>&, const mrpic::Geometry<3>&,
+                                          const mrpic::Box<3>&, Real, const MergeConfig&);
+
+} // namespace mrpic::particles

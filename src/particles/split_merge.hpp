@@ -1,0 +1,66 @@
+#pragma once
+
+// Adaptive particle splitting and merging — the paper's stated next step
+// (Sec. VIII.B: "couple to adaptive particle splitting and merging, will
+// provide even higher opportunities for increased efficiency for adjusting
+// local grid and particle statistic resolution").
+//
+// Splitting keeps statistics adequate where macroparticles are heavy (e.g.
+// after entering a refinement patch): a particle with w > w_max becomes two
+// half-weight copies displaced symmetrically (charge, momentum and the
+// center of charge are conserved exactly).
+//
+// Merging bounds cost where particles accumulate: within each cell,
+// momentum-similar pairs are coalesced into one particle carrying the
+// summed weight and the weighted mean momentum/position (charge and
+// momentum conserved exactly; kinetic energy decreases by the pair's
+// internal spread — reported so callers can bound it).
+
+#include "src/amr/geometry.hpp"
+#include "src/particles/particle_container.hpp"
+
+namespace mrpic::particles {
+
+struct SplitConfig {
+  Real w_max = 0;          // split particles heavier than this (0 = never)
+  Real offset_cells = 0.2; // displacement of the two halves [cells]
+};
+
+struct MergeConfig {
+  std::size_t max_per_cell = 64; // merge only in cells above this count
+  // Pair only particles whose relative momentum difference is below this.
+  Real momentum_tolerance = 0.1;
+};
+
+struct SplitMergeStats {
+  std::int64_t splits = 0;
+  std::int64_t merges = 0;
+  Real energy_change = 0; // [J] (<= 0 for merges, 0 for splits)
+};
+
+// Split heavy particles of one tile (positions displaced along the
+// direction of motion, or x for particles at rest).
+template <int DIM>
+SplitMergeStats split_heavy(ParticleTile<DIM>& tile, const mrpic::Geometry<DIM>& geom,
+                            Real mass, const SplitConfig& cfg);
+
+// Merge momentum-similar pairs in overcrowded cells of one tile. The tile
+// is processed per cell of `valid`; particles are not required to be
+// sorted.
+template <int DIM>
+SplitMergeStats merge_crowded(ParticleTile<DIM>& tile, const mrpic::Geometry<DIM>& geom,
+                              const mrpic::Box<DIM>& valid, Real mass,
+                              const MergeConfig& cfg);
+
+extern template SplitMergeStats split_heavy<2>(ParticleTile<2>&, const mrpic::Geometry<2>&,
+                                               Real, const SplitConfig&);
+extern template SplitMergeStats split_heavy<3>(ParticleTile<3>&, const mrpic::Geometry<3>&,
+                                               Real, const SplitConfig&);
+extern template SplitMergeStats merge_crowded<2>(ParticleTile<2>&, const mrpic::Geometry<2>&,
+                                                 const mrpic::Box<2>&, Real,
+                                                 const MergeConfig&);
+extern template SplitMergeStats merge_crowded<3>(ParticleTile<3>&, const mrpic::Geometry<3>&,
+                                                 const mrpic::Box<3>&, Real,
+                                                 const MergeConfig&);
+
+} // namespace mrpic::particles

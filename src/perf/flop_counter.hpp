@@ -1,0 +1,71 @@
+#pragma once
+
+// Source-level FLOP accounting: the substitute for Nsight Compute / ROCm
+// profiler / fipp counters (paper Sec. VI.B). Kernels report their
+// algorithmic operation counts per call site; the counter aggregates per
+// kernel name and per operation class (FMA counted as two operations, as in
+// the paper's SASS methodology).
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace mrpic::perf {
+
+struct OpCounts {
+  std::int64_t add = 0;
+  std::int64_t mul = 0;
+  std::int64_t fma = 0; // counted as 2 flops
+  std::int64_t div = 0;
+  std::int64_t sqrt = 0;
+
+  std::int64_t flops() const { return add + mul + 2 * fma + div + sqrt; }
+  OpCounts& operator+=(const OpCounts& o) {
+    add += o.add;
+    mul += o.mul;
+    fma += o.fma;
+    div += o.div;
+    sqrt += o.sqrt;
+    return *this;
+  }
+  OpCounts scaled(std::int64_t n) const {
+    return {add * n, mul * n, fma * n, div * n, sqrt * n};
+  }
+};
+
+class FlopCounter {
+public:
+  void record(const std::string& kernel, const OpCounts& ops) { m_perkernel[kernel] += ops; }
+  void record(const std::string& kernel, std::int64_t flops) {
+    m_perkernel[kernel] += OpCounts{flops, 0, 0, 0, 0};
+  }
+
+  std::int64_t total_flops() const {
+    std::int64_t t = 0;
+    for (const auto& [k, v] : m_perkernel) { t += v.flops(); }
+    return t;
+  }
+  std::int64_t kernel_flops(const std::string& kernel) const {
+    const auto it = m_perkernel.find(kernel);
+    return it == m_perkernel.end() ? 0 : it->second.flops();
+  }
+  void reset() { m_perkernel.clear(); }
+
+  void report(std::ostream& os) const {
+    for (const auto& [k, v] : m_perkernel) {
+      os << "  " << k << ": " << v.flops() << " flops (add " << v.add << ", mul " << v.mul
+         << ", fma " << v.fma << ", div " << v.div << ", sqrt " << v.sqrt << ")\n";
+    }
+  }
+
+private:
+  std::map<std::string, OpCounts> m_perkernel;
+};
+
+// Canonical per-element operation counts of the production PIC stages
+// (order-3 shapes, 3D unless noted). Used by the Table III bench.
+OpCounts pic_flops_per_particle_3d(int shape_order);
+OpCounts pic_flops_per_cell_3d();
+
+} // namespace mrpic::perf

@@ -1,0 +1,44 @@
+#include "src/perf/fom.hpp"
+
+#include <cassert>
+
+namespace mrpic::perf {
+
+double figure_of_merit(double n_cells, double n_particles, double avg_seconds_per_step,
+                       double percent_of_system) {
+  assert(avg_seconds_per_step > 0 && percent_of_system > 0);
+  return (fom_alpha * n_cells + fom_beta * n_particles) /
+         (avg_seconds_per_step * percent_of_system);
+}
+
+const std::vector<FomRecord>& fom_history() {
+  // Paper Table IV verbatim; code_speed_factor encodes the Sec. VII.C
+  // narrative (2019 CPU/Fortran era ~0.2 of final speed, steady GPU
+  // optimization through 2020-21, ~1.0 by 2022).
+  static const std::vector<FomRecord> rows = {
+      {"3/19", "Cori", 0.4e7, 6625, 1.0e11, false, 0.20},
+      {"6/19", "Summit", 2.8e7, 1000, 7.8e11, false, 0.30},
+      {"9/19", "Summit", 2.3e7, 2560, 6.8e11, false, 0.30},
+      {"1/20", "Summit", 2.3e7, 2560, 1.0e12, false, 0.40},
+      {"2/20", "Summit", 2.5e7, 4263, 1.2e12, false, 0.45},
+      {"6/20", "Summit", 2.0e7, 4263, 1.4e12, false, 0.50},
+      {"7/20", "Summit", 2.0e8, 4263, 2.5e12, false, 0.75},
+      {"3/21", "Summit", 2.0e8, 4263, 2.9e12, false, 0.85},
+      {"6/21", "Summit", 2.0e8, 4263, 2.7e12, false, 0.85},
+      {"7/21", "Perlmutter", 2.7e8, 960, 1.1e12, false, 0.85},
+      {"12/21", "Summit", 2.0e8, 4263, 3.3e12, false, 0.95},
+      {"4/22", "Perlmutter", 4.0e8, 928, 1.0e12, false, 1.00},
+      {"4/22", "Perlmutter", 4.0e8, 928, 1.4e12, true, 1.00},
+      {"4/22", "Summit", 2.0e8, 4263, 3.4e12, false, 1.00},
+      // dagger rows on Fugaku are the A64FX-optimized kernels of Sec. V.A.1
+      // (~2x whole-app on top of the mixed-precision traffic saving).
+      {"4/22", "Fugaku", 3.1e6, 98304, 8.1e12, true, 2.00},
+      {"6/22", "Perlmutter", 4.4e8, 1088, 1.0e12, false, 1.00},
+      {"7/22", "Fugaku", 3.1e6, 98304, 2.2e12, false, 1.00},
+      {"7/22", "Fugaku", 3.1e6, 152064, 9.3e12, true, 2.00},
+      {"7/22", "Frontier", 8.1e8, 8576, 1.1e13, false, 1.00},
+  };
+  return rows;
+}
+
+} // namespace mrpic::perf

@@ -1,0 +1,39 @@
+#pragma once
+
+// WarpX's Exascale Computing Project figure of merit (paper Eq. 1):
+//
+//   FOM = (alpha N_c + beta N_p) / (avg time per step * percent of system)
+//
+// with alpha = 0.1, beta = 0.9, fixed since the start of the project. Also
+// carries the FOM history of paper Table IV (machine, problem size, nodes,
+// reported FOM) so the bench can compare model vs paper for every row.
+
+#include <string>
+#include <vector>
+
+namespace mrpic::perf {
+
+inline constexpr double fom_alpha = 0.1;
+inline constexpr double fom_beta = 0.9;
+
+// percent_of_system in (0,1]: nodes used / full machine.
+double figure_of_merit(double n_cells, double n_particles, double avg_seconds_per_step,
+                       double percent_of_system);
+
+struct FomRecord {
+  std::string date;        // e.g. "7/22"
+  std::string machine;     // catalogue name (Cori rows keep the name only)
+  double cells_per_node;   // N_c / node
+  int nodes;               // measurement size
+  double reported_fom;     // paper Table IV value
+  bool mixed_precision;    // the dagger rows
+  // Relative code-generation maturity at that date (1.0 = the July 2022
+  // code; earlier eras were slower: Fortran hotspots in 2019, fewer GPU
+  // optimizations through 2020-21 — paper Sec. VII.C narrative).
+  double code_speed_factor;
+};
+
+// The 19 rows of paper Table IV.
+const std::vector<FomRecord>& fom_history();
+
+} // namespace mrpic::perf

@@ -1,0 +1,53 @@
+#pragma once
+
+// Machine catalogue: the four supercomputers of the paper's evaluation
+// (Table II), with vendor peak numbers, published HPCG results, node counts
+// and the calibration points for the weak-scaling model taken from the
+// paper's own measurements (Sec. VII.A). This is the data side of the
+// hardware substitution described in DESIGN.md §1.
+
+#include <string>
+#include <vector>
+
+namespace mrpic::perf {
+
+struct WeakCalibration {
+  double nodes_early;      // small-scale reference point
+  double eff_early;        // measured efficiency there
+  double nodes_full;       // largest measured run
+  double eff_full;         // measured efficiency there
+};
+
+struct Machine {
+  std::string name;
+  std::string device;       // compute hardware per Table II
+  double dp_tflops_device;  // vendor peak, double precision
+  double sp_tflops_device;  // vendor peak, single precision
+  double tbyte_s_device;    // memory bandwidth per device [TB/s]
+  int devices_per_node;
+  int total_nodes;          // full machine
+  int nodes_available;      // available at measurement time (Sec. VII)
+  double hpcg_pflops;       // published 2021/11 HPCG (<=0: not available)
+  int hpcg_nodes;           // nodes of the HPCG submission
+  WeakCalibration weak;     // paper-reported weak-scaling anchor points
+  int strong_block;         // block size per device in strong scaling (cells/side)
+  // Network parameters for the simulated cluster (order-of-magnitude of the
+  // respective interconnects; the scaling *shape* is set by `weak`).
+  double net_latency_s;
+  double net_bandwidth_Bps;
+  // Sustained fraction of vendor memory bandwidth achieved by the WarpX
+  // kernels on this machine, calibrated so the memory-bound step-time model
+  // reproduces the paper's final-era FOM rows (Table IV): high on the
+  // mature CUDA path (Summit), lower on the young HIP path (Frontier, cf.
+  // Sec. VII.B "further optimizations ... might be possible"), and low on
+  // A64FX where the unoptimized code barely vectorizes (the paper's
+  // optimized MP version is ~4x faster, matching its FOM ratio).
+  double sustained_bw;
+};
+
+// Frontier, Fugaku, Summit, Perlmutter (in the paper's Table II order).
+const std::vector<Machine>& catalogue();
+
+const Machine& machine_by_name(const std::string& name);
+
+} // namespace mrpic::perf

@@ -1,0 +1,44 @@
+#include "src/perf/scaling_model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mrpic::perf {
+
+namespace {
+double g_of(double n) { return 1.0 - std::pow(n, -1.0 / 3.0); }
+} // namespace
+
+WeakScalingModel WeakScalingModel::calibrate(double n1, double e1, double n2, double e2) {
+  // 1/e = 1 + a g(n) + b log2(n) at both anchors: a 2x2 linear solve.
+  const double r1 = 1.0 / e1 - 1.0;
+  const double r2 = 1.0 / e2 - 1.0;
+  const double g1 = g_of(n1), g2 = g_of(n2);
+  const double l1 = std::log2(n1), l2 = std::log2(n2);
+  const double det = g1 * l2 - g2 * l1;
+  assert(det != 0.0);
+  WeakScalingModel m;
+  m.a = (r1 * l2 - r2 * l1) / det;
+  m.b = (g1 * r2 - g2 * r1) / det;
+  return m;
+}
+
+double WeakScalingModel::efficiency(double nodes) const {
+  if (nodes <= 1.0) { return 1.0; }
+  const double t = 1.0 + a * g_of(nodes) + b * std::log2(nodes);
+  // Calibrations dominated by the log term can dip below t = 1 at small
+  // node counts; weak-scaling efficiency is capped at ideal.
+  return std::min(1.0, 1.0 / t);
+}
+
+double StrongScalingModel::efficiency(double nodes, double nodes0) const {
+  if (nodes <= nodes0) { return 1.0; }
+  return 1.0 / (1.0 + alpha * std::log10(nodes / nodes0));
+}
+
+double StrongScalingModel::max_nodes(const Machine& m, double total_cells) {
+  const double cells_per_block = std::pow(static_cast<double>(m.strong_block), 3);
+  return total_cells / (cells_per_block * m.devices_per_node);
+}
+
+} // namespace mrpic::perf

@@ -1,0 +1,11 @@
+#include "src/plasma/density_profile.hpp"
+
+namespace mrpic::plasma {
+
+Real critical_density(Real wavelength) {
+  using namespace mrpic::constants;
+  const Real omega = 2 * pi * c / wavelength;
+  return eps0 * m_e * omega * omega / (q_e * q_e);
+}
+
+} // namespace mrpic::plasma

@@ -1,0 +1,65 @@
+#pragma once
+
+// Plasma density profiles [particles / m^3] as composable functions of
+// physical position, covering the paper's targets: uniform plasmas (the
+// scaling benchmarks), gas jets (LWFA), solid foils (plasma mirrors) and
+// the hybrid solid-gas target of the science case (Fig. 1b).
+
+#include <functional>
+#include <utility>
+
+#include "src/amr/config.hpp"
+#include "src/amr/real_vect.hpp"
+
+namespace mrpic::plasma {
+
+// Critical density for wavelength lambda: n_c = eps0 m_e omega^2 / e^2.
+Real critical_density(Real wavelength);
+
+template <int DIM>
+using DensityProfile = std::function<Real(const mrpic::RealVect<DIM>&)>;
+
+template <int DIM>
+DensityProfile<DIM> uniform(Real n0) {
+  return [n0](const mrpic::RealVect<DIM>&) { return n0; };
+}
+
+// Slab of density n0 for x in [x0, x1) (solid foil / plasma mirror).
+template <int DIM>
+DensityProfile<DIM> slab(Real n0, Real x0, Real x1) {
+  return [=](const mrpic::RealVect<DIM>& r) {
+    return (r[0] >= x0 && r[0] < x1) ? n0 : Real(0);
+  };
+}
+
+// Gas jet: flat-top n0 for x in [x0+ramp, x1-ramp] with linear up/down ramps.
+template <int DIM>
+DensityProfile<DIM> gas_jet(Real n0, Real x0, Real x1, Real ramp) {
+  return [=](const mrpic::RealVect<DIM>& r) {
+    const Real x = r[0];
+    if (x < x0 || x >= x1) { return Real(0); }
+    if (x < x0 + ramp) { return n0 * (x - x0) / ramp; }
+    if (x >= x1 - ramp) { return n0 * (x1 - x) / ramp; }
+    return n0;
+  };
+}
+
+// Sum of two profiles (e.g. hybrid solid-gas target: gas jet in front of a
+// solid foil, Fig. 1b of the paper).
+template <int DIM>
+DensityProfile<DIM> sum(DensityProfile<DIM> a, DensityProfile<DIM> b) {
+  return [a = std::move(a), b = std::move(b)](const mrpic::RealVect<DIM>& r) {
+    return a(r) + b(r);
+  };
+}
+
+// Hybrid solid-gas target: gas [gas_x0, solid_x0) with entrance ramp +
+// solid slab [solid_x0, solid_x1).
+template <int DIM>
+DensityProfile<DIM> hybrid_target(Real n_gas, Real gas_x0, Real gas_ramp, Real n_solid,
+                                  Real solid_x0, Real solid_x1) {
+  return sum<DIM>(gas_jet<DIM>(n_gas, gas_x0, solid_x0, gas_ramp),
+                  slab<DIM>(n_solid, solid_x0, solid_x1));
+}
+
+} // namespace mrpic::plasma

@@ -1,0 +1,115 @@
+#include "src/plasma/plasma_injector.hpp"
+
+#include <cmath>
+
+namespace mrpic::plasma {
+
+namespace {
+
+// SplitMix64: small deterministic generator seeded per cell.
+struct SplitMix64 {
+  std::uint64_t s;
+  std::uint64_t next() {
+    std::uint64_t z = (s += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  Real uniform() { return (next() >> 11) * (1.0 / 9007199254740992.0); }
+  // Box-Muller normal deviate.
+  Real normal() {
+    Real u1 = uniform();
+    while (u1 <= 1e-300) { u1 = uniform(); }
+    const Real u2 = uniform();
+    return std::sqrt(-2 * std::log(u1)) *
+           std::cos(2 * mrpic::constants::pi * u2);
+  }
+};
+
+template <int DIM>
+std::uint64_t cell_seed(const mrpic::IntVect<DIM>& cell, std::uint64_t base) {
+  std::uint64_t h = base;
+  for (int d = 0; d < DIM; ++d) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::int64_t>(cell[d])) +
+         0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+} // namespace
+
+template <int DIM>
+std::int64_t PlasmaInjector<DIM>::inject(mrpic::particles::ParticleContainer<DIM>& pc,
+                                         const mrpic::Geometry<DIM>& geom,
+                                         const mrpic::Box<DIM>& region) const {
+  using namespace mrpic::constants;
+  const mrpic::Box<DIM> reg = region & geom.domain();
+  if (reg.empty()) { return 0; }
+
+  Real dv = 1;
+  for (int d = 0; d < DIM; ++d) { dv *= geom.cell_size(d); }
+  const Real ppc_total = static_cast<Real>(m_cfg.ppc.product());
+
+  // Thermal proper-velocity spread: u_th = sqrt(kT/m) (non-relativistic
+  // temperatures; kT in J = T_ev * q_e).
+  const Real mass = pc.species().mass;
+  const Real u_th =
+      m_cfg.temperature_ev > 0 ? std::sqrt(m_cfg.temperature_ev * q_e / mass) : Real(0);
+
+  std::int64_t added = 0;
+  // Loop cells via a dummy fab iteration helper (reuses Box traversal).
+  const auto visit_cell = [&](const mrpic::IntVect<DIM>& cell) {
+    SplitMix64 rng{cell_seed(cell, m_cfg.seed)};
+    // Regular sub-lattice positions within the cell.
+    mrpic::IntVect<DIM> sub;
+    const auto emit = [&](const mrpic::IntVect<DIM>& sv) {
+      std::array<Real, DIM> pos;
+      mrpic::RealVect<DIM> rv;
+      for (int d = 0; d < DIM; ++d) {
+        const Real frac = (sv[d] + Real(0.5)) / m_cfg.ppc[d];
+        pos[d] = geom.node_pos(cell[d], d) + frac * geom.cell_size(d);
+        rv[d] = pos[d];
+      }
+      const Real n = m_cfg.density(rv);
+      if (n < m_cfg.density_floor) { return; }
+      std::array<Real, 3> mom{};
+      if (u_th > 0) {
+        for (int cc = 0; cc < 3; ++cc) { mom[cc] = u_th * rng.normal(); }
+      }
+      if (pc.add_particle(geom, pos, mom, n * dv / ppc_total)) { ++added; }
+    };
+    if constexpr (DIM == 2) {
+      for (sub[1] = 0; sub[1] < m_cfg.ppc[1]; ++sub[1]) {
+        for (sub[0] = 0; sub[0] < m_cfg.ppc[0]; ++sub[0]) { emit(sub); }
+      }
+    } else {
+      for (sub[2] = 0; sub[2] < m_cfg.ppc[2]; ++sub[2]) {
+        for (sub[1] = 0; sub[1] < m_cfg.ppc[1]; ++sub[1]) {
+          for (sub[0] = 0; sub[0] < m_cfg.ppc[0]; ++sub[0]) { emit(sub); }
+        }
+      }
+    }
+  };
+
+  if constexpr (DIM == 2) {
+    for (int j = reg.lo(1); j <= reg.hi(1); ++j) {
+      for (int i = reg.lo(0); i <= reg.hi(0); ++i) {
+        visit_cell(mrpic::IntVect<DIM>(i, j));
+      }
+    }
+  } else {
+    for (int k = reg.lo(2); k <= reg.hi(2); ++k) {
+      for (int j = reg.lo(1); j <= reg.hi(1); ++j) {
+        for (int i = reg.lo(0); i <= reg.hi(0); ++i) {
+          visit_cell(mrpic::IntVect<DIM>(i, j, k));
+        }
+      }
+    }
+  }
+  return added;
+}
+
+template class PlasmaInjector<2>;
+template class PlasmaInjector<3>;
+
+} // namespace mrpic::plasma

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "src/amr/box.hpp"
+
+namespace mrpic {
+namespace {
+
+TEST(IntVect, ConstructionAndArithmetic) {
+  IntVect3 a(1, 2, 3);
+  IntVect3 b(4);
+  EXPECT_EQ(b, IntVect3(4, 4, 4));
+  EXPECT_EQ(a + b, IntVect3(5, 6, 7));
+  EXPECT_EQ(b - a, IntVect3(3, 2, 1));
+  EXPECT_EQ(a * 2, IntVect3(2, 4, 6));
+  EXPECT_EQ(-a, IntVect3(-1, -2, -3));
+  EXPECT_EQ(a.product(), 6);
+  EXPECT_EQ(a.min_component(), 1);
+  EXPECT_EQ(a.max_component(), 3);
+}
+
+TEST(IntVect, Comparisons) {
+  IntVect2 a(1, 2), b(2, 3), c(2, 1);
+  EXPECT_TRUE(a.all_lt(b));
+  EXPECT_TRUE(a.all_le(b));
+  EXPECT_FALSE(a.all_lt(c)); // mixed ordering
+  EXPECT_FALSE(c.all_le(a));
+  EXPECT_EQ(IntVect2::component_min(a, c), IntVect2(1, 1));
+  EXPECT_EQ(IntVect2::component_max(a, c), IntVect2(2, 2));
+}
+
+TEST(IntVect, CoarsenRoundsTowardMinusInfinity) {
+  EXPECT_EQ(IntVect2(5, -5).coarsened(IntVect2(2)), IntVect2(2, -3));
+  EXPECT_EQ(IntVect2(4, -4).coarsened(IntVect2(2)), IntVect2(2, -2));
+  EXPECT_EQ(IntVect2(-1, -2).coarsened(IntVect2(2)), IntVect2(-1, -1));
+}
+
+TEST(Box, BasicProperties) {
+  Box3 b(IntVect3(0, 0, 0), IntVect3(7, 15, 31));
+  EXPECT_FALSE(b.empty());
+  EXPECT_EQ(b.size(), IntVect3(8, 16, 32));
+  EXPECT_EQ(b.num_cells(), 8 * 16 * 32);
+  EXPECT_TRUE(b.contains(IntVect3(7, 15, 31)));
+  EXPECT_FALSE(b.contains(IntVect3(8, 0, 0)));
+
+  Box3 empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.num_cells(), 0);
+}
+
+TEST(Box, Intersection) {
+  Box2 a(IntVect2(0, 0), IntVect2(9, 9));
+  Box2 b(IntVect2(5, 5), IntVect2(14, 14));
+  Box2 i = a & b;
+  EXPECT_EQ(i, Box2(IntVect2(5, 5), IntVect2(9, 9)));
+  EXPECT_TRUE(a.intersects(b));
+
+  Box2 c(IntVect2(10, 0), IntVect2(19, 9));
+  EXPECT_TRUE((a & c).empty());
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(Box, GrowShiftBounding) {
+  Box2 a(IntVect2(2, 2), IntVect2(5, 5));
+  EXPECT_EQ(a.grown(1), Box2(IntVect2(1, 1), IntVect2(6, 6)));
+  EXPECT_EQ(a.grown(-1), Box2(IntVect2(3, 3), IntVect2(4, 4)));
+  EXPECT_EQ(a.shifted(IntVect2(10, 0)), Box2(IntVect2(12, 2), IntVect2(15, 5)));
+  Box2 b(IntVect2(8, 8), IntVect2(9, 9));
+  EXPECT_EQ(bounding(a, b), Box2(IntVect2(2, 2), IntVect2(9, 9)));
+}
+
+TEST(Box, CoarsenRefineRoundTrip) {
+  Box3 fine(IntVect3(0, 0, 0), IntVect3(15, 15, 15));
+  Box3 coarse = fine.coarsened(2);
+  EXPECT_EQ(coarse, Box3(IntVect3(0, 0, 0), IntVect3(7, 7, 7)));
+  EXPECT_EQ(coarse.refined(2), fine);
+
+  // Non-aligned box: coarsen covers, refine of coarsened contains original.
+  Box2 odd(IntVect2(1, 3), IntVect2(6, 8));
+  Box2 c = odd.coarsened(2);
+  EXPECT_TRUE(c.refined(2).contains(odd));
+}
+
+TEST(Box, IndexIsFortranOrder) {
+  Box2 b(IntVect2(2, 3), IntVect2(5, 7));
+  EXPECT_EQ(b.index(IntVect2(2, 3)), 0);
+  EXPECT_EQ(b.index(IntVect2(3, 3)), 1);
+  EXPECT_EQ(b.index(IntVect2(2, 4)), 4); // one j-row = 4 cells
+  EXPECT_EQ(b.index(b.hi()), b.num_cells() - 1);
+}
+
+TEST(Box, ChopRespectsMaxSizeAndCoversBox) {
+  Box3 b(IntVect3(0, 0, 0), IntVect3(99, 49, 19));
+  auto pieces = b.chop(IntVect3(32, 32, 32));
+  std::int64_t total = 0;
+  for (const auto& p : pieces) {
+    EXPECT_LE(p.size().max_component(), 32);
+    EXPECT_TRUE(b.contains(p));
+    total += p.num_cells();
+  }
+  EXPECT_EQ(total, b.num_cells());
+  // 100/32 -> 4 chunks, 50/32 -> 2, 20/32 -> 1.
+  EXPECT_EQ(pieces.size(), 4u * 2u * 1u);
+}
+
+TEST(Box, ChopEvenSplit) {
+  Box2 b(IntVect2(0, 0), IntVect2(63, 63));
+  auto pieces = b.chop(IntVect2(32, 32));
+  ASSERT_EQ(pieces.size(), 4u);
+  for (const auto& p : pieces) { EXPECT_EQ(p.num_cells(), 32 * 32); }
+}
+
+} // namespace
+} // namespace mrpic

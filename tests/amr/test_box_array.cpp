@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "src/amr/box_array.hpp"
+
+namespace mrpic {
+namespace {
+
+TEST(BoxArray, DecomposeCoversDomainDisjointly) {
+  const Box3 domain(IntVect3(0, 0, 0), IntVect3(63, 63, 63));
+  const auto ba = BoxArray<3>::decompose(domain, 32);
+  EXPECT_EQ(ba.size(), 8);
+  EXPECT_TRUE(ba.is_disjoint());
+  EXPECT_EQ(ba.total_cells(), domain.num_cells());
+  EXPECT_EQ(ba.minimal_box(), domain);
+}
+
+TEST(BoxArray, ContainsLocatesOwningBox) {
+  const Box2 domain(IntVect2(0, 0), IntVect2(31, 31));
+  const auto ba = BoxArray<2>::decompose(domain, 16);
+  int which = -1;
+  EXPECT_TRUE(ba.contains(IntVect2(20, 5), &which));
+  EXPECT_TRUE(ba[which].contains(IntVect2(20, 5)));
+  EXPECT_FALSE(ba.contains(IntVect2(32, 0)));
+}
+
+TEST(BoxArray, IntersectingFindsNeighbors) {
+  const Box2 domain(IntVect2(0, 0), IntVect2(31, 31));
+  const auto ba = BoxArray<2>::decompose(domain, 16); // 2x2 boxes
+  // A region straddling the center intersects all four.
+  const auto hits = ba.intersecting(Box2(IntVect2(14, 14), IntVect2(17, 17)));
+  EXPECT_EQ(hits.size(), 4u);
+}
+
+TEST(BoxArray, CoarsenRefineShift) {
+  const Box2 domain(IntVect2(0, 0), IntVect2(31, 31));
+  const auto ba = BoxArray<2>::decompose(domain, 16);
+  const auto fine = ba.refined(IntVect2(2));
+  EXPECT_EQ(fine.total_cells(), 4 * ba.total_cells());
+  EXPECT_EQ(fine.coarsened(IntVect2(2)), ba);
+  const auto shifted = ba.shifted(IntVect2(5, 0));
+  EXPECT_EQ(shifted.minimal_box(), domain.shifted(IntVect2(5, 0)));
+}
+
+TEST(BoxArray, UnevenDomainStillCovered) {
+  const Box3 domain(IntVect3(0, 0, 0), IntVect3(99, 31, 17));
+  const auto ba = BoxArray<3>::decompose(domain, IntVect3(32, 32, 32));
+  EXPECT_TRUE(ba.is_disjoint());
+  EXPECT_EQ(ba.total_cells(), domain.num_cells());
+}
+
+} // namespace
+} // namespace mrpic

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "src/amr/geometry.hpp"
+
+namespace mrpic {
+namespace {
+
+Geometry<2> make_geom() {
+  return Geometry<2>(Box2(IntVect2(0, 0), IntVect2(9, 19)), RealVect2(0.0, -1.0),
+                     RealVect2(1.0, 1.0), {true, false});
+}
+
+TEST(Geometry, CellSizesAndPositions) {
+  const auto g = make_geom();
+  EXPECT_DOUBLE_EQ(g.cell_size(0), 0.1);
+  EXPECT_DOUBLE_EQ(g.cell_size(1), 0.1);
+  EXPECT_DOUBLE_EQ(g.node_pos(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(g.node_pos(10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(g.cell_center(0, 1), -0.95);
+}
+
+TEST(Geometry, CellIndex) {
+  const auto g = make_geom();
+  EXPECT_EQ(g.cell_index(0.05, 0), 0);
+  EXPECT_EQ(g.cell_index(0.999, 0), 9);
+  EXPECT_EQ(g.cell_index(-0.999, 1), 0);
+  EXPECT_EQ(g.cell_index(-0.01, 0), -1); // outside low end
+}
+
+TEST(Geometry, Periodicity) {
+  const auto g = make_geom();
+  EXPECT_TRUE(g.is_periodic(0));
+  EXPECT_FALSE(g.is_periodic(1));
+  EXPECT_TRUE(g.any_periodic());
+}
+
+TEST(Geometry, RefinedPreservesPhysicalExtent) {
+  const auto g = make_geom();
+  const auto f = g.refined(2);
+  EXPECT_EQ(f.domain().size(), IntVect2(20, 40));
+  EXPECT_DOUBLE_EQ(f.cell_size(0), 0.05);
+  EXPECT_DOUBLE_EQ(f.prob_lo()[1], g.prob_lo()[1]);
+  EXPECT_DOUBLE_EQ(f.prob_hi()[0], g.prob_hi()[0]);
+}
+
+TEST(Geometry, ShiftPhysicalMovesAnchorNotIndexSpace) {
+  auto g = make_geom();
+  const auto domain = g.domain();
+  g.shift_physical(0, 3);
+  EXPECT_EQ(g.domain(), domain);
+  EXPECT_DOUBLE_EQ(g.prob_lo()[0], 0.3);
+  EXPECT_DOUBLE_EQ(g.prob_hi()[0], 1.3);
+  // The same index now maps 0.3 further right.
+  EXPECT_DOUBLE_EQ(g.node_pos(0, 0), 0.3);
+}
+
+} // namespace
+} // namespace mrpic

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "src/amr/parallel_for.hpp"
+
+namespace mrpic {
+namespace {
+
+TEST(ParallelFor, Linear) {
+  std::vector<int> hits(100, 0);
+  parallel_for(static_cast<std::int64_t>(100), [&](std::int64_t i) { hits[i] += 1; });
+  for (int h : hits) { EXPECT_EQ(h, 1); }
+}
+
+TEST(ParallelFor, Box2CoversEveryCellOnce) {
+  const Box2 bx(IntVect2(-2, 3), IntVect2(5, 9));
+  std::vector<int> hits(bx.num_cells(), 0);
+  parallel_for(bx, [&](int i, int j) { hits[bx.index(IntVect2(i, j))] += 1; });
+  for (int h : hits) { EXPECT_EQ(h, 1); }
+}
+
+TEST(ParallelFor, Box3CoversEveryCellOnce) {
+  const Box3 bx(IntVect3(0, -1, 2), IntVect3(4, 3, 6));
+  std::vector<std::atomic<int>> hits(bx.num_cells());
+  parallel_for(bx, [&](int i, int j, int k) { hits[bx.index(IntVect3(i, j, k))] += 1; });
+  for (const auto& h : hits) { EXPECT_EQ(h.load(), 1); }
+}
+
+TEST(ParallelFor, EmptyBoxIsNoop) {
+  int count = 0;
+  parallel_for(Box2(), [&](int, int) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(SerialFor, MatchesParallelCoverage) {
+  const Box2 bx(IntVect2(0, 0), IntVect2(7, 7));
+  int serial_sum = 0, expected = 0;
+  serial_for(bx, [&](int i, int j) { serial_sum += i * 100 + j; });
+  for (int j = 0; j <= 7; ++j) {
+    for (int i = 0; i <= 7; ++i) { expected += i * 100 + j; }
+  }
+  EXPECT_EQ(serial_sum, expected);
+}
+
+TEST(ParallelFor, NumThreadsPositive) { EXPECT_GE(num_threads(), 1); }
+
+} // namespace
+} // namespace mrpic

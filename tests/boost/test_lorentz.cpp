@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/boost/lorentz.hpp"
+
+namespace mrpic::boost {
+namespace {
+
+using mrpic::constants::c;
+
+TEST(BoostedFrame, GammaBetaRelation) {
+  BoostedFrame f(10.0);
+  EXPECT_DOUBLE_EQ(f.gamma(), 10.0);
+  EXPECT_NEAR(f.beta(), std::sqrt(1 - 0.01), 1e-15);
+  BoostedFrame rest(1.0);
+  EXPECT_DOUBLE_EQ(rest.beta(), 0.0);
+}
+
+TEST(BoostedFrame, EventRoundTrip) {
+  BoostedFrame f(5.0);
+  const Real t = 3.3e-13, x = 7.7e-5;
+  const auto bp = f.event_to_boosted(t, x);
+  const auto back = f.event_to_lab(bp[0], bp[1]);
+  EXPECT_NEAR(back[0], t, std::abs(t) * 1e-12);
+  EXPECT_NEAR(back[1], x, std::abs(x) * 1e-12);
+}
+
+TEST(BoostedFrame, IntervalInvariant) {
+  BoostedFrame f(7.0);
+  const Real t = 1e-13, x = 2e-5;
+  const auto bp = f.event_to_boosted(t, x);
+  const Real s_lab = c * c * t * t - x * x;
+  const Real s_boost = c * c * bp[0] * bp[0] - bp[1] * bp[1];
+  EXPECT_NEAR(s_boost, s_lab, std::abs(s_lab) * 1e-10);
+}
+
+TEST(BoostedFrame, MomentumRoundTripAndRestFrame) {
+  BoostedFrame f(4.0);
+  const std::array<Real, 3> u = {2 * c, -0.5 * c, 0.1 * c};
+  const auto ub = f.momentum_to_boosted(u);
+  const auto back = f.momentum_to_lab(ub);
+  for (int cc = 0; cc < 3; ++cc) { EXPECT_NEAR(back[cc], u[cc], c * 1e-12); }
+
+  // A particle co-moving with the boost is at rest in the boosted frame:
+  // u_x = gamma beta c (so that v = beta c).
+  const std::array<Real, 3> comoving = {f.gamma() * f.beta() * c, 0, 0};
+  const auto rest = f.momentum_to_boosted(comoving);
+  EXPECT_NEAR(rest[0], 0.0, c * 1e-10);
+}
+
+TEST(BoostedFrame, PlasmaInitialization) {
+  BoostedFrame f(10.0);
+  EXPECT_DOUBLE_EQ(f.plasma_density_boosted(1e24), 1e25);
+  // The drift makes lab-static plasma stream backward at beta c.
+  const std::array<Real, 3> drift = {f.plasma_drift_ux(), 0, 0};
+  const Real gp = std::sqrt(1 + drift[0] * drift[0] / (c * c));
+  EXPECT_NEAR(drift[0] / gp, -f.beta() * c, 1e-3);
+  // Transforming the drift back to the lab gives a particle at rest.
+  const auto lab = f.momentum_to_lab(drift);
+  EXPECT_NEAR(lab[0], 0.0, c * 1e-9);
+}
+
+TEST(BoostedFrame, FieldInvariants) {
+  BoostedFrame f(6.0);
+  std::array<Real, 3> E = {1e9, -3e9, 2e9};
+  std::array<Real, 3> B = {0.5, 2.0, -1.0};
+  const Real i1 = invariant_e2_c2b2(E, B);
+  const Real i2 = invariant_e_dot_b(E, B);
+  f.fields_to_boosted(E, B);
+  EXPECT_NEAR(invariant_e2_c2b2(E, B) / i1, 1.0, 1e-10);
+  EXPECT_NEAR(invariant_e_dot_b(E, B) / i2, 1.0, 1e-10);
+  // Round trip.
+  f.fields_to_lab(E, B);
+  EXPECT_NEAR(E[1], -3e9, 1.0);
+  EXPECT_NEAR(B[2], -1.0, 1e-9);
+}
+
+TEST(BoostedFrame, PlaneWaveTransformsAsDopplerShift) {
+  // For a plane wave along +x (E_y, B_z = E_y/c), the boosted amplitude
+  // scales as gamma(1 - beta) = the relativistic Doppler factor.
+  BoostedFrame f(3.0);
+  std::array<Real, 3> E = {0, 1e10, 0};
+  std::array<Real, 3> B = {0, 0, 1e10 / c};
+  f.fields_to_boosted(E, B);
+  const Real doppler = f.gamma() * (1 - f.beta());
+  EXPECT_NEAR(E[1], 1e10 * doppler, 1e10 * doppler * 1e-12);
+  EXPECT_NEAR(B[2], 1e10 / c * doppler, 1e10 / c * doppler * 1e-12);
+  // It remains a valid vacuum plane wave: E = c B.
+  EXPECT_NEAR(E[1], c * B[2], E[1] * 1e-12);
+}
+
+TEST(BoostedFrame, LaserRedshift) {
+  BoostedFrame f(5.0);
+  const Real lam = 0.8e-6;
+  const Real factor = f.gamma() * (1 + f.beta());
+  EXPECT_NEAR(f.copropagating_wavelength(lam), lam * factor, 1e-18);
+  EXPECT_NEAR(f.copropagating_duration(30e-15), 30e-15 * factor, 1e-25);
+}
+
+TEST(BoostedFrame, SpeedupEstimateMatchesVay2007Scaling) {
+  // ~(1+beta)^2 gamma^2 -> 4 gamma^2 for ultra-relativistic boosts: the
+  // "several orders of magnitude" of paper Sec. VIII.B.
+  EXPECT_NEAR(BoostedFrame::speedup_estimate(1.0), 1.0, 1e-12);
+  const Real s10 = BoostedFrame::speedup_estimate(10.0);
+  EXPECT_GT(s10, 390.0);
+  EXPECT_LT(s10, 400.0);
+  EXPECT_GT(BoostedFrame::speedup_estimate(100.0), 3.9e4);
+}
+
+} // namespace
+} // namespace mrpic::boost

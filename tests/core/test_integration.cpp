@@ -1,0 +1,302 @@
+// Physics integration tests: end-to-end PIC runs validated against analytic
+// plasma physics (Langmuir oscillation) and cross-validated MR vs no-MR,
+// the same validation strategy the paper uses for Fig. 7.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/core/simulation.hpp"
+
+namespace mrpic::core {
+namespace {
+
+using namespace mrpic::constants;
+
+TEST(Integration, LangmuirOscillationFrequency) {
+  // Cold uniform plasma with a small sinusoidal velocity perturbation
+  // oscillates at the plasma frequency omega_p = sqrt(n e^2 / (eps0 m)).
+  const Real n0 = 1e24; // m^-3
+  const Real omega_p = std::sqrt(n0 * q_e * q_e / (eps0 * m_e));
+
+  SimulationConfig<2> cfg;
+  const int n = 32;
+  const Real L = 16e-6;
+  cfg.domain = mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(n - 1, 7));
+  cfg.prob_lo = mrpic::RealVect2(0, 0);
+  cfg.prob_hi = mrpic::RealVect2(L, L / n * 8);
+  cfg.periodic = {true, true};
+  cfg.max_grid_size = mrpic::IntVect2(32);
+  cfg.shape_order = 3;
+  Simulation<2> sim(cfg);
+  plasma::InjectorConfig<2> inj;
+  inj.density = plasma::uniform<2>(n0);
+  inj.ppc = mrpic::IntVect2(4, 4);
+  const int s = sim.add_species(particles::Species::electron(), inj);
+  sim.init();
+
+  // Velocity perturbation v_x = v0 sin(2 pi x / L).
+  const Real v0 = 1e-3 * c;
+  auto& pc = sim.species_level0(s);
+  for (int ti = 0; ti < pc.num_tiles(); ++ti) {
+    auto& tile = pc.tile(ti);
+    for (std::size_t p = 0; p < tile.size(); ++p) {
+      tile.u[0][p] = v0 * std::sin(2 * pi * tile.x[0][p] / L);
+    }
+  }
+
+  // Track the mode amplitude a(t) = sum Ex sin(2 pi x / L) and count its
+  // zero crossings over ~2.5 plasma periods.
+  const Real t_end = 2.5 * (2 * pi / omega_p);
+  std::vector<Real> amps;
+  std::vector<Real> times;
+  while (sim.time() < t_end) {
+    sim.step();
+    Real a = 0;
+    const auto& E = sim.fields().E();
+    for (int m = 0; m < E.num_fabs(); ++m) {
+      const auto e = E.const_array(m);
+      const auto& vb = E.valid_box(m);
+      for (int j = vb.lo(1); j <= vb.hi(1); ++j) {
+        for (int i = vb.lo(0); i <= vb.hi(0); ++i) {
+          const Real x = sim.geom().node_pos(i, 0) + 0.5 * sim.geom().cell_size(0);
+          a += e(i, j, 0, 0) * std::sin(2 * pi * x / L);
+        }
+      }
+    }
+    amps.push_back(a);
+    times.push_back(sim.time());
+  }
+  ASSERT_GT(amps.size(), 50u);
+
+  // Measure the oscillation period from zero crossings.
+  std::vector<Real> crossings;
+  for (std::size_t i = 1; i < amps.size(); ++i) {
+    if ((amps[i - 1] < 0) != (amps[i] < 0)) {
+      const Real f = amps[i - 1] / (amps[i - 1] - amps[i]);
+      crossings.push_back(times[i - 1] + f * (times[i] - times[i - 1]));
+    }
+  }
+  ASSERT_GE(crossings.size(), 4u) << "no oscillation detected";
+  const Real half_period = (crossings.back() - crossings.front()) / (crossings.size() - 1);
+  const Real omega_measured = pi / half_period;
+  EXPECT_NEAR(omega_measured / omega_p, 1.0, 0.06);
+}
+
+TEST(Integration, LaserPushesPlasmaElectrons) {
+  // A weak laser through underdense plasma drives transverse quiver and a
+  // wakefield; electrons must gain energy while charge is conserved.
+  SimulationConfig<2> cfg;
+  cfg.domain = mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(95, 47));
+  cfg.prob_lo = mrpic::RealVect2(0, 0);
+  cfg.prob_hi = mrpic::RealVect2(24e-6, 12e-6);
+  cfg.periodic = {false, false};
+  cfg.use_pml = true;
+  cfg.pml.npml = 8;
+  cfg.shape_order = 3;
+  cfg.max_grid_size = mrpic::IntVect2(48);
+  Simulation<2> sim(cfg);
+
+  plasma::InjectorConfig<2> inj;
+  inj.density = plasma::gas_jet<2>(5e24, 6e-6, 24e-6, 2e-6);
+  inj.ppc = mrpic::IntVect2(1, 1);
+  const int s = sim.add_species(particles::Species::electron(), inj);
+
+  laser::LaserConfig lc;
+  lc.a0 = 1.0;
+  lc.wavelength = 0.8e-6;
+  lc.waist = 3e-6;
+  lc.duration = 8e-15;
+  lc.t_peak = 16e-15;
+  lc.x_antenna = 2e-6;
+  lc.center = {6e-6, 0};
+  sim.add_laser(lc);
+  sim.init();
+
+  const Real ke0 = sim.species_level0(s).kinetic_energy();
+  while (sim.time() < 60e-15) { sim.step(); }
+  const Real ke1 = sim.species_level0(s).kinetic_energy();
+  EXPECT_GT(ke1, ke0 + 1e-15); // electrons picked up energy from the laser
+  EXPECT_TRUE(std::isfinite(sim.fields().field_energy()));
+  EXPECT_TRUE(std::isfinite(ke1));
+}
+
+TEST(Integration, MRPatchAgreesWithNoMRInQuietPlasma) {
+  // Uniform quiet plasma covered partially by an MR patch: the patch
+  // machinery must not disturb the (trivial) physics — the fields stay
+  // quiet, particle counts are preserved across the level migration, and
+  // removing the patch returns everything to level 0.
+  auto make = [](bool with_mr) {
+    SimulationConfig<2> cfg;
+    cfg.domain = mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(47, 31));
+    cfg.prob_lo = mrpic::RealVect2(0, 0);
+    cfg.prob_hi = mrpic::RealVect2(48e-7, 32e-7);
+    cfg.periodic = {true, true};
+    cfg.max_grid_size = mrpic::IntVect2(24, 16);
+    cfg.shape_order = 2;
+    auto sim = std::make_unique<Simulation<2>>(cfg);
+    plasma::InjectorConfig<2> inj;
+    inj.density = plasma::uniform<2>(1e24);
+    inj.ppc = mrpic::IntVect2(2, 2);
+    sim->add_species(particles::Species::electron(), inj);
+    if (with_mr) {
+      mr::MRPatch<2>::Config pcfg;
+      pcfg.region = mrpic::Box2(mrpic::IntVect2(12, 8), mrpic::IntVect2(35, 23));
+      pcfg.transition_cells = 2;
+      pcfg.pml.npml = 6;
+      sim->enable_mr_patch(pcfg);
+    }
+    sim->init();
+    return sim;
+  };
+
+  auto sim_mr = make(true);
+  auto sim_ref = make(false);
+  const auto n_total = sim_ref->total_particles();
+  EXPECT_EQ(sim_mr->total_particles(), n_total);
+  // Some particles live on the patch level.
+  EXPECT_GT(sim_mr->species_patch(0).total_particles(), 0);
+
+  for (int st = 0; st < 10; ++st) {
+    sim_mr->step();
+    sim_ref->step();
+  }
+  EXPECT_EQ(sim_mr->total_particles(), n_total);
+  // Quiet plasma stays quiet in both.
+  EXPECT_LT(sim_mr->fields().E().max_abs(0), 1e4);
+  EXPECT_LT(sim_ref->fields().E().max_abs(0), 1e4);
+  EXPECT_LT(sim_mr->patch()->fine().E().max_abs(0), 1e4);
+
+  // Remove the patch: particles hand back to level 0, nothing lost.
+  sim_mr->patch()->remove();
+  sim_mr->step();
+  EXPECT_EQ(sim_mr->species_patch(0).total_particles(), 0);
+  EXPECT_EQ(sim_mr->total_particles(), n_total);
+}
+
+TEST(Integration, MRLaserCrossingPatchMatchesNoMR) {
+  // A laser pulse crosses a vacuum MR patch: the auxiliary field inside the
+  // patch must track the no-MR solution (external waves enter MR patches at
+  // parent resolution via the substitution, see Sec. V.B).
+  auto make = [](bool with_mr) {
+    SimulationConfig<2> cfg;
+    cfg.domain = mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(95, 31));
+    cfg.prob_lo = mrpic::RealVect2(0, 0);
+    cfg.prob_hi = mrpic::RealVect2(24e-6, 8e-6);
+    cfg.periodic = {false, true};
+    cfg.use_pml = true;
+    cfg.pml.npml = 8;
+    // Same dt for both runs: numerical dispersion of the carrier is
+    // dt-dependent, so comparing runs at different dt would measure the
+    // FDTD phase error instead of the MR machinery. Use the MR (fine CFL)
+    // step in both.
+    const mrpic::Geometry<2> g(cfg.domain, cfg.prob_lo, cfg.prob_hi, cfg.periodic);
+    cfg.forced_dt = fields::cfl_dt(g.refined(2), cfg.cfl);
+    auto sim = std::make_unique<Simulation<2>>(cfg);
+    laser::LaserConfig lc;
+    lc.a0 = 0.2;
+    lc.waist = 2.5e-6;
+    lc.duration = 6e-15;
+    lc.t_peak = 12e-15;
+    lc.x_antenna = 1.5e-6;
+    lc.center = {4e-6, 0};
+    sim->add_laser(lc);
+    if (with_mr) {
+      mr::MRPatch<2>::Config pcfg;
+      pcfg.region = mrpic::Box2(mrpic::IntVect2(40, 4), mrpic::IntVect2(71, 27));
+      pcfg.pml.npml = 8;
+      sim->enable_mr_patch(pcfg);
+    }
+    sim->init();
+    return sim;
+  };
+  auto sim_mr = make(true);
+  auto sim_ref = make(false);
+  ASSERT_DOUBLE_EQ(sim_mr->dt(), sim_ref->dt());
+  // Run until the pulse is inside the patch region (x ~ 10-18 um).
+  const Real t_end = 55e-15;
+  while (sim_mr->time() < t_end) {
+    sim_mr->step();
+    sim_ref->step();
+  }
+  // Parent fields agree closely (patch has no sources: it must not react).
+  const Real ref_max = sim_ref->fields().E().max_abs(2);
+  ASSERT_GT(ref_max, 1e9);
+  Real worst = 0;
+  for (int m = 0; m < sim_ref->fields().E().num_fabs(); ++m) {
+    const auto er = sim_ref->fields().E().const_array(m);
+    const auto em = sim_mr->fields().E().const_array(m);
+    const auto& vb = sim_ref->fields().E().valid_box(m);
+    for (int j = vb.lo(1); j <= vb.hi(1); ++j) {
+      for (int i = vb.lo(0); i <= vb.hi(0); ++i) {
+        worst = std::max(worst, std::abs(er(i, j, 0, 2) - em(i, j, 0, 2)));
+      }
+    }
+  }
+  EXPECT_LT(worst / ref_max, 5e-2);
+}
+
+TEST(Integration, LangmuirOscillationWithPsatdSolver) {
+  // The same plasma-frequency check with the spectral Maxwell solver
+  // (cfg.maxwell = PSATD): the full PIC pipeline must compose with the
+  // dispersion-free field solve (paper Table I's last row).
+  const Real n0 = 1e24;
+  const Real omega_p = std::sqrt(n0 * q_e * q_e / (eps0 * m_e));
+
+  SimulationConfig<2> cfg;
+  const int n = 32;
+  const Real L = 16e-6;
+  cfg.domain = mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(n - 1, 7));
+  cfg.prob_lo = mrpic::RealVect2(0, 0);
+  cfg.prob_hi = mrpic::RealVect2(L, L / n * 8);
+  cfg.periodic = {true, true};
+  cfg.max_grid_size = mrpic::IntVect2(n); // single box, as PSATD requires
+  cfg.maxwell = MaxwellSolver::PSATD;
+  cfg.shape_order = 3;
+  Simulation<2> sim(cfg);
+  plasma::InjectorConfig<2> inj;
+  inj.density = plasma::uniform<2>(n0);
+  inj.ppc = mrpic::IntVect2(4, 4);
+  const int s = sim.add_species(particles::Species::electron(), inj);
+  sim.init();
+
+  const Real v0 = 1e-3 * c;
+  auto& pc = sim.species_level0(s);
+  for (int ti = 0; ti < pc.num_tiles(); ++ti) {
+    auto& tile = pc.tile(ti);
+    for (std::size_t p = 0; p < tile.size(); ++p) {
+      tile.u[0][p] = v0 * std::sin(2 * pi * tile.x[0][p] / L);
+    }
+  }
+
+  const Real t_end = 2.5 * (2 * pi / omega_p);
+  std::vector<Real> amps, times;
+  while (sim.time() < t_end) {
+    sim.step();
+    Real a = 0;
+    const auto& E = sim.fields().E();
+    const auto e = E.const_array(0);
+    for (int j = 0; j < 8; ++j) {
+      for (int i = 0; i < n; ++i) {
+        const Real x = sim.geom().node_pos(i, 0) + 0.5 * sim.geom().cell_size(0);
+        a += e(i, j, 0, 0) * std::sin(2 * pi * x / L);
+      }
+    }
+    amps.push_back(a);
+    times.push_back(sim.time());
+  }
+  std::vector<Real> crossings;
+  for (std::size_t i = 1; i < amps.size(); ++i) {
+    if ((amps[i - 1] < 0) != (amps[i] < 0)) {
+      const Real f = amps[i - 1] / (amps[i - 1] - amps[i]);
+      crossings.push_back(times[i - 1] + f * (times[i] - times[i - 1]));
+    }
+  }
+  ASSERT_GE(crossings.size(), 4u) << "no oscillation detected under PSATD";
+  const Real half_period = (crossings.back() - crossings.front()) / (crossings.size() - 1);
+  EXPECT_NEAR(pi / half_period / omega_p, 1.0, 0.06);
+}
+
+} // namespace
+} // namespace mrpic::core

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/simulation.hpp"
+
+namespace mrpic::core {
+namespace {
+
+using namespace mrpic::constants;
+
+SimulationConfig<2> periodic_config(int n = 32) {
+  SimulationConfig<2> cfg;
+  cfg.domain = mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(n - 1, n - 1));
+  cfg.prob_lo = mrpic::RealVect2(0, 0);
+  cfg.prob_hi = mrpic::RealVect2(n * 1e-7, n * 1e-7);
+  cfg.periodic = {true, true};
+  cfg.max_grid_size = mrpic::IntVect2(16);
+  cfg.shape_order = 2;
+  return cfg;
+}
+
+TEST(Simulation, InitLoadsPlasma) {
+  Simulation<2> sim(periodic_config());
+  plasma::InjectorConfig<2> inj;
+  inj.density = plasma::uniform<2>(1e24);
+  inj.ppc = mrpic::IntVect2(2, 2);
+  sim.add_species(particles::Species::electron(), inj);
+  sim.init();
+  EXPECT_EQ(sim.total_particles(), 32 * 32 * 4);
+  EXPECT_GT(sim.dt(), 0.0);
+  EXPECT_EQ(sim.step_count(), 0);
+  EXPECT_EQ(sim.active_cells(), 32 * 32);
+}
+
+TEST(Simulation, UniformPlasmaConservesChargeAndCount) {
+  auto cfg = periodic_config();
+  Simulation<2> sim(cfg);
+  plasma::InjectorConfig<2> inj;
+  inj.density = plasma::uniform<2>(1e24);
+  inj.ppc = mrpic::IntVect2(2, 2);
+  inj.temperature_ev = 100.0;
+  const int s = sim.add_species(particles::Species::electron(), inj);
+  sim.init();
+  const auto n0 = sim.total_particles();
+  const Real q0 = sim.species_level0(s).total_charge();
+  sim.run(10);
+  EXPECT_EQ(sim.total_particles(), n0); // periodic: nobody leaves
+  EXPECT_NEAR(sim.species_level0(s).total_charge(), q0, std::abs(q0) * 1e-12);
+  EXPECT_EQ(sim.step_count(), 10);
+  EXPECT_NEAR(sim.time(), 10 * sim.dt(), 1e-20);
+  EXPECT_TRUE(std::isfinite(sim.total_energy()));
+}
+
+TEST(Simulation, ColdUniformPlasmaStaysQuiet) {
+  // A cold, perfectly uniform neutral-background plasma has no dynamics:
+  // fields stay (near) zero and no particle moves appreciably.
+  Simulation<2> sim(periodic_config());
+  plasma::InjectorConfig<2> inj;
+  inj.density = plasma::uniform<2>(1e24);
+  inj.ppc = mrpic::IntVect2(2, 2);
+  sim.add_species(particles::Species::electron(), inj);
+  sim.init();
+  sim.run(20);
+  // Uniform charge density -> zero net current -> no field growth.
+  EXPECT_LT(sim.fields().E().max_abs(0), 1e3); // V/m, vs ~1e11 in real waves
+  EXPECT_LT(sim.fields().E().max_abs(1), 1e3);
+}
+
+TEST(Simulation, EnergyConservedInQuietPlasma) {
+  Simulation<2> sim(periodic_config());
+  plasma::InjectorConfig<2> inj;
+  inj.density = plasma::uniform<2>(5e23);
+  inj.ppc = mrpic::IntVect2(2, 2);
+  inj.temperature_ev = 50.0;
+  sim.add_species(particles::Species::electron(), inj);
+  sim.init();
+  const Real e0 = sim.total_energy();
+  sim.run(50);
+  const Real e1 = sim.total_energy();
+  EXPECT_NEAR(e1 / e0, 1.0, 0.05); // bounded numerical heating
+}
+
+TEST(Simulation, TwoSpeciesNeutralPlasma) {
+  Simulation<2> sim(periodic_config());
+  plasma::InjectorConfig<2> inj;
+  inj.density = plasma::uniform<2>(1e24);
+  inj.ppc = mrpic::IntVect2(2, 2);
+  const int e = sim.add_species(particles::Species::electron(), inj);
+  const int p = sim.add_species(particles::Species::proton(), inj);
+  sim.init();
+  const Real qtot =
+      sim.species_level0(e).total_charge() + sim.species_level0(p).total_charge();
+  EXPECT_NEAR(qtot, 0.0, 1e-12 * std::abs(sim.species_level0(e).total_charge()));
+  sim.run(5);
+  EXPECT_EQ(sim.num_species(), 2);
+  EXPECT_EQ(sim.num_particles(e), sim.num_particles(p));
+}
+
+TEST(Simulation, MovingWindowInjectsAndDrops) {
+  auto cfg = periodic_config(32);
+  cfg.periodic = {false, true};
+  Simulation<2> sim(cfg);
+  plasma::InjectorConfig<2> inj;
+  inj.density = plasma::uniform<2>(1e24);
+  inj.ppc = mrpic::IntVect2(1, 1);
+  sim.add_species(particles::Species::electron(), inj);
+  sim.set_moving_window(0, c);
+  sim.init();
+  const auto n0 = sim.total_particles();
+  const Real lo0 = sim.geom().prob_lo()[0];
+  sim.run(40);
+  EXPECT_GT(sim.geom().prob_lo()[0], lo0); // the window moved
+  // Fresh plasma replaces dropped plasma: the count stays at the fill level.
+  EXPECT_NEAR(static_cast<double>(sim.total_particles()), static_cast<double>(n0),
+              0.05 * n0);
+}
+
+TEST(Simulation, DomainPmlAbsorbsLaser) {
+  auto cfg = periodic_config(48);
+  cfg.periodic = {false, false};
+  cfg.use_pml = true;
+  cfg.pml.npml = 10;
+  Simulation<2> sim(cfg);
+  laser::LaserConfig lc;
+  lc.a0 = 0.5;
+  lc.wavelength = 0.8e-6;
+  lc.waist = 1.2e-6;
+  lc.duration = 4e-15;
+  lc.t_peak = 10e-15;
+  lc.x_antenna = 1.0e-6;
+  lc.center = {2.4e-6, 0};
+  sim.add_laser(lc);
+  sim.init();
+  // Run while the laser is emitted.
+  Real peak_energy = 0;
+  while (sim.time() < 20e-15) {
+    sim.step();
+    peak_energy = std::max(peak_energy, sim.fields().field_energy());
+  }
+  ASSERT_GT(peak_energy, 0.0);
+  // Keep running: the pulse exits through the PML and the energy collapses.
+  while (sim.time() < 70e-15) { sim.step(); }
+  EXPECT_LT(sim.fields().field_energy() / peak_energy, 0.05);
+}
+
+TEST(Simulation, DynamicLoadBalancingRebalances) {
+  auto cfg = periodic_config(32);
+  cfg.max_grid_size = mrpic::IntVect2(8); // 16 boxes: room to balance
+  cfg.dynamic_lb = true;
+  cfg.lb_interval = 2;
+  // SFC with cell-count costs is the paper's (cost-blind) default: the
+  // clustered hot boxes land together, forcing a cost-aware remap.
+  cfg.lb.strategy = dist::Strategy::SpaceFillingCurve;
+  cfg.lb.imbalance_threshold = 1.05;
+  cfg.nranks = 4;
+  Simulation<2> sim(cfg);
+  plasma::InjectorConfig<2> inj;
+  // All plasma in one quadrant: heavily imbalanced.
+  inj.density = plasma::slab<2>(1e24, 0.0, 0.8e-6);
+  inj.ppc = mrpic::IntVect2(3, 3);
+  sim.add_species(particles::Species::electron(), inj);
+  sim.init();
+  sim.run(6);
+  EXPECT_GE(sim.load_balancer().num_rebalances(), 1);
+  // The new mapping balances measured costs well.
+  EXPECT_LT(sim.dist_map().imbalance(sim.load_balancer().costs()), 1.5);
+}
+
+TEST(Simulation, TimersRecordStages) {
+  Simulation<2> sim(periodic_config());
+  plasma::InjectorConfig<2> inj;
+  inj.density = plasma::uniform<2>(1e23);
+  sim.add_species(particles::Species::electron(), inj);
+  sim.init();
+  sim.run(3);
+  EXPECT_EQ(sim.timers().count("step"), 3);
+  EXPECT_EQ(sim.timers().count("particles"), 3);
+  EXPECT_EQ(sim.timers().count("field_solve"), 3);
+  EXPECT_GT(sim.timers().total("step"), 0.0);
+}
+
+} // namespace
+} // namespace mrpic::core

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "src/diag/phase_space.hpp"
+
+namespace mrpic::diag {
+namespace {
+
+using namespace mrpic::constants;
+
+mrpic::Geometry<2> make_geom() {
+  return mrpic::Geometry<2>(mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(15, 15)),
+                            mrpic::RealVect2(0, 0), mrpic::RealVect2(16e-6, 16e-6), {});
+}
+
+particles::ParticleContainer<2> cloud() {
+  const auto geom = make_geom();
+  particles::ParticleContainer<2> pc(particles::Species::electron(),
+                                     mrpic::BoxArray<2>(geom.domain()));
+  pc.add_particle(geom, {2e-6, 8e-6}, {1e7, 0, 0}, 2.0);
+  pc.add_particle(geom, {2e-6, 8e-6}, {3e7, 0, 0}, 1.0);
+  pc.add_particle(geom, {14e-6, 8e-6}, {-1e7, 2e7, 5e6}, 4.0);
+  return pc;
+}
+
+TEST(PhaseSpace, BinningXUx) {
+  PhaseSpaceConfig cfg;
+  cfg.ax = Axis::X0;
+  cfg.ay = Axis::Ux;
+  cfg.a_min = 0;
+  cfg.a_max = 16e-6;
+  cfg.b_min = -4e7;
+  cfg.b_max = 4e7;
+  cfg.na = 8;
+  cfg.nb = 8;
+  PhaseSpace ps(cfg);
+  ps.accumulate(cloud());
+  EXPECT_DOUBLE_EQ(ps.total(), 7.0);
+  // x = 2e-6 -> bin 1 of 8; ux = 1e7 -> bin (1e7+4e7)/1e7 = 5.
+  EXPECT_DOUBLE_EQ(ps.at(1, 5), 2.0);
+  // ux = 3e7 -> bin 7.
+  EXPECT_DOUBLE_EQ(ps.at(1, 7), 1.0);
+  // x = 14e-6 -> bin 7; ux = -1e7 -> bin 3.
+  EXPECT_DOUBLE_EQ(ps.at(7, 3), 4.0);
+  ps.reset();
+  EXPECT_DOUBLE_EQ(ps.total(), 0.0);
+}
+
+TEST(PhaseSpace, OutOfRangeDropped) {
+  PhaseSpaceConfig cfg;
+  cfg.ax = Axis::X0;
+  cfg.ay = Axis::Uy;
+  cfg.a_min = 0;
+  cfg.a_max = 4e-6; // only the first two particles' x fits
+  cfg.b_min = -1e6;
+  cfg.b_max = 1e6; // uy = 0 only
+  PhaseSpace ps(cfg);
+  ps.accumulate(cloud());
+  EXPECT_DOUBLE_EQ(ps.total(), 3.0); // third particle out of both ranges
+}
+
+TEST(PhaseSpace, EnergyAxis) {
+  PhaseSpaceConfig cfg;
+  cfg.ax = Axis::X0;
+  cfg.ay = Axis::Energy;
+  cfg.a_min = 0;
+  cfg.a_max = 16e-6;
+  // Nearly non-relativistic energies: E = (gamma-1) m c^2, a hair below
+  // m u^2 / 2 for proper velocity u.
+  const Real e1 = 0.5 * m_e * 1e7 * 1e7;
+  cfg.b_min = 0;
+  cfg.b_max = 4 * e1;
+  cfg.nb = 4;
+  cfg.na = 4;
+  PhaseSpace ps(cfg);
+  ps.accumulate(cloud());
+  // Particle 1 (u=1e7, w=2): E = 0.9997 e1 -> bin 0 (just below the edge).
+  EXPECT_DOUBLE_EQ(ps.at(0, 0), 2.0);
+  // Particles 2 and 3 (u=3e7 -> ~9 e1; |u|^2=5.25e14 -> ~5.2 e1) exceed
+  // b_max = 4 e1 and are dropped.
+  EXPECT_DOUBLE_EQ(ps.total(), 2.0);
+}
+
+TEST(PhaseSpace, AccumulatesAcrossContainers) {
+  PhaseSpaceConfig cfg;
+  cfg.ax = Axis::X0;
+  cfg.ay = Axis::Ux;
+  cfg.a_min = 0;
+  cfg.a_max = 16e-6;
+  cfg.b_min = -4e7;
+  cfg.b_max = 4e7;
+  PhaseSpace ps(cfg);
+  ps.accumulate(cloud());
+  ps.accumulate(cloud()); // e.g. level-0 + patch containers
+  EXPECT_DOUBLE_EQ(ps.total(), 14.0);
+}
+
+TEST(PhaseSpace, CsvOutput) {
+  PhaseSpaceConfig cfg;
+  cfg.na = 2;
+  cfg.nb = 2;
+  cfg.a_max = 16e-6;
+  cfg.b_min = -4e7;
+  cfg.b_max = 4e7;
+  cfg.ax = Axis::X0;
+  cfg.ay = Axis::Ux;
+  PhaseSpace ps(cfg);
+  ps.accumulate(cloud());
+  const std::string path = "phase_space_tmp.csv";
+  ASSERT_TRUE(ps.write(path));
+  std::ifstream is(path);
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(header, "a,b,weight");
+  int rows = 0;
+  std::string line;
+  while (std::getline(is, line)) { ++rows; }
+  EXPECT_EQ(rows, 4);
+  is.close();
+  std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace mrpic::diag

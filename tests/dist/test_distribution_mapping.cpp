@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "src/dist/distribution_mapping.hpp"
+
+namespace mrpic::dist {
+namespace {
+
+mrpic::BoxArray<2> grid_ba(int n, int box) {
+  return mrpic::BoxArray<2>::decompose(
+      mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(n - 1, n - 1)), box);
+}
+
+TEST(DistributionMapping, RoundRobinCycles) {
+  const auto ba = grid_ba(64, 16); // 16 boxes
+  const auto dm = DistributionMapping::make(ba, 4, Strategy::RoundRobin);
+  ASSERT_EQ(dm.size(), 16);
+  for (int i = 0; i < dm.size(); ++i) { EXPECT_EQ(dm.rank(i), i % 4); }
+}
+
+TEST(DistributionMapping, AllStrategiesUseAllRanks) {
+  const auto ba = grid_ba(64, 16);
+  for (auto s : {Strategy::RoundRobin, Strategy::SpaceFillingCurve, Strategy::Knapsack}) {
+    const auto dm = DistributionMapping::make(ba, 4, s);
+    std::vector<int> seen(4, 0);
+    for (int i = 0; i < dm.size(); ++i) {
+      ASSERT_GE(dm.rank(i), 0);
+      ASSERT_LT(dm.rank(i), 4);
+      ++seen[dm.rank(i)];
+    }
+    for (int r = 0; r < 4; ++r) { EXPECT_GT(seen[r], 0) << to_string(s); }
+  }
+}
+
+TEST(DistributionMapping, SfcBalancedWithUniformCosts) {
+  const auto ba = grid_ba(64, 8); // 64 boxes
+  const auto dm = DistributionMapping::make(ba, 8, Strategy::SpaceFillingCurve);
+  const auto loads = dm.rank_loads(std::vector<Real>(64, 1.0));
+  for (Real l : loads) { EXPECT_DOUBLE_EQ(l, 8.0); }
+  EXPECT_DOUBLE_EQ(dm.imbalance(std::vector<Real>(64, 1.0)), 1.0);
+}
+
+TEST(DistributionMapping, SfcGroupsSpatially) {
+  // With a 4x4 box grid on 4 ranks, the Z-curve assigns each 2x2 quadrant to
+  // one rank: boxes sharing a rank must be close.
+  const auto ba = grid_ba(64, 16); // 4x4 boxes
+  const auto dm = DistributionMapping::make(ba, 4, Strategy::SpaceFillingCurve);
+  for (int i = 0; i < ba.size(); ++i) {
+    for (int j = i + 1; j < ba.size(); ++j) {
+      if (dm.rank(i) != dm.rank(j)) { continue; }
+      const auto ci = (ba[i].lo() + ba[i].hi());
+      const auto cj = (ba[j].lo() + ba[j].hi());
+      const int d = std::abs(ci[0] - cj[0]) + std::abs(ci[1] - cj[1]);
+      EXPECT_LE(d, 2 * 32) << "rank-sharing boxes too far apart";
+    }
+  }
+}
+
+TEST(DistributionMapping, KnapsackHandlesSkewedCosts) {
+  const auto ba = grid_ba(64, 16); // 16 boxes
+  std::vector<Real> costs(16, 1.0);
+  costs[0] = 16.0; // one hot box
+  const auto dm_k = DistributionMapping::make(ba, 4, Strategy::Knapsack, costs);
+  const auto dm_r = DistributionMapping::make(ba, 4, Strategy::RoundRobin, costs);
+  EXPECT_LE(dm_k.imbalance(costs), dm_r.imbalance(costs));
+  // Hot box alone saturates a rank: max load 16, mean (16+15)/4 = 7.75.
+  EXPECT_NEAR(dm_k.imbalance(costs), 16.0 / 7.75, 0.05);
+}
+
+class StrategyImbalance : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(StrategyImbalance, NoRankIsEmptyAndImbalanceFinite) {
+  const auto ba = grid_ba(96, 12); // 64 boxes
+  std::vector<Real> costs(ba.size());
+  for (int i = 0; i < ba.size(); ++i) { costs[i] = 1.0 + (i % 5); }
+  const auto dm = DistributionMapping::make(ba, 6, GetParam(), costs);
+  const auto loads = dm.rank_loads(costs);
+  for (Real l : loads) { EXPECT_GT(l, 0.0); }
+  EXPECT_GE(dm.imbalance(costs), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyImbalance,
+                         ::testing::Values(Strategy::RoundRobin,
+                                           Strategy::SpaceFillingCurve,
+                                           Strategy::Knapsack));
+
+} // namespace
+} // namespace mrpic::dist

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "src/dist/knapsack.hpp"
+
+namespace mrpic::dist {
+namespace {
+
+TEST(Knapsack, EqualWeightsPerfectBalance) {
+  std::vector<Real> w(16, 1.0);
+  const auto r = knapsack_partition(w, 4);
+  EXPECT_DOUBLE_EQ(r.max_load, 4.0);
+  EXPECT_DOUBLE_EQ(r.efficiency, 1.0);
+  for (Real load : r.rank_loads) { EXPECT_DOUBLE_EQ(load, 4.0); }
+}
+
+TEST(Knapsack, AssignmentIsConsistentWithLoads) {
+  std::vector<Real> w = {5, 1, 1, 1, 4, 2, 2};
+  const auto r = knapsack_partition(w, 3);
+  std::vector<Real> recomputed(3, 0.0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    ASSERT_GE(r.assignment[i], 0);
+    ASSERT_LT(r.assignment[i], 3);
+    recomputed[r.assignment[i]] += w[i];
+  }
+  for (int k = 0; k < 3; ++k) { EXPECT_DOUBLE_EQ(recomputed[k], r.rank_loads[k]); }
+}
+
+TEST(Knapsack, NeverWorseThanSingleHeaviestItem) {
+  // Lower bound on max load: max(total/n, heaviest item).
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(0.1, 10.0);
+  std::vector<Real> w(37);
+  for (auto& v : w) { v = dist(rng); }
+  const Real total = std::accumulate(w.begin(), w.end(), Real(0));
+  const Real heaviest = *std::max_element(w.begin(), w.end());
+  const auto r = knapsack_partition(w, 5);
+  EXPECT_GE(r.max_load, std::max(total / 5, heaviest) - 1e-12);
+  // LPT guarantee: within 4/3 of optimum <= 4/3 * (lower bound + heaviest).
+  EXPECT_LE(r.max_load, (total / 5 + heaviest) * 4.0 / 3.0);
+}
+
+TEST(Knapsack, SkewedWeightsBeatRoundRobin) {
+  // One rank would get the two heaviest items under round robin.
+  std::vector<Real> w = {10, 1, 10, 1, 10, 1, 10, 1};
+  const auto r = knapsack_partition(w, 4);
+  EXPECT_NEAR(r.max_load, 11.0, 1e-12);
+  // round robin: rank0 gets {10,10} = 20.
+  EXPECT_LT(r.max_load, 20.0);
+}
+
+TEST(Knapsack, MoreRanksThanItems) {
+  std::vector<Real> w = {3, 2};
+  const auto r = knapsack_partition(w, 5);
+  EXPECT_DOUBLE_EQ(r.max_load, 3.0);
+}
+
+TEST(Knapsack, EmptyInput) {
+  const auto r = knapsack_partition({}, 3);
+  EXPECT_DOUBLE_EQ(r.max_load, 0.0);
+  EXPECT_DOUBLE_EQ(r.efficiency, 1.0);
+}
+
+class KnapsackEfficiencySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnapsackEfficiencySweep, RandomWeightsReasonablyBalanced) {
+  const int nranks = GetParam();
+  std::mt19937_64 rng(42 + nranks);
+  std::uniform_real_distribution<double> dist(0.5, 2.0);
+  std::vector<Real> w(nranks * 8);
+  for (auto& v : w) { v = dist(rng); }
+  const auto r = knapsack_partition(w, nranks);
+  // With 8 modestly skewed items per rank, LPT should balance within 10%.
+  EXPECT_GT(r.efficiency, 0.9) << "nranks=" << nranks;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KnapsackEfficiencySweep, ::testing::Values(2, 4, 8, 16, 32));
+
+} // namespace
+} // namespace mrpic::dist

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "src/dist/load_balancer.hpp"
+
+namespace mrpic::dist {
+namespace {
+
+mrpic::BoxArray<2> grid_ba() {
+  return mrpic::BoxArray<2>::decompose(
+      mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(63, 63)), 16); // 16 boxes
+}
+
+TEST(LoadBalancer, CostSmoothing) {
+  LoadBalanceConfig cfg;
+  cfg.cost_smoothing = 0.5;
+  LoadBalancer lb(cfg);
+  lb.record_costs({2.0, 4.0});
+  EXPECT_DOUBLE_EQ(lb.costs()[0], 2.0);
+  lb.record_costs({4.0, 4.0});
+  EXPECT_DOUBLE_EQ(lb.costs()[0], 3.0); // (2+4)/2
+  EXPECT_DOUBLE_EQ(lb.costs()[1], 4.0);
+}
+
+TEST(LoadBalancer, TriggersOnImbalance) {
+  const auto ba = grid_ba();
+  LoadBalanceConfig cfg;
+  cfg.imbalance_threshold = 1.1;
+  LoadBalancer lb(cfg);
+  const auto dm = DistributionMapping::make(ba, 4, Strategy::RoundRobin);
+
+  lb.record_costs(std::vector<Real>(16, 1.0));
+  EXPECT_FALSE(lb.should_rebalance(dm)); // perfectly balanced
+
+  std::vector<Real> skewed(16, 1.0);
+  skewed[0] = 20.0;
+  skewed[4] = 20.0; // both land on rank 0 under round robin
+  lb.record_costs(skewed);
+  EXPECT_TRUE(lb.should_rebalance(dm));
+
+  const auto dm2 = lb.rebalance(ba, 4);
+  EXPECT_LT(dm2.imbalance(lb.costs()), dm.imbalance(lb.costs()));
+}
+
+TEST(LoadBalancer, RebalanceImprovesImbalance) {
+  const auto ba = grid_ba();
+  LoadBalanceConfig cfg;
+  cfg.strategy = Strategy::Knapsack;
+  LoadBalancer lb(cfg);
+  std::vector<Real> costs(16);
+  for (int i = 0; i < 16; ++i) { costs[i] = (i < 4) ? 10.0 : 1.0; }
+  lb.record_costs(costs);
+  const auto dm_sfc = DistributionMapping::make(ba, 4, Strategy::SpaceFillingCurve);
+  const auto dm_new = lb.rebalance(ba, 4);
+  EXPECT_LE(dm_new.imbalance(costs), dm_sfc.imbalance(costs) + 1e-12);
+}
+
+TEST(ColocatePml, PmlBoxesFollowNearestParent) {
+  // Parent: two boxes left/right on ranks 0 and 1. PML strips at the far
+  // left and far right must co-locate with the nearest parent box.
+  const mrpic::BoxArray<2> parents(std::vector<mrpic::Box2>{
+      mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(31, 63)),
+      mrpic::Box2(mrpic::IntVect2(32, 0), mrpic::IntVect2(63, 63))});
+  const DistributionMapping parent_dm(std::vector<int>{0, 1}, 2);
+  const mrpic::BoxArray<2> pml(std::vector<mrpic::Box2>{
+      mrpic::Box2(mrpic::IntVect2(-8, 0), mrpic::IntVect2(-1, 63)),
+      mrpic::Box2(mrpic::IntVect2(64, 0), mrpic::IntVect2(71, 63))});
+  const auto dm = colocate_pml(pml, parents, parent_dm);
+  EXPECT_EQ(dm.rank(0), 0);
+  EXPECT_EQ(dm.rank(1), 1);
+}
+
+} // namespace
+} // namespace mrpic::dist

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/dist/morton.hpp"
+
+namespace mrpic::dist {
+namespace {
+
+TEST(Morton, Spread2BitsInterleave) {
+  EXPECT_EQ(spread_bits_2(0b1), 0b1u);
+  EXPECT_EQ(spread_bits_2(0b11), 0b101u);
+  EXPECT_EQ(spread_bits_2(0b111), 0b10101u);
+}
+
+TEST(Morton, Spread3BitsInterleave) {
+  EXPECT_EQ(spread_bits_3(0b1), 0b1u);
+  EXPECT_EQ(spread_bits_3(0b11), 0b1001u);
+  EXPECT_EQ(spread_bits_3(0b101), 0b1000001u);
+}
+
+TEST(Morton, Encode2DKnownValues) {
+  EXPECT_EQ(morton_encode(0u, 0u), 0u);
+  EXPECT_EQ(morton_encode(1u, 0u), 1u);
+  EXPECT_EQ(morton_encode(0u, 1u), 2u);
+  EXPECT_EQ(morton_encode(1u, 1u), 3u);
+  EXPECT_EQ(morton_encode(2u, 2u), 12u);
+}
+
+TEST(Morton, Encode3DKnownValues) {
+  EXPECT_EQ(morton_encode(1u, 0u, 0u), 1u);
+  EXPECT_EQ(morton_encode(0u, 1u, 0u), 2u);
+  EXPECT_EQ(morton_encode(0u, 0u, 1u), 4u);
+  EXPECT_EQ(morton_encode(1u, 1u, 1u), 7u);
+}
+
+TEST(Morton, InjectiveOnGrid) {
+  std::vector<std::uint64_t> keys;
+  for (std::uint32_t y = 0; y < 16; ++y) {
+    for (std::uint32_t x = 0; x < 16; ++x) { keys.push_back(morton_encode(x, y)); }
+  }
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(Morton, LocalityProperty) {
+  // Points in the same quadrant of a 2^k x 2^k grid share high key bits:
+  // the curve visits an entire quadrant before leaving it.
+  const auto k00 = morton_encode(3u, 3u);   // quadrant (0,0) of 8x8
+  const auto k10 = morton_encode(4u, 0u);   // quadrant (1,0)
+  const auto k01 = morton_encode(0u, 4u);
+  EXPECT_LT(k00, k10);
+  EXPECT_LT(k10, k01);
+}
+
+} // namespace
+} // namespace mrpic::dist

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/fields/fdtd.hpp"
+
+namespace mrpic::fields {
+namespace {
+
+using mrpic::constants::c;
+
+// Periodic vacuum box, 2D.
+FieldSet<2> vacuum_2d(int n, int boxsize) {
+  const mrpic::Geometry<2> geom(mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(n - 1, n - 1)),
+                                mrpic::RealVect2(0, 0), mrpic::RealVect2(1e-5, 1e-5),
+                                {true, true});
+  return FieldSet<2>(geom, mrpic::BoxArray<2>::decompose(geom.domain(), boxsize));
+}
+
+TEST(CflDt, MatchesAnalyticFormula) {
+  const mrpic::Geometry<2> geom(mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(99, 99)),
+                                mrpic::RealVect2(0, 0), mrpic::RealVect2(1.0, 2.0), {});
+  const Real dx = 0.01, dy = 0.02;
+  const Real expected = 0.98 / (c * std::sqrt(1 / (dx * dx) + 1 / (dy * dy)));
+  EXPECT_NEAR(cfl_dt(geom, 0.98), expected, 1e-18);
+  // 3D is stricter than 2D at the same resolution.
+  const mrpic::Geometry<3> g3(
+      mrpic::Box3(mrpic::IntVect3(0, 0, 0), mrpic::IntVect3(99, 99, 99)),
+      mrpic::RealVect3(0, 0, 0), mrpic::RealVect3(1.0, 1.0, 1.0), {});
+  const mrpic::Geometry<2> g2(mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(99, 99)),
+                              mrpic::RealVect2(0, 0), mrpic::RealVect2(1.0, 1.0), {});
+  EXPECT_LT(cfl_dt(g3), cfl_dt(g2));
+}
+
+TEST(FDTD, UniformFieldIsStatic) {
+  auto f = vacuum_2d(32, 16);
+  f.E().set_val(5.0, 2); // uniform Ez
+  f.B().set_val(1.0, 0); // uniform Bx
+  FDTDSolver<2> solver;
+  const Real dt = cfl_dt(f.geom());
+  for (int s = 0; s < 20; ++s) {
+    f.fill_boundary();
+    solver.evolve_b(f, dt / 2);
+    f.fill_boundary();
+    solver.evolve_e(f, dt);
+    f.fill_boundary();
+    solver.evolve_b(f, dt / 2);
+  }
+  EXPECT_NEAR(f.E().max_abs(2), 5.0, 1e-9);
+  EXPECT_NEAR(f.B().max_abs(0), 1.0, 1e-9);
+  EXPECT_NEAR(f.E().max_abs(0), 0.0, 1e-9);
+}
+
+TEST(FDTD, VacuumEnergyConserved) {
+  auto f = vacuum_2d(64, 32);
+  const auto& geom = f.geom();
+  // Gaussian Ez/By pulse (plane wave along x).
+  const Real x0 = 0.5e-5, sigma = 0.08e-5;
+  for (int m = 0; m < f.E().num_fabs(); ++m) {
+    auto e = f.E().array(m);
+    auto b = f.B().array(m);
+    const auto& vb = f.E().valid_box(m);
+    for (int j = vb.lo(1); j <= vb.hi(1); ++j) {
+      for (int i = vb.lo(0); i <= vb.hi(0); ++i) {
+        const Real xn = geom.node_pos(i, 0);
+        const Real xh = xn + 0.5 * geom.cell_size(0);
+        e(i, j, 0, 2) = std::exp(-(xn - x0) * (xn - x0) / (sigma * sigma));
+        b(i, j, 0, 1) = -std::exp(-(xh - x0) * (xh - x0) / (sigma * sigma)) / c;
+      }
+    }
+  }
+  FDTDSolver<2> solver;
+  const Real dt = cfl_dt(f.geom());
+  f.fill_boundary();
+  const Real e0 = f.field_energy();
+  for (int s = 0; s < 300; ++s) {
+    f.fill_boundary();
+    solver.evolve_b(f, dt / 2);
+    f.fill_boundary();
+    solver.evolve_e(f, dt);
+    f.fill_boundary();
+    solver.evolve_b(f, dt / 2);
+  }
+  EXPECT_NEAR(f.field_energy() / e0, 1.0, 1e-3);
+}
+
+TEST(FDTD, PlaneWavePropagatesAtLightSpeed) {
+  auto f = vacuum_2d(128, 64);
+  const auto& geom = f.geom();
+  const Real x0 = 0.25e-5, sigma = 0.05e-5;
+  for (int m = 0; m < f.E().num_fabs(); ++m) {
+    auto e = f.E().array(m);
+    auto b = f.B().array(m);
+    const auto& vb = f.E().valid_box(m);
+    for (int j = vb.lo(1); j <= vb.hi(1); ++j) {
+      for (int i = vb.lo(0); i <= vb.hi(0); ++i) {
+        const Real xn = geom.node_pos(i, 0);
+        const Real xh = xn + 0.5 * geom.cell_size(0);
+        e(i, j, 0, 2) = std::exp(-(xn - x0) * (xn - x0) / (sigma * sigma));
+        b(i, j, 0, 1) = -std::exp(-(xh - x0) * (xh - x0) / (sigma * sigma)) / c;
+      }
+    }
+  }
+  FDTDSolver<2> solver;
+  const Real dt = cfl_dt(f.geom());
+  const int nsteps = 120;
+  for (int s = 0; s < nsteps; ++s) {
+    f.fill_boundary();
+    solver.evolve_b(f, dt / 2);
+    f.fill_boundary();
+    solver.evolve_e(f, dt);
+    f.fill_boundary();
+    solver.evolve_b(f, dt / 2);
+  }
+  // Locate the pulse peak along a j-row.
+  Real best_x = -1, best_v = 0;
+  for (int m = 0; m < f.E().num_fabs(); ++m) {
+    const auto e = f.E().const_array(m);
+    const auto& vb = f.E().valid_box(m);
+    if (5 < vb.lo(1) || 5 > vb.hi(1)) { continue; }
+    for (int i = vb.lo(0); i <= vb.hi(0); ++i) {
+      if (std::abs(e(i, 5, 0, 2)) > best_v) {
+        best_v = std::abs(e(i, 5, 0, 2));
+        best_x = geom.node_pos(i, 0);
+      }
+    }
+  }
+  const Real expected_x = x0 + c * nsteps * dt;
+  EXPECT_NEAR(best_x, expected_x, 2.5 * geom.cell_size(0));
+  EXPECT_GT(best_v, 0.8); // pulse amplitude roughly preserved
+}
+
+TEST(FDTD, DivBRemainsZero) {
+  auto f = vacuum_2d(48, 24);
+  const auto& geom = f.geom();
+  // Random-ish smooth Ez only; B starts identically zero -> div B = 0 and
+  // the Yee update preserves it to round-off.
+  for (int m = 0; m < f.E().num_fabs(); ++m) {
+    auto e = f.E().array(m);
+    const auto& vb = f.E().valid_box(m);
+    for (int j = vb.lo(1); j <= vb.hi(1); ++j) {
+      for (int i = vb.lo(0); i <= vb.hi(0); ++i) {
+        e(i, j, 0, 2) = std::sin(2 * mrpic::constants::pi * i / 48.0) *
+                        std::cos(4 * mrpic::constants::pi * j / 48.0);
+      }
+    }
+  }
+  FDTDSolver<2> solver;
+  const Real dt = cfl_dt(f.geom());
+  for (int s = 0; s < 50; ++s) {
+    f.fill_boundary();
+    solver.evolve_b(f, dt / 2);
+    f.fill_boundary();
+    solver.evolve_e(f, dt);
+    f.fill_boundary();
+    solver.evolve_b(f, dt / 2);
+  }
+  f.fill_boundary();
+  // The natural Yee divergence of B lives at cell centers (i+1/2, j+1/2):
+  // forward differences of Bx (stag (0,1)) and By (stag (1,0)).
+  Real worst = 0;
+  const Real idx = 1 / geom.cell_size(0), idy = 1 / geom.cell_size(1);
+  for (int m = 0; m < f.B().num_fabs(); ++m) {
+    const auto b = f.B().const_array(m);
+    const auto& vb = f.B().valid_box(m);
+    for (int j = vb.lo(1); j <= vb.hi(1); ++j) {
+      for (int i = vb.lo(0); i <= vb.hi(0); ++i) {
+        const Real div = (b(i + 1, j, 0, 0) - b(i, j, 0, 0)) * idx +
+                         (b(i, j + 1, 0, 1) - b(i, j, 0, 1)) * idy;
+        worst = std::max(worst, std::abs(div));
+      }
+    }
+  }
+  const Real scale = std::max(f.B().max_abs(0), f.B().max_abs(1)) * idx;
+  EXPECT_LT(worst, 1e-10 * std::max(scale, Real(1)));
+}
+
+TEST(FDTD, MultiBoxMatchesSingleBox) {
+  // The same initial data evolved on 1 box vs 2x2 boxes must agree exactly:
+  // domain decomposition is invisible to the physics.
+  auto f1 = vacuum_2d(32, 32);
+  auto f4 = vacuum_2d(32, 16);
+  auto init = [&](FieldSet<2>& f) {
+    for (int m = 0; m < f.E().num_fabs(); ++m) {
+      auto e = f.E().array(m);
+      const auto& vb = f.E().valid_box(m);
+      for (int j = vb.lo(1); j <= vb.hi(1); ++j) {
+        for (int i = vb.lo(0); i <= vb.hi(0); ++i) {
+          e(i, j, 0, 2) = std::sin(2 * mrpic::constants::pi * (i + 2 * j) / 32.0);
+        }
+      }
+    }
+  };
+  init(f1);
+  init(f4);
+  FDTDSolver<2> solver;
+  const Real dt = cfl_dt(f1.geom());
+  for (int s = 0; s < 25; ++s) {
+    for (FieldSet<2>* f : {&f1, &f4}) {
+      f->fill_boundary();
+      solver.evolve_b(*f, dt / 2);
+      f->fill_boundary();
+      solver.evolve_e(*f, dt);
+      f->fill_boundary();
+      solver.evolve_b(*f, dt / 2);
+    }
+  }
+  // Compare every valid cell of f4 against f1.
+  for (int m = 0; m < f4.E().num_fabs(); ++m) {
+    const auto e4 = f4.E().const_array(m);
+    const auto e1 = f1.E().const_array(0);
+    const auto b4 = f4.B().const_array(m);
+    const auto b1 = f1.B().const_array(0);
+    const auto& vb = f4.E().valid_box(m);
+    for (int j = vb.lo(1); j <= vb.hi(1); ++j) {
+      for (int i = vb.lo(0); i <= vb.hi(0); ++i) {
+        for (int n = 0; n < 3; ++n) {
+          EXPECT_DOUBLE_EQ(e4(i, j, 0, n), e1(i, j, 0, n));
+          EXPECT_DOUBLE_EQ(b4(i, j, 0, n), b1(i, j, 0, n));
+        }
+      }
+    }
+  }
+}
+
+TEST(FDTD, VacuumEnergyConserved3D) {
+  const mrpic::Geometry<3> geom(
+      mrpic::Box3(mrpic::IntVect3(0, 0, 0), mrpic::IntVect3(23, 23, 23)),
+      mrpic::RealVect3(0, 0, 0), mrpic::RealVect3(1e-5, 1e-5, 1e-5), {true, true, true});
+  FieldSet<3> f(geom, mrpic::BoxArray<3>::decompose(geom.domain(), 12));
+  for (int m = 0; m < f.E().num_fabs(); ++m) {
+    auto e = f.E().array(m);
+    const auto& vb = f.E().valid_box(m);
+    for (int k = vb.lo(2); k <= vb.hi(2); ++k) {
+      for (int j = vb.lo(1); j <= vb.hi(1); ++j) {
+        for (int i = vb.lo(0); i <= vb.hi(0); ++i) {
+          e(i, j, k, 2) = std::sin(2 * mrpic::constants::pi * i / 24.0);
+        }
+      }
+    }
+  }
+  FDTDSolver<3> solver;
+  const Real dt = cfl_dt(geom);
+  f.fill_boundary();
+  const Real e0 = f.field_energy();
+  for (int s = 0; s < 100; ++s) {
+    f.fill_boundary();
+    solver.evolve_b(f, dt / 2);
+    f.fill_boundary();
+    solver.evolve_e(f, dt);
+    f.fill_boundary();
+    solver.evolve_b(f, dt / 2);
+  }
+  EXPECT_NEAR(f.field_energy() / e0, 1.0, 5e-3);
+}
+
+} // namespace
+} // namespace mrpic::fields

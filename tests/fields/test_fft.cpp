@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "src/fields/fft.hpp"
+
+namespace mrpic::fields {
+namespace {
+
+TEST(Fft, PowerOfTwoPredicate) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(48));
+  EXPECT_FALSE(is_power_of_two(-4));
+}
+
+TEST(Fft, DeltaTransformsToFlatSpectrum) {
+  std::vector<Complex> a(16, Complex(0));
+  a[0] = Complex(1);
+  fft_1d(a.data(), 16, false);
+  for (const auto& v : a) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleModeLandsInSingleBin) {
+  const int n = 32;
+  std::vector<Complex> a(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = Complex(std::cos(2 * constants::pi * 3 * i / n), 0);
+  }
+  fft_1d(a.data(), n, false);
+  // cos(2 pi 3 x / L): power split between bins 3 and n-3, amplitude n/2.
+  EXPECT_NEAR(std::abs(a[3]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(a[n - 3]), n / 2.0, 1e-9);
+  for (int m = 0; m < n; ++m) {
+    if (m != 3 && m != n - 3) { EXPECT_NEAR(std::abs(a[m]), 0.0, 1e-9) << m; }
+  }
+}
+
+TEST(Fft, RoundTrip1D) {
+  const int n = 64;
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  std::vector<Complex> a(n), orig(n);
+  for (auto& v : a) { v = Complex(dist(rng), dist(rng)); }
+  orig = a;
+  fft_1d(a.data(), n, false);
+  fft_1d(a.data(), n, true);
+  fft_normalize(a.data(), n, n);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(a[i].real(), orig[i].real(), 1e-12);
+    EXPECT_NEAR(a[i].imag(), orig[i].imag(), 1e-12);
+  }
+}
+
+TEST(Fft, ParsevalEnergyPreserved) {
+  const int n = 128;
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  std::vector<Complex> a(n);
+  double time_energy = 0;
+  for (auto& v : a) {
+    v = Complex(dist(rng), 0);
+    time_energy += std::norm(v);
+  }
+  fft_1d(a.data(), n, false);
+  double freq_energy = 0;
+  for (const auto& v : a) { freq_energy += std::norm(v); }
+  EXPECT_NEAR(freq_energy / n, time_energy, 1e-9 * time_energy);
+}
+
+TEST(Fft, RoundTrip2D) {
+  const int nx = 16, ny = 8;
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  std::vector<Complex> a(nx * ny), orig;
+  for (auto& v : a) { v = Complex(dist(rng), dist(rng)); }
+  orig = a;
+  fft_2d(a.data(), nx, ny, false);
+  fft_2d(a.data(), nx, ny, true);
+  fft_normalize(a.data(), nx * ny, nx * ny);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::abs(a[i] - orig[i]), 0.0, 1e-11);
+  }
+}
+
+TEST(Fft, RoundTrip3D) {
+  const int nx = 8, ny = 4, nz = 16;
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  std::vector<Complex> a(nx * ny * nz), orig;
+  for (auto& v : a) { v = Complex(dist(rng), dist(rng)); }
+  orig = a;
+  fft_3d(a.data(), nx, ny, nz, false);
+  fft_3d(a.data(), nx, ny, nz, true);
+  fft_normalize(a.data(), nx * ny * nz, nx * ny * nz);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::abs(a[i] - orig[i]), 0.0, 1e-11);
+  }
+}
+
+TEST(Fft, SeparableModeIn2D) {
+  const int nx = 16, ny = 16;
+  std::vector<Complex> a(nx * ny);
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      a[i + j * nx] = std::exp(Complex(0, 2 * constants::pi * (2.0 * i / nx + 5.0 * j / ny)));
+    }
+  }
+  fft_2d(a.data(), nx, ny, false);
+  // exp(i(k2 x + k5 y)) -> single bin (2, 5) with amplitude nx*ny.
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const double expect = (i == 2 && j == 5) ? nx * ny : 0.0;
+      EXPECT_NEAR(std::abs(a[i + j * nx]), expect, 1e-8) << i << "," << j;
+    }
+  }
+}
+
+TEST(Fft, WavenumberFolding) {
+  const Real dx = 0.5;
+  const int n = 8;
+  EXPECT_DOUBLE_EQ(fft_wavenumber(0, n, dx), 0.0);
+  EXPECT_DOUBLE_EQ(fft_wavenumber(1, n, dx), 2 * constants::pi / (n * dx));
+  // Above n/2 the mode is negative frequency.
+  EXPECT_DOUBLE_EQ(fft_wavenumber(n - 1, n, dx), -2 * constants::pi / (n * dx));
+  EXPECT_DOUBLE_EQ(fft_wavenumber(n / 2, n, dx), 2 * constants::pi * (n / 2) / (n * dx));
+}
+
+} // namespace
+} // namespace mrpic::fields

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "src/fields/field_set.hpp"
+
+namespace mrpic::fields {
+namespace {
+
+using namespace mrpic::constants;
+
+FieldSet<2> make_fields() {
+  const mrpic::Geometry<2> geom(mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(15, 15)),
+                                mrpic::RealVect2(0, 0), mrpic::RealVect2(1.6e-6, 1.6e-6),
+                                {true, true});
+  return FieldSet<2>(geom, mrpic::BoxArray<2>::decompose(geom.domain(), 8));
+}
+
+TEST(FieldSet, EnergyOfUniformField) {
+  auto f = make_fields();
+  f.E().set_val(2.0, 2); // Ez = 2 everywhere
+  // U = eps0/2 * E^2 * V, V = (1.6e-6)^2 * 1 (unit z-depth).
+  const Real v = 1.6e-6 * 1.6e-6;
+  EXPECT_NEAR(f.field_energy(), 0.5 * eps0 * 4.0 * v, 1e-30);
+
+  f.E().set_val(0.0);
+  f.B().set_val(3.0, 0);
+  EXPECT_NEAR(f.field_energy(), 0.5 / mu0 * 9.0 * v, 1e-12 * (0.5 / mu0 * 9.0 * v));
+}
+
+TEST(FieldSet, ZeroCurrentClearsAllComponents) {
+  auto f = make_fields();
+  f.J().set_val(7.0);
+  f.zero_current();
+  for (int cc = 0; cc < 3; ++cc) { EXPECT_EQ(f.J().max_abs(cc), 0.0); }
+}
+
+TEST(FieldSet, FillBoundarySyncsEandB) {
+  auto f = make_fields();
+  // Stamp a value at the edge of fab 0's valid region; fab 1's ghost must
+  // see it after fill_boundary.
+  f.E().fab(0)(mrpic::IntVect2(7, 3), 1) = 5.5;
+  f.B().fab(0)(mrpic::IntVect2(7, 3), 2) = -1.5;
+  f.fill_boundary();
+  int neighbor = -1;
+  ASSERT_TRUE(f.box_array().contains(mrpic::IntVect2(8, 3), &neighbor));
+  EXPECT_DOUBLE_EQ(f.E().fab(neighbor)(mrpic::IntVect2(7, 3), 1), 5.5);
+  EXPECT_DOUBLE_EQ(f.B().fab(neighbor)(mrpic::IntVect2(7, 3), 2), -1.5);
+}
+
+TEST(FieldSet, GeometryAccessors) {
+  auto f = make_fields();
+  EXPECT_EQ(f.num_ghost(), mrpic::default_num_ghost);
+  EXPECT_EQ(f.box_array().size(), 4);
+  EXPECT_DOUBLE_EQ(f.geom().cell_size(0), 0.1e-6);
+}
+
+TEST(YeeStaggering, MatchesStandardLattice) {
+  // 3D: Ex face-staggered in x only; Bx edge-staggered in y,z.
+  EXPECT_EQ(e_stag<3>(0), mrpic::IntVect3(1, 0, 0));
+  EXPECT_EQ(e_stag<3>(1), mrpic::IntVect3(0, 1, 0));
+  EXPECT_EQ(e_stag<3>(2), mrpic::IntVect3(0, 0, 1));
+  EXPECT_EQ(b_stag<3>(0), mrpic::IntVect3(0, 1, 1));
+  EXPECT_EQ(b_stag<3>(1), mrpic::IntVect3(1, 0, 1));
+  EXPECT_EQ(b_stag<3>(2), mrpic::IntVect3(1, 1, 0));
+  // J is staggered like E.
+  for (int cc = 0; cc < 3; ++cc) { EXPECT_EQ(j_stag<3>(cc), e_stag<3>(cc)); }
+  // 2D drops the z entry.
+  EXPECT_EQ(b_stag<2>(2), mrpic::IntVect2(1, 1));
+  EXPECT_EQ(e_stag<2>(2), mrpic::IntVect2(0, 0));
+}
+
+} // namespace
+} // namespace mrpic::fields

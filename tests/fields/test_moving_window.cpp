@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/fields/moving_window.hpp"
+
+namespace mrpic::fields {
+namespace {
+
+using mrpic::constants::c;
+
+FieldSet<2> make_fields() {
+  const mrpic::Geometry<2> geom(
+      mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(63, 31)), mrpic::RealVect2(0, 0),
+      mrpic::RealVect2(64e-7, 32e-7), {false, false});
+  return FieldSet<2>(geom, mrpic::BoxArray<2>::decompose(geom.domain(), 32));
+}
+
+TEST(MovingWindow, InactiveBeforeStartTime) {
+  auto f = make_fields();
+  MovingWindow<2> w(0, c, /*start_time=*/1e-12);
+  EXPECT_FALSE(w.active(0.0));
+  EXPECT_TRUE(w.active(1e-12));
+  EXPECT_EQ(w.advance(0.0, 1e-15, f), 0);
+  EXPECT_DOUBLE_EQ(f.geom().prob_lo()[0], 0.0);
+}
+
+TEST(MovingWindow, AccumulatesFractionalShifts) {
+  auto f = make_fields();
+  MovingWindow<2> w(0, c);
+  const Real dx = f.geom().cell_size(0);
+  const Real dt = 0.4 * dx / c; // 0.4 cells per step
+  int total = 0;
+  for (int s = 0; s < 10; ++s) { total += w.advance(s * dt, dt, f); }
+  // 10 x 0.4 = 4 cells up to floating-point rounding of the accumulator.
+  EXPECT_GE(total, 3);
+  EXPECT_LE(total, 4);
+  EXPECT_NEAR(f.geom().prob_lo()[0], total * dx, 1e-20);
+}
+
+TEST(MovingWindow, FieldDataTracksPhysicalPosition) {
+  auto f = make_fields();
+  const auto& geom = f.geom();
+  const Real dx = geom.cell_size(0);
+  // Mark a feature at physical x = 20 dx (index 20).
+  for (int m = 0; m < f.E().num_fabs(); ++m) {
+    const auto& vb = f.E().valid_box(m);
+    if (vb.contains(mrpic::IntVect2(20, 8))) {
+      f.E().fab(m)(mrpic::IntVect2(20, 8), 2) = 7.0;
+    }
+  }
+  f.E().fill_boundary(geom);
+  MovingWindow<2> w(0, c);
+  const Real dt = dx / c; // exactly one cell per step
+  w.advance(0.0, dt, f);
+  // The feature is a physical object: after the window moved one cell, it
+  // lives at index 19.
+  bool found = false;
+  for (int m = 0; m < f.E().num_fabs(); ++m) {
+    const auto& vb = f.E().valid_box(m);
+    if (vb.contains(mrpic::IntVect2(19, 8))) {
+      EXPECT_DOUBLE_EQ(f.E().fab(m)(mrpic::IntVect2(19, 8), 2), 7.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // Its physical position is unchanged.
+  EXPECT_DOUBLE_EQ(f.geom().node_pos(19, 0), 20 * dx);
+}
+
+TEST(MovingWindow, SlowerWindowSpeed) {
+  auto f = make_fields();
+  MovingWindow<2> w(0, 0.5 * c);
+  const Real dx = f.geom().cell_size(0);
+  const Real dt = dx / c;
+  int total = 0;
+  for (int s = 0; s < 8; ++s) { total += w.advance(s * dt, dt, f); }
+  EXPECT_EQ(total, 4);
+}
+
+} // namespace
+} // namespace mrpic::fields

@@ -1,0 +1,158 @@
+// Checkpoint/restart: a restored run must continue BIT-IDENTICALLY to the
+// uninterrupted original — fields, particles, window anchor, patch state.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "src/io/checkpoint.hpp"
+
+namespace mrpic::io {
+namespace {
+
+using namespace mrpic::constants;
+
+// A busy configuration: laser + plasma + PML + moving window + MR patch.
+std::unique_ptr<core::Simulation<2>> build_sim() {
+  core::SimulationConfig<2> cfg;
+  cfg.domain = Box2(IntVect2(0, 0), IntVect2(95, 31));
+  cfg.prob_lo = RealVect2(0, 0);
+  cfg.prob_hi = RealVect2(9.6e-6, 3.2e-6);
+  cfg.periodic = {false, true};
+  cfg.use_pml = true;
+  cfg.pml.npml = 6;
+  cfg.max_grid_size = IntVect2(48, 32);
+  cfg.shape_order = 2;
+  auto sim = std::make_unique<core::Simulation<2>>(cfg);
+
+  plasma::InjectorConfig<2> inj;
+  inj.density = plasma::uniform<2>(5e24);
+  inj.ppc = IntVect2(2, 1);
+  inj.temperature_ev = 50.0;
+  sim->add_species(particles::Species::electron(), inj);
+
+  laser::LaserConfig lc;
+  lc.a0 = 0.8;
+  lc.waist = 1.2e-6;
+  lc.duration = 5e-15;
+  lc.t_peak = 8e-15;
+  lc.x_antenna = 1.0e-6;
+  lc.center = {1.6e-6, 0};
+  sim->add_laser(lc);
+
+  mr::MRPatch<2>::Config pcfg;
+  pcfg.region = Box2(IntVect2(40, 8), IntVect2(71, 23));
+  pcfg.transition_cells = 2;
+  pcfg.pml.npml = 6;
+  sim->enable_mr_patch(pcfg);
+
+  sim->set_moving_window(0, c, /*start_time=*/10e-15);
+  sim->init();
+  return sim;
+}
+
+bool fields_identical(const MultiFab<2>& a, const MultiFab<2>& b) {
+  if (a.num_fabs() != b.num_fabs()) { return false; }
+  for (int m = 0; m < a.num_fabs(); ++m) {
+    if (a.fab(m).size() != b.fab(m).size()) { return false; }
+    for (std::size_t i = 0; i < a.fab(m).size(); ++i) {
+      if (a.fab(m).data()[i] != b.fab(m).data()[i]) { return false; }
+    }
+  }
+  return true;
+}
+
+bool particles_identical(const particles::ParticleContainer<2>& a,
+                         const particles::ParticleContainer<2>& b) {
+  if (a.num_tiles() != b.num_tiles()) { return false; }
+  for (int t = 0; t < a.num_tiles(); ++t) {
+    const auto& ta = a.tile(t);
+    const auto& tb = b.tile(t);
+    if (ta.size() != tb.size()) { return false; }
+    for (std::size_t p = 0; p < ta.size(); ++p) {
+      for (int d = 0; d < 2; ++d) {
+        if (ta.x[d][p] != tb.x[d][p]) { return false; }
+      }
+      for (int cc = 0; cc < 3; ++cc) {
+        if (ta.u[cc][p] != tb.u[cc][p]) { return false; }
+      }
+      if (ta.w[p] != tb.w[p]) { return false; }
+    }
+  }
+  return true;
+}
+
+TEST(Checkpoint, RestartContinuesBitIdentically) {
+  const std::string path = "ckpt_test.bin";
+
+  // Reference: 12 + 8 steps straight through (crosses the window start).
+  auto ref = build_sim();
+  ref->run(12);
+  auto gold = build_sim();
+  gold->run(12);
+  ASSERT_TRUE(write_checkpoint(path, *gold));
+  ref->run(8);
+
+  // Restore into a freshly built simulation and continue.
+  auto restored = build_sim();
+  ASSERT_TRUE(read_checkpoint(path, *restored));
+  EXPECT_EQ(restored->step_count(), 12);
+  EXPECT_DOUBLE_EQ(restored->time(), gold->time());
+  restored->run(8);
+
+  EXPECT_EQ(restored->step_count(), ref->step_count());
+  EXPECT_DOUBLE_EQ(restored->time(), ref->time());
+  EXPECT_TRUE(fields_identical(restored->fields().E(), ref->fields().E()));
+  EXPECT_TRUE(fields_identical(restored->fields().B(), ref->fields().B()));
+  EXPECT_TRUE(fields_identical(restored->patch()->fine().E(), ref->patch()->fine().E()));
+  EXPECT_TRUE(particles_identical(restored->species_level0(0), ref->species_level0(0)));
+  EXPECT_TRUE(particles_identical(restored->species_patch(0), ref->species_patch(0)));
+  EXPECT_DOUBLE_EQ(restored->geom().prob_lo()[0], ref->geom().prob_lo()[0]);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RoundTripPreservesStateExactly) {
+  const std::string path = "ckpt_roundtrip.bin";
+  auto sim = build_sim();
+  sim->run(5);
+  ASSERT_TRUE(write_checkpoint(path, *sim));
+  auto copy = build_sim();
+  ASSERT_TRUE(read_checkpoint(path, *copy));
+  EXPECT_TRUE(fields_identical(sim->fields().E(), copy->fields().E()));
+  EXPECT_TRUE(fields_identical(sim->fields().J(), copy->fields().J()));
+  EXPECT_TRUE(fields_identical(sim->patch()->coarse().B(), copy->patch()->coarse().B()));
+  EXPECT_TRUE(particles_identical(sim->species_level0(0), copy->species_level0(0)));
+  EXPECT_DOUBLE_EQ(copy->window().accumulated(), sim->window().accumulated());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsWrongStructure) {
+  const std::string path = "ckpt_bad.bin";
+  auto sim = build_sim();
+  sim->run(2);
+  ASSERT_TRUE(write_checkpoint(path, *sim));
+
+  // A simulation without the MR patch must refuse this checkpoint.
+  core::SimulationConfig<2> cfg;
+  cfg.domain = Box2(IntVect2(0, 0), IntVect2(95, 31));
+  cfg.prob_lo = RealVect2(0, 0);
+  cfg.prob_hi = RealVect2(9.6e-6, 3.2e-6);
+  cfg.periodic = {false, true};
+  cfg.use_pml = true;
+  cfg.pml.npml = 6;
+  cfg.max_grid_size = IntVect2(48, 32);
+  core::Simulation<2> other(cfg);
+  plasma::InjectorConfig<2> inj;
+  inj.density = plasma::uniform<2>(5e24);
+  inj.ppc = IntVect2(2, 1);
+  other.add_species(particles::Species::electron(), inj);
+  other.init();
+  EXPECT_FALSE(read_checkpoint(path, other));
+
+  EXPECT_FALSE(read_checkpoint("does_not_exist.bin", *sim));
+  std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace mrpic::io

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/laser/laser_antenna.hpp"
+
+namespace mrpic::laser {
+namespace {
+
+using namespace mrpic::constants;
+
+LaserConfig base_config() {
+  LaserConfig cfg;
+  cfg.wavelength = 0.8e-6;
+  cfg.a0 = 2.0;
+  cfg.waist = 3e-6;
+  cfg.duration = 10e-15;
+  cfg.t_peak = 30e-15;
+  cfg.x_antenna = 1e-6;
+  cfg.center = {8e-6, 0};
+  return cfg;
+}
+
+TEST(LaserConfig, PeakFieldFromA0) {
+  auto cfg = base_config();
+  // a0 = e E0 / (m_e omega c) -> invert.
+  const Real omega = 2 * pi * c / cfg.wavelength;
+  EXPECT_NEAR(cfg.peak_field(), 2.0 * m_e * omega * c / q_e, 1e3);
+  // Known scale: a0 = 1 at 0.8 um is ~4.0e12 V/m.
+  cfg.a0 = 1.0;
+  EXPECT_NEAR(cfg.peak_field() / 4.0e12, 1.0, 0.02);
+}
+
+TEST(LaserAntenna, TemporalEnvelope) {
+  const auto cfg = base_config();
+  LaserAntenna<2> ant(cfg);
+  // Amplitude at peak time (max over a quarter period to dodge the phase).
+  Real peak = 0;
+  const Real period = cfg.wavelength / c;
+  for (int s = 0; s < 50; ++s) {
+    peak = std::max(peak, std::abs(ant.field_at(0, 0, cfg.t_peak + s * period / 50)));
+  }
+  EXPECT_NEAR(peak, cfg.peak_field(), cfg.peak_field() * 0.05);
+  // Far from the peak the envelope kills the field.
+  EXPECT_LT(std::abs(ant.field_at(0, 0, cfg.t_peak + 6 * cfg.duration)),
+            cfg.peak_field() * 1e-6);
+  EXPECT_FALSE(ant.active(cfg.t_peak + 6 * cfg.duration));
+  EXPECT_TRUE(ant.active(cfg.t_peak));
+}
+
+TEST(LaserAntenna, TransverseGaussianProfile) {
+  const auto cfg = base_config();
+  LaserAntenna<2> ant(cfg);
+  const Real t = cfg.t_peak + cfg.wavelength / c / 4; // near a field crest
+  const Real on_axis = std::abs(ant.field_at(0, 0, t));
+  const Real at_waist = std::abs(ant.field_at(cfg.waist, 0, t));
+  ASSERT_GT(on_axis, 0.0);
+  EXPECT_NEAR(at_waist / on_axis, std::exp(-1.0), 0.05);
+}
+
+TEST(LaserAntenna, FocusingWidensAntennaSpot) {
+  auto cfg = base_config();
+  LaserAntenna<2> collimated(cfg);
+  cfg.focal_distance = 30e-6; // focus 30 um ahead
+  LaserAntenna<2> focusing(cfg);
+  const Real t = cfg.t_peak + cfg.wavelength / c / 4;
+  // Emitting a converging beam: the spot at the antenna is wider than w0.
+  const Real r = cfg.waist;
+  const Real ratio_foc = std::abs(focusing.field_at(r, 0, t)) /
+                         std::abs(focusing.field_at(0, 0, t));
+  const Real ratio_col = std::abs(collimated.field_at(r, 0, t)) /
+                         std::abs(collimated.field_at(0, 0, t));
+  EXPECT_GT(ratio_foc, ratio_col);
+}
+
+TEST(LaserAntenna, DepositsOnSinglePlane) {
+  const auto cfg = base_config();
+  LaserAntenna<2> ant(cfg);
+  const mrpic::Geometry<2> geom(
+      mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(63, 63)), mrpic::RealVect2(0, 0),
+      mrpic::RealVect2(16e-6, 16e-6), {false, false});
+  fields::FieldSet<2> f(geom, mrpic::BoxArray<2>::decompose(geom.domain(), 32));
+  // Near a field crest (the carrier is zero exactly at t_peak).
+  ant.deposit_current(f, cfg.t_peak + cfg.wavelength / (4 * c));
+
+  const int i0 = geom.cell_index(cfg.x_antenna, 0);
+  Real off_plane = 0, on_plane = 0;
+  for (int m = 0; m < f.J().num_fabs(); ++m) {
+    const auto a = f.J().const_array(m);
+    const auto& vb = f.J().valid_box(m);
+    for (int j = vb.lo(1); j <= vb.hi(1); ++j) {
+      for (int i = vb.lo(0); i <= vb.hi(0); ++i) {
+        const Real v = std::abs(a(i, j, 0, 2));
+        if (i == i0) {
+          on_plane = std::max(on_plane, v);
+        } else {
+          off_plane = std::max(off_plane, v);
+        }
+      }
+    }
+  }
+  EXPECT_GT(on_plane, 0.0);
+  EXPECT_EQ(off_plane, 0.0);
+}
+
+TEST(LaserAntenna, PolarizationSelectsComponent) {
+  auto cfg = base_config();
+  cfg.polarization = 1; // Ey
+  LaserAntenna<2> ant(cfg);
+  const mrpic::Geometry<2> geom(
+      mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(31, 31)), mrpic::RealVect2(0, 0),
+      mrpic::RealVect2(16e-6, 16e-6), {false, false});
+  fields::FieldSet<2> f(geom, mrpic::BoxArray<2>(geom.domain()));
+  ant.deposit_current(f, cfg.t_peak + cfg.wavelength / (4 * c));
+  EXPECT_GT(f.J().max_abs(1), 0.0);
+  EXPECT_EQ(f.J().max_abs(2), 0.0);
+}
+
+TEST(LaserAntenna, InactiveOutsideDomain) {
+  auto cfg = base_config();
+  cfg.x_antenna = -5e-6; // left of the domain
+  LaserAntenna<2> ant(cfg);
+  const mrpic::Geometry<2> geom(
+      mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(31, 31)), mrpic::RealVect2(0, 0),
+      mrpic::RealVect2(16e-6, 16e-6), {false, false});
+  fields::FieldSet<2> f(geom, mrpic::BoxArray<2>(geom.domain()));
+  ant.deposit_current(f, cfg.t_peak);
+  EXPECT_EQ(f.J().max_abs(2), 0.0);
+}
+
+} // namespace
+} // namespace mrpic::laser

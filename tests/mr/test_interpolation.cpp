@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "src/fields/yee.hpp"
+#include "src/mr/interpolation.hpp"
+
+namespace mrpic::mr {
+namespace {
+
+using mrpic::Box2;
+using mrpic::FArrayBox;
+using mrpic::IntVect2;
+
+// Fill a fab (one component) with a linear function of the *staggered*
+// physical coordinate, in the given index space resolution.
+void fill_linear(FArrayBox<2>& fab, const Box2& region, const mrpic::IntVect2& stag,
+                 double h /* cell size */, double a, double b) {
+  fab.for_each_cell(region, [&](const IntVect2& p) {
+    const double x = (p[0] + 0.5 * stag[0]) * h;
+    const double y = (p[1] + 0.5 * stag[1]) * h;
+    fab(p, 0) = a * x + b * y;
+  });
+}
+
+TEST(Interpolation, InterpToFineReproducesLinear) {
+  // Coarse cell size 1, ratio 2 -> fine cell size 0.5.
+  const Box2 coarse_region(IntVect2(0, 0), IntVect2(15, 15));
+  const Box2 fine_region = coarse_region.refined(2);
+  for (int comp = 0; comp < 3; ++comp) {
+    for (auto stag_fn : {&mrpic::fields::e_stag<2>, &mrpic::fields::b_stag<2>}) {
+      const auto stag = stag_fn(comp);
+      FArrayBox<2> coarse(coarse_region.grown(3), 1);
+      FArrayBox<2> fine(fine_region.grown(3), 1);
+      fill_linear(coarse, coarse_region.grown(3), stag, 1.0, 2.0, -3.0);
+      interp_to_fine<2>(coarse, fine, fine_region, 0, 0, stag, 2, false);
+      fine.for_each_cell(fine_region, [&](const IntVect2& p) {
+        const double x = (p[0] + 0.5 * stag[0]) * 0.5;
+        const double y = (p[1] + 0.5 * stag[1]) * 0.5;
+        EXPECT_NEAR(fine(p, 0), 2.0 * x - 3.0 * y, 1e-12)
+            << "comp " << comp << " at " << p;
+      });
+    }
+  }
+}
+
+TEST(Interpolation, RestrictionReproducesLinear) {
+  const Box2 coarse_region(IntVect2(0, 0), IntVect2(15, 15));
+  const Box2 fine_region = coarse_region.refined(2);
+  for (int comp = 0; comp < 3; ++comp) {
+    const auto stag = mrpic::fields::j_stag<2>(comp);
+    FArrayBox<2> fine(fine_region.grown(3), 1);
+    FArrayBox<2> coarse(coarse_region.grown(3), 1);
+    fill_linear(fine, fine_region.grown(3), stag, 0.5, 1.5, 0.5);
+    restrict_to_coarse<2>(fine, coarse, coarse_region, 0, 0, stag, 2, false);
+    coarse.for_each_cell(coarse_region, [&](const IntVect2& p) {
+      const double x = (p[0] + 0.5 * stag[0]) * 1.0;
+      const double y = (p[1] + 0.5 * stag[1]) * 1.0;
+      EXPECT_NEAR(coarse(p, 0), 1.5 * x + 0.5 * y, 1e-12) << "comp " << comp;
+    });
+  }
+}
+
+TEST(Interpolation, RestrictThenInterpIsIdentityOnConstants) {
+  const Box2 coarse_region(IntVect2(0, 0), IntVect2(7, 7));
+  const Box2 fine_region = coarse_region.refined(2);
+  const mrpic::IntVect2 stag(1, 0);
+  FArrayBox<2> fine(fine_region.grown(3), 1);
+  FArrayBox<2> coarse(coarse_region.grown(3), 1);
+  FArrayBox<2> fine2(fine_region.grown(3), 1);
+  fine.set_val(4.25);
+  restrict_to_coarse<2>(fine, coarse, coarse_region.grown(1), 0, 0, stag, 2, false);
+  interp_to_fine<2>(coarse, fine2, fine_region, 0, 0, stag, 2, false);
+  fine2.for_each_cell(fine_region, [&](const IntVect2& p) {
+    EXPECT_NEAR(fine2(p, 0), 4.25, 1e-13);
+  });
+}
+
+TEST(Interpolation, AddModeAccumulates) {
+  const Box2 coarse_region(IntVect2(0, 0), IntVect2(7, 7));
+  const Box2 fine_region = coarse_region.refined(2);
+  const mrpic::IntVect2 stag(0, 0);
+  FArrayBox<2> coarse(coarse_region.grown(2), 1);
+  FArrayBox<2> fine(fine_region.grown(2), 1);
+  coarse.set_val(2.0);
+  fine.set_val(1.0);
+  interp_to_fine<2>(coarse, fine, fine_region, 0, 0, stag, 2, /*add=*/true);
+  fine.for_each_cell(fine_region, [&](const IntVect2& p) {
+    EXPECT_DOUBLE_EQ(fine(p, 0), 3.0);
+  });
+}
+
+TEST(Interpolation, Restrict3DStaggered) {
+  const mrpic::Box3 coarse_region(mrpic::IntVect3(0, 0, 0), mrpic::IntVect3(5, 5, 5));
+  const auto fine_region = coarse_region.refined(2);
+  const mrpic::IntVect3 stag(0, 1, 1); // Bx-like
+  mrpic::FArrayBox<3> fine(fine_region.grown(2), 1);
+  mrpic::FArrayBox<3> coarse(coarse_region.grown(2), 1);
+  fine.for_each_cell(fine_region.grown(2), [&](const mrpic::IntVect3& p) {
+    fine(p, 0) = (p[0] + 0.5 * stag[0]) * 0.5 + 2.0 * ((p[1] + 0.5 * stag[1]) * 0.5) -
+                 ((p[2] + 0.5 * stag[2]) * 0.5);
+  });
+  restrict_to_coarse<3>(fine, coarse, coarse_region, 0, 0, stag, 2, false);
+  coarse.for_each_cell(coarse_region, [&](const mrpic::IntVect3& p) {
+    const double expect =
+        (p[0] + 0.5 * stag[0]) + 2.0 * (p[1] + 0.5 * stag[1]) - (p[2] + 0.5 * stag[2]);
+    EXPECT_NEAR(coarse(p, 0), expect, 1e-12);
+  });
+}
+
+} // namespace
+} // namespace mrpic::mr

@@ -1,0 +1,150 @@
+// Wave-propagation properties of the MR construct: internal sources must
+// reach the parent through the restricted currents, the companion must be
+// the coarse shadow of the fine solution, and the no-source patch must stay
+// exactly quiet.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/fields/fdtd.hpp"
+#include "src/mr/mr_patch.hpp"
+
+namespace mrpic::mr {
+namespace {
+
+using mrpic::constants::c;
+
+mrpic::Geometry<2> parent_geom() {
+  return mrpic::Geometry<2>(mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(63, 63)),
+                            mrpic::RealVect2(0, 0), mrpic::RealVect2(64e-7, 64e-7),
+                            {true, true});
+}
+
+MRPatch<2>::Config patch_config() {
+  MRPatch<2>::Config cfg;
+  cfg.region = mrpic::Box2(mrpic::IntVect2(20, 20), mrpic::IntVect2(43, 43));
+  cfg.pml.npml = 8;
+  return cfg;
+}
+
+// Drive an oscillating Jz dipole at the (fine) patch center, mirroring the
+// PIC loop's current pathway: deposit on fine, restrict+add to parent,
+// advance everything.
+void drive_dipole_step(fields::FieldSet<2>& parent, MRPatch<2>& patch,
+                       fields::FDTDSolver<2>& solver, fields::Pml<2>* parent_pml, Real t,
+                       Real dt, Real omega) {
+  parent.zero_current();
+  patch.fine().zero_current();
+  patch.coarse().zero_current();
+  const auto fr = patch.fine_region();
+  const mrpic::IntVect2 center((fr.lo(0) + fr.hi(0)) / 2, (fr.lo(1) + fr.hi(1)) / 2);
+  patch.fine().J().fab(0)(center, 2) = 1e8 * std::sin(omega * t);
+  patch.sync_currents(parent.J());
+
+  auto exchange = [&] {
+    parent.fill_boundary();
+    if (parent_pml != nullptr) {
+      parent_pml->exchange_from_interior(parent);
+      parent_pml->fill_boundary();
+      parent_pml->copy_to_interior(parent);
+    }
+  };
+  exchange();
+  solver.evolve_b(parent, dt / 2);
+  if (parent_pml != nullptr) { parent_pml->evolve_b(dt / 2); }
+  patch.evolve_b(dt / 2);
+  exchange();
+  solver.evolve_e(parent, dt);
+  if (parent_pml != nullptr) { parent_pml->evolve_e(dt); }
+  patch.evolve_e(dt);
+  exchange();
+  solver.evolve_b(parent, dt / 2);
+  if (parent_pml != nullptr) { parent_pml->evolve_b(dt / 2); }
+  patch.evolve_b(dt / 2);
+  patch.build_aux(parent);
+}
+
+TEST(MRWave, InternalSourceReachesParentOutsideRegion) {
+  const auto geom = parent_geom();
+  fields::FieldSet<2> parent(geom, mrpic::BoxArray<2>::decompose(geom.domain(), 32));
+  MRPatch<2> patch(geom, patch_config());
+  fields::FDTDSolver<2> solver;
+  const Real dt = fields::cfl_dt(patch.fine().geom());
+  const Real omega = 2 * mrpic::constants::pi * c / 1.6e-6;
+
+  for (int s = 0; s < 150; ++s) {
+    drive_dipole_step(parent, patch, solver, nullptr, s * dt, dt, omega);
+  }
+  // The wave must be visible on the parent well outside the patch region.
+  Real outside_max = 0;
+  for (int m = 0; m < parent.E().num_fabs(); ++m) {
+    const auto e = parent.E().const_array(m);
+    const auto& vb = parent.E().valid_box(m);
+    for (int j = vb.lo(1); j <= vb.hi(1); ++j) {
+      for (int i = vb.lo(0); i <= vb.hi(0); ++i) {
+        if (!patch.region().grown(4).contains(mrpic::IntVect2(i, j))) {
+          outside_max = std::max(outside_max, std::abs(e(i, j, 0, 2)));
+        }
+      }
+    }
+  }
+  EXPECT_GT(outside_max, 1.0) << "restricted currents must radiate into the parent";
+  // And the fine grid resolves the source region.
+  EXPECT_GT(patch.fine().E().max_abs(2), outside_max);
+}
+
+TEST(MRWave, CompanionShadowsFineSolution) {
+  // The coarse companion sees the restricted currents of the fine grid, so
+  // away from the source its field must track the restriction of the fine
+  // field (both are PML-terminated solutions of the same sources).
+  const auto geom = parent_geom();
+  fields::FieldSet<2> parent(geom, mrpic::BoxArray<2>::decompose(geom.domain(), 32));
+  MRPatch<2> patch(geom, patch_config());
+  fields::FDTDSolver<2> solver;
+  const Real dt = fields::cfl_dt(patch.fine().geom());
+  const Real omega = 2 * mrpic::constants::pi * c / 1.6e-6;
+  for (int s = 0; s < 120; ++s) {
+    drive_dipole_step(parent, patch, solver, nullptr, s * dt, dt, omega);
+  }
+  // Compare Ez at a probe a few coarse cells from the center.
+  const auto& region = patch.region();
+  const mrpic::IntVect2 probe((region.lo(0) + region.hi(0)) / 2 + 5,
+                              (region.lo(1) + region.hi(1)) / 2);
+  const Real coarse_val = patch.coarse().E().fab(0)(probe, 2);
+  const Real fine_val = patch.fine().E().fab(0)(mrpic::IntVect2(2 * probe[0], 2 * probe[1]), 2);
+  const Real scale = patch.fine().E().max_abs(2);
+  ASSERT_GT(scale, 0.0);
+  // Same sources at different resolutions: agree to coarse truncation.
+  EXPECT_NEAR(coarse_val / scale, fine_val / scale, 0.25);
+  EXPECT_GT(std::abs(coarse_val), 0.0);
+}
+
+TEST(MRWave, QuietPatchStaysExactlyQuiet) {
+  // No sources anywhere: every grid must remain identically zero (the MR
+  // plumbing itself must not manufacture fields).
+  const auto geom = parent_geom();
+  fields::FieldSet<2> parent(geom, mrpic::BoxArray<2>::decompose(geom.domain(), 32));
+  MRPatch<2> patch(geom, patch_config());
+  fields::FDTDSolver<2> solver;
+  const Real dt = fields::cfl_dt(patch.fine().geom());
+  for (int s = 0; s < 40; ++s) {
+    patch.sync_currents(parent.J());
+    parent.fill_boundary();
+    solver.evolve_b(parent, dt / 2);
+    patch.evolve_b(dt / 2);
+    parent.fill_boundary();
+    solver.evolve_e(parent, dt);
+    patch.evolve_e(dt);
+    parent.fill_boundary();
+    solver.evolve_b(parent, dt / 2);
+    patch.evolve_b(dt / 2);
+    patch.build_aux(parent);
+  }
+  EXPECT_EQ(parent.E().max_abs(2), 0.0);
+  EXPECT_EQ(patch.fine().E().max_abs(2), 0.0);
+  EXPECT_EQ(patch.aux_E().max_abs(2), 0.0);
+}
+
+} // namespace
+} // namespace mrpic::mr

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/particles/particle_container.hpp"
+
+namespace mrpic::particles {
+namespace {
+
+using mrpic::constants::c;
+using mrpic::constants::m_e;
+using mrpic::constants::q_e;
+
+mrpic::Geometry<2> make_geom(bool periodic_x = false) {
+  return mrpic::Geometry<2>(mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(31, 31)),
+                            mrpic::RealVect2(0, 0), mrpic::RealVect2(3.2e-6, 3.2e-6),
+                            {periodic_x, false});
+}
+
+TEST(ParticleContainer, AddRoutesToOwningTile) {
+  const auto geom = make_geom();
+  const auto ba = mrpic::BoxArray<2>::decompose(geom.domain(), 16); // 2x2 tiles
+  ParticleContainer<2> pc(Species::electron(), ba);
+  EXPECT_TRUE(pc.add_particle(geom, {0.5e-6, 0.5e-6}, {0, 0, 0}, 1.0));
+  EXPECT_TRUE(pc.add_particle(geom, {2.5e-6, 0.5e-6}, {0, 0, 0}, 1.0));
+  EXPECT_TRUE(pc.add_particle(geom, {2.5e-6, 2.5e-6}, {0, 0, 0}, 1.0));
+  EXPECT_FALSE(pc.add_particle(geom, {5.0e-6, 0.5e-6}, {0, 0, 0}, 1.0)); // outside
+  EXPECT_EQ(pc.total_particles(), 3);
+  // Each particle sits in the tile whose box contains its cell.
+  auto tile_of = [&](Real x, Real y) {
+    mrpic::IntVect2 cell(geom.cell_index(x, 0), geom.cell_index(y, 1));
+    int which = -1;
+    EXPECT_TRUE(ba.contains(cell, &which));
+    return which;
+  };
+  EXPECT_EQ(pc.tile(tile_of(0.5e-6, 0.5e-6)).size(), 1u);
+  EXPECT_EQ(pc.tile(tile_of(2.5e-6, 0.5e-6)).size(), 1u);
+  EXPECT_EQ(pc.tile(tile_of(2.5e-6, 2.5e-6)).size(), 1u);
+}
+
+TEST(ParticleContainer, TotalCharge) {
+  const auto geom = make_geom();
+  ParticleContainer<2> pc(Species::electron(), mrpic::BoxArray<2>(geom.domain()));
+  pc.add_particle(geom, {1e-6, 1e-6}, {0, 0, 0}, 2.0);
+  pc.add_particle(geom, {2e-6, 1e-6}, {0, 0, 0}, 3.0);
+  EXPECT_NEAR(pc.total_charge(), -5.0 * q_e, 1e-30);
+}
+
+TEST(ParticleContainer, KineticEnergy) {
+  const auto geom = make_geom();
+  ParticleContainer<2> pc(Species::electron(), mrpic::BoxArray<2>(geom.domain()));
+  const Real u = 3 * c; // gamma = sqrt(10)
+  pc.add_particle(geom, {1e-6, 1e-6}, {u, 0, 0}, 2.0);
+  const Real gamma = std::sqrt(1 + 9.0);
+  EXPECT_NEAR(pc.kinetic_energy(), 2.0 * (gamma - 1) * m_e * c * c, 1e-22);
+}
+
+TEST(ParticleContainer, RedistributeMovesAcrossTiles) {
+  const auto geom = make_geom();
+  const auto ba = mrpic::BoxArray<2>::decompose(geom.domain(), 16);
+  ParticleContainer<2> pc(Species::electron(), ba);
+  pc.add_particle(geom, {1.5e-6, 0.5e-6}, {0, 0, 0}, 1.0);
+  int src = -1, dst = -1;
+  ba.contains(mrpic::IntVect2(geom.cell_index(1.5e-6, 0), geom.cell_index(0.5e-6, 1)), &src);
+  ba.contains(mrpic::IntVect2(geom.cell_index(2.5e-6, 0), geom.cell_index(0.5e-6, 1)), &dst);
+  ASSERT_NE(src, dst);
+  // Move it into the neighboring tile's region by hand (as the pusher would).
+  pc.tile(src).x[0][0] = 2.5e-6;
+  EXPECT_EQ(pc.redistribute(geom), 0);
+  EXPECT_EQ(pc.tile(src).size(), 0u);
+  EXPECT_EQ(pc.tile(dst).size(), 1u);
+}
+
+TEST(ParticleContainer, RedistributeRemovesLeavers) {
+  const auto geom = make_geom();
+  ParticleContainer<2> pc(Species::electron(), mrpic::BoxArray<2>(geom.domain()));
+  pc.add_particle(geom, {1e-6, 1e-6}, {0, 0, 0}, 1.0);
+  pc.tile(0).x[1][0] = -1e-6; // out of the non-periodic y boundary
+  EXPECT_EQ(pc.redistribute(geom), 1);
+  EXPECT_EQ(pc.total_particles(), 0);
+}
+
+TEST(ParticleContainer, RedistributeWrapsPeriodic) {
+  const auto geom = make_geom(/*periodic_x=*/true);
+  ParticleContainer<2> pc(Species::electron(), mrpic::BoxArray<2>(geom.domain()));
+  pc.add_particle(geom, {1e-6, 1e-6}, {0, 0, 0}, 1.0);
+  pc.tile(0).x[0][0] = 3.3e-6; // past the periodic x boundary (L = 3.2e-6)
+  EXPECT_EQ(pc.redistribute(geom), 0);
+  EXPECT_EQ(pc.total_particles(), 1);
+  EXPECT_NEAR(pc.tile(0).x[0][0], 0.1e-6, 1e-13);
+}
+
+TEST(ParticleContainer, RemoveBelow) {
+  const auto geom = make_geom();
+  ParticleContainer<2> pc(Species::electron(), mrpic::BoxArray<2>(geom.domain()));
+  for (int i = 0; i < 10; ++i) {
+    pc.add_particle(geom, {(0.25 + 0.3 * i) * 1e-6, 1e-6}, {0, 0, 0}, 1.0);
+  }
+  const auto removed = pc.remove_below(0, 1.0e-6);
+  EXPECT_EQ(removed, 3); // 0.25, 0.55, 0.85 um
+  EXPECT_EQ(pc.total_particles(), 7);
+}
+
+TEST(ParticleContainer, RegridPreservesParticles) {
+  const auto geom = make_geom();
+  const auto ba1 = mrpic::BoxArray<2>::decompose(geom.domain(), 32);
+  ParticleContainer<2> pc(Species::electron(), ba1);
+  for (int i = 0; i < 20; ++i) {
+    pc.add_particle(geom, {(0.1 + 0.15 * i) * 1e-6, (0.1 + 0.1 * i) * 1e-6}, {0, 0, 0},
+                    1.0 + i);
+  }
+  const Real q_before = pc.total_charge();
+  const auto ba2 = mrpic::BoxArray<2>::decompose(geom.domain(), 8);
+  pc.regrid(geom, ba2);
+  EXPECT_EQ(pc.num_tiles(), ba2.size());
+  EXPECT_EQ(pc.total_particles(), 20);
+  EXPECT_NEAR(pc.total_charge(), q_before, std::abs(q_before) * 1e-12);
+  // Every particle in its correct tile.
+  for (int ti = 0; ti < pc.num_tiles(); ++ti) {
+    const auto& t = pc.tile(ti);
+    for (std::size_t p = 0; p < t.size(); ++p) {
+      mrpic::IntVect2 cell(geom.cell_index(t.x[0][p], 0), geom.cell_index(t.x[1][p], 1));
+      EXPECT_TRUE(ba2[ti].contains(cell));
+    }
+  }
+}
+
+TEST(ParticleTile, TransferAndErase) {
+  ParticleTile<2> a, b;
+  a.push_back({1.0, 2.0}, {3, 4, 5}, 6.0);
+  a.push_back({7.0, 8.0}, {9, 10, 11}, 12.0);
+  a.transfer_to(0, b);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.x[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(b.u[2][0], 5.0);
+  EXPECT_DOUBLE_EQ(b.w[0], 6.0);
+  // swap-with-last: the remaining particle is the former #1.
+  EXPECT_DOUBLE_EQ(a.x[0][0], 7.0);
+}
+
+} // namespace
+} // namespace mrpic::particles

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "src/diag/diagnostics.hpp"
+#include "src/particles/deposition.hpp"
+
+namespace mrpic::particles {
+namespace {
+
+using mrpic::constants::c;
+
+template <int DIM>
+mrpic::Geometry<DIM> make_geom(int n) {
+  if constexpr (DIM == 2) {
+    return mrpic::Geometry<2>(mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(n - 1, n - 1)),
+                              mrpic::RealVect2(0, 0), mrpic::RealVect2(n * 1e-7, n * 1e-7),
+                              {true, true});
+  } else {
+    return mrpic::Geometry<3>(
+        mrpic::Box3(mrpic::IntVect3(0, 0, 0), mrpic::IntVect3(n - 1, n - 1, n - 1)),
+        mrpic::RealVect3(0, 0, 0), mrpic::RealVect3(n * 1e-7, n * 1e-7, n * 1e-7),
+        {true, true, true});
+  }
+}
+
+// The central charge-conservation property (Esirkepov): the deposited J
+// satisfies (rho_new - rho_old)/dt + div J = 0 on the Yee lattice, to
+// round-off, for arbitrary sub-cell motion.
+template <int DIM>
+void check_continuity(int order, std::uint64_t seed) {
+  const int n = 16;
+  const auto geom = make_geom<DIM>(n);
+  const mrpic::BoxArray<DIM> ba(geom.domain());
+  mrpic::MultiFab<DIM> J(ba, 3, mrpic::default_num_ghost);
+  mrpic::MultiFab<DIM> rho_old(ba, 1, mrpic::default_num_ghost);
+  mrpic::MultiFab<DIM> rho_new(ba, 1, mrpic::default_num_ghost);
+
+  const Real dx = geom.cell_size(0);
+  const Real dt = 0.5 * dx / c;
+  const Real q = -mrpic::constants::q_e;
+
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> pos(2.0, n - 3.0);
+  std::uniform_real_distribution<double> mov(-0.9, 0.9);
+
+  ParticleTile<DIM> tile;
+  std::array<std::vector<Real>, DIM> x_old;
+  for (int p = 0; p < 40; ++p) {
+    std::array<Real, DIM> xo, xn;
+    std::array<Real, 3> u{};
+    for (int d = 0; d < DIM; ++d) {
+      xo[d] = pos(rng) * dx;
+      xn[d] = xo[d] + mov(rng) * c * dt; // |displacement| < 1 cell
+    }
+    // Momentum consistent with the displacement (matters only for Jz in 2D).
+    Real disp2 = 0;
+    for (int d = 0; d < DIM; ++d) { disp2 += (xn[d] - xo[d]) * (xn[d] - xo[d]); }
+    const Real v = std::sqrt(disp2) / dt;
+    const Real gamma = 1 / std::sqrt(1 - v * v / (c * c));
+    for (int d = 0; d < DIM; ++d) { u[d] = gamma * (xn[d] - xo[d]) / dt; }
+    tile.push_back(xn, u, 1.0 + 0.1 * p);
+    for (int d = 0; d < DIM; ++d) { x_old[d].push_back(xo[d]); }
+  }
+
+  // rho_old at x_old: temporarily swap positions.
+  ParticleTile<DIM> tile_old = tile;
+  for (int d = 0; d < DIM; ++d) { tile_old.x[d] = x_old[d]; }
+  deposit_charge<DIM>(order, tile_old, geom, rho_old.array(0), q);
+  deposit_charge<DIM>(order, tile, geom, rho_new.array(0), q);
+  deposit_current<DIM>(DepositionKind::Esirkepov, order, tile, x_old, geom, J.array(0), q,
+                       dt);
+
+  const Real resid = mrpic::diag::continuity_residual<DIM>(rho_old, rho_new, J, geom, dt);
+  // Scale: typical |drho/dt|.
+  const Real scale = rho_new.max_abs(0) / dt;
+  EXPECT_LT(resid, 1e-10 * scale) << "order " << order << " DIM " << DIM;
+}
+
+class Continuity2D : public ::testing::TestWithParam<int> {};
+TEST_P(Continuity2D, EsirkepovConservesCharge) { check_continuity<2>(GetParam(), 11); }
+INSTANTIATE_TEST_SUITE_P(Orders, Continuity2D, ::testing::Values(1, 2, 3));
+
+class Continuity3D : public ::testing::TestWithParam<int> {};
+TEST_P(Continuity3D, EsirkepovConservesCharge) { check_continuity<3>(GetParam(), 13); }
+INSTANTIATE_TEST_SUITE_P(Orders, Continuity3D, ::testing::Values(1, 2, 3));
+
+TEST(Deposition, TotalCurrentMatchesChargeFlux) {
+  // Integral of Esirkepov J over the grid equals q w <v> (each component):
+  // sum_i Jx * dV = Q * (x_new - x_old) / dt.
+  const int n = 16;
+  const auto geom = make_geom<2>(n);
+  mrpic::MultiFab<2> J(mrpic::BoxArray<2>(geom.domain()), 3, mrpic::default_num_ghost);
+  const Real dx = geom.cell_size(0);
+  const Real dt = 0.5 * dx / c;
+  const Real q = -mrpic::constants::q_e;
+  const Real w = 3.0;
+
+  ParticleTile<2> tile;
+  std::array<std::vector<Real>, 2> x_old;
+  const std::array<Real, 2> xo = {7.3 * dx, 8.6 * dx};
+  const std::array<Real, 2> xn = {7.9 * dx, 8.2 * dx};
+  tile.push_back(xn, {0, 0, 0}, w);
+  x_old[0].push_back(xo[0]);
+  x_old[1].push_back(xo[1]);
+  deposit_current<2>(DepositionKind::Esirkepov, 3, tile, x_old, geom, J.array(0), q, dt);
+
+  const Real dv = dx * dx; // unit z-depth
+  EXPECT_NEAR(J.sum(0) * dv, q * w * (xn[0] - xo[0]) / dt,
+              std::abs(q * w * dx / dt) * 1e-10);
+  EXPECT_NEAR(J.sum(1) * dv, q * w * (xn[1] - xo[1]) / dt,
+              std::abs(q * w * dx / dt) * 1e-10);
+}
+
+TEST(Deposition, OutOfPlaneCurrent2D) {
+  // Jz in 2D deposits q w vz S: integral = q w vz.
+  const int n = 16;
+  const auto geom = make_geom<2>(n);
+  mrpic::MultiFab<2> J(mrpic::BoxArray<2>(geom.domain()), 3, mrpic::default_num_ghost);
+  const Real dx = geom.cell_size(0);
+  const Real dt = 0.4 * dx / c;
+  const Real q = -mrpic::constants::q_e;
+  const Real uz = 0.3 * c;
+  const Real gamma = 1 / std::sqrt(1 - 0.09);
+
+  ParticleTile<2> tile;
+  std::array<std::vector<Real>, 2> x_old;
+  tile.push_back({8.5 * dx, 8.5 * dx}, {0, 0, gamma * uz}, 2.0);
+  x_old[0].push_back(8.5 * dx);
+  x_old[1].push_back(8.5 * dx);
+  deposit_current<2>(DepositionKind::Esirkepov, 3, tile, x_old, geom, J.array(0), q, dt);
+  EXPECT_NEAR(J.sum(2) * dx * dx, q * 2.0 * uz, std::abs(q * 2.0 * uz) * 1e-10);
+}
+
+TEST(Deposition, DirectMatchesEsirkepovIntegral) {
+  // The two schemes distribute differently but the total deposited current
+  // must agree (same physical charge flux).
+  const int n = 16;
+  const auto geom = make_geom<2>(n);
+  mrpic::MultiFab<2> Je(mrpic::BoxArray<2>(geom.domain()), 3, mrpic::default_num_ghost);
+  mrpic::MultiFab<2> Jd(mrpic::BoxArray<2>(geom.domain()), 3, mrpic::default_num_ghost);
+  const Real dx = geom.cell_size(0);
+  const Real dt = 0.5 * dx / c;
+  const Real q = -mrpic::constants::q_e;
+
+  ParticleTile<2> tile;
+  std::array<std::vector<Real>, 2> x_old;
+  const Real vx = 0.4 * c;
+  const Real gamma = 1 / std::sqrt(1 - 0.16);
+  const std::array<Real, 2> xo = {6.2 * dx, 9.1 * dx};
+  const std::array<Real, 2> xn = {xo[0] + vx * dt, xo[1]};
+  tile.push_back(xn, {gamma * vx, 0, 0}, 1.0);
+  x_old[0].push_back(xo[0]);
+  x_old[1].push_back(xo[1]);
+
+  deposit_current<2>(DepositionKind::Esirkepov, 3, tile, x_old, geom, Je.array(0), q, dt);
+  deposit_current<2>(DepositionKind::Direct, 3, tile, x_old, geom, Jd.array(0), q, dt);
+  EXPECT_NEAR(Je.sum(0), Jd.sum(0), std::abs(Je.sum(0)) * 1e-9);
+}
+
+TEST(Deposition, ChargeDepositTotal) {
+  const int n = 12;
+  const auto geom = make_geom<3>(n);
+  mrpic::MultiFab<3> rho(mrpic::BoxArray<3>(geom.domain()), 1, mrpic::default_num_ghost);
+  const Real dx = geom.cell_size(0);
+  const Real q = mrpic::constants::q_e;
+
+  ParticleTile<3> tile;
+  tile.push_back({5.3 * dx, 6.1 * dx, 4.9 * dx}, {0, 0, 0}, 7.0);
+  tile.push_back({2.8 * dx, 3.3 * dx, 8.2 * dx}, {0, 0, 0}, 1.5);
+  deposit_charge<3>(3, tile, geom, rho.array(0), q);
+  // Integral of rho dV = total charge.
+  EXPECT_NEAR(rho.sum(0) * dx * dx * dx, q * 8.5, q * 8.5 * 1e-10);
+}
+
+TEST(Deposition, StationaryParticleNoInPlaneCurrent) {
+  const int n = 12;
+  const auto geom = make_geom<2>(n);
+  mrpic::MultiFab<2> J(mrpic::BoxArray<2>(geom.domain()), 3, mrpic::default_num_ghost);
+  const Real dx = geom.cell_size(0);
+  ParticleTile<2> tile;
+  std::array<std::vector<Real>, 2> x_old;
+  tile.push_back({5.5 * dx, 5.5 * dx}, {0, 0, 0}, 1.0);
+  x_old[0].push_back(5.5 * dx);
+  x_old[1].push_back(5.5 * dx);
+  deposit_current<2>(DepositionKind::Esirkepov, 3, tile, x_old, geom, J.array(0),
+                     -mrpic::constants::q_e, 1e-16);
+  EXPECT_EQ(J.max_abs(0), 0.0);
+  EXPECT_EQ(J.max_abs(1), 0.0);
+  EXPECT_EQ(J.max_abs(2), 0.0);
+}
+
+} // namespace
+} // namespace mrpic::particles

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/amr/multifab.hpp"
+#include "src/fields/yee.hpp"
+#include "src/particles/gather.hpp"
+
+namespace mrpic::particles {
+namespace {
+
+mrpic::Geometry<2> make_geom2(int n) {
+  return mrpic::Geometry<2>(mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(n - 1, n - 1)),
+                            mrpic::RealVect2(0, 0), mrpic::RealVect2(n * 1e-7, n * 1e-7),
+                            {false, false});
+}
+
+TEST(Gather, UniformFieldIsExact) {
+  const int n = 16;
+  const auto geom = make_geom2(n);
+  mrpic::MultiFab<2> E(mrpic::BoxArray<2>(geom.domain()), 3, mrpic::default_num_ghost);
+  mrpic::MultiFab<2> B(mrpic::BoxArray<2>(geom.domain()), 3, mrpic::default_num_ghost);
+  E.set_val(3.0);
+  B.set_val(-2.0);
+
+  ParticleTile<2> tile;
+  const Real dx = geom.cell_size(0);
+  tile.push_back({5.37 * dx, 9.11 * dx}, {0, 0, 0}, 1.0);
+  tile.push_back({8.0 * dx, 3.5 * dx}, {0, 0, 0}, 1.0);
+
+  GatheredFields out;
+  for (int order : {1, 2, 3}) {
+    gather_fields<2>(order, tile, geom, E.const_array(0), B.const_array(0), out);
+    for (std::size_t p = 0; p < tile.size(); ++p) {
+      for (int cc = 0; cc < 3; ++cc) {
+        EXPECT_NEAR(out.E[cc][p], 3.0, 1e-12) << "order " << order;
+        EXPECT_NEAR(out.B[cc][p], -2.0, 1e-12) << "order " << order;
+      }
+    }
+  }
+}
+
+TEST(Gather, LinearFieldReproducedExactly) {
+  // B-spline interpolation of any order reproduces linear functions, with
+  // the correct staggering offsets per component.
+  const int n = 32;
+  const auto geom = make_geom2(n);
+  mrpic::MultiFab<2> E(mrpic::BoxArray<2>(geom.domain()), 3, mrpic::default_num_ghost);
+  mrpic::MultiFab<2> B(mrpic::BoxArray<2>(geom.domain()), 3, mrpic::default_num_ghost);
+  const Real dx = geom.cell_size(0), dy = geom.cell_size(1);
+
+  // Fill E/B components (including ghosts) with f(x,y) = x + 2y evaluated at
+  // each component's staggered location.
+  auto fill = [&](mrpic::MultiFab<2>& mf, auto stag_of) {
+    auto& fab = mf.fab(0);
+    fab.for_each_cell(mf.grown_box(0), [&](const mrpic::IntVect2& p) {
+      for (int cc = 0; cc < 3; ++cc) {
+        const auto s = stag_of(cc);
+        const Real x = (p[0] + 0.5 * s[0]) * dx;
+        const Real y = (p[1] + 0.5 * s[1]) * dy;
+        fab(p, cc) = x + 2 * y;
+      }
+    });
+  };
+  fill(E, [](int cc) { return mrpic::fields::e_stag<2>(cc); });
+  fill(B, [](int cc) { return mrpic::fields::b_stag<2>(cc); });
+
+  ParticleTile<2> tile;
+  tile.push_back({13.27 * dx, 17.63 * dy}, {0, 0, 0}, 1.0);
+  GatheredFields out;
+  for (int order : {1, 2, 3}) {
+    gather_fields<2>(order, tile, geom, E.const_array(0), B.const_array(0), out);
+    const Real expected = 13.27 * dx + 2 * 17.63 * dy;
+    for (int cc = 0; cc < 3; ++cc) {
+      EXPECT_NEAR(out.E[cc][0], expected, expected * 1e-12) << "order " << order;
+      EXPECT_NEAR(out.B[cc][0], expected, expected * 1e-12) << "order " << order;
+    }
+  }
+}
+
+TEST(Gather, SmoothFieldConvergesSecondOrderInResolution) {
+  // B-spline gathering of any order is a smoothing interpolation with an
+  // O(h^2) error on smooth fields (higher shape orders reduce grid noise,
+  // not the smooth-field error — their error constant is the spline
+  // variance, which grows with order). Check the h^2 convergence.
+  Real errs[2];
+  int idx = 0;
+  for (int n : {32, 64}) {
+    const auto geom = make_geom2(n);
+    mrpic::MultiFab<2> E(mrpic::BoxArray<2>(geom.domain()), 3, mrpic::default_num_ghost);
+    mrpic::MultiFab<2> B(mrpic::BoxArray<2>(geom.domain()), 3, mrpic::default_num_ghost);
+    const Real L = geom.prob_hi()[0];
+    auto& fab = E.fab(0);
+    fab.for_each_cell(E.grown_box(0), [&](const mrpic::IntVect2& p) {
+      const Real x = (p[0] + 0.5) * geom.cell_size(0); // Ex staggering
+      fab(p, 0) = std::sin(2 * mrpic::constants::pi * x / L);
+    });
+    ParticleTile<2> tile;
+    // Same physical position in both resolutions.
+    const Real xp = 0.413 * L;
+    tile.push_back({xp, 0.5 * L}, {0, 0, 0}, 1.0);
+    const Real exact = std::sin(2 * mrpic::constants::pi * xp / L);
+    GatheredFields out;
+    gather_fields<2>(3, tile, geom, E.const_array(0), B.const_array(0), out);
+    errs[idx++] = std::abs(out.E[0][0] - exact);
+  }
+  // Doubling resolution cuts the error by ~4 (allow slack for the sampled
+  // position landing at different sub-cell offsets).
+  EXPECT_LT(errs[1], errs[0] / 2.5);
+  EXPECT_LT(errs[1], 2e-3);
+}
+
+TEST(Gather, FlopsEstimatesPositive) {
+  EXPECT_GT(gather_flops_per_particle(1, 2), 0);
+  EXPECT_GT(gather_flops_per_particle(3, 3), gather_flops_per_particle(1, 3));
+}
+
+} // namespace
+} // namespace mrpic::particles

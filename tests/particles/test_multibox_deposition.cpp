@@ -1,0 +1,145 @@
+// Decomposition invariance of the particle pipeline: depositing the same
+// particles on a 1-box level and a 2x2-box level must produce identical
+// currents after the ghost reduction, and gathering the same fields must be
+// identical regardless of which fab serves the particle. This is the
+// property that makes domain decomposition (and dynamic load balancing)
+// physically invisible.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "src/amr/multifab.hpp"
+#include "src/particles/deposition.hpp"
+#include "src/particles/gather.hpp"
+
+namespace mrpic::particles {
+namespace {
+
+using mrpic::constants::c;
+using mrpic::constants::q_e;
+
+mrpic::Geometry<2> make_geom() {
+  return mrpic::Geometry<2>(mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(31, 31)),
+                            mrpic::RealVect2(0, 0), mrpic::RealVect2(3.2e-6, 3.2e-6),
+                            {true, true});
+}
+
+struct Cloud {
+  std::vector<std::array<Real, 2>> x_new, x_old;
+  std::vector<std::array<Real, 3>> u;
+  std::vector<Real> w;
+};
+
+Cloud random_cloud(int n, std::uint64_t seed) {
+  Cloud cl;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> pos(0.0, 3.2e-6);
+  std::uniform_real_distribution<double> mov(-0.4, 0.4);
+  const Real dx = 0.1e-6;
+  for (int i = 0; i < n; ++i) {
+    std::array<Real, 2> xo = {pos(rng), pos(rng)};
+    std::array<Real, 2> xn = {xo[0] + mov(rng) * dx, xo[1] + mov(rng) * dx};
+    cl.x_old.push_back(xo);
+    cl.x_new.push_back(xn);
+    cl.u.push_back({mov(rng) * c, mov(rng) * c, mov(rng) * c});
+    cl.w.push_back(1.0 + (i % 5));
+  }
+  return cl;
+}
+
+// Deposit the cloud on a given decomposition; every particle goes to the
+// tile that owns its *old* cell (the pre-push home, as in the PIC loop).
+mrpic::MultiFab<2> deposit_on(const mrpic::BoxArray<2>& ba, const Cloud& cl, int order) {
+  const auto geom = make_geom();
+  mrpic::MultiFab<2> J(ba, 3, mrpic::default_num_ghost);
+  const Real dt = 0.5 * 0.1e-6 / c;
+  for (int b = 0; b < ba.size(); ++b) {
+    ParticleTile<2> tile;
+    std::array<std::vector<Real>, 2> x_old;
+    for (std::size_t p = 0; p < cl.w.size(); ++p) {
+      mrpic::IntVect2 cell(geom.cell_index(cl.x_old[p][0], 0),
+                           geom.cell_index(cl.x_old[p][1], 1));
+      if (!ba[b].contains(cell)) { continue; }
+      tile.push_back(cl.x_new[p], cl.u[p], cl.w[p]);
+      x_old[0].push_back(cl.x_old[p][0]);
+      x_old[1].push_back(cl.x_old[p][1]);
+    }
+    deposit_current<2>(DepositionKind::Esirkepov, order, tile, x_old, geom, J.array(b),
+                       -q_e, dt);
+  }
+  J.sum_boundary(geom);
+  J.fill_boundary(geom);
+  return J;
+}
+
+class MultiBoxDeposition : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiBoxDeposition, DecompositionInvariant) {
+  const int order = GetParam();
+  const auto geom = make_geom();
+  const auto cl = random_cloud(200, 42);
+  const auto J1 = deposit_on(mrpic::BoxArray<2>(geom.domain()), cl, order);
+  const auto J4 = deposit_on(mrpic::BoxArray<2>::decompose(geom.domain(), 16), cl, order);
+
+  const Real scale = std::max({J1.max_abs(0), J1.max_abs(1), J1.max_abs(2)});
+  ASSERT_GT(scale, 0.0);
+  for (int m = 0; m < J4.num_fabs(); ++m) {
+    const auto a4 = J4.const_array(m);
+    const auto a1 = J1.const_array(0);
+    const auto& vb = J4.valid_box(m);
+    Real worst = 0;
+    for (int j = vb.lo(1); j <= vb.hi(1); ++j) {
+      for (int i = vb.lo(0); i <= vb.hi(0); ++i) {
+        for (int cc = 0; cc < 3; ++cc) {
+          worst = std::max(worst, std::abs(a4(i, j, 0, cc) - a1(i, j, 0, cc)));
+        }
+      }
+    }
+    EXPECT_LT(worst, 1e-12 * scale) << "fab " << m << " order " << order;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MultiBoxDeposition, ::testing::Values(1, 2, 3));
+
+TEST(MultiBoxGather, SameFieldEitherSide) {
+  // A particle just left/right of a box boundary gathers from different
+  // fabs; with synced ghosts the results must agree to round-off.
+  const auto geom = make_geom();
+  const auto ba = mrpic::BoxArray<2>::decompose(geom.domain(), 16);
+  mrpic::MultiFab<2> E(ba, 3, mrpic::default_num_ghost);
+  mrpic::MultiFab<2> B(ba, 3, mrpic::default_num_ghost);
+  // Smooth field.
+  for (int m = 0; m < E.num_fabs(); ++m) {
+    auto& fab = E.fab(m);
+    fab.for_each_cell(E.valid_box(m), [&](const mrpic::IntVect2& p) {
+      for (int cc = 0; cc < 3; ++cc) {
+        fab(p, cc) = std::sin(0.3 * p[0]) * std::cos(0.2 * p[1]) + cc;
+      }
+    });
+  }
+  E.fill_boundary(geom);
+  B.fill_boundary(geom);
+
+  // Boundary between box 0 and its x-neighbor is at x = 16 cells = 1.6e-6.
+  // Gather the SAME physical point from both fabs: it is valid in the right
+  // box and within the left box's ghost reach, so the synced ghosts must
+  // make the two interpolations agree to round-off.
+  GatheredFields left, right;
+  ParticleTile<2> tile;
+  tile.push_back({1.6e-6 + 0.02e-6, 1.0e-6}, {0, 0, 0}, 1.0);
+  int bl = -1, br = -1;
+  ba.contains(mrpic::IntVect2(15, 10), &bl);
+  ba.contains(mrpic::IntVect2(16, 10), &br);
+  ASSERT_NE(bl, br);
+  gather_fields<2>(3, tile, geom, E.const_array(bl), B.const_array(bl), left);
+  gather_fields<2>(3, tile, geom, E.const_array(br), B.const_array(br), right);
+  for (int cc = 0; cc < 3; ++cc) {
+    EXPECT_NEAR(left.E[cc][0], right.E[cc][0], 1e-13) << cc;
+  }
+}
+
+} // namespace
+} // namespace mrpic::particles

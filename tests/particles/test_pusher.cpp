@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/particles/pusher.hpp"
+
+namespace mrpic::particles {
+namespace {
+
+using namespace mrpic::constants;
+
+TEST(Boris, PureElectricAcceleration) {
+  // du/dt = qE/m exactly for B = 0 (u is proper velocity).
+  std::array<Real, 3> u = {0, 0, 0};
+  const std::array<Real, 3> E = {1e6, 0, 0};
+  const std::array<Real, 3> B = {0, 0, 0};
+  const Real dt = 1e-15;
+  boris_rotate(u, E, B, -q_e, m_e, dt);
+  EXPECT_NEAR(u[0], -q_e / m_e * E[0] * dt, std::abs(u[0]) * 1e-12);
+  EXPECT_EQ(u[1], 0.0);
+  EXPECT_EQ(u[2], 0.0);
+}
+
+TEST(Boris, MagneticFieldPreservesEnergy) {
+  // Pure magnetic rotation must not change |u| (to round-off), for any dt.
+  std::array<Real, 3> u = {1e7, 2e7, -5e6};
+  const Real u0 = std::sqrt(u[0] * u[0] + u[1] * u[1] + u[2] * u[2]);
+  const std::array<Real, 3> E = {0, 0, 0};
+  const std::array<Real, 3> B = {0.3, -0.1, 1.0};
+  for (int s = 0; s < 1000; ++s) { boris_rotate(u, E, B, -q_e, m_e, 1e-13); }
+  const Real u1 = std::sqrt(u[0] * u[0] + u[1] * u[1] + u[2] * u[2]);
+  EXPECT_NEAR(u1 / u0, 1.0, 1e-12);
+}
+
+TEST(Boris, GyroFrequency) {
+  // Non-relativistic electron in Bz: angular frequency omega_c = |q|B/m.
+  const Real B0 = 0.01; // weak field, v << c
+  std::array<Real, 3> u = {1e5, 0, 0};
+  const std::array<Real, 3> E = {0, 0, 0};
+  const std::array<Real, 3> B = {0, 0, B0};
+  const Real omega_c = q_e * B0 / m_e;
+  const Real period = 2 * pi / omega_c;
+  const int nsteps = 2000;
+  const Real dt = period / nsteps;
+  for (int s = 0; s < nsteps; ++s) { boris_rotate(u, E, B, -q_e, m_e, dt); }
+  // After one period the velocity must return to its initial direction.
+  EXPECT_NEAR(u[0], 1e5, 1e5 * 1e-3);
+  EXPECT_NEAR(u[1], 0.0, 1e5 * 5e-3);
+}
+
+TEST(Boris, RelativisticGamma) {
+  // Constant E accelerates: u grows linearly in time, v saturates at c.
+  std::array<Real, 3> u = {0, 0, 0};
+  const std::array<Real, 3> E = {0, 0, 1e14}; // extreme field
+  const std::array<Real, 3> B = {0, 0, 0};
+  const Real dt = 1e-16;
+  for (int s = 0; s < 1000; ++s) { boris_rotate(u, E, B, -q_e, m_e, dt); }
+  const Real expected_u = q_e / m_e * 1e14 * 1000 * dt; // |q|E t / m
+  EXPECT_NEAR(std::abs(u[2]), expected_u, expected_u * 1e-9);
+  const Real gamma = std::sqrt(1 + u[2] * u[2] / (c * c));
+  EXPECT_GT(gamma, 5.0); // strongly relativistic
+  EXPECT_LT(std::abs(u[2]) / gamma, c); // v < c always
+}
+
+TEST(Boris, ExBDriftVelocity) {
+  // Crossed fields: drift velocity v = E x B / B^2 (independent of charge).
+  // E along x, B along z -> v_drift = -E0/B0 along y.
+  const Real E0 = 1e4, B0 = 0.1; // |v_drift| = 1e5 m/s << c
+  std::array<Real, 3> u = {0, -E0 / B0, 0}; // start at the drift velocity
+  const std::array<Real, 3> E = {E0, 0, 0};
+  const std::array<Real, 3> B = {0, 0, B0};
+  // At exactly the drift velocity the Lorentz force vanishes: u stays put.
+  for (int s = 0; s < 200; ++s) { boris_rotate(u, E, B, -q_e, m_e, 1e-12); }
+  EXPECT_NEAR(u[1], -E0 / B0, E0 / B0 * 0.02);
+  EXPECT_NEAR(u[0], 0.0, E0 / B0 * 0.02);
+}
+
+TEST(PushParticles, PositionUpdateUsesRelativisticVelocity) {
+  ParticleTile<2> tile;
+  const Real uz = 10 * c; // gamma ~ 10
+  tile.push_back({0.0, 0.0}, {uz, 0, 0}, 1.0);
+  GatheredFields f;
+  f.resize(1);
+  const Real dt = 1e-15;
+  push_particles<2>(PusherKind::Boris, tile, f, -q_e, m_e, dt);
+  const Real gamma = std::sqrt(1 + uz * uz / (c * c));
+  EXPECT_NEAR(tile.x[0][0], uz / gamma * dt, 1e-25);
+  EXPECT_LT(tile.x[0][0], c * dt); // never superluminal
+}
+
+TEST(PushParticles, VayMatchesBorisWeakField) {
+  // In weak fields both pushers converge to the same trajectory.
+  ParticleTile<2> t_boris, t_vay;
+  t_boris.push_back({0.0, 0.0}, {1e6, 2e6, 0}, 1.0);
+  t_vay.push_back({0.0, 0.0}, {1e6, 2e6, 0}, 1.0);
+  GatheredFields f;
+  f.resize(1);
+  f.E[0][0] = 1e3;
+  f.B[2][0] = 1e-4;
+  for (int s = 0; s < 100; ++s) {
+    push_particles<2>(PusherKind::Boris, t_boris, f, -q_e, m_e, 1e-14);
+    push_particles<2>(PusherKind::Vay, t_vay, f, -q_e, m_e, 1e-14);
+  }
+  for (int cc = 0; cc < 3; ++cc) {
+    EXPECT_NEAR(t_vay.u[cc][0], t_boris.u[cc][0],
+                std::max(std::abs(t_boris.u[cc][0]) * 1e-5, 1.0));
+  }
+}
+
+TEST(PushParticles, ManyParticlesIndependent) {
+  ParticleTile<3> tile;
+  for (int i = 0; i < 10; ++i) {
+    tile.push_back({1e-6 * i, 0.0, 0.0}, {0, 0, 0}, 1.0);
+  }
+  GatheredFields f;
+  f.resize(10);
+  for (int i = 0; i < 10; ++i) { f.E[0][i] = 1e6 * i; }
+  push_particles<3>(PusherKind::Boris, tile, f, -q_e, m_e, 1e-15);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(tile.u[0][i], -q_e / m_e * 1e6 * i * 1e-15,
+                std::abs(tile.u[0][i]) * 1e-12 + 1e-20);
+  }
+}
+
+} // namespace
+} // namespace mrpic::particles

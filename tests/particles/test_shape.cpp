@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/particles/shape.hpp"
+
+namespace mrpic::particles {
+namespace {
+
+template <int ORDER>
+void check_partition_of_unity() {
+  for (Real x : {0.0, 0.1, 0.25, 0.5, 0.75, 0.999, 3.3, -2.7}) {
+    Real w[ORDER + 1];
+    Shape<ORDER>::compute(w, x);
+    Real s = 0;
+    for (int i = 0; i <= ORDER; ++i) {
+      EXPECT_GE(w[i], -1e-14) << "order " << ORDER << " x " << x;
+      s += w[i];
+    }
+    EXPECT_NEAR(s, 1.0, 1e-12) << "order " << ORDER << " x " << x;
+  }
+}
+
+TEST(Shape, PartitionOfUnity) {
+  check_partition_of_unity<1>();
+  check_partition_of_unity<2>();
+  check_partition_of_unity<3>();
+}
+
+template <int ORDER>
+void check_first_moment() {
+  // B-splines reproduce the position: sum_i w_i * (start+i) == x - shift,
+  // where the spline center conventions make the first moment equal x for
+  // odd orders centered between nodes and nearest-node for order 2.
+  for (Real x : {0.2, 0.5, 0.77, 4.31}) {
+    Real w[ORDER + 1];
+    const int start = Shape<ORDER>::compute(w, x);
+    Real m1 = 0;
+    for (int i = 0; i <= ORDER; ++i) { m1 += w[i] * (start + i); }
+    // For B-splines of any order the first moment equals x - 1/2 for the
+    // cell-offset conventions of order 1/3 and x for order 2... verify the
+    // actual invariant: the moment is x shifted by a constant independent
+    // of x. Compute the shift at x=10.0 and require consistency.
+    Real wref[ORDER + 1];
+    const int sref = Shape<ORDER>::compute(wref, x + 1);
+    Real m1ref = 0;
+    for (int i = 0; i <= ORDER; ++i) { m1ref += wref[i] * (sref + i); }
+    EXPECT_NEAR(m1ref - m1, 1.0, 1e-12) << "order " << ORDER;
+  }
+}
+
+TEST(Shape, FirstMomentTracksPosition) {
+  check_first_moment<1>();
+  check_first_moment<2>();
+  check_first_moment<3>();
+}
+
+TEST(Shape, Order1Exact) {
+  Real w[2];
+  const int i = Shape<1>::compute(w, 3.25);
+  EXPECT_EQ(i, 3);
+  EXPECT_DOUBLE_EQ(w[0], 0.75);
+  EXPECT_DOUBLE_EQ(w[1], 0.25);
+}
+
+TEST(Shape, Order2CenteredOnNearestNode) {
+  Real w[3];
+  // x = 5.0: exactly on node 5 -> symmetric weights (1/8, 3/4, 1/8).
+  const int i = Shape<2>::compute(w, 5.0);
+  EXPECT_EQ(i, 4);
+  EXPECT_DOUBLE_EQ(w[0], 0.125);
+  EXPECT_DOUBLE_EQ(w[1], 0.75);
+  EXPECT_DOUBLE_EQ(w[2], 0.125);
+}
+
+TEST(Shape, Order3SymmetricAtMidCell) {
+  Real w[4];
+  const int i = Shape<3>::compute(w, 2.5);
+  EXPECT_EQ(i, 1);
+  EXPECT_NEAR(w[0], w[3], 1e-15);
+  EXPECT_NEAR(w[1], w[2], 1e-15);
+  EXPECT_NEAR(w[0], 1.0 / 48.0, 1e-12);
+  EXPECT_NEAR(w[1], 23.0 / 48.0, 1e-12);
+}
+
+TEST(Shape, ContinuityAcrossCellBoundary) {
+  // Shapes are C^{ORDER-1}: weights evaluated immediately left/right of a
+  // cell boundary agree on the shared support.
+  Real wl[4], wr[4];
+  const Real eps = 1e-9;
+  const int il = Shape<3>::compute(wl, 4.0 - eps);
+  const int ir = Shape<3>::compute(wr, 4.0 + eps);
+  EXPECT_EQ(ir, il + 1);
+  for (int t = 0; t < 3; ++t) { EXPECT_NEAR(wl[t + 1], wr[t], 1e-6); }
+  EXPECT_NEAR(wl[0], 0.0, 1e-6); // leftmost weight vanishes at the boundary
+}
+
+class ShapeOrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShapeOrderSweep, SecondMomentConstant) {
+  // The variance of a B-spline of order n is (n+1)/12 (in cell^2 units),
+  // independent of the particle position: a strong shape-correctness check.
+  const int order = GetParam();
+  auto moment2 = [&](Real x) {
+    Real w[4];
+    int start = 0;
+    Real m1 = 0, m2 = 0;
+    if (order == 1) {
+      start = Shape<1>::compute(w, x);
+    } else if (order == 2) {
+      start = Shape<2>::compute(w, x);
+    } else {
+      start = Shape<3>::compute(w, x);
+    }
+    for (int i = 0; i <= order; ++i) {
+      m1 += w[i] * (start + i);
+      m2 += w[i] * (start + i) * (start + i);
+    }
+    return m2 - m1 * m1;
+  };
+  const Real expected = (order + 1) / 12.0;
+  for (Real x : {0.1, 0.33, 0.5, 0.9, 7.77}) {
+    EXPECT_NEAR(moment2(x), expected, 1e-10) << "order " << order << " x " << x;
+  }
+}
+
+// Only orders >= 2 have position-independent discrete variance; the linear
+// (order 1) weights have variance d(1-d), tested separately below.
+INSTANTIATE_TEST_SUITE_P(Orders, ShapeOrderSweep, ::testing::Values(2, 3));
+
+TEST(Shape, Order1VarianceIsDOneMinusD) {
+  for (Real x : {0.1, 0.33, 0.5, 0.9}) {
+    Real w[2];
+    const int start = Shape<1>::compute(w, x);
+    const Real d = x - start;
+    Real m1 = 0, m2 = 0;
+    for (int i = 0; i <= 1; ++i) {
+      m1 += w[i] * (start + i);
+      m2 += w[i] * (start + i) * (start + i);
+    }
+    EXPECT_NEAR(m2 - m1 * m1, d * (1 - d), 1e-12) << "x " << x;
+  }
+}
+
+} // namespace
+} // namespace mrpic::particles

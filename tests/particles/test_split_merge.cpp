@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "src/particles/split_merge.hpp"
+
+namespace mrpic::particles {
+namespace {
+
+using namespace mrpic::constants;
+
+mrpic::Geometry<2> make_geom() {
+  return mrpic::Geometry<2>(mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(15, 15)),
+                            mrpic::RealVect2(0, 0), mrpic::RealVect2(16e-6, 16e-6),
+                            {false, false});
+}
+
+template <int DIM>
+std::array<Real, 3> total_momentum(const ParticleTile<DIM>& t) {
+  std::array<Real, 3> p{};
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    for (int cc = 0; cc < 3; ++cc) { p[cc] += t.w[i] * t.u[cc][i]; }
+  }
+  return p;
+}
+
+template <int DIM>
+Real total_weight(const ParticleTile<DIM>& t) {
+  Real w = 0;
+  for (Real v : t.w) { w += v; }
+  return w;
+}
+
+TEST(Split, ConservesChargeMomentumAndCenter) {
+  const auto geom = make_geom();
+  ParticleTile<2> tile;
+  tile.push_back({5.5e-6, 7.3e-6}, {1e7, 2e7, -3e6}, 10.0);
+  tile.push_back({2.0e-6, 2.0e-6}, {0, 0, 0}, 1.0); // below threshold
+
+  const Real w0 = total_weight(tile);
+  const auto p0 = total_momentum(tile);
+  Real xw0 = 0;
+  for (std::size_t i = 0; i < tile.size(); ++i) { xw0 += tile.w[i] * tile.x[0][i]; }
+
+  SplitConfig cfg;
+  cfg.w_max = 5.0;
+  const auto stats = split_heavy<2>(tile, geom, m_e, cfg);
+  EXPECT_EQ(stats.splits, 1);
+  EXPECT_EQ(tile.size(), 3u);
+  EXPECT_NEAR(total_weight(tile), w0, w0 * 1e-12);
+  const auto p1 = total_momentum(tile);
+  for (int cc = 0; cc < 3; ++cc) { EXPECT_NEAR(p1[cc], p0[cc], std::abs(p0[cc]) * 1e-12 + 1e-9); }
+  Real xw1 = 0;
+  for (std::size_t i = 0; i < tile.size(); ++i) { xw1 += tile.w[i] * tile.x[0][i]; }
+  EXPECT_NEAR(xw1, xw0, std::abs(xw0) * 1e-12);
+  EXPECT_EQ(stats.energy_change, 0.0); // momenta unchanged
+}
+
+TEST(Split, DisplacesAlongMotion) {
+  const auto geom = make_geom();
+  ParticleTile<2> tile;
+  tile.push_back({8e-6, 8e-6}, {1e7, 0, 0}, 10.0);
+  SplitConfig cfg;
+  cfg.w_max = 1.0;
+  cfg.offset_cells = 0.25;
+  split_heavy<2>(tile, geom, m_e, cfg);
+  ASSERT_EQ(tile.size(), 2u);
+  // Moving along +x: halves displaced in x only.
+  EXPECT_NEAR(std::abs(tile.x[0][0] - tile.x[0][1]), 2 * 0.25 * geom.cell_size(0), 1e-12);
+  EXPECT_NEAR(tile.x[1][0], tile.x[1][1], 1e-15);
+}
+
+TEST(Split, RestParticleSplitsAlongX) {
+  const auto geom = make_geom();
+  ParticleTile<2> tile;
+  tile.push_back({8e-6, 8e-6}, {0, 0, 0}, 4.0);
+  SplitConfig cfg;
+  cfg.w_max = 1.0;
+  split_heavy<2>(tile, geom, m_e, cfg);
+  ASSERT_EQ(tile.size(), 2u);
+  EXPECT_GT(std::abs(tile.x[0][0] - tile.x[0][1]), 0.0);
+}
+
+TEST(Split, NoOpWhenDisabled) {
+  const auto geom = make_geom();
+  ParticleTile<2> tile;
+  tile.push_back({8e-6, 8e-6}, {0, 0, 0}, 100.0);
+  const auto stats = split_heavy<2>(tile, geom, m_e, SplitConfig{});
+  EXPECT_EQ(stats.splits, 0);
+  EXPECT_EQ(tile.size(), 1u);
+}
+
+TEST(Merge, ConservesChargeAndMomentumExactly) {
+  const auto geom = make_geom();
+  ParticleTile<2> tile;
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> jit(-0.4e-6, 0.4e-6);
+  std::normal_distribution<double> mom(1e7, 1e5); // similar momenta
+  // 40 particles crowded into one cell.
+  for (int i = 0; i < 40; ++i) {
+    tile.push_back({8.5e-6 + jit(rng), 8.5e-6 + jit(rng)},
+                   {mom(rng), mom(rng) * 0.1, 0}, 1.0 + 0.05 * i);
+  }
+  const Real w0 = total_weight(tile);
+  const auto p0 = total_momentum(tile);
+  const Real e0 = [&] {
+    Real e = 0;
+    for (std::size_t i = 0; i < tile.size(); ++i) {
+      const Real u2 =
+          tile.u[0][i] * tile.u[0][i] + tile.u[1][i] * tile.u[1][i] + tile.u[2][i] * tile.u[2][i];
+      e += tile.w[i] * (std::sqrt(1 + u2 / (c * c)) - 1) * m_e * c * c;
+    }
+    return e;
+  }();
+
+  MergeConfig cfg;
+  cfg.max_per_cell = 20;
+  cfg.momentum_tolerance = 0.2;
+  const auto stats = merge_crowded<2>(tile, geom, geom.domain(), m_e, cfg);
+  EXPECT_GT(stats.merges, 0);
+  EXPECT_LE(tile.size(), 40u - stats.merges);
+  EXPECT_NEAR(total_weight(tile), w0, w0 * 1e-12);
+  const auto p1 = total_momentum(tile);
+  for (int cc = 0; cc < 3; ++cc) {
+    EXPECT_NEAR(p1[cc], p0[cc], std::abs(p0[0]) * 1e-12);
+  }
+  // Energy decreases, by no more than the pair spread allows.
+  EXPECT_LE(stats.energy_change, 0.0);
+  EXPECT_GT(stats.energy_change, -0.01 * e0);
+}
+
+TEST(Merge, RespectsMomentumTolerance) {
+  const auto geom = make_geom();
+  ParticleTile<2> tile;
+  // Two counter-streaming populations in one cell: merging them would
+  // destroy the distribution; the tolerance must prevent it.
+  for (int i = 0; i < 20; ++i) {
+    tile.push_back({8.5e-6, 8.5e-6}, {1e7, 0, 0}, 1.0);
+    tile.push_back({8.5e-6, 8.5e-6}, {-1e7, 0, 0}, 1.0);
+  }
+  MergeConfig cfg;
+  cfg.max_per_cell = 10;
+  cfg.momentum_tolerance = 0.05;
+  const auto stats = merge_crowded<2>(tile, geom, geom.domain(), m_e, cfg);
+  // Sorting by |u| interleaves the two streams (equal magnitude), so pairs
+  // straddle them and the gate rejects every pair.
+  EXPECT_EQ(stats.merges, 0);
+  EXPECT_EQ(tile.size(), 40u);
+}
+
+TEST(Merge, LeavesQuietCellsAlone) {
+  const auto geom = make_geom();
+  ParticleTile<2> tile;
+  for (int i = 0; i < 10; ++i) {
+    tile.push_back({(1.5 + i) * 1e-6, 8e-6}, {1e6, 0, 0}, 1.0); // one per cell
+  }
+  MergeConfig cfg;
+  cfg.max_per_cell = 4;
+  const auto stats = merge_crowded<2>(tile, geom, geom.domain(), m_e, cfg);
+  EXPECT_EQ(stats.merges, 0);
+  EXPECT_EQ(tile.size(), 10u);
+}
+
+TEST(SplitMerge, RoundTripKeepsTotals) {
+  // Split everything, then merge back down: charge/momentum invariant
+  // throughout — the coupling the paper's future-work MR+splitting needs.
+  const auto geom = make_geom();
+  ParticleTile<2> tile;
+  std::mt19937_64 rng(11);
+  std::normal_distribution<double> mom(5e6, 1e4);
+  for (int i = 0; i < 30; ++i) {
+    tile.push_back({8.2e-6, 8.7e-6}, {mom(rng), 0, 0}, 4.0);
+  }
+  const Real w0 = total_weight(tile);
+  const auto p0 = total_momentum(tile);
+
+  SplitConfig scfg;
+  scfg.w_max = 2.0;
+  split_heavy<2>(tile, geom, m_e, scfg);
+  EXPECT_EQ(tile.size(), 60u);
+
+  MergeConfig mcfg;
+  mcfg.max_per_cell = 30;
+  mcfg.momentum_tolerance = 0.5;
+  merge_crowded<2>(tile, geom, geom.domain(), m_e, mcfg);
+  EXPECT_LE(tile.size(), 60u);
+
+  EXPECT_NEAR(total_weight(tile), w0, w0 * 1e-12);
+  const auto p1 = total_momentum(tile);
+  EXPECT_NEAR(p1[0], p0[0], std::abs(p0[0]) * 1e-12);
+}
+
+TEST(Merge, Works3D) {
+  const mrpic::Geometry<3> geom(
+      mrpic::Box3(mrpic::IntVect3(0, 0, 0), mrpic::IntVect3(7, 7, 7)),
+      mrpic::RealVect3(0, 0, 0), mrpic::RealVect3(8e-6, 8e-6, 8e-6), {});
+  ParticleTile<3> tile;
+  for (int i = 0; i < 30; ++i) {
+    tile.push_back({4.5e-6, 4.5e-6, 4.5e-6}, {1e7, 1e7, 1e7}, 1.0);
+  }
+  MergeConfig cfg;
+  cfg.max_per_cell = 10;
+  const auto stats = merge_crowded<3>(tile, geom, geom.domain(), m_e, cfg);
+  EXPECT_GT(stats.merges, 0);
+  EXPECT_NEAR(total_weight(tile), 30.0, 1e-10);
+}
+
+} // namespace
+} // namespace mrpic::particles
