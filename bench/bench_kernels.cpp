@@ -22,13 +22,20 @@
 // and the SP vs DP comparison behind Table III's MP mode, as
 // google-benchmark timings, followed by the summary table.
 
+// With --json (positioned anywhere in argv), the google-benchmark sweep is
+// skipped and the single-pass summary timings are written to
+// BENCH_kernels.json for machine consumption.
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 #include "src/diag/timers.hpp"
 #include "src/kernels/optimized_kernels.hpp"
 #include "src/kernels/reference_kernels.hpp"
+#include "src/obs/json.hpp"
 
 using namespace mrpic::kernels;
 
@@ -105,32 +112,42 @@ BENCHMARK(BM_GatherOptimized<double>)->Arg(64)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DepositReference<double>)->Arg(0)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DepositOptimized<double>)->Arg(64)->Unit(benchmark::kMillisecond);
 
-// Summary table in the paper's format (single timing pass, SP). The
+// Summary timings in the paper's format (single timing pass, SP). The
 // reference runs on arrival-order (unsorted) particles; the optimized path
 // on sorted ones, as in the paper's locality strategy.
-void print_summary_table() {
+struct SummaryTimings {
+  double gather_ref_s, gather_opt_s, deposit_ref_s, deposit_opt_s;
+};
+
+SummaryTimings run_summary() {
   Setup<float> su(/*sorted=*/false);
   Setup<float> ss(/*sorted=*/true);
   const int reps = 6;
+  SummaryTimings t{};
   mrpic::diag::Stopwatch sw;
   for (int r = 0; r < reps; ++r) { gather_reference(su.particles, su.fields); }
-  const double t_gather_ref = sw.seconds();
+  t.gather_ref_s = sw.seconds();
   sw.restart();
   for (int r = 0; r < reps; ++r) { gather_optimized(ss.particles, ss.fields); }
-  const double t_gather_opt = sw.seconds();
+  t.gather_opt_s = sw.seconds();
   sw.restart();
   for (int r = 0; r < reps; ++r) {
     su.fields.zero_j();
     deposit_reference(su.particles, su.fields, 1e-19f);
   }
-  const double t_dep_ref = sw.seconds();
+  t.deposit_ref_s = sw.seconds();
   sw.restart();
   for (int r = 0; r < reps; ++r) {
     ss.fields.zero_j();
     deposit_optimized(ss.particles, ss.fields, 1e-19f);
   }
-  const double t_dep_opt = sw.seconds();
+  t.deposit_opt_s = sw.seconds();
+  return t;
+}
 
+void print_summary_table(const SummaryTimings& t) {
+  const double t_gather_ref = t.gather_ref_s, t_gather_opt = t.gather_opt_s;
+  const double t_dep_ref = t.deposit_ref_s, t_dep_opt = t.deposit_opt_s;
   std::printf("\nSec. V.A.1 summary (this host, SP, order 3, %d^3 cells x %d ppc;\n",
               grid_n, ppc);
   std::printf("reference = per-particle on unsorted particles, optimized = grouped on\n");
@@ -145,12 +162,60 @@ void print_summary_table() {
   std::printf("compiler baseline with 2.3%% SIMD rate, so the host gap is smaller)\n");
 }
 
+void write_json(const SummaryTimings& t) {
+  std::ofstream os("BENCH_kernels.json");
+  mrpic::obs::json::Writer w(os);
+  w.begin_object();
+  w.field("bench", "kernels");
+  w.field("grid_n", grid_n);
+  w.field("ppc", ppc);
+  w.field("precision", "sp");
+  w.field("shape_order", 3);
+  w.begin_array("routines");
+  w.begin_object()
+      .field("routine", "gather")
+      .field("reference_s", t.gather_ref_s)
+      .field("optimized_s", t.gather_opt_s)
+      .field("speedup", t.gather_ref_s / t.gather_opt_s)
+      .field("paper_a64fx_speedup", 2.63)
+      .end_object();
+  w.begin_object()
+      .field("routine", "deposition")
+      .field("reference_s", t.deposit_ref_s)
+      .field("optimized_s", t.deposit_opt_s)
+      .field("speedup", t.deposit_ref_s / t.deposit_opt_s)
+      .field("paper_a64fx_speedup", 4.60)
+      .end_object();
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  std::printf("\nwrote BENCH_kernels.json\n");
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  print_summary_table();
+  // Strip our --json flag before google-benchmark sees (and rejects) it.
+  bool json_out = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_out = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  if (!json_out) {
+    // The statistical sweep is for humans at a terminal; --json runs only
+    // the single-pass summary below.
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  const SummaryTimings t = run_summary();
+  print_summary_table(t);
+  if (json_out) { write_json(t); }
   return 0;
 }

@@ -5,17 +5,25 @@
 // 256^3, Fugaku 64-96^3, Summit/Perlmutter 128^3). The paper's headline:
 // ~30% efficiency loss per order of magnitude of node count.
 
+// With --json, additionally writes BENCH_strong_scaling.json: model
+// speedup/efficiency rows per machine, plus per-rank-count simulated
+// cluster records (compute_s, comm_s, total_s, bytes, messages).
+
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <vector>
 
 #include "src/cluster/sim_cluster.hpp"
+#include "src/obs/json.hpp"
 #include "src/perf/machine.hpp"
 #include "src/perf/scaling_model.hpp"
 
 using namespace mrpic;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json_out = argc > 1 && std::strcmp(argv[1], "--json") == 0;
   struct Range {
     const char* machine;
     double n0, n1;
@@ -67,14 +75,64 @@ int main() {
   const double box_comp =
       st.node_seconds(summit, 32.0 * 32 * 32, 32.0 * 32 * 32) * summit.devices_per_node;
   double t1 = 0;
+  struct ClusterRecord {
+    int nranks;
+    cluster::StepCost cost;
+    double speedup, efficiency;
+  };
+  std::vector<ClusterRecord> cluster_records;
   for (int nranks : {1, 2, 4, 8, 16, 32, 64}) {
     const auto dm =
         dist::DistributionMapping::make(ba, nranks, dist::Strategy::SpaceFillingCurve);
     cluster::SimCluster cl(nranks, cm);
     const auto cost = cl.step_cost(ba, dm, std::vector<Real>(ba.size(), box_comp), 9, 4);
     if (nranks == 1) { t1 = cost.total_s; }
+    cluster_records.push_back(
+        {nranks, cost, t1 / cost.total_s, t1 / cost.total_s / nranks});
     std::printf("  %4d ranks: %.5f s/step  speedup %5.2f  efficiency %5.1f%%\n", nranks,
                 cost.total_s, t1 / cost.total_s, 100 * t1 / cost.total_s / nranks);
+  }
+
+  if (json_out) {
+    std::ofstream os("BENCH_strong_scaling.json");
+    obs::json::Writer w(os);
+    w.begin_object();
+    w.field("bench", "strong_scaling");
+    w.begin_array("model");
+    for (const auto& r : ranges) {
+      const auto& m = perf::machine_by_name(r.machine);
+      const double cells = std::pow(static_cast<double>(m.strong_block), 3) *
+                           m.devices_per_node * 4.0 * r.n0;
+      const double nmax = perf::StrongScalingModel::max_nodes(m, cells);
+      for (double n = r.n0; n <= r.n1 * 1.0001 && n <= nmax; n *= 2) {
+        w.begin_object()
+            .field("machine", r.machine)
+            .field("nodes", n)
+            .field("base_nodes", r.n0)
+            .field("speedup", model.speedup(n, r.n0))
+            .field("efficiency", model.efficiency(n, r.n0))
+            .end_object();
+      }
+    }
+    w.end_array();
+    w.begin_array("simulated_cluster");
+    for (const auto& r : cluster_records) {
+      w.begin_object()
+          .field("nodes", std::int64_t(r.nranks))
+          .field("compute_s", r.cost.compute_s)
+          .field("comm_s", r.cost.comm_s)
+          .field("total_s", r.cost.total_s)
+          .field("imbalance", r.cost.imbalance)
+          .field("bytes", r.cost.total_bytes)
+          .field("messages", r.cost.num_messages)
+          .field("speedup", r.speedup)
+          .field("efficiency", r.efficiency)
+          .end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << '\n';
+    std::printf("\nwrote BENCH_strong_scaling.json\n");
   }
   return 0;
 }

@@ -13,16 +13,26 @@
 // Paper endpoints: Frontier 80% @ 8576, Fugaku 84% @ 152064, Summit 74% @
 // 4263 (with a 15% dip by 8 nodes), Perlmutter 62% @ 1088.
 
+// With --json, additionally writes BENCH_weak_scaling.json: the model
+// efficiencies per machine per node count, plus per-node-count simulated
+// cluster records (compute_s, comm_s, total_s, bytes, messages) — the
+// machine-readable perf trajectory consumed by later PRs (EXPERIMENTS.md).
+
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <vector>
 
 #include "src/cluster/sim_cluster.hpp"
+#include "src/obs/json.hpp"
 #include "src/perf/machine.hpp"
 #include "src/perf/scaling_model.hpp"
 
 using namespace mrpic;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool json_out = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+
   std::printf("Fig. 5 (left): weak scaling efficiency [%%], model calibrated on the\n");
   std::printf("paper's anchors (marked *)\n\n");
 
@@ -64,6 +74,12 @@ int main() {
   cm.latency_s = summit.net_latency_s;
   cm.bandwidth_Bps = summit.net_bandwidth_Bps;
   double t1 = 0;
+  struct ClusterRecord {
+    int nranks;
+    cluster::StepCost cost;
+    double efficiency;
+  };
+  std::vector<ClusterRecord> cluster_records;
   for (int rpd : {1, 2, 3, 4}) { // ranks per dimension
     const int nranks = rpd * rpd * rpd;
     const Box3 domain(IntVect3(0, 0, 0), IntVect3(64 * rpd - 1, 64 * rpd - 1, 64 * rpd - 1));
@@ -79,9 +95,48 @@ int main() {
                         summit.devices_per_node;
     const auto cost = cl.step_cost(ba, dm, std::vector<Real>(ba.size(), comp), 9, 4);
     if (rpd == 1) { t1 = cost.total_s; }
+    cluster_records.push_back({nranks, cost, t1 / cost.total_s});
     std::printf("  %4d ranks: %.4f s/step  efficiency %5.1f %%  (%lld inter-rank msgs)\n",
                 nranks, cost.total_s, 100 * t1 / cost.total_s,
                 static_cast<long long>(cost.num_messages));
+  }
+
+  if (json_out) {
+    std::ofstream os("BENCH_weak_scaling.json");
+    obs::json::Writer w(os);
+    w.begin_object();
+    w.field("bench", "weak_scaling");
+    w.begin_array("model");
+    for (const auto& m : perf::catalogue()) {
+      const auto model = perf::WeakScalingModel::for_machine(m);
+      for (double n : nodes) {
+        if (n > m.nodes_available) { continue; }
+        w.begin_object()
+            .field("machine", m.name)
+            .field("nodes", n)
+            .field("efficiency", model.efficiency(n))
+            .field("anchor", n == m.weak.nodes_early || n == m.weak.nodes_full)
+            .end_object();
+      }
+    }
+    w.end_array();
+    w.begin_array("simulated_cluster");
+    for (const auto& r : cluster_records) {
+      w.begin_object()
+          .field("nodes", std::int64_t(r.nranks))
+          .field("compute_s", r.cost.compute_s)
+          .field("comm_s", r.cost.comm_s)
+          .field("total_s", r.cost.total_s)
+          .field("imbalance", r.cost.imbalance)
+          .field("bytes", r.cost.total_bytes)
+          .field("messages", r.cost.num_messages)
+          .field("efficiency", r.efficiency)
+          .end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << '\n';
+    std::printf("\nwrote BENCH_weak_scaling.json\n");
   }
   return 0;
 }

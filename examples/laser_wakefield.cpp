@@ -10,7 +10,9 @@
 // electron energy spectrum diagnostic.
 //
 // Run: ./laser_wakefield [t_end_fs]
-// Output: lwfa_history.csv (time series), lwfa_field.csv
+// Output: lwfa_history.csv (time series), lwfa_field.csv,
+//         lwfa_trace.json (Chrome/Perfetto trace of every profiled region),
+//         lwfa_metrics.jsonl (per-step counters/gauges)
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +21,7 @@
 #include "src/core/simulation.hpp"
 #include "src/diag/csv_writer.hpp"
 #include "src/diag/spectrum.hpp"
+#include "src/obs/trace.hpp"
 
 using namespace mrpic;
 using namespace mrpic::constants;
@@ -60,6 +63,7 @@ int main(int argc, char** argv) {
 
   // Window follows the pulse once it is fully emitted.
   sim.set_moving_window(0, c, /*start_time=*/40e-15);
+  sim.profiler().set_tracing(true); // collect Chrome trace events per region
   sim.init();
 
   std::printf("LWFA: n_gas/n_c = %.4f, a0 = %.1f, %lld particles, dt = %.2e s\n",
@@ -93,7 +97,15 @@ int main(int argc, char** argv) {
 
   history.write("lwfa_history.csv");
   diag::write_field_2d("lwfa_field.csv", sim.fields().E(), fields::X);
-  std::printf("wrote lwfa_history.csv, lwfa_field.csv\n");
+  obs::write_chrome_trace(sim.profiler(), "lwfa_trace.json", "laser_wakefield");
+  sim.metrics().write_jsonl("lwfa_metrics.jsonl");
+  std::printf("wrote lwfa_history.csv, lwfa_field.csv, lwfa_trace.json, "
+              "lwfa_metrics.jsonl\n");
   sim.timers().report(std::cout);
+  const auto& rep = sim.last_step_report();
+  std::printf("last step %lld: %.3f ms wall, %lld particles, %lld cells\n",
+              static_cast<long long>(rep.step), rep.wall_s * 1e3,
+              static_cast<long long>(rep.particles_pushed),
+              static_cast<long long>(rep.cells_advanced));
   return 0;
 }

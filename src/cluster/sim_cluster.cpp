@@ -4,7 +4,18 @@
 #include <cassert>
 #include <numeric>
 
+#include "src/obs/metrics.hpp"
+
 namespace mrpic::cluster {
+
+void SimCluster::record_metrics(const StepCost& cost) const {
+  if (m_metrics == nullptr) { return; }
+  m_metrics->counter("halo_bytes").add(cost.total_bytes);
+  m_metrics->counter("halo_messages").add(cost.num_messages);
+  m_metrics->gauge("cluster_compute_s").set(cost.compute_s);
+  m_metrics->gauge("cluster_comm_s").set(cost.comm_s);
+  m_metrics->gauge("cluster_imbalance").set(cost.imbalance);
+}
 
 template <int DIM>
 StepCost SimCluster::step_cost(const mrpic::BoxArray<DIM>& ba,
@@ -49,6 +60,7 @@ StepCost SimCluster::step_cost(const mrpic::BoxArray<DIM>& ba,
   const double mean =
       std::accumulate(rank_compute.begin(), rank_compute.end(), 0.0) / m_nranks;
   cost.imbalance = mean > 0 ? cost.compute_s / mean : 1.0;
+  record_metrics(cost);
   return cost;
 }
 

@@ -14,6 +14,10 @@
 #include "src/cluster/comm_model.hpp"
 #include "src/dist/distribution_mapping.hpp"
 
+namespace mrpic::obs {
+class MetricsRegistry;
+}
+
 namespace mrpic::cluster {
 
 struct StepCost {
@@ -32,6 +36,13 @@ public:
   int nranks() const { return m_nranks; }
   const CommModel& comm() const { return m_comm; }
 
+  // When set, every step_cost() evaluation records into the registry:
+  // counters halo_bytes / halo_messages, gauges cluster_compute_s /
+  // cluster_comm_s / cluster_imbalance. The registry must outlive this
+  // cluster (or be detached with nullptr).
+  void set_metrics(obs::MetricsRegistry* metrics) { m_metrics = metrics; }
+  obs::MetricsRegistry* metrics() const { return m_metrics; }
+
   // Cost of one step: per-box compute seconds + halo exchange of `ncomp`
   // components with `ngrow` ghosts over `ba` distributed by `dm`.
   // `bytes_per_value` is 8 (DP) or 4 (SP).
@@ -41,8 +52,11 @@ public:
                      int bytes_per_value = 8) const;
 
 private:
+  void record_metrics(const StepCost& cost) const;
+
   int m_nranks;
   CommModel m_comm;
+  obs::MetricsRegistry* m_metrics = nullptr;
 };
 
 extern template StepCost SimCluster::step_cost<2>(const mrpic::BoxArray<2>&,

@@ -8,73 +8,103 @@ namespace mrpic::core {
 template <int DIM>
 void Simulation<DIM>::step() {
   assert(m_initialized);
-  auto t_step = m_timers.scope("step");
+  const std::int64_t this_step = m_step;
+  m_profiler.set_step(this_step);
+  m_metrics.begin_step(this_step);
+  // Flat region totals before the step: the after-before difference is the
+  // per-region breakdown of exactly this step (StepReport::region_s).
+  const auto flat_before = m_profiler.flat_totals();
 
-  // 1. Particles: gather -> push -> deposit (fills J on every level).
   {
-    auto t = m_timers.scope("particles");
-    advance_particles();
-  }
+    auto t_step = m_profiler.scope("step");
 
-  // 2. External sources: laser antenna currents at t^{n+1/2} (level 0; the
-  // laser enters MR patches through the parent term of the aux fields).
-  {
-    auto t = m_timers.scope("laser");
-    for (const auto& laser : m_lasers) {
-      laser.deposit_current(m_fields, m_time + m_dt / 2);
+    // 1. Particles: gather -> push -> deposit (fills J on every level).
+    {
+      auto t = m_profiler.scope("particles");
+      advance_particles();
     }
-  }
 
-  // 3. Current reductions: fold ghost deposits into owners, then couple the
-  // fine-patch current to the coarse companion and the parent.
-  {
-    auto t = m_timers.scope("current_sync");
-    m_fields.J().sum_boundary(m_fields.geom());
+    // 2. External sources: laser antenna currents at t^{n+1/2} (level 0; the
+    // laser enters MR patches through the parent term of the aux fields).
+    {
+      auto t = m_profiler.scope("laser");
+      for (const auto& laser : m_lasers) {
+        laser.deposit_current(m_fields, m_time + m_dt / 2);
+      }
+    }
+
+    // 3. Current reductions: fold ghost deposits into owners, then couple the
+    // fine-patch current to the coarse companion and the parent.
+    {
+      auto t = m_profiler.scope("current_sync");
+      m_fields.J().sum_boundary(m_fields.geom());
+      if (m_patch && m_patch->active()) {
+        m_patch->fine().J().sum_boundary(m_patch->fine().geom());
+        m_patch->sync_currents(m_fields.J());
+      }
+    }
+
+    // 4. Maxwell solve on all grids: B half / E full / B half.
+    {
+      auto t = m_profiler.scope("field_solve");
+      solve_fields();
+    }
+
+    // 5. Auxiliary gather fields for the next step.
     if (m_patch && m_patch->active()) {
-      m_patch->fine().J().sum_boundary(m_patch->fine().geom());
-      m_patch->sync_currents(m_fields.J());
+      auto t = m_profiler.scope("mr_aux");
+      m_patch->build_aux(m_fields);
     }
-  }
 
-  // 4. Maxwell solve on all grids: B half / E full / B half.
-  {
-    auto t = m_timers.scope("field_solve");
-    solve_fields();
-  }
+    // 6. Moving window: scroll grids, drop/trim/inject particles.
+    {
+      auto t = m_profiler.scope("moving_window");
+      apply_moving_window();
+    }
 
-  // 5. Auxiliary gather fields for the next step.
-  if (m_patch && m_patch->active()) {
-    auto t = m_timers.scope("mr_aux");
-    m_patch->build_aux(m_fields);
-  }
-
-  // 6. Moving window: scroll grids, drop/trim/inject particles.
-  {
-    auto t = m_timers.scope("moving_window");
-    apply_moving_window();
-  }
-
-  // 7. Particle housekeeping: redistribute, migrate across levels, sort.
-  {
-    auto t = m_timers.scope("redistribute");
-    for (auto& sd : m_species) { sd.level0.redistribute(m_fields.geom()); }
-    if (m_patch) { migrate_patch_particles(); }
-    if (m_cfg.sort_interval > 0 && (m_step + 1) % m_cfg.sort_interval == 0) {
-      for (auto& sd : m_species) {
-        for (int ti = 0; ti < sd.level0.num_tiles(); ++ti) {
-          particles::sort_tile_by_cell(sd.level0.tile(ti), m_fields.geom(),
-                                       sd.level0.box_array()[ti]);
+    // 7. Particle housekeeping: redistribute, migrate across levels, sort.
+    {
+      auto t = m_profiler.scope("redistribute");
+      for (auto& sd : m_species) { sd.level0.redistribute(m_fields.geom()); }
+      if (m_patch) { migrate_patch_particles(); }
+      if (m_cfg.sort_interval > 0 && (m_step + 1) % m_cfg.sort_interval == 0) {
+        for (auto& sd : m_species) {
+          for (int ti = 0; ti < sd.level0.num_tiles(); ++ti) {
+            particles::sort_tile_by_cell(sd.level0.tile(ti), m_fields.geom(),
+                                         sd.level0.box_array()[ti]);
+          }
         }
       }
     }
+
+    // 8. Patch lifecycle + load balancing.
+    maybe_remove_patch();
+    if (m_cfg.dynamic_lb && (m_step + 1) % m_cfg.lb_interval == 0) { maybe_rebalance(); }
+
+    m_time += m_dt;
+    ++m_step;
   }
 
-  // 8. Patch lifecycle + load balancing.
-  maybe_remove_patch();
-  if (m_cfg.dynamic_lb && (m_step + 1) % m_cfg.lb_interval == 0) { maybe_rebalance(); }
-
-  m_time += m_dt;
-  ++m_step;
+  // Publish the unified per-step picture: counters into the registry, the
+  // region second-breakdown into a StepReport for callbacks/benches.
+  m_metrics.counter("cells_advanced").add(active_cells());
+  m_report = obs::StepReport{};
+  m_report.step = this_step;
+  m_report.time = m_time;
+  m_report.cells_advanced = active_cells();
+  for (const auto& [name, s] : m_profiler.flat_totals()) {
+    const auto it = flat_before.find(name);
+    const double dt = s.inclusive_s - (it == flat_before.end() ? 0.0 : it->second.inclusive_s);
+    if (dt > 0) { m_report.region_s[name] = dt; }
+  }
+  m_report.wall_s = m_report.region("step");
+  m_metrics.gauge("step_wall_s").set(m_report.wall_s);
+  const auto rec = m_metrics.end_step();
+  {
+    const auto it = rec.counters.find("particles_pushed");
+    m_report.particles_pushed = it == rec.counters.end() ? 0 : it->second;
+  }
+  if (m_step_callback) { m_step_callback(m_report); }
 }
 
 template <int DIM>
@@ -85,6 +115,7 @@ void Simulation<DIM>::advance_particles() {
     m_patch->coarse().zero_current();
   }
 
+  std::int64_t pushed = 0;
   for (auto& sd : m_species) {
     const Real q = sd.level0.species().charge;
     const Real mass = sd.level0.species().mass;
@@ -100,6 +131,7 @@ void Simulation<DIM>::advance_particles() {
       particles::push_particles<DIM>(m_cfg.pusher, tile, m_gathered, q, mass, m_dt);
       particles::deposit_current<DIM>(m_cfg.deposition, m_cfg.shape_order, tile, m_x_old,
                                       m_fields.geom(), m_fields.J().array(ti), q, m_dt);
+      pushed += static_cast<std::int64_t>(tile.size());
     }
 
     // Patch interior: gather from the auxiliary solution, deposit fine.
@@ -113,8 +145,10 @@ void Simulation<DIM>::advance_particles() {
       particles::push_particles<DIM>(m_cfg.pusher, tile, m_gathered, q, mass, m_dt);
       particles::deposit_current<DIM>(m_cfg.deposition, m_cfg.shape_order, tile, m_x_old,
                                       fine_geom, m_patch->fine().J().array(0), q, m_dt);
+      pushed += static_cast<std::int64_t>(tile.size());
     }
   }
+  m_metrics.counter("particles_pushed").add(pushed);
 }
 
 template <int DIM>

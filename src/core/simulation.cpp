@@ -6,7 +6,9 @@
 namespace mrpic::core {
 
 template <int DIM>
-Simulation<DIM>::Simulation(SimulationConfig<DIM> cfg) : m_cfg(std::move(cfg)), m_lb(m_cfg.lb) {}
+Simulation<DIM>::Simulation(SimulationConfig<DIM> cfg) : m_cfg(std::move(cfg)), m_lb(m_cfg.lb) {
+  m_lb.set_metrics(&m_metrics);
+}
 
 template <int DIM>
 int Simulation<DIM>::add_species(particles::Species sp) {

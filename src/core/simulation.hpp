@@ -22,6 +22,9 @@
 #include "src/amr/config.hpp"
 #include "src/diag/timers.hpp"
 #include "src/dist/load_balancer.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/profiler.hpp"
+#include "src/obs/step_report.hpp"
 #include "src/fields/fdtd.hpp"
 #include "src/fields/field_set.hpp"
 #include "src/fields/moving_window.hpp"
@@ -137,7 +140,27 @@ public:
     return n;
   }
 
-  diag::Timers& timers() { return m_timers; }
+  // --- observability -----------------------------------------------------
+  // Hierarchical region profiler (enable tracing on it to collect Chrome
+  // trace events; export with obs::write_chrome_trace).
+  obs::Profiler& profiler() { return m_profiler; }
+  const obs::Profiler& profiler() const { return m_profiler; }
+  // Unified step-metrics registry (particles pushed, cells advanced, load
+  // imbalance, ...); one StepRecord is appended per step.
+  obs::MetricsRegistry& metrics() { return m_metrics; }
+  const obs::MetricsRegistry& metrics() const { return m_metrics; }
+  // Summary of the most recent step (valid once step() has run).
+  const obs::StepReport& last_step_report() const { return m_report; }
+  // Invoked at the end of every step with that step's report.
+  void set_step_callback(std::function<void(const obs::StepReport&)> cb) {
+    m_step_callback = std::move(cb);
+  }
+
+  // Legacy flat timers, refreshed from the profiler on access.
+  diag::Timers& timers() {
+    m_profiler.flatten_into(m_timers);
+    return m_timers;
+  }
   const SimulationConfig<DIM>& config() const { return m_cfg; }
   const dist::DistributionMapping& dist_map() const { return m_dm; }
   const dist::LoadBalancer& load_balancer() const { return m_lb; }
@@ -180,7 +203,11 @@ private:
   fields::MovingWindow<DIM> m_window;
   dist::DistributionMapping m_dm;
   dist::LoadBalancer m_lb;
-  diag::Timers m_timers;
+  diag::Timers m_timers; // compatibility shim, refreshed from m_profiler
+  obs::Profiler m_profiler;
+  obs::MetricsRegistry m_metrics;
+  obs::StepReport m_report;
+  std::function<void(const obs::StepReport&)> m_step_callback;
 
   // Reused per-tile scratch.
   particles::GatheredFields m_gathered;

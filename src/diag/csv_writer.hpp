@@ -4,6 +4,7 @@
 // stand-in for WarpX's openPMD diagnostics; enough to plot every figure).
 
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -17,7 +18,16 @@ class CsvSeries {
 public:
   explicit CsvSeries(std::vector<std::string> columns) : m_columns(std::move(columns)) {}
 
-  void add_row(const std::vector<Real>& values) { m_rows.push_back(values); }
+  // Rows must match the declared column count; a silent mismatch would
+  // corrupt every row below it on flush.
+  void add_row(const std::vector<Real>& values) {
+    if (values.size() != m_columns.size()) {
+      throw std::invalid_argument("CsvSeries::add_row: got " +
+                                  std::to_string(values.size()) + " values for " +
+                                  std::to_string(m_columns.size()) + " columns");
+    }
+    m_rows.push_back(values);
+  }
   std::size_t num_rows() const { return m_rows.size(); }
   const std::vector<std::vector<Real>>& rows() const { return m_rows; }
 

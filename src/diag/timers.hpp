@@ -1,10 +1,14 @@
 #pragma once
 
-// Accumulating named timers (TinyProfiler-style): every PIC stage is timed
-// per step; the per-box variants feed measured costs to the dynamic load
-// balancer, mirroring WarpX's runtime cost instrumentation.
+// Accumulating named flat timers. Since the obs:: subsystem landed this is
+// a thin compatibility shim: the hierarchical obs::Profiler owns the live
+// measurements and refreshes a Timers via Profiler::flatten_into() so the
+// original report()/total()/count() call sites keep working. Standalone use
+// (benches timing a loop by hand) is still supported.
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <map>
 #include <ostream>
 #include <string>
@@ -40,6 +44,11 @@ public:
     ++e.count;
   }
 
+  // Overwrite an entry wholesale (obs::Profiler::flatten_into refresh).
+  void set(const std::string& name, double total, std::int64_t count) {
+    m_entries[name] = Entry{total, count};
+  }
+
   double total(const std::string& name) const {
     const auto it = m_entries.find(name);
     return it == m_entries.end() ? 0.0 : it->second.total;
@@ -51,9 +60,21 @@ public:
 
   void reset() { m_entries.clear(); }
 
+  // Table sorted by descending total, with count and per-call mean columns.
   void report(std::ostream& os) const {
-    for (const auto& [name, e] : m_entries) {
-      os << "  " << name << ": " << e.total << " s over " << e.count << " calls\n";
+    std::vector<std::pair<std::string, Entry>> rows(m_entries.begin(), m_entries.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second.total > b.second.total;
+    });
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-24s %12s %8s %12s\n", "timer", "total(s)",
+                  "count", "mean(s)");
+    os << line;
+    for (const auto& [name, e] : rows) {
+      std::snprintf(line, sizeof(line), "  %-24s %12.4f %8lld %12.6f\n", name.c_str(),
+                    e.total, static_cast<long long>(e.count),
+                    e.count > 0 ? e.total / e.count : 0.0);
+      os << line;
     }
   }
 

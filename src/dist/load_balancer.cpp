@@ -1,20 +1,40 @@
 #include "src/dist/load_balancer.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <limits>
+#include <numeric>
+
+#include "src/obs/metrics.hpp"
 
 namespace mrpic::dist {
 
 void LoadBalancer::record_costs(const std::vector<Real>& new_costs) {
   if (m_costs.size() != new_costs.size()) {
     m_costs = new_costs;
-    return;
+  } else {
+    const Real a = m_cfg.cost_smoothing;
+    for (std::size_t i = 0; i < m_costs.size(); ++i) {
+      m_costs[i] = (1 - a) * m_costs[i] + a * new_costs[i];
+    }
   }
-  const Real a = m_cfg.cost_smoothing;
-  for (std::size_t i = 0; i < m_costs.size(); ++i) {
-    m_costs[i] = (1 - a) * m_costs[i] + a * new_costs[i];
+  if (m_metrics != nullptr) {
+    m_metrics->gauge("lb_cost_imbalance").set(static_cast<double>(cost_imbalance()));
   }
+}
+
+Real LoadBalancer::cost_imbalance() const {
+  if (m_costs.empty()) { return Real(1); }
+  const Real max = *std::max_element(m_costs.begin(), m_costs.end());
+  const Real mean = std::accumulate(m_costs.begin(), m_costs.end(), Real(0)) /
+                    static_cast<Real>(m_costs.size());
+  return mean > 0 ? max / mean : Real(1);
+}
+
+void LoadBalancer::count_rebalance() {
+  ++m_num_rebalances;
+  if (m_metrics != nullptr) { m_metrics->counter("lb_rebalances").inc(); }
 }
 
 bool LoadBalancer::should_rebalance(const DistributionMapping& dm) const {

@@ -12,6 +12,10 @@
 #include "src/amr/box_array.hpp"
 #include "src/dist/distribution_mapping.hpp"
 
+namespace mrpic::obs {
+class MetricsRegistry;
+}
+
 namespace mrpic::dist {
 
 struct LoadBalanceConfig {
@@ -44,12 +48,21 @@ public:
   }
 
   int num_rebalances() const { return m_num_rebalances; }
-  void count_rebalance() { ++m_num_rebalances; }
+  void count_rebalance();
+
+  // Imbalance (max/mean) of the currently smoothed costs; 1 when empty.
+  Real cost_imbalance() const;
+
+  // When set, record_costs() publishes gauge "lb_cost_imbalance" and
+  // count_rebalance() bumps counter "lb_rebalances". The registry must
+  // outlive this balancer (or be detached with nullptr).
+  void set_metrics(obs::MetricsRegistry* metrics) { m_metrics = metrics; }
 
 private:
   LoadBalanceConfig m_cfg;
   std::vector<Real> m_costs;
   int m_num_rebalances = 0;
+  obs::MetricsRegistry* m_metrics = nullptr;
 };
 
 // Assign each PML box to the rank of the nearest box of the parent grid

@@ -1,0 +1,48 @@
+#include "src/obs/trace.hpp"
+
+#include <fstream>
+
+#include "src/obs/json.hpp"
+
+namespace mrpic::obs {
+
+void write_chrome_trace(const std::vector<TraceEvent>& events, std::ostream& os,
+                        const std::string& process_name) {
+  json::Writer w(os);
+  w.begin_object();
+  w.begin_array("traceEvents");
+  // Process-name metadata event (shown as the track group title).
+  w.begin_object()
+      .field("name", "process_name")
+      .field("ph", "M")
+      .field("pid", 0)
+      .field("tid", 0);
+  w.begin_object("args").field("name", process_name).end_object();
+  w.end_object();
+  for (const auto& ev : events) {
+    w.begin_object()
+        .field("name", ev.name)
+        .field("cat", "mrpic")
+        .field("ph", "X")
+        .field("ts", ev.ts_us)
+        .field("dur", ev.dur_us)
+        .field("pid", 0)
+        .field("tid", ev.tid);
+    w.begin_object("args").field("step", ev.step).end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.end_object();
+  os << '\n';
+}
+
+bool write_chrome_trace(const Profiler& profiler, const std::string& path,
+                        const std::string& process_name) {
+  std::ofstream os(path);
+  if (!os) { return false; }
+  write_chrome_trace(profiler.trace_events(), os, process_name);
+  return static_cast<bool>(os);
+}
+
+} // namespace mrpic::obs

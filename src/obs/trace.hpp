@@ -1,0 +1,26 @@
+#pragma once
+
+// Chrome trace-event export (the JSON Array/Object format understood by
+// chrome://tracing and Perfetto's legacy loader): every region instance the
+// profiler recorded becomes a complete ("ph":"X") event with microsecond
+// timestamps, the profiler-assigned thread id and the step number in args.
+// Load the file directly in the Perfetto UI to see where any one step went.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/profiler.hpp"
+
+namespace mrpic::obs {
+
+// Serialize events to `os` as {"traceEvents":[...],"displayTimeUnit":"ms"}.
+void write_chrome_trace(const std::vector<TraceEvent>& events, std::ostream& os,
+                        const std::string& process_name = "mrpic");
+
+// Convenience: dump a profiler's collected events to `path`. Returns false
+// on I/O failure.
+bool write_chrome_trace(const Profiler& profiler, const std::string& path,
+                        const std::string& process_name = "mrpic");
+
+} // namespace mrpic::obs

@@ -1,11 +1,26 @@
 #include "src/perf/flop_counter.hpp"
 
 #include "src/fields/fdtd.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/particles/deposition.hpp"
 #include "src/particles/gather.hpp"
 #include "src/particles/pusher.hpp"
 
 namespace mrpic::perf {
+
+void FlopCounter::publish(obs::MetricsRegistry& metrics) {
+  std::int64_t total_delta = 0;
+  for (const auto& [kernel, ops] : m_perkernel) {
+    const std::int64_t now = ops.flops();
+    std::int64_t& seen = m_published[kernel];
+    const std::int64_t delta = now - seen;
+    if (delta == 0) { continue; }
+    metrics.counter("flops." + kernel).add(delta);
+    seen = now;
+    total_delta += delta;
+  }
+  if (total_delta != 0) { metrics.counter("flops_total").add(total_delta); }
+}
 
 OpCounts pic_flops_per_particle_3d(int shape_order) {
   // Gather + push + deposition, expressed mostly as fused operations to

@@ -11,6 +11,10 @@
 #include <ostream>
 #include <string>
 
+namespace mrpic::obs {
+class MetricsRegistry;
+}
+
 namespace mrpic::perf {
 
 struct OpCounts {
@@ -19,26 +23,32 @@ struct OpCounts {
   std::int64_t fma = 0; // counted as 2 flops
   std::int64_t div = 0;
   std::int64_t sqrt = 0;
+  std::int64_t other = 0; // unclassified raw flops (record-by-total path)
 
-  std::int64_t flops() const { return add + mul + 2 * fma + div + sqrt; }
+  std::int64_t flops() const { return add + mul + 2 * fma + div + sqrt + other; }
   OpCounts& operator+=(const OpCounts& o) {
     add += o.add;
     mul += o.mul;
     fma += o.fma;
     div += o.div;
     sqrt += o.sqrt;
+    other += o.other;
     return *this;
   }
   OpCounts scaled(std::int64_t n) const {
-    return {add * n, mul * n, fma * n, div * n, sqrt * n};
+    return {add * n, mul * n, fma * n, div * n, sqrt * n, other * n};
   }
 };
 
 class FlopCounter {
 public:
   void record(const std::string& kernel, const OpCounts& ops) { m_perkernel[kernel] += ops; }
+  // Raw totals land in the `other` bucket so they do not masquerade as adds
+  // in the per-op-class breakdown.
   void record(const std::string& kernel, std::int64_t flops) {
-    m_perkernel[kernel] += OpCounts{flops, 0, 0, 0, 0};
+    OpCounts ops;
+    ops.other = flops;
+    m_perkernel[kernel] += ops;
   }
 
   std::int64_t total_flops() const {
@@ -50,17 +60,30 @@ public:
     const auto it = m_perkernel.find(kernel);
     return it == m_perkernel.end() ? 0 : it->second.flops();
   }
-  void reset() { m_perkernel.clear(); }
+  void reset() {
+    m_perkernel.clear();
+    m_published.clear();
+  }
 
   void report(std::ostream& os) const {
     for (const auto& [k, v] : m_perkernel) {
       os << "  " << k << ": " << v.flops() << " flops (add " << v.add << ", mul " << v.mul
-         << ", fma " << v.fma << ", div " << v.div << ", sqrt " << v.sqrt << ")\n";
+         << ", fma " << v.fma << ", div " << v.div << ", sqrt " << v.sqrt << ", other "
+         << v.other << ")\n";
     }
   }
 
+  const std::map<std::string, OpCounts>& per_kernel() const { return m_perkernel; }
+
+  // Mirror flop totals into the unified metrics registry as monotone
+  // counters ("flops_total" plus "flops.<kernel>"): only the increment
+  // since the previous publish is added, so calling once per step streams
+  // per-step deltas into the registry's StepRecords.
+  void publish(obs::MetricsRegistry& metrics);
+
 private:
   std::map<std::string, OpCounts> m_perkernel;
+  std::map<std::string, std::int64_t> m_published; // flops already streamed out
 };
 
 // Canonical per-element operation counts of the production PIC stages

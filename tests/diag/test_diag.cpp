@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "src/diag/csv_writer.hpp"
 #include "src/diag/spectrum.hpp"
@@ -69,6 +70,31 @@ TEST(Spectrum, ChargeAboveThreshold) {
   pc.add_particle(geom, {2e-7, 1e-7}, {u_of_energy(20 * mev), 0, 0}, 4.0);
   EXPECT_NEAR(charge_above<2>(pc, 10 * mev), 4.0 * q_e, 1e-25);
   EXPECT_NEAR(charge_above<2>(pc, 1 * mev), 5.0 * q_e, 1e-25);
+}
+
+TEST(Timers, ReportSortsByTotalWithCountAndMean) {
+  Timers t;
+  t.add("small", 0.1);
+  t.add("big", 2.0);
+  t.add("big", 2.0);
+  std::ostringstream os;
+  t.report(os);
+  const std::string out = os.str();
+  // Header columns present; rows sorted by descending total.
+  EXPECT_NE(out.find("total(s)"), std::string::npos);
+  EXPECT_NE(out.find("count"), std::string::npos);
+  EXPECT_NE(out.find("mean(s)"), std::string::npos);
+  EXPECT_LT(out.find("big"), out.find("small"));
+  EXPECT_NE(out.find("4.0000"), std::string::npos); // big total
+  EXPECT_NE(out.find("2.000000"), std::string::npos); // big mean
+}
+
+TEST(CsvWriter, AddRowRejectsWidthMismatch) {
+  CsvSeries s({"a", "b", "c"});
+  EXPECT_THROW(s.add_row({1.0}), std::invalid_argument);
+  EXPECT_THROW(s.add_row({1.0, 2.0, 3.0, 4.0}), std::invalid_argument);
+  EXPECT_NO_THROW(s.add_row({1.0, 2.0, 3.0}));
+  EXPECT_EQ(s.num_rows(), 1u);
 }
 
 TEST(Timers, AccumulateAndCount) {

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/obs/metrics.hpp"
+#include "src/perf/flop_counter.hpp"
+
+namespace mrpic::obs {
+namespace {
+
+TEST(Metrics, CountersAccumulateAndGaugesOverwrite) {
+  MetricsRegistry reg;
+  reg.counter("particles_pushed").add(100);
+  reg.counter("particles_pushed").add(20);
+  reg.gauge("imbalance").set(1.5);
+  reg.gauge("imbalance").set(1.2);
+  EXPECT_EQ(reg.counter_value("particles_pushed"), 120);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("imbalance"), 1.2);
+  EXPECT_EQ(reg.counter_value("unknown"), 0);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("unknown"), 0.0);
+  // Same name returns the same object.
+  EXPECT_EQ(&reg.counter("particles_pushed"), &reg.counter("particles_pushed"));
+}
+
+TEST(Metrics, StepRecordsCaptureDeltasNotTotals) {
+  MetricsRegistry reg;
+  reg.counter("work").add(5); // pre-step activity
+
+  reg.begin_step(0);
+  reg.counter("work").add(10);
+  reg.gauge("wall_s").set(0.25);
+  const StepRecord r0 = reg.end_step();
+  EXPECT_EQ(r0.step, 0);
+  EXPECT_EQ(r0.counters.at("work"), 10); // delta, not the total 15
+  EXPECT_DOUBLE_EQ(r0.gauges.at("wall_s"), 0.25);
+
+  reg.begin_step(1);
+  reg.counter("work").add(7);
+  // A counter born mid-step reports its full value as the delta.
+  reg.counter("fresh").add(3);
+  const StepRecord r1 = reg.end_step();
+  EXPECT_EQ(r1.counters.at("work"), 7);
+  EXPECT_EQ(r1.counters.at("fresh"), 3);
+
+  ASSERT_EQ(reg.history().size(), 2u);
+  EXPECT_EQ(reg.history()[0], r0);
+  EXPECT_EQ(reg.history()[1], r1);
+}
+
+TEST(Metrics, HistoryLimitKeepsNewest) {
+  MetricsRegistry reg;
+  reg.set_history_limit(2);
+  for (int s = 0; s < 5; ++s) {
+    reg.begin_step(s);
+    reg.end_step();
+  }
+  ASSERT_EQ(reg.history().size(), 2u);
+  EXPECT_EQ(reg.history()[0].step, 3);
+  EXPECT_EQ(reg.history()[1].step, 4);
+}
+
+TEST(Metrics, JsonlRoundTrip) {
+  MetricsRegistry reg;
+  for (int s = 0; s < 3; ++s) {
+    reg.begin_step(s);
+    reg.counter("particles_pushed").add(1000 + s);
+    reg.counter("halo_bytes").add(1 << (10 + s));
+    reg.gauge("lb_cost_imbalance").set(1.0 + 0.01 * s);
+    reg.end_step();
+  }
+  const std::string path = "test_metrics_tmp.jsonl";
+  ASSERT_TRUE(reg.write_jsonl(path));
+
+  const auto back = MetricsRegistry::read_jsonl(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(back.size(), 3u);
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i], reg.history()[i]) << "record " << i;
+  }
+}
+
+TEST(Metrics, ParseRecordRejectsGarbage) {
+  EXPECT_THROW(MetricsRegistry::parse_record("not json"), std::runtime_error);
+  EXPECT_THROW(MetricsRegistry::parse_record("[1,2,3]"), std::runtime_error);
+}
+
+TEST(Metrics, FlopCounterPublishesDeltas) {
+  perf::FlopCounter fc;
+  MetricsRegistry reg;
+  fc.record("gather", perf::OpCounts{10, 5, 0, 0, 0, 0});
+  fc.publish(reg);
+  EXPECT_EQ(reg.counter_value("flops.gather"), 15);
+  EXPECT_EQ(reg.counter_value("flops_total"), 15);
+  // Publishing again without new work adds nothing.
+  fc.publish(reg);
+  EXPECT_EQ(reg.counter_value("flops_total"), 15);
+  fc.record("gather", std::int64_t(100)); // raw flops -> `other` bucket
+  fc.publish(reg);
+  EXPECT_EQ(reg.counter_value("flops.gather"), 115);
+  EXPECT_EQ(reg.counter_value("flops_total"), 115);
+}
+
+TEST(FlopCounterObs, RawFlopsLandInOtherBucket) {
+  perf::FlopCounter fc;
+  fc.record("mystery", std::int64_t(250));
+  const auto& ops = fc.per_kernel().at("mystery");
+  EXPECT_EQ(ops.other, 250);
+  EXPECT_EQ(ops.add, 0); // previously misfiled under add
+  EXPECT_EQ(ops.flops(), 250);
+  std::ostringstream os;
+  fc.report(os);
+  EXPECT_NE(os.str().find("other 250"), std::string::npos);
+}
+
+} // namespace
+} // namespace mrpic::obs

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "src/diag/timers.hpp"
+#include "src/obs/profiler.hpp"
+
+namespace mrpic::obs {
+namespace {
+
+void spin_for(double seconds) {
+  const auto end = Profiler::clock::now() +
+                   std::chrono::duration_cast<Profiler::clock::duration>(
+                       std::chrono::duration<double>(seconds));
+  while (Profiler::clock::now() < end) {}
+}
+
+TEST(Profiler, NestedInclusiveExclusiveAccounting) {
+  Profiler p;
+  for (int i = 0; i < 3; ++i) {
+    auto outer = p.scope("outer");
+    spin_for(2e-3);
+    {
+      auto inner = p.scope("inner");
+      spin_for(1e-3);
+    }
+    {
+      auto inner2 = p.scope("inner2");
+      spin_for(1e-3);
+    }
+  }
+
+  const auto outer = p.stats("outer");
+  const auto inner = p.stats("outer/inner");
+  const auto inner2 = p.stats("outer/inner2");
+  EXPECT_EQ(outer.count, 3);
+  EXPECT_EQ(inner.count, 3);
+  EXPECT_EQ(inner2.count, 3);
+
+  // Inclusive of the parent covers both children plus its own work.
+  EXPECT_GE(outer.inclusive_s, inner.inclusive_s + inner2.inclusive_s);
+  // Exclusive = inclusive - children inclusive; outer spins ~2ms per call.
+  EXPECT_NEAR(outer.exclusive_s,
+              outer.inclusive_s - inner.inclusive_s - inner2.inclusive_s, 1e-12);
+  EXPECT_GE(outer.exclusive_s, 3 * 1.5e-3); // ~6ms of own spinning
+  // Leaves have no children: exclusive == inclusive.
+  EXPECT_DOUBLE_EQ(inner.exclusive_s, inner.inclusive_s);
+
+  // min <= mean <= max and all positive.
+  EXPECT_GT(inner.min_s, 0.0);
+  EXPECT_LE(inner.min_s, inner.mean_s());
+  EXPECT_LE(inner.mean_s(), inner.max_s);
+}
+
+TEST(Profiler, SameNameUnderDifferentParentsIsDistinct) {
+  Profiler p;
+  {
+    auto a = p.scope("a");
+    auto x = p.scope("sync");
+  }
+  {
+    auto b = p.scope("b");
+    auto x = p.scope("sync");
+    auto y = p.scope("deeper");
+  }
+  EXPECT_EQ(p.stats("a/sync").count, 1);
+  EXPECT_EQ(p.stats("b/sync").count, 1);
+  EXPECT_EQ(p.stats("b/sync/deeper").count, 1);
+  EXPECT_EQ(p.stats("sync").count, 0);        // not a root
+  EXPECT_EQ(p.stats("a/missing").count, 0);   // unknown path
+
+  // Flat totals merge by leaf name across parents.
+  const auto flat = p.flat_totals();
+  EXPECT_EQ(flat.at("sync").count, 2);
+}
+
+TEST(Profiler, FlattenIntoTimersShim) {
+  Profiler p;
+  for (int i = 0; i < 2; ++i) {
+    auto s = p.scope("step");
+    auto q = p.scope("particles");
+  }
+  diag::Timers t;
+  p.flatten_into(t);
+  EXPECT_EQ(t.count("step"), 2);
+  EXPECT_EQ(t.count("particles"), 2);
+  EXPECT_GE(t.total("step"), t.total("particles"));
+}
+
+TEST(Profiler, ReportPrintsTreeSortedByInclusive) {
+  Profiler p;
+  {
+    auto s = p.scope("root");
+    {
+      auto big = p.scope("big");
+      spin_for(3e-3);
+    }
+    {
+      auto small = p.scope("small");
+      spin_for(5e-4);
+    }
+  }
+  std::ostringstream os;
+  p.report(os);
+  const std::string out = os.str();
+  // Children indented under the root, big before small.
+  const auto pos_root = out.find("root");
+  const auto pos_big = out.find("big");
+  const auto pos_small = out.find("small");
+  ASSERT_NE(pos_root, std::string::npos);
+  ASSERT_NE(pos_big, std::string::npos);
+  ASSERT_NE(pos_small, std::string::npos);
+  EXPECT_LT(pos_root, pos_big);
+  EXPECT_LT(pos_big, pos_small);
+  EXPECT_NE(out.find("incl(s)"), std::string::npos);
+  EXPECT_NE(out.find("count"), std::string::npos);
+}
+
+TEST(Profiler, ResetClearsEverything) {
+  Profiler p;
+  p.set_tracing(true);
+  {
+    auto s = p.scope("x");
+  }
+  EXPECT_EQ(p.stats("x").count, 1);
+  EXPECT_EQ(p.trace_events().size(), 1u);
+  p.reset();
+  EXPECT_EQ(p.stats("x").count, 0);
+  EXPECT_TRUE(p.trace_events().empty());
+  // Usable again after reset.
+  {
+    auto s = p.scope("x");
+  }
+  EXPECT_EQ(p.stats("x").count, 1);
+}
+
+TEST(Profiler, ScopeElapsedAndMoveSemantics) {
+  Profiler p;
+  {
+    auto s = p.scope("moved");
+    auto s2 = std::move(s);
+    spin_for(1e-4);
+    EXPECT_GT(s2.elapsed(), 0.0);
+  }
+  // A moved-from scope must not double-close: exactly one instance recorded.
+  EXPECT_EQ(p.stats("moved").count, 1);
+}
+
+} // namespace
+} // namespace mrpic::obs

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/obs/json.hpp"
+#include "src/obs/profiler.hpp"
+#include "src/obs/trace.hpp"
+
+namespace mrpic::obs {
+namespace {
+
+TEST(Json, WriterEscapesAndParserRoundTrips) {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.begin_object();
+  w.field("name", "a \"quoted\"\nline\t\\");
+  w.field("num", 1.5);
+  w.field("int", std::int64_t(-42));
+  w.field("flag", true);
+  w.begin_array("arr").value(1.0).value("two").end_array();
+  w.end_object();
+
+  const json::Value v = json::parse(os.str());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v["name"].as_string(), "a \"quoted\"\nline\t\\");
+  EXPECT_DOUBLE_EQ(v["num"].as_number(), 1.5);
+  EXPECT_EQ(v["int"].as_int(), -42);
+  EXPECT_TRUE(v["flag"].as_bool());
+  ASSERT_TRUE(v["arr"].is_array());
+  ASSERT_EQ(v["arr"].as_array().size(), 2u);
+  EXPECT_EQ(v["arr"].as_array()[1].as_string(), "two");
+  EXPECT_TRUE(v["missing"].is_null());
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_THROW(json::parse("{"), std::runtime_error);
+  EXPECT_THROW(json::parse("{\"a\":1} trailing"), std::runtime_error);
+  EXPECT_THROW(json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(json::parse("nope"), std::runtime_error);
+  EXPECT_THROW(json::parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(Trace, ChromeTraceIsWellFormedAndCarriesStepAndThread) {
+  Profiler p;
+  p.set_tracing(true);
+  for (std::int64_t step = 0; step < 3; ++step) {
+    p.set_step(step);
+    auto outer = p.scope("step");
+    auto inner = p.scope("particles");
+  }
+
+  std::ostringstream os;
+  write_chrome_trace(p.trace_events(), os, "test_proc");
+
+  // Parse back the document we just wrote (the acceptance check: a
+  // chrome://tracing / Perfetto loader needs exactly this structure).
+  const json::Value doc = json::parse(os.str());
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_TRUE(doc["traceEvents"].is_array());
+  const auto& events = doc["traceEvents"].as_array();
+  // 1 metadata event + 2 regions x 3 steps.
+  ASSERT_EQ(events.size(), 1u + 6u);
+
+  const auto& meta = events[0];
+  EXPECT_EQ(meta["ph"].as_string(), "M");
+  EXPECT_EQ(meta["name"].as_string(), "process_name");
+  EXPECT_EQ(meta["args"]["name"].as_string(), "test_proc");
+
+  std::int64_t seen_steps = 0;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const auto& ev = events[i];
+    EXPECT_EQ(ev["ph"].as_string(), "X");
+    EXPECT_TRUE(ev["name"].is_string());
+    EXPECT_TRUE(ev["ts"].is_number());
+    EXPECT_TRUE(ev["dur"].is_number());
+    EXPECT_GE(ev["dur"].as_number(), 0.0);
+    EXPECT_TRUE(ev["tid"].is_number());
+    ASSERT_TRUE(ev["args"].is_object());
+    const std::int64_t step = ev["args"]["step"].as_int();
+    EXPECT_GE(step, 0);
+    EXPECT_LT(step, 3);
+    seen_steps |= std::int64_t(1) << step;
+  }
+  EXPECT_EQ(seen_steps, 0b111);
+}
+
+TEST(Trace, NestedEventsAreContainedInParentSpan) {
+  Profiler p;
+  p.set_tracing(true);
+  {
+    auto outer = p.scope("outer");
+    auto inner = p.scope("inner");
+  }
+  const auto events = p.trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  // Events record at close, so inner closes first.
+  const auto& inner = events[0];
+  const auto& outer = events[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us + 1e-3);
+}
+
+TEST(Trace, FileExportParsesBack) {
+  Profiler p;
+  p.set_tracing(true);
+  {
+    auto s = p.scope("io");
+  }
+  const std::string path = "test_trace_tmp.json";
+  ASSERT_TRUE(write_chrome_trace(p, path));
+  std::ifstream is(path);
+  std::string all((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  is.close();
+  std::remove(path.c_str());
+  const json::Value doc = json::parse(all);
+  EXPECT_TRUE(doc["traceEvents"].is_array());
+  EXPECT_EQ(doc["displayTimeUnit"].as_string(), "ms");
+}
+
+TEST(Trace, EventCapDropsInsteadOfGrowing) {
+  Profiler p;
+  p.set_tracing(true);
+  p.set_max_trace_events(5);
+  for (int i = 0; i < 10; ++i) {
+    auto s = p.scope("r");
+  }
+  EXPECT_EQ(p.trace_events().size(), 5u);
+  EXPECT_EQ(p.dropped_trace_events(), 5u);
+  EXPECT_EQ(p.stats("r").count, 10); // stats unaffected by the trace cap
+}
+
+} // namespace
+} // namespace mrpic::obs
