@@ -26,12 +26,15 @@
 
 #include "src/core/simulation.hpp"
 #include "src/diag/csv_writer.hpp"
+#include "src/diag/output_dir.hpp"
 #include "src/diag/spectrum.hpp"
 
 using namespace mrpic;
 using namespace mrpic::constants;
 
 namespace {
+
+diag::OutputDir g_out; // set in main from --outdir
 
 constexpr Real t_end = 150e-15;
 const Real mev = 1e6 * q_e;
@@ -124,7 +127,7 @@ std::unique_ptr<RunResult> run(const std::string& name, bool mr, bool with_foil)
       r->final_solid_charge = q_solid;
     }
   }
-  r->charge.write("hybrid_charge_" + name + ".csv");
+  r->charge.write(g_out.path("hybrid_charge_" + name + ".csv"));
   return r;
 }
 
@@ -158,12 +161,13 @@ void write_spectrum(const std::string& name, core::Simulation<2>& sim, int solid
   for (std::size_t b = 0; b < spec.counts.size(); ++b) {
     csv.add_row({spec.bin_center(b) / mev, spec.counts[b]});
   }
-  csv.write("hybrid_spectrum_" + name + ".csv");
+  csv.write(g_out.path("hybrid_spectrum_" + name + ".csv"));
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_out = diag::OutputDir::from_args(argc, argv);
   std::printf("Fig. 7: hybrid solid-gas target science case (reduced 2D)\n\n");
 
   auto r_mr = run("mr", true, true);
@@ -196,8 +200,8 @@ int main() {
 
   // (c,d) snapshots + agreement metric.
   std::printf("\n(c,d) final-field snapshots:\n");
-  diag::write_field_2d("hybrid_snapshot_mr_field.csv", r_mr->sim->fields().E(), fields::Y);
-  diag::write_field_2d("hybrid_snapshot_nomr_field.csv", r_nomr->sim->fields().E(),
+  diag::write_field_2d(g_out.path("hybrid_snapshot_mr_field.csv"), r_mr->sim->fields().E(), fields::Y);
+  diag::write_field_2d(g_out.path("hybrid_snapshot_nomr_field.csv"), r_nomr->sim->fields().E(),
                        fields::Y);
   const Real l2 = field_l2_diff(r_mr->sim->fields().E(), r_nomr->sim->fields().E(),
                                 fields::Y);

@@ -24,7 +24,10 @@
 
 // With --json (positioned anywhere in argv), the google-benchmark sweep is
 // skipped and the single-pass summary timings are written to
-// BENCH_kernels.json for machine consumption.
+// BENCH_kernels.json (in --outdir, default out/) for machine consumption.
+// --quick shrinks the problem to 16^3 x 2 ppc for smoke-test runs
+// (bench/bench_smoke.sh) where only the JSON schema matters, not the
+// timings.
 
 #include <benchmark/benchmark.h>
 
@@ -32,6 +35,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "src/diag/output_dir.hpp"
 #include "src/diag/timers.hpp"
 #include "src/kernels/optimized_kernels.hpp"
 #include "src/kernels/reference_kernels.hpp"
@@ -41,8 +45,8 @@ using namespace mrpic::kernels;
 
 namespace {
 
-constexpr int grid_n = 64;
-constexpr int ppc = 12;
+int grid_n = 64;
+int ppc = 12;
 
 template <typename T>
 struct Setup {
@@ -162,8 +166,8 @@ void print_summary_table(const SummaryTimings& t) {
   std::printf("compiler baseline with 2.3%% SIMD rate, so the host gap is smaller)\n");
 }
 
-void write_json(const SummaryTimings& t) {
-  std::ofstream os("BENCH_kernels.json");
+void write_json(const SummaryTimings& t, const std::string& path) {
+  std::ofstream os(path);
   mrpic::obs::json::Writer w(os);
   w.begin_object();
   w.field("bench", "kernels");
@@ -189,18 +193,23 @@ void write_json(const SummaryTimings& t) {
   w.end_array();
   w.end_object();
   os << '\n';
-  std::printf("\nwrote BENCH_kernels.json\n");
+  std::printf("\nwrote %s\n", path.c_str());
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
-  // Strip our --json flag before google-benchmark sees (and rejects) it.
+  const auto outdir = mrpic::diag::OutputDir::from_args(argc, argv);
+  // Strip our --json/--quick flags before google-benchmark sees (and
+  // rejects) them.
   bool json_out = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json_out = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      grid_n = 16;
+      ppc = 2;
     } else {
       argv[out++] = argv[i];
     }
@@ -216,6 +225,6 @@ int main(int argc, char** argv) {
   }
   const SummaryTimings t = run_summary();
   print_summary_table(t);
-  if (json_out) { write_json(t); }
+  if (json_out) { write_json(t, outdir.path("BENCH_kernels.json")); }
   return 0;
 }

@@ -105,8 +105,9 @@ int main() {
     }
     lb.record_costs(sweep);
     if (lb.should_rebalance(dm)) {
+      const auto before = dm;
       dm = lb.rebalance(ba, nranks);
-      lb.count_rebalance();
+      lb.count_rebalance(before, dm);
     }
     with_lb += cl.step_cost(ba, dm, sweep, 9, 4).total_s;
     without_lb += cl.step_cost(ba, dm_static, sweep, 9, 4).total_s;

@@ -18,7 +18,8 @@
 // start (the dashed line), and reports the per-step cost ratios after
 // removal, where the paper finds MR between 1.5x and 4x faster.
 //
-// Output: mr_savings_<case>.csv (t_fs, cumulative_s, step_ms, cells, parts)
+// Output (in --outdir, default out/): mr_savings_<case>.csv
+// (t_fs, cumulative_s, step_ms, cells, parts)
 
 #include <cstdio>
 #include <memory>
@@ -26,12 +27,15 @@
 
 #include "src/core/simulation.hpp"
 #include "src/diag/csv_writer.hpp"
+#include "src/diag/output_dir.hpp"
 #include "src/diag/timers.hpp"
 
 using namespace mrpic;
 using namespace mrpic::constants;
 
 namespace {
+
+diag::OutputDir g_out; // set in main from --outdir
 
 struct CaseResult {
   std::string name;
@@ -141,7 +145,7 @@ CaseResult run_case(const std::string& name, const std::string& label, bool mr,
   }
   res.total_s = total.seconds();
   res.post_removal_step_ms = post_removal_s / post_removal_steps * 1e3;
-  series.write("mr_savings_" + name + ".csv");
+  series.write(g_out.path("mr_savings_" + name + ".csv"));
   std::printf("%-22s: total %.2f s; step after t=75fs: %.2f ms%s\n\n", label.c_str(),
               res.total_s, res.post_removal_step_ms,
               mr ? (removed ? " (patch removed)" : " (patch NOT removed!)") : "");
@@ -150,7 +154,8 @@ CaseResult run_case(const std::string& name, const std::string& label, bool mr,
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_out = diag::OutputDir::from_args(argc, argv);
   std::printf("Fig. 6: time-to-solution with and without mesh refinement\n");
   std::printf("(moving window starts at %.0f fs — the dashed line; the MR patch is\n",
               window_start * 1e15);
@@ -167,6 +172,7 @@ int main() {
               b.post_removal_step_ms / a.post_removal_step_ms,
               c.post_removal_step_ms / a.post_removal_step_ms);
   std::printf("  patch removed at t = %.1f fs\n", a.removal_time * 1e15);
-  std::printf("  series written to mr_savings_{with_mr,2x_ppc4,2x_full}.csv\n");
+  std::printf("  series written to %s/mr_savings_{with_mr,2x_ppc4,2x_full}.csv\n",
+              g_out.dir().c_str());
   return 0;
 }

@@ -1,0 +1,51 @@
+#!/bin/sh
+# bench_smoke — ctest gate over the benchmark JSON pipeline.
+#
+#   bench_smoke.sh BENCH_BIN_DIR BASELINE_DIR
+#
+# Runs each scaling bench tiny with --json into a scratch dir, validates
+# every produced BENCH_*.json against its schema, then runs bench_compare:
+# the deterministic weak/strong-scaling outputs against the committed
+# baselines (loose tolerance: the records are pure model arithmetic, but
+# keep headroom for FP reassociation across compilers), plus two
+# self-checks of the gate itself (identical inputs pass; a perturbed metric
+# beyond tolerance fails).
+set -eu
+
+bindir=$1
+basedir=$2
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== run benches (--json) into $tmp"
+"$bindir/bench_weak_scaling" --json --outdir "$tmp" > /dev/null
+"$bindir/bench_strong_scaling" --json --outdir "$tmp" > /dev/null
+"$bindir/bench_kernels" --json --quick --outdir "$tmp" > /dev/null
+
+for f in "$tmp"/BENCH_*.json; do
+  [ -s "$f" ] || { echo "FAIL: $f missing or empty"; exit 1; }
+done
+
+echo "== schema validation"
+"$bindir/bench_compare" --schema "$tmp"/BENCH_*.json
+
+echo "== compare deterministic benches against baselines"
+# bench_kernels is host-timing noise, schema-checked only above.
+"$bindir/bench_compare" --rel-tol 0.02 \
+    "$basedir/BENCH_weak_scaling.json" "$tmp/BENCH_weak_scaling.json"
+"$bindir/bench_compare" --rel-tol 0.02 \
+    "$basedir/BENCH_strong_scaling.json" "$tmp/BENCH_strong_scaling.json"
+
+echo "== gate self-checks"
+"$bindir/bench_compare" "$tmp/BENCH_weak_scaling.json" "$tmp/BENCH_weak_scaling.json" \
+    > /dev/null || { echo "FAIL: identical inputs must pass"; exit 1; }
+# Perturb one numeric metric by 10x; the gate must now fail.
+sed 's/"efficiency": *\([0-9]\)/"efficiency": 9\1/' \
+    "$tmp/BENCH_weak_scaling.json" > "$tmp/BENCH_perturbed.json"
+if "$bindir/bench_compare" "$tmp/BENCH_weak_scaling.json" "$tmp/BENCH_perturbed.json" \
+    > /dev/null 2>&1; then
+  echo "FAIL: perturbed input must trip the gate"
+  exit 1
+fi
+
+echo "bench_smoke: OK"

@@ -16,14 +16,20 @@
 #include <vector>
 
 #include "src/cluster/sim_cluster.hpp"
+#include "src/diag/output_dir.hpp"
 #include "src/obs/json.hpp"
+#include "src/obs/rank_recorder.hpp"
 #include "src/perf/machine.hpp"
 #include "src/perf/scaling_model.hpp"
 
 using namespace mrpic;
 
 int main(int argc, char** argv) {
-  const bool json_out = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  const auto out = diag::OutputDir::from_args(argc, argv);
+  bool json_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) { json_out = true; }
+  }
   struct Range {
     const char* machine;
     double n0, n1;
@@ -81,11 +87,16 @@ int main(int argc, char** argv) {
     double speedup, efficiency;
   };
   std::vector<ClusterRecord> cluster_records;
+  // Per-rank breakdown of each sweep point ("step" = sweep index).
+  obs::RankRecorder recorder(64);
+  int sweep_point = 0;
   for (int nranks : {1, 2, 4, 8, 16, 32, 64}) {
     const auto dm =
         dist::DistributionMapping::make(ba, nranks, dist::Strategy::SpaceFillingCurve);
     cluster::SimCluster cl(nranks, cm);
-    const auto cost = cl.step_cost(ba, dm, std::vector<Real>(ba.size(), box_comp), 9, 4);
+    recorder.set_step(sweep_point++);
+    const auto cost =
+        cl.step_cost(ba, dm, std::vector<Real>(ba.size(), box_comp), 9, 4, 8, &recorder);
     if (nranks == 1) { t1 = cost.total_s; }
     cluster_records.push_back(
         {nranks, cost, t1 / cost.total_s, t1 / cost.total_s / nranks});
@@ -94,7 +105,8 @@ int main(int argc, char** argv) {
   }
 
   if (json_out) {
-    std::ofstream os("BENCH_strong_scaling.json");
+    const std::string json_path = out.path("BENCH_strong_scaling.json");
+    std::ofstream os(json_path);
     obs::json::Writer w(os);
     w.begin_object();
     w.field("bench", "strong_scaling");
@@ -132,7 +144,9 @@ int main(int argc, char** argv) {
     w.end_array();
     w.end_object();
     os << '\n';
-    std::printf("\nwrote BENCH_strong_scaling.json\n");
+    const std::string heatmap_path = out.path("strong_scaling_rank_heatmap.csv");
+    recorder.write_rank_heatmap_csv(heatmap_path);
+    std::printf("\nwrote %s and %s\n", json_path.c_str(), heatmap_path.c_str());
   }
   return 0;
 }

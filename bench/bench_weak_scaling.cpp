@@ -24,14 +24,20 @@
 #include <vector>
 
 #include "src/cluster/sim_cluster.hpp"
+#include "src/diag/output_dir.hpp"
 #include "src/obs/json.hpp"
+#include "src/obs/rank_recorder.hpp"
 #include "src/perf/machine.hpp"
 #include "src/perf/scaling_model.hpp"
 
 using namespace mrpic;
 
 int main(int argc, char** argv) {
-  const bool json_out = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  const auto out = diag::OutputDir::from_args(argc, argv);
+  bool json_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) { json_out = true; }
+  }
 
   std::printf("Fig. 5 (left): weak scaling efficiency [%%], model calibrated on the\n");
   std::printf("paper's anchors (marked *)\n\n");
@@ -80,6 +86,10 @@ int main(int argc, char** argv) {
     double efficiency;
   };
   std::vector<ClusterRecord> cluster_records;
+  // Per-rank breakdown + message log of each sweep point, exported as a
+  // heatmap CSV (one "step" per rank count) alongside the JSON.
+  obs::RankRecorder recorder(64);
+  int sweep_point = 0;
   for (int rpd : {1, 2, 3, 4}) { // ranks per dimension
     const int nranks = rpd * rpd * rpd;
     const Box3 domain(IntVect3(0, 0, 0), IntVect3(64 * rpd - 1, 64 * rpd - 1, 64 * rpd - 1));
@@ -93,7 +103,9 @@ int main(int argc, char** argv) {
     // back up by devices per node.
     const double comp = st.node_seconds(summit, 64.0 * 64 * 64, 64.0 * 64 * 64) *
                         summit.devices_per_node;
-    const auto cost = cl.step_cost(ba, dm, std::vector<Real>(ba.size(), comp), 9, 4);
+    recorder.set_step(sweep_point++);
+    const auto cost =
+        cl.step_cost(ba, dm, std::vector<Real>(ba.size(), comp), 9, 4, 8, &recorder);
     if (rpd == 1) { t1 = cost.total_s; }
     cluster_records.push_back({nranks, cost, t1 / cost.total_s});
     std::printf("  %4d ranks: %.4f s/step  efficiency %5.1f %%  (%lld inter-rank msgs)\n",
@@ -102,7 +114,8 @@ int main(int argc, char** argv) {
   }
 
   if (json_out) {
-    std::ofstream os("BENCH_weak_scaling.json");
+    const std::string json_path = out.path("BENCH_weak_scaling.json");
+    std::ofstream os(json_path);
     obs::json::Writer w(os);
     w.begin_object();
     w.field("bench", "weak_scaling");
@@ -136,7 +149,9 @@ int main(int argc, char** argv) {
     w.end_array();
     w.end_object();
     os << '\n';
-    std::printf("\nwrote BENCH_weak_scaling.json\n");
+    const std::string heatmap_path = out.path("weak_scaling_rank_heatmap.csv");
+    recorder.write_rank_heatmap_csv(heatmap_path);
+    std::printf("\nwrote %s and %s\n", json_path.c_str(), heatmap_path.c_str());
   }
   return 0;
 }

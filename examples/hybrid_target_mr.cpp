@@ -14,8 +14,9 @@
 // per the paper's Ref. [19]) and the +x moving window follows the
 // *reflected* pulse through the gas.
 //
-// Run: ./hybrid_target_mr [--no-mr] [t_end_fs]
-// Output: hybrid_history.csv, hybrid_spectrum.csv, hybrid_field.csv
+// Run: ./hybrid_target_mr [--outdir DIR] [--no-mr] [t_end_fs]
+// Output (in --outdir, default out/): hybrid_history.csv,
+//         hybrid_spectrum.csv, hybrid_field.csv, hybrid_phase_space.csv
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +25,7 @@
 
 #include "src/core/simulation.hpp"
 #include "src/diag/csv_writer.hpp"
+#include "src/diag/output_dir.hpp"
 #include "src/diag/phase_space.hpp"
 #include "src/diag/spectrum.hpp"
 
@@ -31,6 +33,7 @@ using namespace mrpic;
 using namespace mrpic::constants;
 
 int main(int argc, char** argv) {
+  const auto out = diag::OutputDir::from_args(argc, argv);
   bool use_mr = true;
   Real t_end = 150e-15;
   for (int i = 1; i < argc; ++i) {
@@ -138,8 +141,8 @@ int main(int argc, char** argv) {
   for (std::size_t b = 0; b < spec.counts.size(); ++b) {
     spec_csv.add_row({spec.bin_center(b) / mev, spec.counts[b]});
   }
-  spec_csv.write("hybrid_spectrum.csv");
-  history.write("hybrid_history.csv");
+  spec_csv.write(out.path("hybrid_spectrum.csv"));
+  history.write(out.path("hybrid_history.csv"));
 
   // Longitudinal phase space x-u_x of the trapped beam (Fig. 2-style view).
   diag::PhaseSpaceConfig psc;
@@ -155,9 +158,10 @@ int main(int argc, char** argv) {
   ps.accumulate(sim.species_level0(solid_e));
   ps.accumulate(sim.species_patch(solid_e));
   ps.accumulate(sim.species_level0(gas_e));
-  ps.write("hybrid_phase_space.csv");
-  diag::write_field_2d("hybrid_field.csv", sim.fields().E(), fields::Y);
-  std::printf("wrote hybrid_{history,spectrum,field,phase_space}.csv\n");
+  ps.write(out.path("hybrid_phase_space.csv"));
+  diag::write_field_2d(out.path("hybrid_field.csv"), sim.fields().E(), fields::Y);
+  std::printf("wrote hybrid_{history,spectrum,field,phase_space}.csv in %s/\n",
+              out.dir().c_str());
   sim.timers().report(std::cout);
   return 0;
 }

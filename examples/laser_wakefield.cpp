@@ -9,10 +9,13 @@
 // to c and the pulse does not slip out of the c-moving window), and the
 // electron energy spectrum diagnostic.
 //
-// Run: ./laser_wakefield [t_end_fs]
-// Output: lwfa_history.csv (time series), lwfa_field.csv,
-//         lwfa_trace.json (Chrome/Perfetto trace of every profiled region),
-//         lwfa_metrics.jsonl (per-step counters/gauges)
+// Run: ./laser_wakefield [--outdir DIR] [t_end_fs]
+// Output (in --outdir, default out/): lwfa_history.csv (time series),
+//         lwfa_field.csv, lwfa_trace.json (Chrome/Perfetto trace with one
+//         lane per profiled thread plus one lane per simulated rank, halo
+//         messages drawn as flow arrows between rank lanes),
+//         lwfa_metrics.jsonl (per-step counters/gauges + per-rank sections),
+//         rank_heatmap.csv (step x rank compute/comm/imbalance matrix)
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +23,7 @@
 
 #include "src/core/simulation.hpp"
 #include "src/diag/csv_writer.hpp"
+#include "src/diag/output_dir.hpp"
 #include "src/diag/spectrum.hpp"
 #include "src/obs/trace.hpp"
 
@@ -27,6 +31,7 @@ using namespace mrpic;
 using namespace mrpic::constants;
 
 int main(int argc, char** argv) {
+  const auto out = diag::OutputDir::from_args(argc, argv);
   const Real t_end = (argc > 1 ? std::atof(argv[1]) : 150.0) * 1e-15;
 
   // 30 x 10 um window; 0.05 um (lambda/16) longitudinal, 0.2 um transverse.
@@ -40,7 +45,17 @@ int main(int argc, char** argv) {
   cfg.max_grid_size = IntVect2(150, 50);
   cfg.shape_order = 3;
 
+  // Observe the run as if it were domain-decomposed over 4 ranks: the
+  // virtual cluster replays each step's box->rank mapping, recording the
+  // per-rank compute/comm split, the message-level halo log (rank lanes in
+  // lwfa_trace.json) and load-balancer snapshots (the laser sweeping the
+  // jet drives real imbalance).
+  cfg.nranks = 4;
+  cfg.dynamic_lb = true;
+  cfg.lb_interval = 50;
+
   core::Simulation<2> sim(cfg);
+  sim.enable_cluster_obs();
 
   // Gas jet: n = 5e25 m^-3 ~ 0.029 n_c at 800 nm (plasma wavelength
   // ~4.7 um, resolved; short enough for self-injection within the run).
@@ -95,12 +110,14 @@ int main(int argc, char** argv) {
   std::printf("\nspectral peak: %.2f MeV, relative spread %.1f%%, charge %.3f nC/m\n",
               beam.peak_energy / mev, 100 * beam.energy_spread, beam.charge * 1e9);
 
-  history.write("lwfa_history.csv");
-  diag::write_field_2d("lwfa_field.csv", sim.fields().E(), fields::X);
-  obs::write_chrome_trace(sim.profiler(), "lwfa_trace.json", "laser_wakefield");
-  sim.metrics().write_jsonl("lwfa_metrics.jsonl");
-  std::printf("wrote lwfa_history.csv, lwfa_field.csv, lwfa_trace.json, "
-              "lwfa_metrics.jsonl\n");
+  history.write(out.path("lwfa_history.csv"));
+  diag::write_field_2d(out.path("lwfa_field.csv"), sim.fields().E(), fields::X);
+  obs::write_chrome_trace(sim.profiler(), sim.rank_recorder(),
+                          out.path("lwfa_trace.json"), "laser_wakefield");
+  sim.metrics().write_jsonl(out.path("lwfa_metrics.jsonl"));
+  sim.rank_recorder().write_rank_heatmap_csv(out.path("rank_heatmap.csv"));
+  std::printf("wrote lwfa_{history,field}.csv, lwfa_trace.json, lwfa_metrics.jsonl, "
+              "rank_heatmap.csv in %s/\n", out.dir().c_str());
   sim.timers().report(std::cout);
   const auto& rep = sim.last_step_report();
   std::printf("last step %lld: %.3f ms wall, %lld particles, %lld cells\n",

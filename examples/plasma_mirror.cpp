@@ -8,8 +8,8 @@
 // incidence via the antenna phase tilt, p- vs s-polarization, extraction of
 // charge from a solid surface.
 //
-// Run: ./plasma_mirror [a0] [--s-pol]
-// Output: mirror_history.csv, mirror_field.csv
+// Run: ./plasma_mirror [--outdir DIR] [a0] [--s-pol]
+// Output (in --outdir, default out/): mirror_history.csv, mirror_field.csv
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,12 +18,14 @@
 
 #include "src/core/simulation.hpp"
 #include "src/diag/csv_writer.hpp"
+#include "src/diag/output_dir.hpp"
 #include "src/diag/spectrum.hpp"
 
 using namespace mrpic;
 using namespace mrpic::constants;
 
 int main(int argc, char** argv) {
+  const auto out = diag::OutputDir::from_args(argc, argv);
   Real a0 = 8.0;
   bool p_pol = true;
   for (int i = 1; i < argc; ++i) {
@@ -113,8 +115,8 @@ int main(int argc, char** argv) {
   std::printf("\nhot-electron spectral peak %.2f MeV (foil ions intact: %lld)\n",
               beam.peak_energy / mev, static_cast<long long>(sim.num_particles(ions)));
 
-  history.write("mirror_history.csv");
-  diag::write_field_2d("mirror_field.csv", sim.fields().E(), fields::Y);
-  std::printf("wrote mirror_history.csv, mirror_field.csv\n");
+  history.write(out.path("mirror_history.csv"));
+  diag::write_field_2d(out.path("mirror_field.csv"), sim.fields().E(), fields::Y);
+  std::printf("wrote mirror_history.csv, mirror_field.csv in %s/\n", out.dir().c_str());
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "src/obs/metrics.hpp"
+#include "src/obs/rank_recorder.hpp"
 
 namespace mrpic::cluster {
 
@@ -21,21 +22,24 @@ template <int DIM>
 StepCost SimCluster::step_cost(const mrpic::BoxArray<DIM>& ba,
                                const dist::DistributionMapping& dm,
                                const std::vector<Real>& box_compute_s, int ncomp, int ngrow,
-                               int bytes_per_value) const {
+                               int bytes_per_value, obs::RankRecorder* recorder) const {
   assert(dm.size() == ba.size());
   assert(static_cast<int>(box_compute_s.size()) == ba.size());
 
   StepCost cost;
-  std::vector<double> rank_compute(m_nranks, 0.0);
-  std::vector<double> rank_comm(m_nranks, 0.0);
+  std::vector<obs::RankStepStats> ranks(static_cast<std::size_t>(m_nranks));
+  for (int r = 0; r < m_nranks; ++r) { ranks[r].rank = r; }
+  std::vector<obs::HaloMessage> messages;
 
   for (int i = 0; i < ba.size(); ++i) {
-    rank_compute[dm.rank(i)] += static_cast<double>(box_compute_s[i]);
+    ranks[dm.rank(i)].compute_s += static_cast<double>(box_compute_s[i]);
+    ++ranks[dm.rank(i)].boxes;
   }
 
   // Halo exchange: for each pair of boxes whose grown region overlaps the
-  // other's valid region, one message of the intersection volume. Receiver
-  // and sender are both charged (send+recv occupy both NICs).
+  // other's valid region, one message of the intersection volume (box j
+  // supplies the ghost data of box i). Receiver and sender are both charged
+  // (send+recv occupy both NICs).
   for (int i = 0; i < ba.size(); ++i) {
     const auto gi = ba[i].grown(ngrow);
     for (int j = 0; j < ba.size(); ++j) {
@@ -43,32 +47,72 @@ StepCost SimCluster::step_cost(const mrpic::BoxArray<DIM>& ba,
       const auto region = gi & ba[j];
       if (region.empty()) { continue; }
       const std::int64_t bytes = region.num_cells() * ncomp * bytes_per_value;
-      const bool same_rank = dm.rank(i) == dm.rank(j);
+      const int dst = dm.rank(i), src = dm.rank(j);
+      const bool same_rank = src == dst;
       const double t = m_comm.message_time(bytes, same_rank);
-      rank_comm[dm.rank(i)] += t;
+      ranks[dst].comm_s += t;
       if (!same_rank) {
-        rank_comm[dm.rank(j)] += t;
+        ranks[src].comm_s += t;
+        ranks[src].bytes_sent += bytes;
+        ranks[dst].bytes_recv += bytes;
+        ++ranks[src].messages;
+        ++ranks[dst].messages;
         cost.total_bytes += bytes;
         ++cost.num_messages;
+        if (recorder != nullptr) {
+          obs::HaloMessage msg;
+          msg.src_rank = src;
+          msg.dst_rank = dst;
+          msg.src_box = j;
+          msg.dst_box = i;
+          msg.bytes = bytes;
+          msg.latency_s = m_comm.latency_s;
+          msg.transfer_s = t - m_comm.latency_s;
+          messages.push_back(msg);
+        }
       }
     }
   }
 
-  cost.compute_s = *std::max_element(rank_compute.begin(), rank_compute.end());
-  cost.comm_s = *std::max_element(rank_comm.begin(), rank_comm.end());
+  double compute_sum = 0;
+  for (const auto& r : ranks) {
+    cost.compute_s = std::max(cost.compute_s, r.compute_s);
+    cost.comm_s = std::max(cost.comm_s, r.comm_s);
+    compute_sum += r.compute_s;
+  }
   cost.total_s = cost.compute_s + cost.comm_s;
-  const double mean =
-      std::accumulate(rank_compute.begin(), rank_compute.end(), 0.0) / m_nranks;
+  const double mean = compute_sum / m_nranks;
   cost.imbalance = mean > 0 ? cost.compute_s / mean : 1.0;
   record_metrics(cost);
+
+  if (m_metrics != nullptr) {
+    std::vector<obs::StepRecord::RankSection> sections(ranks.size());
+    for (std::size_t r = 0; r < ranks.size(); ++r) {
+      sections[r] = {{"compute_s", ranks[r].compute_s},
+                     {"comm_s", ranks[r].comm_s},
+                     {"bytes_sent", static_cast<double>(ranks[r].bytes_sent)},
+                     {"bytes_recv", static_cast<double>(ranks[r].bytes_recv)},
+                     {"messages", static_cast<double>(ranks[r].messages)},
+                     {"boxes", static_cast<double>(ranks[r].boxes)}};
+    }
+    m_metrics->set_step_ranks(std::move(sections));
+  }
+  if (recorder != nullptr) {
+    obs::RankStepBreakdown breakdown;
+    breakdown.step = recorder->current_step();
+    breakdown.ranks = std::move(ranks);
+    recorder->add_step(std::move(breakdown), std::move(messages));
+  }
   return cost;
 }
 
 template StepCost SimCluster::step_cost<2>(const mrpic::BoxArray<2>&,
                                            const dist::DistributionMapping&,
-                                           const std::vector<Real>&, int, int, int) const;
+                                           const std::vector<Real>&, int, int, int,
+                                           obs::RankRecorder*) const;
 template StepCost SimCluster::step_cost<3>(const mrpic::BoxArray<3>&,
                                            const dist::DistributionMapping&,
-                                           const std::vector<Real>&, int, int, int) const;
+                                           const std::vector<Real>&, int, int, int,
+                                           obs::RankRecorder*) const;
 
 } // namespace mrpic::cluster

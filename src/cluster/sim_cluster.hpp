@@ -16,6 +16,7 @@
 
 namespace mrpic::obs {
 class MetricsRegistry;
+class RankRecorder;
 }
 
 namespace mrpic::cluster {
@@ -38,18 +39,23 @@ public:
 
   // When set, every step_cost() evaluation records into the registry:
   // counters halo_bytes / halo_messages, gauges cluster_compute_s /
-  // cluster_comm_s / cluster_imbalance. The registry must outlive this
-  // cluster (or be detached with nullptr).
+  // cluster_comm_s / cluster_imbalance, plus a per-rank section
+  // (compute_s/comm_s/bytes/messages/boxes per rank) on the in-flight step
+  // record. The registry must outlive this cluster (or be detached with
+  // nullptr).
   void set_metrics(obs::MetricsRegistry* metrics) { m_metrics = metrics; }
   obs::MetricsRegistry* metrics() const { return m_metrics; }
 
   // Cost of one step: per-box compute seconds + halo exchange of `ncomp`
   // components with `ngrow` ghosts over `ba` distributed by `dm`.
-  // `bytes_per_value` is 8 (DP) or 4 (SP).
+  // `bytes_per_value` is 8 (DP) or 4 (SP). When `recorder` is given, the
+  // full per-rank breakdown plus the message-level halo log (src/dst rank,
+  // bytes, latency + transfer time) are captured instead of only the
+  // max-over-ranks scalars; the step is tagged with recorder->current_step().
   template <int DIM>
   StepCost step_cost(const mrpic::BoxArray<DIM>& ba, const dist::DistributionMapping& dm,
                      const std::vector<Real>& box_compute_s, int ncomp, int ngrow,
-                     int bytes_per_value = 8) const;
+                     int bytes_per_value = 8, obs::RankRecorder* recorder = nullptr) const;
 
 private:
   void record_metrics(const StepCost& cost) const;
@@ -61,11 +67,11 @@ private:
 
 extern template StepCost SimCluster::step_cost<2>(const mrpic::BoxArray<2>&,
                                                   const dist::DistributionMapping&,
-                                                  const std::vector<Real>&, int, int,
-                                                  int) const;
+                                                  const std::vector<Real>&, int, int, int,
+                                                  obs::RankRecorder*) const;
 extern template StepCost SimCluster::step_cost<3>(const mrpic::BoxArray<3>&,
                                                   const dist::DistributionMapping&,
-                                                  const std::vector<Real>&, int, int,
-                                                  int) const;
+                                                  const std::vector<Real>&, int, int, int,
+                                                  obs::RankRecorder*) const;
 
 } // namespace mrpic::cluster

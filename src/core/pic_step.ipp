@@ -10,6 +10,7 @@ void Simulation<DIM>::step() {
   assert(m_initialized);
   const std::int64_t this_step = m_step;
   m_profiler.set_step(this_step);
+  m_rank_recorder.set_step(this_step); // tags rebalance + cluster records
   m_metrics.begin_step(this_step);
   // Flat region totals before the step: the after-before difference is the
   // per-region breakdown of exactly this step (StepReport::region_s).
@@ -80,6 +81,13 @@ void Simulation<DIM>::step() {
     // 8. Patch lifecycle + load balancing.
     maybe_remove_patch();
     if (m_cfg.dynamic_lb && (m_step + 1) % m_cfg.lb_interval == 0) { maybe_rebalance(); }
+
+    // 9. Virtual-cluster observation: replay this step's decomposition on
+    // the simulated cluster to capture the per-rank picture.
+    if (m_cluster) {
+      auto t = m_profiler.scope("cluster_obs");
+      observe_cluster(this_step);
+    }
 
     m_time += m_dt;
     ++m_step;
@@ -277,7 +285,7 @@ void Simulation<DIM>::maybe_remove_patch() {
 }
 
 template <int DIM>
-void Simulation<DIM>::maybe_rebalance() {
+std::vector<Real> Simulation<DIM>::box_cost_heuristic() const {
   // Cost heuristic per box: cells + measured particle weight (the paper's
   // in-situ cost instrumentation is modeled by particle counts; see also
   // dist::LoadBalancer for timed costs).
@@ -291,11 +299,27 @@ void Simulation<DIM>::maybe_rebalance() {
       costs[ti] += Real(0.9) * static_cast<Real>(sd.level0.tile(ti).size());
     }
   }
-  m_lb.record_costs(costs);
+  return costs;
+}
+
+template <int DIM>
+void Simulation<DIM>::maybe_rebalance() {
+  m_lb.record_costs(box_cost_heuristic());
   if (m_lb.should_rebalance(m_dm)) {
-    m_dm = m_lb.rebalance(ba, m_cfg.nranks);
-    m_lb.count_rebalance();
+    const auto before = m_dm;
+    m_dm = m_lb.rebalance(m_fields.box_array(), m_cfg.nranks);
+    m_lb.count_rebalance(before, m_dm);
   }
+}
+
+template <int DIM>
+void Simulation<DIM>::observe_cluster(std::int64_t step) {
+  m_rank_recorder.set_step(step); // robust to direct calls outside step()
+  auto costs = box_cost_heuristic();
+  for (auto& c : costs) { c *= static_cast<Real>(m_cluster_cost_unit_s); }
+  // E+B+J components with shape-order ghosts, double precision on the wire.
+  m_cluster->step_cost(m_fields.box_array(), m_dm, costs, 3 * DIM,
+                       m_cfg.shape_order + 1, 8, &m_rank_recorder);
 }
 
 } // namespace mrpic::core

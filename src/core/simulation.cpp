@@ -38,6 +38,15 @@ void Simulation<DIM>::set_moving_window(int dir, Real speed, Real start_time) {
 }
 
 template <int DIM>
+void Simulation<DIM>::enable_cluster_obs(cluster::CommModel cm, double cost_unit_s) {
+  m_cluster = std::make_unique<cluster::SimCluster>(m_cfg.nranks, cm);
+  m_cluster->set_metrics(&m_metrics);
+  m_cluster_cost_unit_s = cost_unit_s;
+  m_rank_recorder = obs::RankRecorder(m_cfg.nranks);
+  m_lb.set_rank_recorder(&m_rank_recorder);
+}
+
+template <int DIM>
 void Simulation<DIM>::enable_mr_patch(const typename mr::MRPatch<DIM>::Config& cfg) {
   assert(!m_initialized);
   const mrpic::Geometry<DIM> geom(m_cfg.domain, m_cfg.prob_lo, m_cfg.prob_hi,

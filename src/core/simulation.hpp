@@ -20,10 +20,12 @@
 #include <vector>
 
 #include "src/amr/config.hpp"
+#include "src/cluster/sim_cluster.hpp"
 #include "src/diag/timers.hpp"
 #include "src/dist/load_balancer.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/profiler.hpp"
+#include "src/obs/rank_recorder.hpp"
 #include "src/obs/step_report.hpp"
 #include "src/fields/fdtd.hpp"
 #include "src/fields/field_set.hpp"
@@ -156,6 +158,19 @@ public:
     m_step_callback = std::move(cb);
   }
 
+  // Cluster-level observability: evaluate the simulated cluster
+  // (cfg.nranks ranks, `cm` wire model) against the level-0 decomposition
+  // every step, capturing the per-rank compute/comm breakdown, the
+  // message-level halo log and load-balancer rebalance snapshots into
+  // rank_recorder(), per-rank sections into metrics(), and rank lanes into
+  // any Chrome trace exported with the recorder. `cost_unit_s` converts the
+  // load balancer's heuristic cost units (cells + weighted particles) into
+  // modeled seconds. Callable before or after init().
+  void enable_cluster_obs(cluster::CommModel cm = {}, double cost_unit_s = 1e-8);
+  bool cluster_obs_enabled() const { return m_cluster != nullptr; }
+  obs::RankRecorder& rank_recorder() { return m_rank_recorder; }
+  const obs::RankRecorder& rank_recorder() const { return m_rank_recorder; }
+
   // Legacy flat timers, refreshed from the profiler on access.
   diag::Timers& timers() {
     m_profiler.flatten_into(m_timers);
@@ -184,7 +199,11 @@ private:
   void migrate_patch_particles();
   void maybe_remove_patch();
   void maybe_rebalance();
+  void observe_cluster(std::int64_t step);
   void exchange_level0();
+  // Per-box cost heuristic (cells + weighted particle counts) shared by the
+  // load balancer and the cluster observer.
+  std::vector<Real> box_cost_heuristic() const;
 
   struct SpeciesData {
     particles::ParticleContainer<DIM> level0;
@@ -206,6 +225,9 @@ private:
   diag::Timers m_timers; // compatibility shim, refreshed from m_profiler
   obs::Profiler m_profiler;
   obs::MetricsRegistry m_metrics;
+  std::unique_ptr<cluster::SimCluster> m_cluster; // set by enable_cluster_obs()
+  obs::RankRecorder m_rank_recorder;
+  double m_cluster_cost_unit_s = 1e-8;
   obs::StepReport m_report;
   std::function<void(const obs::StepReport&)> m_step_callback;
 

@@ -1,0 +1,40 @@
+#include "src/diag/output_dir.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+namespace mrpic::diag {
+
+OutputDir OutputDir::from_args(int& argc, char** argv, std::string default_dir) {
+  std::string dir = std::move(default_dir);
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--outdir") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --outdir requires a directory argument\n", argv[0]);
+        std::exit(2);
+      }
+      dir = argv[++i];
+    } else if (std::strncmp(argv[i], "--outdir=", 9) == 0) {
+      dir = argv[i] + 9;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return OutputDir(dir);
+}
+
+std::string OutputDir::path(std::string_view filename) const {
+  if (!m_created) {
+    std::error_code ec;
+    std::filesystem::create_directories(m_dir, ec); // best effort; open() reports
+    m_created = true;
+  }
+  return (std::filesystem::path(m_dir) / filename).string();
+}
+
+} // namespace mrpic::diag

@@ -1,0 +1,35 @@
+#pragma once
+
+// Run-artifact output directory for examples and benches. Every binary that
+// writes CSV/JSON/trace artifacts routes them through an OutputDir so the
+// repo root stays clean: the default directory is "out/" (gitignored),
+// overridable with `--outdir DIR` (or `--outdir=DIR`) on any example/bench
+// command line. The directory is created on first use, so dry runs that
+// never write leave no empty directories behind.
+
+#include <string>
+#include <string_view>
+
+namespace mrpic::diag {
+
+class OutputDir {
+public:
+  explicit OutputDir(std::string dir = "out") : m_dir(std::move(dir)) {}
+
+  // Extract `--outdir DIR` / `--outdir=DIR` from argv (compacting argc/argv
+  // so later flag parsing never sees it). Exits with a usage message when
+  // the flag is given without a value.
+  static OutputDir from_args(int& argc, char** argv, std::string default_dir = "out");
+
+  const std::string& dir() const { return m_dir; }
+
+  // Join `filename` onto the directory, creating the directory (and
+  // parents) on demand.
+  std::string path(std::string_view filename) const;
+
+private:
+  std::string m_dir;
+  mutable bool m_created = false;
+};
+
+} // namespace mrpic::diag

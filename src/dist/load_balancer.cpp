@@ -7,8 +7,21 @@
 #include <numeric>
 
 #include "src/obs/metrics.hpp"
+#include "src/obs/rank_recorder.hpp"
 
 namespace mrpic::dist {
+
+namespace {
+
+double rank_imbalance(const std::vector<double>& rank_costs) {
+  if (rank_costs.empty()) { return 1.0; }
+  const double max = *std::max_element(rank_costs.begin(), rank_costs.end());
+  const double mean = std::accumulate(rank_costs.begin(), rank_costs.end(), 0.0) /
+                      static_cast<double>(rank_costs.size());
+  return mean > 0 ? max / mean : 1.0;
+}
+
+} // namespace
 
 void LoadBalancer::record_costs(const std::vector<Real>& new_costs) {
   if (m_costs.size() != new_costs.size()) {
@@ -35,6 +48,30 @@ Real LoadBalancer::cost_imbalance() const {
 void LoadBalancer::count_rebalance() {
   ++m_num_rebalances;
   if (m_metrics != nullptr) { m_metrics->counter("lb_rebalances").inc(); }
+}
+
+std::vector<double> LoadBalancer::rank_costs(const DistributionMapping& dm) const {
+  std::vector<double> sums(static_cast<std::size_t>(dm.nranks()), 0.0);
+  if (dm.size() != static_cast<int>(m_costs.size())) { return sums; }
+  for (int i = 0; i < dm.size(); ++i) {
+    sums[dm.rank(i)] += static_cast<double>(m_costs[i]);
+  }
+  return sums;
+}
+
+void LoadBalancer::count_rebalance(const DistributionMapping& before,
+                                   const DistributionMapping& after) {
+  count_rebalance();
+  obs::RebalanceRecord rec;
+  rec.rank_cost_before = rank_costs(before);
+  rec.rank_cost_after = rank_costs(after);
+  rec.imbalance_before = rank_imbalance(rec.rank_cost_before);
+  rec.imbalance_after = rank_imbalance(rec.rank_cost_after);
+  if (m_metrics != nullptr) {
+    m_metrics->gauge("lb_imbalance_before").set(rec.imbalance_before);
+    m_metrics->gauge("lb_imbalance_after").set(rec.imbalance_after);
+  }
+  if (m_recorder != nullptr) { m_recorder->add_rebalance(std::move(rec)); }
 }
 
 bool LoadBalancer::should_rebalance(const DistributionMapping& dm) const {

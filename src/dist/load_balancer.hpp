@@ -14,6 +14,7 @@
 
 namespace mrpic::obs {
 class MetricsRegistry;
+class RankRecorder;
 }
 
 namespace mrpic::dist {
@@ -49,6 +50,14 @@ public:
 
   int num_rebalances() const { return m_num_rebalances; }
   void count_rebalance();
+  // Count a rebalance AND snapshot the per-rank summed costs under the old
+  // and the new mapping: publishes gauges "lb_imbalance_before"/"_after" to
+  // the metrics registry and a RebalanceRecord (tagged with the recorder's
+  // current step) to the rank recorder, when attached.
+  void count_rebalance(const DistributionMapping& before, const DistributionMapping& after);
+
+  // Per-rank sums of the smoothed costs under a mapping (size = nranks).
+  std::vector<double> rank_costs(const DistributionMapping& dm) const;
 
   // Imbalance (max/mean) of the currently smoothed costs; 1 when empty.
   Real cost_imbalance() const;
@@ -57,12 +66,16 @@ public:
   // count_rebalance() bumps counter "lb_rebalances". The registry must
   // outlive this balancer (or be detached with nullptr).
   void set_metrics(obs::MetricsRegistry* metrics) { m_metrics = metrics; }
+  // When set, count_rebalance(before, after) records a before/after
+  // per-rank cost snapshot. Same lifetime contract as the registry.
+  void set_rank_recorder(obs::RankRecorder* recorder) { m_recorder = recorder; }
 
 private:
   LoadBalanceConfig m_cfg;
   std::vector<Real> m_costs;
   int m_num_rebalances = 0;
   obs::MetricsRegistry* m_metrics = nullptr;
+  obs::RankRecorder* m_recorder = nullptr;
 };
 
 // Assign each PML box to the rank of the nearest box of the parent grid

@@ -1,0 +1,64 @@
+#pragma once
+
+// benchdiff — the perf-regression gate over BENCH_*.json files. Flattens
+// two bench documents into metric paths ("simulated_cluster[3].comm_s"),
+// compares every numeric leaf under a relative+absolute tolerance and every
+// string/bool leaf for equality, and renders a per-metric verdict table.
+// Also validates the BENCH_*.json schema (required keys per record for the
+// known bench kinds), so a bench that silently stops emitting a metric
+// fails CI rather than shrinking the baseline. The bench_compare tool in
+// bench/ is a thin CLI over this; tests/obs/test_bench_diff.cpp covers the
+// logic in isolation.
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hpp"
+
+namespace mrpic::obs::benchdiff {
+
+struct Options {
+  double rel_tol = 0.05;   // |cur - base| <= abs_tol + rel_tol * |base|
+  double abs_tol = 1e-12;  // absolute floor for near-zero baselines
+  std::vector<std::string> ignore;  // skip metric paths containing any of these
+};
+
+enum class Status { Pass, Fail, Missing, Extra, Ignored };
+
+struct MetricResult {
+  std::string path;
+  Status status = Status::Pass;
+  double baseline = 0;
+  double current = 0;
+  double rel_diff = 0;  // |cur - base| / max(|base|, abs_tol)
+  std::string note;     // non-numeric mismatch detail
+};
+
+struct Report {
+  std::vector<MetricResult> results;
+  int num_pass = 0, num_fail = 0, num_missing = 0, num_extra = 0, num_ignored = 0;
+  // Regression-free: every baseline metric present and within tolerance.
+  bool ok() const { return num_fail == 0 && num_missing == 0; }
+};
+
+// Flatten scalars (numbers, strings, bools) into path -> value; arrays use
+// positional keys (bench output order is deterministic).
+void flatten(const json::Value& v, const std::string& prefix,
+             std::map<std::string, json::Value>& out);
+
+// Diff `current` against `baseline` metric-by-metric.
+Report compare(const json::Value& baseline, const json::Value& current,
+               const Options& opt = {});
+
+// Verdict table (every metric when verbose, otherwise only non-Pass rows)
+// followed by a summary line.
+void print_report(const Report& report, std::ostream& os, bool verbose = false);
+
+// Schema check for a BENCH_*.json document: returns human-readable errors
+// (empty = valid). Knows the required keys of the kernels / weak_scaling /
+// strong_scaling records; unknown bench kinds only need a "bench" name.
+std::vector<std::string> validate_schema(const json::Value& doc);
+
+} // namespace mrpic::obs::benchdiff

@@ -57,12 +57,19 @@ StepRecord MetricsRegistry::end_step() {
     rec.counters[name] = c->value() - (base == m_step_base.end() ? 0 : base->second);
   }
   for (const auto& [name, g] : m_gauges) { rec.gauges[name] = g->value(); }
+  rec.ranks = std::move(m_step_ranks);
+  m_step_ranks.clear();
   m_in_step = false;
   m_history.push_back(rec);
   if (m_history_limit > 0) {
     while (m_history.size() > m_history_limit) { m_history.pop_front(); }
   }
   return rec;
+}
+
+void MetricsRegistry::set_step_ranks(std::vector<StepRecord::RankSection> ranks) {
+  std::lock_guard<std::mutex> lock(m_mu);
+  m_step_ranks = std::move(ranks);
 }
 
 void MetricsRegistry::set_history_limit(std::size_t n) {
@@ -83,6 +90,15 @@ void MetricsRegistry::write_record(const StepRecord& rec, std::ostream& os) {
   w.begin_object("gauges");
   for (const auto& [name, v] : rec.gauges) { w.field(name, v); }
   w.end_object();
+  if (!rec.ranks.empty()) {
+    w.begin_array("ranks");
+    for (const auto& section : rec.ranks) {
+      w.begin_object();
+      for (const auto& [name, v] : section) { w.field(name, v); }
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
 }
 
@@ -120,18 +136,34 @@ StepRecord MetricsRegistry::parse_record(const std::string& line) {
       rec.gauges[name] = val.as_number();
     }
   }
+  if (v["ranks"].is_array()) {
+    for (const auto& section : v["ranks"].as_array()) {
+      StepRecord::RankSection s;
+      if (section.is_object()) {
+        for (const auto& [name, val] : section.as_object()) { s[name] = val.as_number(); }
+      }
+      rec.ranks.push_back(std::move(s));
+    }
+  }
   return rec;
 }
 
-std::vector<StepRecord> MetricsRegistry::read_jsonl(const std::string& path) {
+std::vector<StepRecord> MetricsRegistry::read_jsonl(const std::string& path,
+                                                    std::size_t* num_malformed) {
   std::ifstream is(path);
   if (!is) { throw std::runtime_error("cannot open metrics file: " + path); }
   std::vector<StepRecord> out;
+  std::size_t malformed = 0;
   std::string line;
   while (std::getline(is, line)) {
     if (line.empty()) { continue; }
-    out.push_back(parse_record(line));
+    try {
+      out.push_back(parse_record(line));
+    } catch (const std::runtime_error&) {
+      ++malformed; // truncated tail or corrupt line: keep what loads
+    }
   }
+  if (num_malformed != nullptr) { *num_malformed = malformed; }
   return out;
 }
 

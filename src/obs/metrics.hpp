@@ -44,14 +44,19 @@ private:
 };
 
 // One step's worth of metrics: counter deltas over the step plus gauge
-// values at step end.
+// values at step end, plus an optional per-rank section (one map per
+// simulated rank, e.g. compute_s/comm_s/bytes from cluster::SimCluster).
 struct StepRecord {
+  using RankSection = std::map<std::string, double>;
+
   std::int64_t step = -1;
   std::map<std::string, std::int64_t> counters;
   std::map<std::string, double> gauges;
+  std::vector<RankSection> ranks;  // empty = no per-rank section
 
   bool operator==(const StepRecord& o) const {
-    return step == o.step && counters == o.counters && gauges == o.gauges;
+    return step == o.step && counters == o.counters && gauges == o.gauges &&
+           ranks == o.ranks;
   }
 };
 
@@ -71,6 +76,10 @@ public:
   void begin_step(std::int64_t step);
   // Snapshot deltas + gauges into the history and return the record.
   StepRecord end_step();
+  // Attach a per-rank section to the in-flight step (consumed by the next
+  // end_step; repeated calls within a step overwrite). Typically fed by
+  // cluster::SimCluster when a metrics registry is attached to it.
+  void set_step_ranks(std::vector<StepRecord::RankSection> ranks);
 
   const std::deque<StepRecord>& history() const { return m_history; }
   // Keep at most n records (0 = unbounded, the default).
@@ -78,12 +87,17 @@ public:
   void clear_history() { m_history.clear(); }
 
   // --- JSONL -------------------------------------------------------------
-  // One {"step":...,"counters":{...},"gauges":{...}} object per line.
+  // One {"step":...,"counters":{...},"gauges":{...}[,"ranks":[...]]} object
+  // per line.
   void write_jsonl(std::ostream& os) const;
   bool write_jsonl(const std::string& path) const;
   static void write_record(const StepRecord& rec, std::ostream& os);
-  // Parse records back (throws std::runtime_error on malformed lines).
-  static std::vector<StepRecord> read_jsonl(const std::string& path);
+  // Parse records back. Malformed lines are skipped (and counted into
+  // *num_malformed when given) so a truncated run's metrics file is still
+  // loadable; throws std::runtime_error only when the file cannot be opened.
+  static std::vector<StepRecord> read_jsonl(const std::string& path,
+                                            std::size_t* num_malformed = nullptr);
+  // Parse one line (throws std::runtime_error on malformed input).
   static StepRecord parse_record(const std::string& line);
 
 private:
@@ -97,6 +111,7 @@ private:
   std::int64_t m_step = -1;
   bool m_in_step = false;
   std::map<std::string, std::int64_t> m_step_base; // counter values at begin_step
+  std::vector<StepRecord::RankSection> m_step_ranks; // pending per-rank section
   std::deque<StepRecord> m_history;
   std::size_t m_history_limit = 0;
 };

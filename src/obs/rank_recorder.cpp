@@ -1,0 +1,83 @@
+#include "src/obs/rank_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace mrpic::obs {
+
+double RankStepBreakdown::max_compute_s() const {
+  double m = 0;
+  for (const auto& r : ranks) { m = std::max(m, r.compute_s); }
+  return m;
+}
+
+double RankStepBreakdown::mean_compute_s() const {
+  if (ranks.empty()) { return 0; }
+  double sum = 0;
+  for (const auto& r : ranks) { sum += r.compute_s; }
+  return sum / static_cast<double>(ranks.size());
+}
+
+double RankStepBreakdown::imbalance() const {
+  const double mean = mean_compute_s();
+  return mean > 0 ? max_compute_s() / mean : 1.0;
+}
+
+double RankStepBreakdown::max_total_s() const {
+  double m = 0;
+  for (const auto& r : ranks) { m = std::max(m, r.total_s()); }
+  return m;
+}
+
+void RankRecorder::add_step(RankStepBreakdown breakdown, std::vector<HaloMessage> messages) {
+  if (m_nranks == 0) { m_nranks = static_cast<int>(breakdown.ranks.size()); }
+  for (auto& msg : messages) {
+    msg.step = breakdown.step;
+    if (m_messages.size() >= m_max_messages) {
+      ++m_dropped_messages;
+      continue;
+    }
+    m_messages.push_back(msg);
+  }
+  m_steps.push_back(std::move(breakdown));
+}
+
+void RankRecorder::add_rebalance(RebalanceRecord rec) {
+  if (rec.step < 0) { rec.step = m_step; }
+  m_rebalances.push_back(std::move(rec));
+}
+
+void RankRecorder::clear() {
+  m_steps.clear();
+  m_messages.clear();
+  m_rebalances.clear();
+  m_dropped_messages = 0;
+}
+
+void RankRecorder::write_rank_heatmap_csv(std::ostream& os) const {
+  os << "step,rank,boxes,compute_s,comm_s,total_s,bytes_sent,bytes_recv,messages,"
+        "step_imbalance\n";
+  char buf[64];
+  const auto num = [&buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  for (const auto& step : m_steps) {
+    const double imb = step.imbalance();
+    for (const auto& r : step.ranks) {
+      os << step.step << ',' << r.rank << ',' << r.boxes << ',' << num(r.compute_s)
+         << ',' << num(r.comm_s) << ',' << num(r.total_s()) << ',' << r.bytes_sent
+         << ',' << r.bytes_recv << ',' << r.messages << ',' << num(imb) << '\n';
+    }
+  }
+}
+
+bool RankRecorder::write_rank_heatmap_csv(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) { return false; }
+  write_rank_heatmap_csv(os);
+  return static_cast<bool>(os);
+}
+
+} // namespace mrpic::obs

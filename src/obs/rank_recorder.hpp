@@ -1,0 +1,119 @@
+#pragma once
+
+// obs::RankRecorder — cluster-level observability sink. Where the profiler
+// and MetricsRegistry observe the real process, the RankRecorder observes
+// the *simulated* cluster (cluster::SimCluster): per-rank compute/comm
+// breakdowns for every recorded step, a message-level log of the modeled
+// halo exchanges (src/dst rank, bytes, latency + transfer time), and
+// before/after per-rank cost snapshots around every load-balancer remap.
+// This is the per-rank evidence behind the paper's scaling analysis
+// (Figs. 9-11): which ranks are compute-bound vs halo-bound and how
+// imbalance evolves as the laser propagates.
+//
+// Exporters: write_rank_heatmap_csv() (step x rank matrix, the Fig. 9-style
+// artifact) here; per-rank Chrome-trace lanes with flow events between
+// ranks in trace.hpp. Recording is driver-side and single-threaded (the
+// simulated cluster is evaluated from the stepping thread).
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mrpic::obs {
+
+// One rank's share of one recorded step (modeled seconds).
+struct RankStepStats {
+  int rank = 0;
+  double compute_s = 0;            // summed cost of the rank's boxes
+  double comm_s = 0;               // halo-exchange time charged to the rank
+  std::int64_t bytes_sent = 0;     // inter-rank bytes leaving this rank
+  std::int64_t bytes_recv = 0;     // inter-rank bytes arriving at this rank
+  std::int64_t messages = 0;       // inter-rank messages touching this rank
+  int boxes = 0;                   // boxes mapped to this rank
+  double total_s() const { return compute_s + comm_s; }
+};
+
+// One modeled inter-rank halo message (same-rank copies are not messages).
+struct HaloMessage {
+  std::int64_t step = -1;
+  int src_rank = 0;   // owner of the box supplying the ghost data
+  int dst_rank = 0;   // owner of the box whose ghosts are filled
+  int src_box = 0;
+  int dst_box = 0;
+  std::int64_t bytes = 0;
+  double latency_s = 0;   // per-message wire latency component
+  double transfer_s = 0;  // bytes / bandwidth component
+  double time_s() const { return latency_s + transfer_s; }
+};
+
+// Full per-rank breakdown of one step.
+struct RankStepBreakdown {
+  std::int64_t step = -1;
+  std::vector<RankStepStats> ranks;  // one entry per rank, idle ranks included
+
+  double max_compute_s() const;
+  double mean_compute_s() const;
+  // max/mean compute over ranks; 1 when there is no compute. Matches
+  // cluster::StepCost::imbalance bit-for-bit (same arithmetic, same rank set).
+  double imbalance() const;
+  double max_total_s() const;  // max over ranks of compute + comm
+};
+
+// Per-rank summed box costs immediately before and after one rebalance.
+struct RebalanceRecord {
+  std::int64_t step = -1;
+  std::vector<double> rank_cost_before;
+  std::vector<double> rank_cost_after;
+  double imbalance_before = 1;
+  double imbalance_after = 1;
+};
+
+class RankRecorder {
+public:
+  explicit RankRecorder(int nranks = 0) : m_nranks(nranks) {}
+
+  int nranks() const { return m_nranks; }
+
+  // Tag subsequent records with a step number (set by the driver once per
+  // step; sweeps may use any monotone index).
+  void set_step(std::int64_t step) { m_step = step; }
+  std::int64_t current_step() const { return m_step; }
+
+  // Bound on the message log (default 1<<20); excess messages are counted
+  // but dropped.
+  void set_max_messages(std::size_t n) { m_max_messages = n; }
+  std::size_t dropped_messages() const { return m_dropped_messages; }
+
+  // --- sinks (SimCluster::step_cost / LoadBalancer) ----------------------
+  // Append one step's breakdown plus its message log. The breakdown's step
+  // tag wins; messages are re-tagged to match.
+  void add_step(RankStepBreakdown breakdown, std::vector<HaloMessage> messages);
+  void add_rebalance(RebalanceRecord rec);
+
+  // --- captured data ------------------------------------------------------
+  const std::vector<RankStepBreakdown>& steps() const { return m_steps; }
+  const std::vector<HaloMessage>& messages() const { return m_messages; }
+  const std::vector<RebalanceRecord>& rebalances() const { return m_rebalances; }
+  void clear();
+
+  // --- exporters ----------------------------------------------------------
+  // step x rank matrix as CSV, one row per (step, rank):
+  //   step,rank,boxes,compute_s,comm_s,total_s,bytes_sent,bytes_recv,
+  //   messages,step_imbalance
+  // with the per-step max/mean compute ratio repeated on each of the step's
+  // rows (the paper's Fig. 9-style imbalance heatmap).
+  void write_rank_heatmap_csv(std::ostream& os) const;
+  bool write_rank_heatmap_csv(const std::string& path) const;
+
+private:
+  int m_nranks = 0;
+  std::int64_t m_step = -1;
+  std::size_t m_max_messages = std::size_t(1) << 20;
+  std::size_t m_dropped_messages = 0;
+  std::vector<RankStepBreakdown> m_steps;
+  std::vector<HaloMessage> m_messages;
+  std::vector<RebalanceRecord> m_rebalances;
+};
+
+} // namespace mrpic::obs

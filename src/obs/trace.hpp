@@ -4,7 +4,17 @@
 // chrome://tracing and Perfetto's legacy loader): every region instance the
 // profiler recorded becomes a complete ("ph":"X") event with microsecond
 // timestamps, the profiler-assigned thread id and the step number in args.
-// Load the file directly in the Perfetto UI to see where any one step went.
+// "M" metadata events name the process and every thread ("main", "worker K")
+// so Perfetto lanes carry readable labels instead of bare ids.
+//
+// When a RankRecorder is supplied, each simulated rank additionally becomes
+// its own trace *process* (pid = rank + 1; the real process keeps pid 0):
+// per step, a "compute" and a "halo" slice on the rank's lane, and every
+// modeled inter-rank halo message a "s"/"f" flow-event pair connecting the
+// source rank's halo slice to the destination rank's — load the file in the
+// Perfetto UI and the halo exchanges render as arrows between rank lanes.
+// Rank lanes use the simulated-cluster's modeled seconds as their timebase
+// (steps laid out back-to-back), not the wall clock of pid 0.
 
 #include <ostream>
 #include <string>
@@ -14,13 +24,22 @@
 
 namespace mrpic::obs {
 
+class RankRecorder;
+
 // Serialize events to `os` as {"traceEvents":[...],"displayTimeUnit":"ms"}.
 void write_chrome_trace(const std::vector<TraceEvent>& events, std::ostream& os,
                         const std::string& process_name = "mrpic");
+
+// Combined export: profiler events on pid 0 plus one lane per simulated rank
+// with halo-exchange flow events between lanes.
+void write_chrome_trace(const std::vector<TraceEvent>& events, const RankRecorder& ranks,
+                        std::ostream& os, const std::string& process_name = "mrpic");
 
 // Convenience: dump a profiler's collected events to `path`. Returns false
 // on I/O failure.
 bool write_chrome_trace(const Profiler& profiler, const std::string& path,
                         const std::string& process_name = "mrpic");
+bool write_chrome_trace(const Profiler& profiler, const RankRecorder& ranks,
+                        const std::string& path, const std::string& process_name = "mrpic");
 
 } // namespace mrpic::obs

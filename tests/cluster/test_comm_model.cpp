@@ -1,0 +1,60 @@
+// Isolation tests for the alpha-beta wire model (cluster::CommModel) that
+// every simulated-cluster cost rests on. The SimCluster-level behaviour
+// (halo pairing, rank accounting) is covered in test_sim_cluster.cpp.
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/comm_model.hpp"
+
+namespace mrpic::cluster {
+namespace {
+
+TEST(CommModel, MessageTimes) {
+  CommModel cm;
+  cm.latency_s = 1e-6;
+  cm.bandwidth_Bps = 1e9;
+  EXPECT_DOUBLE_EQ(cm.message_time(1000, false), 1e-6 + 1e-6);
+  EXPECT_LT(cm.message_time(1000, true), cm.message_time(1000, false));
+}
+
+TEST(CommModel, LatencyAndBandwidthSeparate) {
+  CommModel cm;
+  cm.latency_s = 5e-6;
+  cm.bandwidth_Bps = 2e9;
+  // Inter-rank: latency floor plus linear transfer term.
+  EXPECT_DOUBLE_EQ(cm.message_time(0, false), 5e-6);
+  const double t1 = cm.message_time(1 << 20, false);
+  const double t2 = cm.message_time(2 << 20, false);
+  EXPECT_DOUBLE_EQ(t2 - t1, double(1 << 20) / 2e9);
+}
+
+TEST(CommModel, ZeroByteMessages) {
+  CommModel cm;
+  // A zero-byte inter-rank message still pays the wire latency; the
+  // same-rank copy of nothing is free.
+  EXPECT_DOUBLE_EQ(cm.message_time(0, false), cm.latency_s);
+  EXPECT_DOUBLE_EQ(cm.message_time(0, true), 0.0);
+}
+
+TEST(CommModel, SameRankCopiesAreBandwidthOnly) {
+  CommModel cm;
+  cm.intranode_Bps = 100e9;
+  const std::int64_t bytes = 1 << 24;
+  EXPECT_DOUBLE_EQ(cm.message_time(bytes, true), double(bytes) / 100e9);
+  // No latency component: halving the bytes halves the time exactly.
+  EXPECT_DOUBLE_EQ(cm.message_time(bytes / 2, true),
+                   cm.message_time(bytes, true) / 2);
+}
+
+TEST(CommModel, AllreduceGrowsLogarithmically) {
+  CommModel cm;
+  const double t2 = cm.allreduce_time(2, 8);
+  const double t16 = cm.allreduce_time(16, 8);
+  const double t1024 = cm.allreduce_time(1024, 8);
+  EXPECT_DOUBLE_EQ(t16, 4 * t2);
+  EXPECT_DOUBLE_EQ(t1024, 10 * t2);
+  EXPECT_DOUBLE_EQ(cm.allreduce_time(1, 8), 0.0);
+}
+
+} // namespace
+} // namespace mrpic::cluster

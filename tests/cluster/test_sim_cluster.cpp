@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "src/cluster/sim_cluster.hpp"
+#include "src/obs/rank_recorder.hpp"
+
+// CommModel isolation tests live in tests/cluster/test_comm_model.cpp.
 
 namespace mrpic::cluster {
 namespace {
@@ -11,24 +17,6 @@ using dist::Strategy;
 mrpic::BoxArray<3> cube_ba(int n, int box) {
   return mrpic::BoxArray<3>::decompose(
       mrpic::Box3(mrpic::IntVect3(0, 0, 0), mrpic::IntVect3(n - 1, n - 1, n - 1)), box);
-}
-
-TEST(CommModel, MessageTimes) {
-  CommModel cm;
-  cm.latency_s = 1e-6;
-  cm.bandwidth_Bps = 1e9;
-  EXPECT_DOUBLE_EQ(cm.message_time(1000, false), 1e-6 + 1e-6);
-  EXPECT_LT(cm.message_time(1000, true), cm.message_time(1000, false));
-}
-
-TEST(CommModel, AllreduceGrowsLogarithmically) {
-  CommModel cm;
-  const double t2 = cm.allreduce_time(2, 8);
-  const double t16 = cm.allreduce_time(16, 8);
-  const double t1024 = cm.allreduce_time(1024, 8);
-  EXPECT_DOUBLE_EQ(t16, 4 * t2);
-  EXPECT_DOUBLE_EQ(t1024, 10 * t2);
-  EXPECT_DOUBLE_EQ(cm.allreduce_time(1, 8), 0.0);
 }
 
 TEST(SimCluster, ComputeIsMaxOverRanks) {
@@ -89,6 +77,79 @@ TEST(SimCluster, MessageCountScalesWithSurface) {
   // once: between 3x64/2 (faces of a corner-heavy layout) and 26x64.
   EXPECT_GT(c.num_messages, 64);
   EXPECT_LT(c.num_messages, 26 * 64);
+}
+
+TEST(SimCluster, RecorderCapturesPerRankBreakdown) {
+  const auto ba = cube_ba(32, 16); // 8 boxes
+  SimCluster cluster(2);
+  std::vector<Real> costs(8, 1.0);
+  costs[0] = 5.0;
+  const auto dm = DistributionMapping::make(ba, 2, Strategy::RoundRobin);
+  obs::RankRecorder rec(2);
+  rec.set_step(7);
+  const auto c = cluster.step_cost(ba, dm, costs, 6, 2, 8, &rec);
+
+  ASSERT_EQ(rec.steps().size(), 1u);
+  const auto& bd = rec.steps()[0];
+  EXPECT_EQ(bd.step, 7);
+  ASSERT_EQ(bd.ranks.size(), 2u);
+
+  // Per-rank compute reassembles the aggregate StepCost exactly.
+  double compute_sum = 0;
+  int box_sum = 0;
+  for (const auto& r : bd.ranks) {
+    compute_sum += r.compute_s;
+    box_sum += r.boxes;
+  }
+  EXPECT_DOUBLE_EQ(compute_sum, 12.0); // 5 + 7x1
+  EXPECT_EQ(box_sum, 8);
+  EXPECT_DOUBLE_EQ(bd.max_compute_s(), c.compute_s);
+  // The acceptance criterion: identical arithmetic, identical rank set.
+  EXPECT_NEAR(bd.imbalance(), c.imbalance, 1e-12);
+  double max_comm = 0;
+  for (const auto& r : bd.ranks) { max_comm = std::max(max_comm, r.comm_s); }
+  EXPECT_DOUBLE_EQ(max_comm, c.comm_s);
+}
+
+TEST(SimCluster, RecorderMessageLogMatchesAggregates) {
+  const auto ba = cube_ba(64, 16); // 64 boxes
+  CommModel cm;
+  SimCluster cluster(8, cm);
+  const auto dm = DistributionMapping::make(ba, 8, Strategy::SpaceFillingCurve);
+  obs::RankRecorder rec(8);
+  rec.set_step(3);
+  const auto c = cluster.step_cost(ba, dm, std::vector<Real>(64, 1.0), 6, 2, 8, &rec);
+
+  ASSERT_EQ(rec.messages().size(), static_cast<std::size_t>(c.num_messages));
+  std::int64_t bytes = 0, sent = 0, recv = 0;
+  for (const auto& m : rec.messages()) {
+    EXPECT_NE(m.src_rank, m.dst_rank); // same-rank copies are not messages
+    EXPECT_EQ(m.step, 3);
+    EXPECT_GT(m.bytes, 0);
+    EXPECT_DOUBLE_EQ(m.latency_s, cm.latency_s);
+    EXPECT_DOUBLE_EQ(m.time_s(), cm.message_time(m.bytes, false));
+    bytes += m.bytes;
+  }
+  EXPECT_EQ(bytes, c.total_bytes);
+  for (const auto& r : rec.steps()[0].ranks) {
+    sent += r.bytes_sent;
+    recv += r.bytes_recv;
+  }
+  EXPECT_EQ(sent, c.total_bytes);
+  EXPECT_EQ(recv, c.total_bytes);
+}
+
+TEST(SimCluster, RecorderSingleRankLogsNoMessages) {
+  const auto ba = cube_ba(32, 16);
+  SimCluster cluster(1);
+  const auto dm = DistributionMapping::make(ba, 1, Strategy::RoundRobin);
+  obs::RankRecorder rec(1);
+  cluster.step_cost(ba, dm, std::vector<Real>(8, 1.0), 6, 2, 8, &rec);
+  EXPECT_TRUE(rec.messages().empty());
+  ASSERT_EQ(rec.steps().size(), 1u);
+  // Intra-rank halo copies still cost bandwidth time on the one rank.
+  EXPECT_GT(rec.steps()[0].ranks[0].comm_s, 0.0);
+  EXPECT_EQ(rec.steps()[0].ranks[0].messages, 0);
 }
 
 } // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "src/obs/metrics.hpp"
@@ -83,6 +84,70 @@ TEST(Metrics, JsonlRoundTrip) {
 TEST(Metrics, ParseRecordRejectsGarbage) {
   EXPECT_THROW(MetricsRegistry::parse_record("not json"), std::runtime_error);
   EXPECT_THROW(MetricsRegistry::parse_record("[1,2,3]"), std::runtime_error);
+}
+
+TEST(Metrics, ReadJsonlSkipsAndCountsMalformedLines) {
+  const std::string path = "test_metrics_malformed_tmp.jsonl";
+  {
+    MetricsRegistry reg;
+    reg.begin_step(0);
+    reg.counter("work").add(1);
+    reg.end_step();
+    reg.begin_step(1);
+    reg.counter("work").add(2);
+    reg.end_step();
+    ASSERT_TRUE(reg.write_jsonl(path));
+  }
+  // Corrupt the file: a truncated line in the middle and trailing garbage
+  // (an interrupted writer, a partial download, ...).
+  {
+    std::ifstream is(path);
+    std::string first, second;
+    std::getline(is, first);
+    std::getline(is, second);
+    is.close();
+    std::ofstream os(path);
+    os << first << '\n'
+       << "{\"step\": 99, \"counters\": {\"work\"" << '\n' // truncated mid-object
+       << second << '\n'
+       << "not json at all" << '\n';
+  }
+  std::size_t malformed = 0;
+  const auto back = MetricsRegistry::read_jsonl(path, &malformed);
+  std::remove(path.c_str());
+  ASSERT_EQ(back.size(), 2u); // the two good records survive
+  EXPECT_EQ(back[0].step, 0);
+  EXPECT_EQ(back[1].step, 1);
+  EXPECT_EQ(malformed, 2u);
+  // An unopenable file is still a hard error, not "zero records".
+  EXPECT_THROW(MetricsRegistry::read_jsonl("nonexistent_dir_x/f.jsonl"),
+               std::runtime_error);
+}
+
+TEST(Metrics, RankSectionsRoundTripThroughJsonl) {
+  MetricsRegistry reg;
+  reg.begin_step(0);
+  reg.counter("work").add(1);
+  reg.set_step_ranks({{{"compute_s", 1.5}, {"comm_s", 0.25}, {"boxes", 3.0}},
+                      {{"compute_s", 0.5}, {"comm_s", 0.25}, {"boxes", 1.0}}});
+  const StepRecord rec = reg.end_step();
+  ASSERT_EQ(rec.ranks.size(), 2u);
+  EXPECT_DOUBLE_EQ(rec.ranks[0].at("compute_s"), 1.5);
+
+  // A step without rank sections stays rank-free.
+  reg.begin_step(1);
+  const StepRecord rec1 = reg.end_step();
+  EXPECT_TRUE(rec1.ranks.empty());
+
+  const std::string path = "test_metrics_ranks_tmp.jsonl";
+  ASSERT_TRUE(reg.write_jsonl(path));
+  const auto back = MetricsRegistry::read_jsonl(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], rec);
+  ASSERT_EQ(back[0].ranks.size(), 2u);
+  EXPECT_DOUBLE_EQ(back[0].ranks[1].at("comm_s"), 0.25);
+  EXPECT_TRUE(back[1].ranks.empty());
 }
 
 TEST(Metrics, FlopCounterPublishesDeltas) {

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hpp"
+#include "src/obs/rank_recorder.hpp"
+#include "src/obs/trace.hpp"
+
+namespace mrpic::obs {
+namespace {
+
+// Two ranks, two steps, one inter-rank message per step.
+RankRecorder make_recorder() {
+  RankRecorder rec(2);
+  for (std::int64_t s = 0; s < 2; ++s) {
+    RankStepBreakdown bd;
+    bd.step = s;
+    bd.ranks.resize(2);
+    for (int r = 0; r < 2; ++r) {
+      bd.ranks[r].rank = r;
+      bd.ranks[r].compute_s = r == 0 ? 3e-3 : 1e-3;
+      bd.ranks[r].comm_s = 0.5e-3;
+      bd.ranks[r].bytes_sent = r == 0 ? 1024 : 0;
+      bd.ranks[r].bytes_recv = r == 0 ? 0 : 1024;
+      bd.ranks[r].messages = 1;
+      bd.ranks[r].boxes = 2;
+    }
+    HaloMessage msg;
+    msg.src_rank = 0;
+    msg.dst_rank = 1;
+    msg.src_box = 0;
+    msg.dst_box = 2;
+    msg.bytes = 1024;
+    msg.latency_s = 2e-6;
+    msg.transfer_s = 1e-7;
+    rec.set_step(s);
+    rec.add_step(bd, {msg});
+  }
+  return rec;
+}
+
+TEST(RankRecorder, BreakdownStatsAndImbalance) {
+  const auto rec = make_recorder();
+  ASSERT_EQ(rec.steps().size(), 2u);
+  const auto& bd = rec.steps()[0];
+  EXPECT_DOUBLE_EQ(bd.max_compute_s(), 3e-3);
+  EXPECT_DOUBLE_EQ(bd.mean_compute_s(), 2e-3);
+  EXPECT_DOUBLE_EQ(bd.imbalance(), 1.5);
+  EXPECT_DOUBLE_EQ(bd.max_total_s(), 3.5e-3);
+  // Messages are re-tagged with the breakdown's step.
+  ASSERT_EQ(rec.messages().size(), 2u);
+  EXPECT_EQ(rec.messages()[0].step, 0);
+  EXPECT_EQ(rec.messages()[1].step, 1);
+  EXPECT_DOUBLE_EQ(rec.messages()[0].time_s(), 2e-6 + 1e-7);
+}
+
+TEST(RankRecorder, EmptyBreakdownHasUnitImbalance) {
+  RankStepBreakdown bd;
+  EXPECT_DOUBLE_EQ(bd.imbalance(), 1.0);
+  bd.ranks.resize(3); // all-idle ranks: no compute, still well-defined
+  EXPECT_DOUBLE_EQ(bd.imbalance(), 1.0);
+}
+
+TEST(RankRecorder, HeatmapCsvLayout) {
+  const auto rec = make_recorder();
+  std::ostringstream os;
+  rec.write_rank_heatmap_csv(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line,
+            "step,rank,boxes,compute_s,comm_s,total_s,bytes_sent,bytes_recv,"
+            "messages,step_imbalance");
+  std::vector<std::vector<std::string>> rows;
+  while (std::getline(is, line)) {
+    std::vector<std::string> fields;
+    std::istringstream ls(line);
+    std::string f;
+    while (std::getline(ls, f, ',')) { fields.push_back(f); }
+    ASSERT_EQ(fields.size(), 10u);
+    rows.push_back(fields);
+  }
+  ASSERT_EQ(rows.size(), 4u); // 2 steps x 2 ranks
+  // Row 0: step 0, rank 0; the step imbalance (max/mean = 1.5) is repeated
+  // on each of the step's rows.
+  EXPECT_EQ(rows[0][0], "0");
+  EXPECT_EQ(rows[0][1], "0");
+  EXPECT_EQ(rows[0][2], "2");
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][3]), 3e-3);   // compute_s
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][4]), 0.5e-3); // comm_s
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][5]), 3.5e-3); // total_s
+  EXPECT_EQ(rows[0][6], "1024");
+  EXPECT_EQ(rows[0][7], "0");
+  EXPECT_EQ(rows[0][8], "1");
+  EXPECT_DOUBLE_EQ(std::stod(rows[0][9]), 1.5);
+  EXPECT_DOUBLE_EQ(std::stod(rows[1][9]), 1.5); // repeated on rank 1's row
+  EXPECT_EQ(rows[1][1], "1");
+  EXPECT_EQ(rows[2][0], "1"); // second step
+}
+
+TEST(RankRecorder, MessageCapCountsDrops) {
+  RankRecorder rec(2);
+  rec.set_max_messages(3);
+  RankStepBreakdown bd;
+  bd.step = 0;
+  bd.ranks.resize(2);
+  std::vector<HaloMessage> msgs(5);
+  rec.add_step(bd, msgs);
+  EXPECT_EQ(rec.messages().size(), 3u);
+  EXPECT_EQ(rec.dropped_messages(), 2u);
+  rec.clear();
+  EXPECT_EQ(rec.dropped_messages(), 0u);
+  EXPECT_TRUE(rec.steps().empty());
+}
+
+TEST(RankRecorder, RebalanceRecordBackfillsStep) {
+  RankRecorder rec(2);
+  rec.set_step(42);
+  RebalanceRecord rb;
+  rb.rank_cost_before = {4.0, 1.0};
+  rb.rank_cost_after = {2.5, 2.5};
+  rb.imbalance_before = 1.6;
+  rb.imbalance_after = 1.0;
+  rec.add_rebalance(rb);
+  ASSERT_EQ(rec.rebalances().size(), 1u);
+  EXPECT_EQ(rec.rebalances()[0].step, 42);
+  EXPECT_DOUBLE_EQ(rec.rebalances()[0].imbalance_before, 1.6);
+}
+
+TEST(RankRecorder, TraceRankLanesAndFlowEvents) {
+  const auto rec = make_recorder();
+  std::ostringstream os;
+  write_chrome_trace({}, rec, os, "test_proc");
+  const json::Value doc = json::parse(os.str());
+  ASSERT_TRUE(doc["traceEvents"].is_array());
+  const auto& events = doc["traceEvents"].as_array();
+
+  int rank_lanes = 0, compute_slices = 0, halo_slices = 0;
+  int flow_starts = 0, flow_finishes = 0;
+  for (const auto& ev : events) {
+    const auto ph = ev["ph"].as_string();
+    const auto name = ev["name"].as_string();
+    if (ph == "M" && name == "process_name" &&
+        ev["args"]["name"].as_string().rfind("rank ", 0) == 0) {
+      ++rank_lanes;
+      EXPECT_GE(ev["pid"].as_int(), 1); // pid 0 stays the real process
+    }
+    if (ph == "X" && name == "compute") { ++compute_slices; }
+    if (ph == "X" && name == "halo") { ++halo_slices; }
+    if (ph == "s" && name == "halo_msg") { ++flow_starts; }
+    if (ph == "f" && name == "halo_msg") {
+      ++flow_finishes;
+      EXPECT_EQ(ev["bp"].as_string(), "e");
+    }
+  }
+  EXPECT_EQ(rank_lanes, 2);
+  EXPECT_EQ(compute_slices, 4); // 2 steps x 2 ranks
+  EXPECT_EQ(halo_slices, 4);
+  EXPECT_EQ(flow_starts, 2);
+  EXPECT_EQ(flow_finishes, 2);
+
+  // Every flow pair shares cat+id and connects two distinct rank lanes.
+  for (const auto& ev : events) {
+    if (!ev["ph"].is_string() || ev["ph"].as_string() != "s") { continue; }
+    if (ev["name"].as_string() != "halo_msg") { continue; }
+    const std::int64_t id = ev["id"].as_int();
+    bool found_finish = false;
+    for (const auto& fin : events) {
+      if (fin["ph"].is_string() && fin["ph"].as_string() == "f" &&
+          fin["id"].is_number() && fin["id"].as_int() == id) {
+        found_finish = true;
+        EXPECT_EQ(fin["cat"].as_string(), ev["cat"].as_string());
+        EXPECT_NE(fin["pid"].as_int(), ev["pid"].as_int());
+      }
+    }
+    EXPECT_TRUE(found_finish);
+  }
+}
+
+} // namespace
+} // namespace mrpic::obs

@@ -60,16 +60,22 @@ TEST(Trace, ChromeTraceIsWellFormedAndCarriesStepAndThread) {
   ASSERT_TRUE(doc.is_object());
   ASSERT_TRUE(doc["traceEvents"].is_array());
   const auto& events = doc["traceEvents"].as_array();
-  // 1 metadata event + 2 regions x 3 steps.
-  ASSERT_EQ(events.size(), 1u + 6u);
+  // 2 metadata events (process_name + thread_name for the one tid) +
+  // 2 regions x 3 steps.
+  ASSERT_EQ(events.size(), 2u + 6u);
 
   const auto& meta = events[0];
   EXPECT_EQ(meta["ph"].as_string(), "M");
   EXPECT_EQ(meta["name"].as_string(), "process_name");
   EXPECT_EQ(meta["args"]["name"].as_string(), "test_proc");
 
+  const auto& tmeta = events[1];
+  EXPECT_EQ(tmeta["ph"].as_string(), "M");
+  EXPECT_EQ(tmeta["name"].as_string(), "thread_name");
+  EXPECT_EQ(tmeta["args"]["name"].as_string(), "main");
+
   std::int64_t seen_steps = 0;
-  for (std::size_t i = 1; i < events.size(); ++i) {
+  for (std::size_t i = 2; i < events.size(); ++i) {
     const auto& ev = events[i];
     EXPECT_EQ(ev["ph"].as_string(), "X");
     EXPECT_TRUE(ev["name"].is_string());
