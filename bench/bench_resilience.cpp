@@ -1,0 +1,191 @@
+// Resilience economics at paper scale: what fraction of a campaign is spent
+// on checkpoints + lost work (the Young/Daly overhead curve, Sec. "routine
+// practice at 152k nodes"), and how long a crash costs end-to-end (detect ->
+// restore -> replay) as a function of the checkpoint cadence.
+//
+// Both sections are pure model arithmetic over the simulated cluster — no
+// host timing — so the JSON output is deterministic and gated at tight
+// tolerance by bench_smoke against bench/baselines/BENCH_resilience.json.
+//
+// Run: ./bench_resilience [--json] [--outdir DIR]
+// With --json, writes BENCH_resilience.json:
+//   overhead: per (checkpoint cost C, MTBF M) scenario, the overhead
+//             fraction C/T + T/(2M) over an interval sweep around the Young
+//             optimum, plus the Young and Daly optima themselves.
+//   recovery: per (checkpoint interval, crash step), the modeled time to
+//             recover — heartbeat detection + checkpoint restore + replay of
+//             the rolled-back steps on the shrunken (re-mapped) cluster.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/cluster/sim_cluster.hpp"
+#include "src/diag/output_dir.hpp"
+#include "src/obs/json.hpp"
+#include "src/resil/checkpoint_policy.hpp"
+#include "src/resil/failure_detector.hpp"
+#include "src/resil/recovery.hpp"
+
+using namespace mrpic;
+
+namespace {
+
+struct OverheadRecord {
+  std::string scenario;
+  double checkpoint_cost_s;
+  double mtbf_s;
+  double interval_s;
+  double overhead_fraction;
+};
+
+struct RecoveryRecord {
+  int interval_steps;
+  int crash_step;
+  int rollback_steps;
+  double step_s;          // modeled seconds per step on the shrunken cluster
+  double detection_s;
+  double restore_s;
+  double replay_s;
+  double recovery_s;
+  double imbalance_before;
+  double imbalance_after;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const auto out = diag::OutputDir::from_args(argc, argv);
+  bool json_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) { json_out = true; }
+  }
+
+  // --- overhead-vs-interval curves ---------------------------------------
+  // Scenarios bracket the paper's reality: a full-machine Frontier campaign
+  // checkpoints hundreds of GB (minutes of I/O) against an MTBF of a few
+  // hours; a small allocation is cheap to checkpoint and rarely fails.
+  struct Scenario {
+    const char* name;
+    double cost_s, mtbf_s;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"full_machine", 240.0, 4 * 3600.0},
+      {"mid_scale", 30.0, 24 * 3600.0},
+      {"small_job", 2.0, 7 * 24 * 3600.0},
+  };
+  const std::vector<double> sweep = {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+
+  std::vector<OverheadRecord> overhead;
+  std::printf("checkpoint overhead fraction: C/T + T/(2M)\n\n");
+  for (const auto& sc : scenarios) {
+    resil::CheckpointPolicyConfig young_cfg;
+    young_cfg.mode = resil::CheckpointMode::Young;
+    young_cfg.checkpoint_cost_s = sc.cost_s;
+    young_cfg.mtbf_s = sc.mtbf_s;
+    const double t_young = resil::CheckpointPolicy(young_cfg).optimal_interval_s();
+    young_cfg.mode = resil::CheckpointMode::Daly;
+    const double t_daly = resil::CheckpointPolicy(young_cfg).optimal_interval_s();
+
+    std::printf("%-14s C = %5.0f s, M = %6.0f s: Young T* = %7.0f s, Daly T* = %7.0f s\n",
+                sc.name, sc.cost_s, sc.mtbf_s, t_young, t_daly);
+    for (double f : sweep) {
+      const double t = f * t_young;
+      const double o = resil::checkpoint_overhead_fraction(t, sc.cost_s, sc.mtbf_s);
+      overhead.push_back({sc.name, sc.cost_s, sc.mtbf_s, t, o});
+      std::printf("    T = %8.0f s (%5.3fx T*): overhead %6.2f %%%s\n", t, f, 100 * o,
+                  f == 1.0 ? "  <- Young optimum" : "");
+    }
+    overhead.push_back({std::string(sc.name) + "_daly", sc.cost_s, sc.mtbf_s, t_daly,
+                        resil::checkpoint_overhead_fraction(t_daly, sc.cost_s, sc.mtbf_s)});
+  }
+
+  // --- time-to-recovery curves -------------------------------------------
+  // A 2D LWFA-like decomposition: 64 boxes over 8 ranks, rank 3 dies. The
+  // replay runs on the shrunken 7-rank cluster under the post-failure
+  // re-mapping (survivors keep their boxes, orphans LPT re-homed).
+  const auto ba = mrpic::BoxArray<2>::decompose(
+      mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(255, 127)), 32); // 8x4 boxes
+  const int nranks = 8;
+  const int dead_rank = 3;
+  const auto dm =
+      dist::DistributionMapping::make(ba, nranks, dist::Strategy::SpaceFillingCurve);
+  // Unit-ish per-box compute with a hot band (the wakefield bubble).
+  std::vector<Real> costs(static_cast<std::size_t>(ba.size()), Real(1e-3));
+  for (int b = ba.size() / 3; b < 2 * ba.size() / 3; ++b) { costs[b] = Real(3e-3); }
+
+  const auto remap = resil::remap_after_failure(dm, costs, dead_rank);
+  cluster::SimCluster shrunk(nranks - 1);
+  const auto step = shrunk.step_cost(ba, remap.mapping, costs, 6, 2);
+
+  resil::DetectorConfig det;
+  const double detection_s = resil::FailureDetector(det).detection_time_s();
+  // Restore cost model: re-reading the checkpoint is the same I/O volume as
+  // writing it; use a per-cell cost so it tracks the problem size.
+  const double restore_s = 1e-8 * static_cast<double>(ba.total_cells());
+
+  std::printf("\ntime to recovery (8 -> 7 ranks, %d boxes, step %.4f s):\n",
+              ba.size(), step.total_s);
+  std::printf("  remap: %d boxes re-homed, imbalance %.3f -> %.3f\n\n",
+              remap.boxes_moved, remap.imbalance_before, remap.imbalance_after);
+
+  std::vector<RecoveryRecord> recovery;
+  for (int interval : {5, 10, 20, 40}) {
+    for (int crash : {17, 33}) {
+      // Checkpoints land on step-count multiples of the interval; the crash
+      // at step `crash` rolls back to the last one at or below it.
+      const int last_ckpt = (crash / interval) * interval;
+      const int rollback = crash + 1 - last_ckpt;
+      const double replay_s = rollback * step.total_s;
+      const double recovery_s = detection_s + restore_s + replay_s;
+      recovery.push_back({interval, crash, rollback, step.total_s, detection_s,
+                          restore_s, replay_s, recovery_s, remap.imbalance_before,
+                          remap.imbalance_after});
+      std::printf("  interval %2d, crash @ %2d: roll back %2d steps, recover in %.4f s "
+                  "(detect %.4f + restore %.4f + replay %.4f)\n",
+                  interval, crash, rollback, recovery_s, detection_s, restore_s,
+                  replay_s);
+    }
+  }
+
+  if (json_out) {
+    const std::string json_path = out.path("BENCH_resilience.json");
+    std::ofstream os(json_path);
+    obs::json::Writer w(os);
+    w.begin_object();
+    w.field("bench", "resilience");
+    w.begin_array("overhead");
+    for (const auto& r : overhead) {
+      w.begin_object()
+          .field("scenario", r.scenario)
+          .field("checkpoint_cost_s", r.checkpoint_cost_s)
+          .field("mtbf_s", r.mtbf_s)
+          .field("interval_s", r.interval_s)
+          .field("overhead_fraction", r.overhead_fraction)
+          .end_object();
+    }
+    w.end_array();
+    w.begin_array("recovery");
+    for (const auto& r : recovery) {
+      w.begin_object()
+          .field("interval_steps", std::int64_t(r.interval_steps))
+          .field("crash_step", std::int64_t(r.crash_step))
+          .field("rollback_steps", std::int64_t(r.rollback_steps))
+          .field("step_s", r.step_s)
+          .field("detection_s", r.detection_s)
+          .field("restore_s", r.restore_s)
+          .field("replay_s", r.replay_s)
+          .field("recovery_s", r.recovery_s)
+          .field("imbalance_before", r.imbalance_before)
+          .field("imbalance_after", r.imbalance_after)
+          .end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << '\n';
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -20,6 +20,7 @@ trap 'rm -rf "$tmp"' EXIT
 echo "== run benches (--json) into $tmp"
 "$bindir/bench_weak_scaling" --json --outdir "$tmp" > /dev/null
 "$bindir/bench_strong_scaling" --json --outdir "$tmp" > /dev/null
+"$bindir/bench_resilience" --json --outdir "$tmp" > /dev/null
 "$bindir/bench_kernels" --json --quick --outdir "$tmp" > /dev/null
 
 for f in "$tmp"/BENCH_*.json; do
@@ -35,6 +36,8 @@ echo "== compare deterministic benches against baselines"
     "$basedir/BENCH_weak_scaling.json" "$tmp/BENCH_weak_scaling.json"
 "$bindir/bench_compare" --rel-tol 0.02 \
     "$basedir/BENCH_strong_scaling.json" "$tmp/BENCH_strong_scaling.json"
+"$bindir/bench_compare" --rel-tol 0.02 \
+    "$basedir/BENCH_resilience.json" "$tmp/BENCH_resilience.json"
 
 echo "== gate self-checks"
 "$bindir/bench_compare" "$tmp/BENCH_weak_scaling.json" "$tmp/BENCH_weak_scaling.json" \

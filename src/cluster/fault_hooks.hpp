@@ -1,0 +1,48 @@
+#pragma once
+
+// FaultHooks: the seam through which a fault model perturbs the simulated
+// cluster. SimCluster::step_cost() consults the attached hooks for per-rank
+// compute slowdowns (stragglers), per-rank liveness (crashes) and the fate
+// of every inter-rank halo message (drop / delay / corruption, including the
+// retry cost already computed by the injector's retry policy). The interface
+// lives in cluster/ so the cluster layer stays independent of resil/, which
+// provides the concrete seeded implementation (resil::FaultInjector).
+
+#include <cstdint>
+
+namespace mrpic::cluster {
+
+// What happened to one inter-rank message once the wire faults and the
+// sender's retry protocol have played out.
+struct MessageFate {
+  bool delivered = true;  // false: every retry exhausted (e.g. dead peer)
+  int attempts = 1;       // total wire sends, >= 1 (1 = clean first try)
+  double extra_s = 0;     // protocol wait time beyond the wire transfers
+                          // (ack timeouts, backoff, in-flight delay)
+  bool corrupted = false; // >= 1 attempt arrived corrupted (checksum reject)
+  bool delayed = false;   // an in-flight delay was injected
+};
+
+class FaultHooks {
+public:
+  virtual ~FaultHooks() = default;
+
+  // False once the rank has crashed (as of the injector's current step).
+  virtual bool rank_alive(int /*rank*/) const { return true; }
+
+  // Multiplier >= 1 applied to the rank's summed compute time (straggler).
+  virtual double compute_multiplier(int /*rank*/) const { return 1.0; }
+
+  // Fate of the `ordinal`-th inter-rank message of the current step.
+  // Deterministic: a pure function of (plan seed, step, ordinal).
+  virtual MessageFate message_fate(int /*src*/, int /*dst*/, std::int64_t /*bytes*/,
+                                   int /*ordinal*/) const {
+    return {};
+  }
+
+  // Modeled latency between a rank dying and the survivors declaring it dead
+  // (heartbeat timeout); charged into the step on which the crash occurs.
+  virtual double detection_time_s() const { return 0.0; }
+};
+
+} // namespace mrpic::cluster

@@ -16,6 +16,15 @@ void SimCluster::record_metrics(const StepCost& cost) const {
   m_metrics->gauge("cluster_compute_s").set(cost.compute_s);
   m_metrics->gauge("cluster_comm_s").set(cost.comm_s);
   m_metrics->gauge("cluster_imbalance").set(cost.imbalance);
+  if (m_faults != nullptr) {
+    m_metrics->counter("halo_retries").add(cost.retries);
+    m_metrics->counter("halo_corrupt").add(cost.corrupt_messages);
+    m_metrics->counter("halo_delayed").add(cost.delayed_messages);
+    m_metrics->counter("halo_undelivered").add(cost.undelivered_messages);
+    m_metrics->gauge("cluster_retry_s").set(cost.retry_s);
+    m_metrics->gauge("cluster_detect_s").set(cost.detect_s);
+    m_metrics->gauge("cluster_failed_rank").set(cost.failed_rank);
+  }
 }
 
 template <int DIM>
@@ -36,10 +45,26 @@ StepCost SimCluster::step_cost(const mrpic::BoxArray<DIM>& ba,
     ++ranks[dm.rank(i)].boxes;
   }
 
+  // Fault model, compute side: stragglers run slow, dead ranks do no work
+  // (their boxes are lost until recovery re-homes them) and a crash charges
+  // the heartbeat detection stall to the step.
+  if (m_faults != nullptr) {
+    for (auto& r : ranks) {
+      if (!m_faults->rank_alive(r.rank)) {
+        if (cost.failed_rank < 0) { cost.failed_rank = r.rank; }
+        r.compute_s = 0;
+      } else {
+        r.compute_s *= m_faults->compute_multiplier(r.rank);
+      }
+    }
+    if (cost.failed_rank >= 0) { cost.detect_s = m_faults->detection_time_s(); }
+  }
+
   // Halo exchange: for each pair of boxes whose grown region overlaps the
   // other's valid region, one message of the intersection volume (box j
   // supplies the ghost data of box i). Receiver and sender are both charged
   // (send+recv occupy both NICs).
+  int ordinal = 0; // inter-rank message index within this step (fault RNG key)
   for (int i = 0; i < ba.size(); ++i) {
     const auto gi = ba[i].grown(ngrow);
     for (int j = 0; j < ba.size(); ++j) {
@@ -50,26 +75,47 @@ StepCost SimCluster::step_cost(const mrpic::BoxArray<DIM>& ba,
       const int dst = dm.rank(i), src = dm.rank(j);
       const bool same_rank = src == dst;
       const double t = m_comm.message_time(bytes, same_rank);
-      ranks[dst].comm_s += t;
-      if (!same_rank) {
-        ranks[src].comm_s += t;
-        ranks[src].bytes_sent += bytes;
-        ranks[dst].bytes_recv += bytes;
-        ++ranks[src].messages;
-        ++ranks[dst].messages;
-        cost.total_bytes += bytes;
-        ++cost.num_messages;
-        if (recorder != nullptr) {
-          obs::HaloMessage msg;
-          msg.src_rank = src;
-          msg.dst_rank = dst;
-          msg.src_box = j;
-          msg.dst_box = i;
-          msg.bytes = bytes;
-          msg.latency_s = m_comm.latency_s;
-          msg.transfer_s = t - m_comm.latency_s;
-          messages.push_back(msg);
-        }
+      if (same_rank) {
+        ranks[dst].comm_s += t;
+        continue;
+      }
+      // Wire faults: a retried message occupies the wire once per attempt
+      // plus the protocol wait (timeouts/backoff/delay) priced by the hooks.
+      double t_total = t;
+      MessageFate fate;
+      if (m_faults != nullptr) {
+        fate = m_faults->message_fate(src, dst, bytes, ordinal++);
+        t_total = t * fate.attempts + fate.extra_s;
+        const double overhead = t_total - t;
+        ranks[src].retry_s += overhead;
+        ranks[dst].retry_s += overhead;
+        ranks[src].retries += fate.attempts - 1;
+        ranks[dst].retries += fate.attempts - 1;
+        cost.retries += fate.attempts - 1;
+        if (fate.corrupted) { ++cost.corrupt_messages; }
+        if (fate.delayed) { ++cost.delayed_messages; }
+        if (!fate.delivered) { ++cost.undelivered_messages; }
+      }
+      ranks[dst].comm_s += t_total;
+      ranks[src].comm_s += t_total;
+      ranks[src].bytes_sent += bytes;
+      ranks[dst].bytes_recv += bytes;
+      ++ranks[src].messages;
+      ++ranks[dst].messages;
+      cost.total_bytes += bytes;
+      ++cost.num_messages;
+      if (recorder != nullptr) {
+        obs::HaloMessage msg;
+        msg.src_rank = src;
+        msg.dst_rank = dst;
+        msg.src_box = j;
+        msg.dst_box = i;
+        msg.bytes = bytes;
+        msg.latency_s = m_comm.latency_s;
+        msg.transfer_s = t - m_comm.latency_s;
+        msg.attempts = fate.attempts;
+        msg.retry_s = t_total - t;
+        messages.push_back(msg);
       }
     }
   }
@@ -78,9 +124,10 @@ StepCost SimCluster::step_cost(const mrpic::BoxArray<DIM>& ba,
   for (const auto& r : ranks) {
     cost.compute_s = std::max(cost.compute_s, r.compute_s);
     cost.comm_s = std::max(cost.comm_s, r.comm_s);
+    cost.retry_s = std::max(cost.retry_s, r.retry_s);
     compute_sum += r.compute_s;
   }
-  cost.total_s = cost.compute_s + cost.comm_s;
+  cost.total_s = cost.compute_s + cost.comm_s + cost.detect_s;
   const double mean = compute_sum / m_nranks;
   cost.imbalance = mean > 0 ? cost.compute_s / mean : 1.0;
   record_metrics(cost);
@@ -94,6 +141,10 @@ StepCost SimCluster::step_cost(const mrpic::BoxArray<DIM>& ba,
                      {"bytes_recv", static_cast<double>(ranks[r].bytes_recv)},
                      {"messages", static_cast<double>(ranks[r].messages)},
                      {"boxes", static_cast<double>(ranks[r].boxes)}};
+      if (m_faults != nullptr) {
+        sections[r]["retry_s"] = ranks[r].retry_s;
+        sections[r]["retries"] = static_cast<double>(ranks[r].retries);
+      }
     }
     m_metrics->set_step_ranks(std::move(sections));
   }

@@ -12,6 +12,7 @@
 
 #include "src/amr/box_array.hpp"
 #include "src/cluster/comm_model.hpp"
+#include "src/cluster/fault_hooks.hpp"
 #include "src/dist/distribution_mapping.hpp"
 
 namespace mrpic::obs {
@@ -24,10 +25,18 @@ namespace mrpic::cluster {
 struct StepCost {
   double compute_s = 0;        // max over ranks of summed box costs
   double comm_s = 0;           // max over ranks of halo-exchange time
-  double total_s = 0;          // compute + comm
+  double total_s = 0;          // compute + comm (+ failure detection stall)
   double imbalance = 1;        // max/mean compute
   std::int64_t total_bytes = 0;   // bytes crossing rank boundaries
   std::int64_t num_messages = 0;  // inter-rank messages
+  // Fault accounting (all zero / -1 unless FaultHooks are attached).
+  double retry_s = 0;          // max over ranks of fault-induced extra comm time
+  double detect_s = 0;         // failure-detection stall (a rank died this step)
+  std::int64_t retries = 0;    // total retransmission attempts
+  std::int64_t corrupt_messages = 0;     // >= 1 attempt failed the checksum
+  std::int64_t delayed_messages = 0;     // in-flight delay injected
+  std::int64_t undelivered_messages = 0; // retry ladder exhausted
+  int failed_rank = -1;        // lowest rank dead this step (-1 = all alive)
 };
 
 class SimCluster {
@@ -46,6 +55,14 @@ public:
   void set_metrics(obs::MetricsRegistry* metrics) { m_metrics = metrics; }
   obs::MetricsRegistry* metrics() const { return m_metrics; }
 
+  // Attach a fault model (e.g. resil::FaultInjector): step_cost() then
+  // applies per-rank slowdowns, charges message retry/backoff time, flags
+  // dead ranks (StepCost::failed_rank) and adds the heartbeat detection
+  // stall on crash steps. The hooks must outlive this cluster (or be
+  // detached with nullptr).
+  void set_faults(const FaultHooks* faults) { m_faults = faults; }
+  const FaultHooks* faults() const { return m_faults; }
+
   // Cost of one step: per-box compute seconds + halo exchange of `ncomp`
   // components with `ngrow` ghosts over `ba` distributed by `dm`.
   // `bytes_per_value` is 8 (DP) or 4 (SP). When `recorder` is given, the
@@ -63,6 +80,7 @@ private:
   int m_nranks;
   CommModel m_comm;
   obs::MetricsRegistry* m_metrics = nullptr;
+  const FaultHooks* m_faults = nullptr;
 };
 
 extern template StepCost SimCluster::step_cost<2>(const mrpic::BoxArray<2>&,

@@ -1,6 +1,8 @@
 // One explicit PIC cycle (paper Fig. 3) with mesh refinement, moving window,
 // PML boundaries and dynamic load balancing. Included by simulation.cpp.
 
+#include <chrono>
+
 #include "src/particles/sorting.hpp"
 
 namespace mrpic::core {
@@ -113,6 +115,33 @@ void Simulation<DIM>::step() {
     m_report.particles_pushed = it == rec.counters.end() ? 0 : it->second;
   }
   if (m_step_callback) { m_step_callback(m_report); }
+
+  // 10. Automatic checkpointing (after the report so the policy sees this
+  // step's wall seconds; the write itself is outside the step's timings).
+  maybe_checkpoint();
+}
+
+template <int DIM>
+void Simulation<DIM>::maybe_checkpoint() {
+  if (!m_ckpt_policy || !m_ckpt_writer) { return; }
+  m_ckpt_policy->add_step(m_report.wall_s);
+  if (!m_ckpt_policy->should_checkpoint()) { return; }
+  auto t = m_profiler.scope("checkpoint");
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool ok = m_ckpt_writer(*this);
+  const double cost =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  // A failed write keeps the accruals, so the policy retries next step.
+  if (!ok) { return; }
+  m_ckpt_policy->notify_checkpoint(m_step, cost);
+  // maybe_checkpoint runs after end_step(), so the counter's per-step delta
+  // is invisible in the JSONL; the gauge carries the running total instead.
+  m_metrics.counter("checkpoints").inc();
+  m_metrics.gauge("checkpoints_total").set(
+      static_cast<double>(m_metrics.counter_value("checkpoints")));
+  m_metrics.gauge("checkpoint_cost_s").set(cost);
+  m_metrics.gauge("checkpoint_interval_s").set(m_ckpt_policy->optimal_interval_s());
+  m_rank_recorder.add_fault_event({m_step - 1, "checkpoint", -1, cost, ""});
 }
 
 template <int DIM>

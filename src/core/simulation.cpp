@@ -3,6 +3,8 @@
 #include <cassert>
 #include <limits>
 
+#include "src/resil/recovery.hpp"
+
 namespace mrpic::core {
 
 template <int DIM>
@@ -44,6 +46,27 @@ void Simulation<DIM>::enable_cluster_obs(cluster::CommModel cm, double cost_unit
   m_cluster_cost_unit_s = cost_unit_s;
   m_rank_recorder = obs::RankRecorder(m_cfg.nranks);
   m_lb.set_rank_recorder(&m_rank_recorder);
+}
+
+template <int DIM>
+void Simulation<DIM>::remove_rank(int dead_rank) {
+  assert(m_initialized);
+  assert(m_cfg.nranks > 1);
+  assert(dead_rank >= 0 && dead_rank < m_cfg.nranks);
+  const auto before = m_dm;
+  m_dm = resil::remap_after_failure(m_dm, box_cost_heuristic(), dead_rank).mapping;
+  m_cfg.nranks -= 1;
+  if (m_cluster) {
+    // Rebuild the simulated cluster at the shrunken size; keep the wire
+    // model, metrics sink and any attached fault hooks.
+    const auto* faults = m_cluster->faults();
+    const auto cm = m_cluster->comm();
+    m_cluster = std::make_unique<cluster::SimCluster>(m_cfg.nranks, cm);
+    m_cluster->set_metrics(&m_metrics);
+    m_cluster->set_faults(faults);
+  }
+  m_lb.record_costs(box_cost_heuristic());
+  m_lb.count_rebalance(before, m_dm);
 }
 
 template <int DIM>

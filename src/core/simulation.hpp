@@ -38,6 +38,7 @@
 #include "src/particles/gather.hpp"
 #include "src/particles/pusher.hpp"
 #include "src/plasma/plasma_injector.hpp"
+#include "src/resil/checkpoint_policy.hpp"
 
 namespace mrpic::core {
 
@@ -170,6 +171,31 @@ public:
   bool cluster_obs_enabled() const { return m_cluster != nullptr; }
   obs::RankRecorder& rank_recorder() { return m_rank_recorder; }
   const obs::RankRecorder& rank_recorder() const { return m_rank_recorder; }
+  // The simulated cluster behind enable_cluster_obs() (nullptr before); the
+  // handle through which a fault model attaches (SimCluster::set_faults).
+  cluster::SimCluster* sim_cluster() { return m_cluster.get(); }
+
+  // --- resilience ---------------------------------------------------------
+  // Automatic checkpointing: after each step the policy accrues that step's
+  // wall seconds; when it fires, `writer` is invoked (e.g. a lambda around
+  // io::write_checkpoint), its wall cost is measured and folded back into
+  // the policy (Young/Daly interval adaptation), and counter "checkpoints" /
+  // gauge "checkpoint_cost_s" are published to metrics().
+  using CheckpointWriter = std::function<bool(Simulation&)>;
+  void set_checkpoint_policy(resil::CheckpointPolicy policy, CheckpointWriter writer) {
+    m_ckpt_policy = std::move(policy);
+    m_ckpt_writer = std::move(writer);
+  }
+  const resil::CheckpointPolicy* checkpoint_policy() const {
+    return m_ckpt_policy ? &*m_ckpt_policy : nullptr;
+  }
+
+  // Elastic shrink after a simulated rank crash: re-home the dead rank's
+  // boxes onto the survivors (resil::remap_after_failure keeps survivor
+  // assignments, compacts rank ids), drop cfg.nranks by one and rebuild the
+  // simulated cluster at the new size. Records a rebalance snapshot. The
+  // physics state is untouched — ranks only exist in the cluster model.
+  void remove_rank(int dead_rank);
 
   // Legacy flat timers, refreshed from the profiler on access.
   diag::Timers& timers() {
@@ -199,6 +225,7 @@ private:
   void migrate_patch_particles();
   void maybe_remove_patch();
   void maybe_rebalance();
+  void maybe_checkpoint();
   void observe_cluster(std::int64_t step);
   void exchange_level0();
   // Per-box cost heuristic (cells + weighted particle counts) shared by the
@@ -230,6 +257,8 @@ private:
   double m_cluster_cost_unit_s = 1e-8;
   obs::StepReport m_report;
   std::function<void(const obs::StepReport&)> m_step_callback;
+  std::optional<resil::CheckpointPolicy> m_ckpt_policy;
+  CheckpointWriter m_ckpt_writer;
 
   // Reused per-tile scratch.
   particles::GatheredFields m_gathered;

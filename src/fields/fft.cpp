@@ -1,14 +1,20 @@
 #include "src/fields/fft.hpp"
 
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace mrpic::fields {
 
 bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
 
 void fft_1d(Complex* data, int n, bool inverse) {
-  assert(is_power_of_two(n));
+  if (!is_power_of_two(n)) {
+    // A silently-wrong transform would corrupt every PSATD field solve;
+    // fail loudly in every build type, not just with NDEBUG off.
+    throw std::invalid_argument("fft_1d: length " + std::to_string(n) +
+                                " is not a positive power of two");
+  }
   // Bit-reversal permutation.
   for (int i = 1, j = 0; i < n; ++i) {
     int bit = n >> 1;

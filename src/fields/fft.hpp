@@ -14,8 +14,9 @@ namespace mrpic::fields {
 
 using Complex = std::complex<Real>;
 
-// In-place FFT of length n = 2^k. inverse=true applies the unscaled inverse
-// transform; call normalize() (or divide by n) afterwards.
+// In-place FFT of length n = 2^k; throws std::invalid_argument for any
+// other length (in every build type). inverse=true applies the unscaled
+// inverse transform; call normalize() (or divide by n) afterwards.
 void fft_1d(Complex* data, int n, bool inverse);
 
 // Row-column FFT over a dense 2D array (Fortran order: i fastest).

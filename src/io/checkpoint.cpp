@@ -1,6 +1,9 @@
 #include "src/io/checkpoint.hpp"
 
+#include <cstring>
 #include <fstream>
+#include <sstream>
+#include <string_view>
 
 namespace mrpic::io {
 
@@ -108,14 +111,10 @@ bool get_particles(std::istream& is, particles::ParticleContainer<DIM>& pc) {
   return true;
 }
 
-} // namespace
+// --- payload (everything between the magic and the v2 checksum) ----------
 
 template <int DIM>
-bool write_checkpoint(const std::string& path, core::Simulation<DIM>& sim) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) { return false; }
-
-  put(os, checkpoint_magic);
+void put_payload(std::ostream& os, core::Simulation<DIM>& sim) {
   put(os, static_cast<std::int32_t>(DIM));
   put(os, sim.time());
   put(os, static_cast<std::int32_t>(sim.step_count()));
@@ -141,19 +140,13 @@ bool write_checkpoint(const std::string& path, core::Simulation<DIM>& sim) {
     put_particles(os, sim.species_level0(s));
     put_particles(os, sim.species_patch(s));
   }
-  return static_cast<bool>(os);
 }
 
 template <int DIM>
-bool read_checkpoint(const std::string& path, core::Simulation<DIM>& sim) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) { return false; }
-
-  std::uint64_t magic = 0;
+bool get_payload(std::istream& is, core::Simulation<DIM>& sim) {
   std::int32_t dim = 0;
   Real time = 0, window_acc = 0;
   std::int32_t step = 0;
-  if (!get(is, magic) || magic != checkpoint_magic) { return false; }
   if (!get(is, dim) || dim != DIM) { return false; }
   if (!get(is, time) || !get(is, step) || !get(is, window_acc)) { return false; }
 
@@ -189,6 +182,68 @@ bool read_checkpoint(const std::string& path, core::Simulation<DIM>& sim) {
   // restored parent/patch solution so the next gather is bit-identical.
   if (patch_state == 2) { sim.patch()->build_aux(sim.fields()); }
   return true;
+}
+
+} // namespace
+
+std::uint64_t fnv1a64(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+template <int DIM>
+bool write_checkpoint(const std::string& path, core::Simulation<DIM>& sim) {
+  // Serialize the payload to memory first so the checksum covers exactly
+  // the bytes written between the magic and the trailer.
+  std::ostringstream payload(std::ios::binary);
+  put_payload(payload, sim);
+  const std::string bytes = payload.str();
+
+  std::ofstream os(path, std::ios::binary);
+  if (!os) { return false; }
+  put(os, checkpoint_magic_v2);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  put(os, fnv1a64(bytes.data(), bytes.size()));
+  return static_cast<bool>(os);
+}
+
+template <int DIM>
+bool read_checkpoint(const std::string& path, core::Simulation<DIM>& sim) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) { return false; }
+  std::ostringstream slurp(std::ios::binary);
+  slurp << is.rdbuf();
+  const std::string file = slurp.str();
+  if (file.size() < sizeof(std::uint64_t)) { return false; }
+
+  std::uint64_t magic = 0;
+  std::memcpy(&magic, file.data(), sizeof(magic));
+
+  std::string_view payload;
+  if (magic == checkpoint_magic_v2) {
+    // v2: verify the trailing checksum over the payload BEFORE any
+    // simulation state is touched — a truncated or bit-flipped file must
+    // not leave the simulation half-restored.
+    if (file.size() < 2 * sizeof(std::uint64_t)) { return false; }
+    payload = std::string_view(file).substr(sizeof(std::uint64_t),
+                                            file.size() - 2 * sizeof(std::uint64_t));
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, file.data() + file.size() - sizeof(stored), sizeof(stored));
+    if (fnv1a64(payload.data(), payload.size()) != stored) { return false; }
+  } else if (magic == checkpoint_magic) {
+    // v1: legacy files carry no checksum.
+    payload = std::string_view(file).substr(sizeof(std::uint64_t));
+  } else {
+    return false;
+  }
+
+  std::istringstream ps(std::string(payload), std::ios::binary);
+  return get_payload(ps, sim);
 }
 
 template bool write_checkpoint<2>(const std::string&, core::Simulation<2>&);

@@ -15,14 +15,25 @@
 // Format: little-endian binary; a magic/version header, then sections. The
 // grid structure itself (BoxArray, ncomp, ghosts) is not serialized — it is
 // reconstructed from the config, and the reader verifies sizes match.
+//
+// v2 ("MRPIC_K2", the current writer) appends an FNV-1a 64 checksum of the
+// payload after the sections: [magic][payload][checksum]. The reader
+// verifies the checksum before touching any simulation state, so truncated
+// or bit-flipped files are rejected instead of silently restoring garbage.
+// v1 ("MRPIC_K1") files — same payload, no checksum — are still readable.
 
+#include <cstdint>
 #include <string>
 
 #include "src/core/simulation.hpp"
 
 namespace mrpic::io {
 
-inline constexpr std::uint64_t checkpoint_magic = 0x4d525049435f4b31ULL; // "MRPIC_K1"
+inline constexpr std::uint64_t checkpoint_magic = 0x4d525049435f4b31ULL;    // "MRPIC_K1"
+inline constexpr std::uint64_t checkpoint_magic_v2 = 0x4d525049435f4b32ULL; // "MRPIC_K2"
+
+// FNV-1a 64-bit over a byte range (the checksum guarding v2 checkpoints).
+std::uint64_t fnv1a64(const void* data, std::size_t n);
 
 // Write the full state of `sim` to `path`. Returns false on I/O failure.
 template <int DIM>

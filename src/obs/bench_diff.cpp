@@ -210,6 +210,24 @@ std::vector<std::string> validate_schema(const json::Value& doc) {
     auto fields = cluster_fields;
     fields.push_back({"speedup", 'n'});
     check_records(doc, "simulated_cluster", fields, errors);
+  } else if (bench == "resilience") {
+    check_records(doc, "overhead",
+                  {{"scenario", 's'},
+                   {"checkpoint_cost_s", 'n'},
+                   {"mtbf_s", 'n'},
+                   {"interval_s", 'n'},
+                   {"overhead_fraction", 'n'}},
+                  errors);
+    check_records(doc, "recovery",
+                  {{"interval_steps", 'n'},
+                   {"crash_step", 'n'},
+                   {"rollback_steps", 'n'},
+                   {"detection_s", 'n'},
+                   {"restore_s", 'n'},
+                   {"replay_s", 'n'},
+                   {"recovery_s", 'n'},
+                   {"imbalance_after", 'n'}},
+                  errors);
   }
   // Unknown bench kinds: the 'bench' name above is the whole contract.
   return errors;

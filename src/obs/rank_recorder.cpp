@@ -48,10 +48,16 @@ void RankRecorder::add_rebalance(RebalanceRecord rec) {
   m_rebalances.push_back(std::move(rec));
 }
 
+void RankRecorder::add_fault_event(FaultEvent ev) {
+  if (ev.step < 0) { ev.step = m_step; }
+  m_fault_events.push_back(std::move(ev));
+}
+
 void RankRecorder::clear() {
   m_steps.clear();
   m_messages.clear();
   m_rebalances.clear();
+  m_fault_events.clear();
   m_dropped_messages = 0;
 }
 

@@ -27,9 +27,11 @@ struct RankStepStats {
   int rank = 0;
   double compute_s = 0;            // summed cost of the rank's boxes
   double comm_s = 0;               // halo-exchange time charged to the rank
+  double retry_s = 0;              // part of comm_s from fault retries/timeouts
   std::int64_t bytes_sent = 0;     // inter-rank bytes leaving this rank
   std::int64_t bytes_recv = 0;     // inter-rank bytes arriving at this rank
   std::int64_t messages = 0;       // inter-rank messages touching this rank
+  std::int64_t retries = 0;        // retransmission attempts touching this rank
   int boxes = 0;                   // boxes mapped to this rank
   double total_s() const { return compute_s + comm_s; }
 };
@@ -44,7 +46,23 @@ struct HaloMessage {
   std::int64_t bytes = 0;
   double latency_s = 0;   // per-message wire latency component
   double transfer_s = 0;  // bytes / bandwidth component
+  int attempts = 1;       // wire sends (> 1 when fault retries fired)
+  double retry_s = 0;     // extra protocol time beyond the clean send
   double time_s() const { return latency_s + transfer_s; }
+};
+
+// One sparse fault/recovery event on the simulated cluster's timeline:
+// injected faults ("slowdown", "crash"), the detection and recovery
+// protocol ("detect", "rollback", "remap", "replay") and checkpoint writes
+// ("checkpoint"). Rendered as instant events on the Chrome-trace rank lanes
+// and counted into the metrics JSONL by the emitters (resil::ResilientRunner,
+// core::Simulation).
+struct FaultEvent {
+  std::int64_t step = -1;
+  std::string kind;
+  int rank = -1;      // affected rank (-1 = cluster-wide)
+  double time_s = 0;  // modeled cost/duration of the event (0 = instant)
+  std::string detail; // free-form context ("rank 2 of 4", "rolled back 7 steps")
 };
 
 // Full per-rank breakdown of one step.
@@ -90,11 +108,15 @@ public:
   // tag wins; messages are re-tagged to match.
   void add_step(RankStepBreakdown breakdown, std::vector<HaloMessage> messages);
   void add_rebalance(RebalanceRecord rec);
+  // Append a fault/recovery event (resil layer). A negative step is tagged
+  // with the current step.
+  void add_fault_event(FaultEvent ev);
 
   // --- captured data ------------------------------------------------------
   const std::vector<RankStepBreakdown>& steps() const { return m_steps; }
   const std::vector<HaloMessage>& messages() const { return m_messages; }
   const std::vector<RebalanceRecord>& rebalances() const { return m_rebalances; }
+  const std::vector<FaultEvent>& fault_events() const { return m_fault_events; }
   void clear();
 
   // --- exporters ----------------------------------------------------------
@@ -114,6 +136,7 @@ private:
   std::vector<RankStepBreakdown> m_steps;
   std::vector<HaloMessage> m_messages;
   std::vector<RebalanceRecord> m_rebalances;
+  std::vector<FaultEvent> m_fault_events;
 };
 
 } // namespace mrpic::obs

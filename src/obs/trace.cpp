@@ -134,6 +134,35 @@ void write_rank_lanes(json::Writer& w, const RankRecorder& ranks) {
     w.end_object();
     ++flow_id;
   }
+
+  // Fault/recovery events (crash, detect, rollback, remap, replay,
+  // checkpoint, slowdown) as instant events on the affected rank's lane,
+  // anchored at the start of their step (events past the recorded steps
+  // land at the end of the timeline).
+  for (const auto& ev : ranks.fault_events()) {
+    double ts = t_us;
+    for (std::size_t j = 0; j < ranks.steps().size(); ++j) {
+      if (ranks.steps()[j].step == ev.step) {
+        ts = step_start_us[j];
+        break;
+      }
+    }
+    w.begin_object()
+        .field("name", ev.kind)
+        .field("cat", "fault")
+        .field("ph", "i")
+        .field("s", "p")
+        .field("ts", ts)
+        .field("pid", (ev.rank < 0 ? 0 : ev.rank) + 1)
+        .field("tid", 0);
+    w.begin_object("args")
+        .field("step", ev.step)
+        .field("rank", ev.rank)
+        .field("time_s", ev.time_s)
+        .field("detail", ev.detail)
+        .end_object();
+    w.end_object();
+  }
 }
 
 void write_trace_doc(std::ostream& os, const std::vector<TraceEvent>& events,

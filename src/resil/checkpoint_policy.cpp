@@ -1,0 +1,55 @@
+#include "src/resil/checkpoint_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrpic::resil {
+
+const char* to_string(CheckpointMode m) {
+  switch (m) {
+    case CheckpointMode::Periodic: return "periodic";
+    case CheckpointMode::Young: return "young";
+    case CheckpointMode::Daly: return "daly";
+  }
+  return "?";
+}
+
+CheckpointPolicy::CheckpointPolicy(CheckpointPolicyConfig cfg)
+    : m_cfg(cfg), m_cost_s(cfg.checkpoint_cost_s) {}
+
+double CheckpointPolicy::optimal_interval_s() const {
+  const double young = std::sqrt(2.0 * m_cost_s * m_cfg.mtbf_s);
+  const double t = m_cfg.mode == CheckpointMode::Daly ? young - m_cost_s : young;
+  return std::max(t, m_cfg.min_interval_s);
+}
+
+void CheckpointPolicy::add_step(double step_seconds) {
+  ++m_steps_since;
+  m_seconds_since += std::max(step_seconds, 0.0);
+}
+
+bool CheckpointPolicy::should_checkpoint() const {
+  if (m_cfg.mode == CheckpointMode::Periodic) {
+    return m_steps_since >= m_cfg.interval_steps;
+  }
+  return m_seconds_since >= optimal_interval_s();
+}
+
+void CheckpointPolicy::notify_checkpoint(std::int64_t step, double measured_cost_s) {
+  if (measured_cost_s > 0) {
+    const double a = std::clamp(m_cfg.cost_smoothing, 0.0, 1.0);
+    m_cost_s = a * measured_cost_s + (1 - a) * m_cost_s;
+  }
+  m_steps_since = 0;
+  m_seconds_since = 0;
+  m_last_step = step;
+  ++m_num_checkpoints;
+}
+
+double checkpoint_overhead_fraction(double interval_s, double checkpoint_cost_s,
+                                    double mtbf_s) {
+  if (interval_s <= 0 || mtbf_s <= 0) { return 0; }
+  return checkpoint_cost_s / interval_s + interval_s / (2.0 * mtbf_s);
+}
+
+} // namespace mrpic::resil

@@ -1,0 +1,80 @@
+#pragma once
+
+// CheckpointPolicy: when to write a checkpoint during a long campaign run.
+// Two families:
+//   - Periodic: every `interval_steps` steps (deterministic, what the
+//     bit-identity recovery tests use).
+//   - Young / Daly: the optimal-interval results for a machine with mean
+//     time between failures M and checkpoint cost C. Young's first-order
+//     optimum is T = sqrt(2 C M); Daly's refinement subtracts the cost of
+//     the checkpoint itself, T = sqrt(2 C M) - C (clamped to > 0). The
+//     policy accumulates measured step seconds and fires when the work
+//     since the last checkpoint exceeds the current optimum; the measured
+//     checkpoint cost is folded back in with exponential smoothing, so the
+//     interval adapts as the state (and thus C) grows.
+//
+// The policy is pure arithmetic with no dependency on core/, which lets
+// core::Simulation own one directly (set_checkpoint_policy).
+
+#include <cstdint>
+
+namespace mrpic::resil {
+
+enum class CheckpointMode { Periodic, Young, Daly };
+
+const char* to_string(CheckpointMode m);
+
+struct CheckpointPolicyConfig {
+  CheckpointMode mode = CheckpointMode::Periodic;
+  int interval_steps = 100;       // Periodic
+  double mtbf_s = 3600;           // Young/Daly: mean time between failures
+  double checkpoint_cost_s = 1.0; // initial estimate of C, refined by measurements
+  double cost_smoothing = 0.5;    // EWMA factor for measured costs (1 = newest only)
+  double min_interval_s = 1e-6;   // floor for the Young/Daly optimum
+};
+
+class CheckpointPolicy {
+public:
+  explicit CheckpointPolicy(CheckpointPolicyConfig cfg = {});
+
+  const CheckpointPolicyConfig& config() const { return m_cfg; }
+
+  // Current Young/Daly optimal interval in work seconds (from the smoothed
+  // checkpoint cost). Meaningful for Periodic too (uses the same formula
+  // with mode Young) but unused by its trigger.
+  double optimal_interval_s() const;
+
+  // Record one completed step of `step_seconds` work (called once per step).
+  void add_step(double step_seconds);
+
+  // True when the work since the last checkpoint warrants a new one.
+  bool should_checkpoint() const;
+
+  // A checkpoint was written at `step` and took `measured_cost_s` (<= 0:
+  // keep the current estimate). Resets the interval accumulators and folds
+  // the measurement into the smoothed cost.
+  void notify_checkpoint(std::int64_t step, double measured_cost_s);
+
+  double checkpoint_cost_s() const { return m_cost_s; }
+  std::int64_t steps_since_checkpoint() const { return m_steps_since; }
+  double seconds_since_checkpoint() const { return m_seconds_since; }
+  std::int64_t last_checkpoint_step() const { return m_last_step; }
+  int num_checkpoints() const { return m_num_checkpoints; }
+
+private:
+  CheckpointPolicyConfig m_cfg;
+  double m_cost_s;
+  std::int64_t m_steps_since = 0;
+  double m_seconds_since = 0;
+  std::int64_t m_last_step = -1;
+  int m_num_checkpoints = 0;
+};
+
+// The expected overhead fraction of checkpointing every `interval_s` work
+// seconds on a machine with the given MTBF: C/T for the writes plus T/(2M)
+// for the expected half-interval of lost work per failure. The curve
+// bench_resilience sweeps.
+double checkpoint_overhead_fraction(double interval_s, double checkpoint_cost_s,
+                                    double mtbf_s);
+
+} // namespace mrpic::resil

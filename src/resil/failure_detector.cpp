@@ -1,0 +1,19 @@
+#include "src/resil/failure_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrpic::resil {
+
+double RetryPolicy::backoff_s(int attempt) const {
+  const double b = backoff_base_s * std::pow(backoff_factor, attempt);
+  return std::min(b, backoff_max_s);
+}
+
+double RetryPolicy::give_up_time_s() const {
+  double t = timeout_s; // first send times out
+  for (int k = 0; k < max_retries; ++k) { t += backoff_s(k) + timeout_s; }
+  return t;
+}
+
+} // namespace mrpic::resil

@@ -1,0 +1,58 @@
+#pragma once
+
+// Failure detection for the simulated cluster: the retry/timeout/backoff
+// protocol that every inter-rank message runs under, and the heartbeat model
+// by which survivors declare a silent rank dead. Both are cost models, not
+// wire protocols — their output is modeled seconds charged into
+// cluster::StepCost (per-message retry cost via resil::FaultInjector, crash
+// detection latency via FaultHooks::detection_time_s), which is how the
+// paper-scale reality of 152k-node campaigns (where failure is routine)
+// becomes visible in traces and metrics.
+
+#include <cstdint>
+
+namespace mrpic::resil {
+
+// Retransmission protocol: a send that is not acknowledged within
+// `timeout_s` is retried after an exponentially growing backoff, up to
+// `max_retries` retransmissions before the peer is declared unreachable.
+struct RetryPolicy {
+  int max_retries = 4;          // retransmissions after the first send
+  double timeout_s = 200e-6;    // per-attempt ack timeout
+  double backoff_base_s = 100e-6;
+  double backoff_factor = 2.0;
+  double backoff_max_s = 10e-3;
+
+  // Backoff before retransmission `attempt` (0-based), clamped.
+  double backoff_s(int attempt) const;
+
+  // Total protocol wait to declare a peer unreachable: every attempt times
+  // out, every retry waits its backoff.
+  double give_up_time_s() const;
+};
+
+struct DetectorConfig {
+  double heartbeat_interval_s = 1e-3; // gossip/ping cadence between ranks
+  int missed_heartbeats = 3;          // consecutive misses before suspicion
+  RetryPolicy retry{};
+};
+
+// Heartbeat-based failure detector: a rank is declared dead after
+// `missed_heartbeats` silent intervals plus one ack timeout (the probe that
+// confirms the suspicion).
+class FailureDetector {
+public:
+  explicit FailureDetector(DetectorConfig cfg = {}) : m_cfg(cfg) {}
+
+  const DetectorConfig& config() const { return m_cfg; }
+
+  // Modeled latency from the crash instant to the dead declaration.
+  double detection_time_s() const {
+    return m_cfg.heartbeat_interval_s * m_cfg.missed_heartbeats + m_cfg.retry.timeout_s;
+  }
+
+private:
+  DetectorConfig m_cfg;
+};
+
+} // namespace mrpic::resil

@@ -1,0 +1,119 @@
+#include "src/resil/fault_injector.hpp"
+
+namespace mrpic::resil {
+
+namespace {
+
+// splitmix64 finalizer: the standard avalanche mix for hash-based RNG.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, DetectorConfig detector)
+    : m_plan(std::move(plan)),
+      m_detector(detector),
+      m_retired(m_plan.crashes.size(), false) {}
+
+double FaultInjector::u01(std::int64_t step, int ordinal, int attempt,
+                          std::uint64_t salt) const {
+  std::uint64_t h = mix(m_plan.seed ^ salt);
+  h = mix(h ^ static_cast<std::uint64_t>(step));
+  h = mix(h ^ static_cast<std::uint64_t>(ordinal));
+  h = mix(h ^ static_cast<std::uint64_t>(attempt));
+  // 53-bit mantissa -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+int FaultInjector::crash_due(std::int64_t step) const {
+  for (std::size_t i = 0; i < m_plan.crashes.size(); ++i) {
+    if (!m_retired[i] && m_plan.crashes[i].step == step) { return m_plan.crashes[i].rank; }
+  }
+  return -1;
+}
+
+int FaultInjector::first_dead_rank() const {
+  for (std::size_t i = 0; i < m_plan.crashes.size(); ++i) {
+    if (!m_retired[i] && m_step >= m_plan.crashes[i].step) { return m_plan.crashes[i].rank; }
+  }
+  return -1;
+}
+
+void FaultInjector::retire_crash(int rank) {
+  for (std::size_t i = 0; i < m_plan.crashes.size(); ++i) {
+    if (m_plan.crashes[i].rank == rank) { m_retired[i] = true; }
+  }
+}
+
+bool FaultInjector::rank_alive(int rank) const {
+  for (std::size_t i = 0; i < m_plan.crashes.size(); ++i) {
+    if (!m_retired[i] && m_plan.crashes[i].rank == rank &&
+        m_step >= m_plan.crashes[i].step) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double FaultInjector::compute_multiplier(int rank) const {
+  double f = 1.0;
+  for (const auto& s : m_plan.slowdowns) {
+    if (s.rank == rank && m_step >= s.from_step && m_step < s.to_step) { f *= s.factor; }
+  }
+  return f;
+}
+
+cluster::MessageFate FaultInjector::message_fate(int src, int dst,
+                                                 std::int64_t /*bytes*/,
+                                                 int ordinal) const {
+  const auto& retry = m_detector.config().retry;
+  cluster::MessageFate fate;
+
+  // A dead peer never acks: the sender exhausts the full retry ladder.
+  if (!rank_alive(src) || !rank_alive(dst)) {
+    fate.delivered = false;
+    fate.attempts = 1 + retry.max_retries;
+    fate.extra_s = retry.give_up_time_s();
+    return fate;
+  }
+
+  const auto& mf = m_plan.message;
+  if (m_step < mf.from_step || m_step >= mf.to_step) { return fate; }
+
+  for (int attempt = 0;; ++attempt) {
+    const double r = u01(m_step, ordinal, attempt, 0x6d7367ULL /* "msg" */);
+    if (r < mf.drop_p) {
+      // Lost on the wire: wait out the ack timeout, back off, retransmit.
+      if (attempt == retry.max_retries) {
+        fate.delivered = false;
+        fate.extra_s += retry.timeout_s;
+        break;
+      }
+      fate.extra_s += retry.timeout_s + retry.backoff_s(attempt);
+      ++fate.attempts;
+    } else if (r < mf.drop_p + mf.corrupt_p) {
+      // Arrived but failed the payload checksum: immediate NACK, so only
+      // the backoff (no timeout wait) before the retransmit.
+      fate.corrupted = true;
+      if (attempt == retry.max_retries) {
+        fate.delivered = false;
+        break;
+      }
+      fate.extra_s += retry.backoff_s(attempt);
+      ++fate.attempts;
+    } else if (r < mf.drop_p + mf.corrupt_p + mf.delay_p) {
+      fate.delayed = true;
+      fate.extra_s += mf.delay_s;
+      break;
+    } else {
+      break; // clean delivery
+    }
+  }
+  return fate;
+}
+
+} // namespace mrpic::resil

@@ -1,0 +1,100 @@
+#pragma once
+
+// FaultInjector: deterministic, seeded fault plans for the simulated
+// cluster. A FaultPlan declares per-rank compute slowdowns (stragglers),
+// probabilistic wire faults on the halo messages (drop / delay / corrupt)
+// and rank crashes at a given step; the injector implements
+// cluster::FaultHooks, so attaching it to a SimCluster (set_faults) makes
+// every step_cost() evaluation feel the plan. Every decision is a pure hash
+// of (seed, step, message ordinal, retry attempt) — two runs of the same
+// plan, and the replay after a rollback, see byte-identical fault sequences.
+//
+// The injector also *prices* the faults: a dropped message costs an ack
+// timeout plus exponential backoff per retry (RetryPolicy), a corrupted one
+// is NACKed immediately and costs only the backoff, a delivery to a dead
+// peer exhausts the whole retry ladder. The resulting MessageFate carries
+// attempts + extra protocol seconds, which SimCluster charges into
+// StepCost/RankStepStats so stragglers and retry storms show up in the
+// Chrome trace rank lanes and the metrics JSONL.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/cluster/fault_hooks.hpp"
+#include "src/resil/failure_detector.hpp"
+
+namespace mrpic::resil {
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  // Multiply rank `rank`'s compute time by `factor` for steps in [from, to).
+  struct Slowdown {
+    int rank = 0;
+    double factor = 1.0;
+    std::int64_t from_step = 0;
+    std::int64_t to_step = std::numeric_limits<std::int64_t>::max();
+  };
+  std::vector<Slowdown> slowdowns;
+
+  // Wire faults applied independently to every inter-rank message for steps
+  // in [from, to). Probabilities are per attempt; drop + corrupt + delay
+  // must not exceed 1.
+  struct MessageFaults {
+    double drop_p = 0;
+    double corrupt_p = 0;
+    double delay_p = 0;
+    double delay_s = 1e-3; // in-flight delay when the delay fault fires
+    std::int64_t from_step = 0;
+    std::int64_t to_step = std::numeric_limits<std::int64_t>::max();
+  };
+  MessageFaults message;
+
+  // Rank `rank` dies at the start of step `step` and stays dead until the
+  // recovery path retires the crash (FaultInjector::retire_crash).
+  struct Crash {
+    int rank = 0;
+    std::int64_t step = 0;
+  };
+  std::vector<Crash> crashes;
+};
+
+class FaultInjector final : public cluster::FaultHooks {
+public:
+  explicit FaultInjector(FaultPlan plan, DetectorConfig detector = {});
+
+  const FaultPlan& plan() const { return m_plan; }
+  const DetectorConfig& detector() const { return m_detector.config(); }
+
+  // Select the step whose faults apply (driver-side, once per step).
+  void set_step(std::int64_t step) { m_step = step; }
+  std::int64_t current_step() const { return m_step; }
+
+  // First not-yet-retired rank whose crash step == `step` (-1 = none):
+  // the recovery driver polls this to know a crash fires this step.
+  int crash_due(std::int64_t step) const;
+  // First rank dead as of the current step (-1 = none).
+  int first_dead_rank() const;
+  // Recovery completed: the crash no longer reports the rank dead (the
+  // shrunken cluster renumbers ranks, so stale entries must not re-fire).
+  void retire_crash(int rank);
+
+  // --- cluster::FaultHooks ------------------------------------------------
+  bool rank_alive(int rank) const override;
+  double compute_multiplier(int rank) const override;
+  cluster::MessageFate message_fate(int src, int dst, std::int64_t bytes,
+                                    int ordinal) const override;
+  double detection_time_s() const override { return m_detector.detection_time_s(); }
+
+private:
+  // Uniform [0,1) from the plan seed and the decision coordinates.
+  double u01(std::int64_t step, int ordinal, int attempt, std::uint64_t salt) const;
+
+  FaultPlan m_plan;
+  FailureDetector m_detector;
+  std::int64_t m_step = 0;
+  std::vector<bool> m_retired; // parallel to m_plan.crashes
+};
+
+} // namespace mrpic::resil

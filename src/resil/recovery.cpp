@@ -1,0 +1,64 @@
+#include "src/resil/recovery.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace mrpic::resil {
+
+namespace {
+
+double imbalance(const std::vector<double>& loads) {
+  if (loads.empty()) { return 1; }
+  const double mx = *std::max_element(loads.begin(), loads.end());
+  const double mean =
+      std::accumulate(loads.begin(), loads.end(), 0.0) / static_cast<double>(loads.size());
+  return mean > 0 ? mx / mean : 1.0;
+}
+
+} // namespace
+
+RemapResult remap_after_failure(const dist::DistributionMapping& dm,
+                                const std::vector<Real>& costs, int dead_rank) {
+  const int nranks = dm.nranks();
+  assert(nranks >= 2);
+  assert(dead_rank >= 0 && dead_rank < nranks);
+  assert(costs.empty() || static_cast<int>(costs.size()) == dm.size());
+
+  const auto cost_of = [&](int box) {
+    return costs.empty() ? 1.0 : static_cast<double>(costs[box]);
+  };
+
+  RemapResult res;
+  std::vector<int> ranks(dm.size(), -1);
+  std::vector<double> loads(static_cast<std::size_t>(nranks - 1), 0.0);
+  std::vector<int> orphans;
+  for (int i = 0; i < dm.size(); ++i) {
+    const int r = dm.rank(i);
+    if (r == dead_rank) {
+      orphans.push_back(i);
+      continue;
+    }
+    ranks[i] = r > dead_rank ? r - 1 : r; // compact ids above the dead rank
+    loads[ranks[i]] += cost_of(i);
+  }
+  res.imbalance_before = imbalance(loads);
+
+  // LPT greedy: heaviest orphan first onto the least-loaded survivor.
+  std::sort(orphans.begin(), orphans.end(), [&](int a, int b) {
+    const double ca = cost_of(a), cb = cost_of(b);
+    return ca != cb ? ca > cb : a < b; // cost ties broken by index: deterministic
+  });
+  for (int box : orphans) {
+    const auto it = std::min_element(loads.begin(), loads.end());
+    const int r = static_cast<int>(it - loads.begin());
+    ranks[box] = r;
+    loads[r] += cost_of(box);
+  }
+  res.boxes_moved = static_cast<int>(orphans.size());
+  res.imbalance_after = imbalance(loads);
+  res.mapping = dist::DistributionMapping(std::move(ranks), nranks - 1);
+  return res;
+}
+
+} // namespace mrpic::resil

@@ -1,0 +1,33 @@
+#pragma once
+
+// Elastic recovery after a rank crash: the cluster shrinks by one and the
+// dead rank's boxes are re-mapped onto the survivors. Survivor assignments
+// are preserved (their data is already resident; moving it would add
+// restore traffic), with rank ids above the dead rank compacted down by
+// one; the orphaned boxes are then distributed LPT-style (heaviest first
+// onto the least-loaded survivor) — the same greedy core as the knapsack
+// balancer, reused here because recovery is just load redistribution under
+// a shrunken rank set (Beck et al.'s observation in PAPERS.md).
+
+#include <vector>
+
+#include "src/amr/config.hpp"
+#include "src/dist/distribution_mapping.hpp"
+
+namespace mrpic::resil {
+
+struct RemapResult {
+  dist::DistributionMapping mapping; // over nranks - 1 ranks
+  int boxes_moved = 0;               // orphans re-homed
+  double imbalance_before = 1;       // max/mean cost, dead rank excluded...
+  double imbalance_after = 1;        // ...vs after re-homing the orphans
+};
+
+// Shrink `dm` (over nranks ranks) by removing `dead_rank`: survivors keep
+// their boxes with compacted ids, the dead rank's boxes are re-homed onto
+// the least-loaded survivors by descending `costs` (one entry per box; an
+// empty vector weights every box equally). Requires dm.nranks() >= 2.
+RemapResult remap_after_failure(const dist::DistributionMapping& dm,
+                                const std::vector<Real>& costs, int dead_rank);
+
+} // namespace mrpic::resil

@@ -1,0 +1,107 @@
+#include "src/resil/resilient_runner.hpp"
+
+#include <cassert>
+#include <chrono>
+
+#include "src/io/checkpoint.hpp"
+
+namespace mrpic::resil {
+
+template <int DIM>
+typename ResilientRunner<DIM>::Report ResilientRunner<DIM>::run() {
+  Report rep;
+  m_sim = m_factory();
+  assert(m_sim && "ResilientRunner factory returned null");
+  auto& sim = *m_sim;
+
+  // Crashes are felt through the simulated cluster; make sure one exists.
+  if (!sim.cluster_obs_enabled()) { sim.enable_cluster_obs(); }
+  sim.sim_cluster()->set_faults(&m_injector);
+
+  // The policy's writer refuses to commit while a crash is in flight: a
+  // checkpoint cannot complete on the step that killed a rank (the policy
+  // keeps its accruals and retries after recovery).
+  bool crash_in_flight = false;
+  sim.set_checkpoint_policy(
+      CheckpointPolicy(m_cfg.policy),
+      [this, &rep, &crash_in_flight](core::Simulation<DIM>& s) {
+        if (crash_in_flight) { return false; }
+        const bool ok = io::write_checkpoint(m_cfg.checkpoint_path, s);
+        if (ok) { ++rep.checkpoints_written; }
+        return ok;
+      });
+
+  // Baseline checkpoint before step 0 so rollback always has a target.
+  if (!io::write_checkpoint(m_cfg.checkpoint_path, sim)) { return rep; }
+  ++rep.checkpoints_written;
+
+  while (sim.step_count() < m_cfg.total_steps) {
+    const std::int64_t step = sim.step_count();
+    m_injector.set_step(step);
+    const int dead = m_injector.crash_due(step);
+    crash_in_flight = dead >= 0;
+
+    // The step runs either way: on a crash step the cluster model charges
+    // the dead rank (zero compute, exhausted retries, detection stall) and
+    // the step's physics is discarded by the rollback below.
+    sim.step();
+    ++rep.steps_run;
+    if (dead < 0) { continue; }
+
+    // --- recovery ---------------------------------------------------------
+    ++rep.crashes;
+    const int nranks = sim.config().nranks;
+    const double detect_s = m_injector.detection_time_s();
+    rep.detection_s += detect_s;
+    auto& rec = sim.rank_recorder();
+    rec.add_fault_event({step, "crash", dead,
+                         0.0, "rank " + std::to_string(dead) + " of " +
+                                  std::to_string(nranks) + " died"});
+    rec.add_fault_event({step, "detect", dead, detect_s, "heartbeat timeout"});
+    // Recovery happens between step brackets, so per-step counter deltas
+    // would read 0 in the JSONL; mirror the running totals into gauges,
+    // which report their current value in every subsequent record.
+    sim.metrics().counter("resil_crashes").inc();
+    sim.metrics().gauge("resil_crashes_total").set(rep.crashes);
+    sim.metrics().gauge("resil_detection_s").set(detect_s);
+
+    // Roll back: restore the last checkpoint into the same Simulation
+    // (observability history survives the rollback).
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!io::read_checkpoint(m_cfg.checkpoint_path, sim)) { return rep; }
+    const double restore_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    rep.restore_wall_s += restore_s;
+    const std::int64_t lost = step + 1 - sim.step_count();
+    rep.replayed_steps += lost;
+    rec.set_step(sim.step_count());
+    rec.add_fault_event({sim.step_count(), "rollback", dead, restore_s,
+                         "restored step " + std::to_string(sim.step_count())});
+
+    // Shrink: retire the crash first so the renumbered survivors are not
+    // re-matched against the stale crash entry, then re-home the dead
+    // rank's boxes.
+    m_injector.retire_crash(dead);
+    crash_in_flight = false;
+    sim.remove_rank(dead);
+    rec.add_fault_event({sim.step_count(), "remap", dead, 0.0,
+                         std::to_string(sim.config().nranks) + " survivor ranks"});
+    rec.add_fault_event({sim.step_count(), "replay", -1, 0.0,
+                         "replaying " + std::to_string(lost) + " steps"});
+    ++rep.recoveries;
+    sim.metrics().counter("resil_recoveries").inc();
+    sim.metrics().counter("resil_replayed_steps").add(lost);
+    sim.metrics().gauge("resil_recoveries_total").set(rep.recoveries);
+    sim.metrics().gauge("resil_replayed_steps_total").set(rep.replayed_steps);
+    sim.metrics().gauge("resil_restore_s").set(restore_s);
+  }
+
+  rep.completed = true;
+  rep.final_nranks = sim.config().nranks;
+  return rep;
+}
+
+template class ResilientRunner<2>;
+template class ResilientRunner<3>;
+
+} // namespace mrpic::resil

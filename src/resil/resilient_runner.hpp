@@ -1,0 +1,90 @@
+#pragma once
+
+// ResilientRunner: drives a Simulation to a target step count under a
+// seeded FaultPlan, surviving rank crashes the way a production campaign
+// does — checkpoint, detect, shrink, roll back, replay:
+//
+//   1. The run checkpoints via the CheckpointPolicy (an unconditional
+//      baseline checkpoint is written before step 0 so rollback always has
+//      a target). A checkpoint cannot commit on a step whose crash fired —
+//      the write "fails" and the policy retries after recovery.
+//   2. On the crash step the attached FaultInjector makes the simulated
+//      cluster feel the dead rank (zero compute, exhausted retry ladders,
+//      heartbeat detection stall in StepCost), then the runner performs
+//      recovery: restore the last checkpoint *into the same Simulation
+//      object* (observability — profiler, metrics, rank recorder — keeps
+//      accumulating across the rollback), retire the crash, shrink the
+//      cluster by one rank (Simulation::remove_rank re-homes the dead
+//      rank's boxes onto survivors) and replay the lost steps.
+//   3. Every phase emits FaultEvents ("crash", "detect", "rollback",
+//      "remap", "replay") into the rank recorder — visible as instant
+//      events on the Chrome-trace rank lanes — and resil_* counters into
+//      the metrics JSONL.
+//
+// Because checkpoint restore is bit-exact and the PIC step deterministic,
+// a recovered run finishes bit-identical to an uninterrupted one (asserted
+// by tests/resil/test_resilient_runner.cpp, the resil_smoke ctest).
+//
+// Limitation: a rollback may not cross an MR-patch lifecycle boundary (a
+// patch auto-removed between the checkpoint and the crash is not re-built
+// by the in-place restore); keep crashes away from patch removal or
+// checkpoint after it.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/core/simulation.hpp"
+#include "src/resil/fault_injector.hpp"
+
+namespace mrpic::resil {
+
+template <int DIM>
+class ResilientRunner {
+public:
+  using SimPtr = std::unique_ptr<core::Simulation<DIM>>;
+  // Builds the fully configured simulation (init() called). Invoked once.
+  using Factory = std::function<SimPtr()>;
+
+  struct Config {
+    int total_steps = 0;
+    std::string checkpoint_path = "resil_ckpt.bin";
+    CheckpointPolicyConfig policy{};
+    FaultPlan plan{};
+    DetectorConfig detector{};
+  };
+
+  struct Report {
+    bool completed = false;      // reached total_steps (false: restore failed)
+    int steps_run = 0;           // step() invocations, replayed steps included
+    int crashes = 0;
+    int recoveries = 0;
+    std::int64_t replayed_steps = 0; // lost work re-run from checkpoints
+    double detection_s = 0;      // summed modeled crash-detection latency
+    double restore_wall_s = 0;   // wall seconds reading checkpoints back
+    int checkpoints_written = 0;
+    int final_nranks = 0;
+  };
+
+  ResilientRunner(Factory factory, Config cfg)
+      : m_factory(std::move(factory)), m_cfg(std::move(cfg)),
+        m_injector(m_cfg.plan, m_cfg.detector) {}
+
+  Report run();
+
+  // Valid once run() has been called.
+  core::Simulation<DIM>& sim() { return *m_sim; }
+  const core::Simulation<DIM>& sim() const { return *m_sim; }
+  const FaultInjector& injector() const { return m_injector; }
+
+private:
+  Factory m_factory;
+  Config m_cfg;
+  FaultInjector m_injector;
+  SimPtr m_sim;
+};
+
+extern template class ResilientRunner<2>;
+extern template class ResilientRunner<3>;
+
+} // namespace mrpic::resil

@@ -16,6 +16,19 @@ TEST(Fft, PowerOfTwoPredicate) {
   EXPECT_FALSE(is_power_of_two(-4));
 }
 
+TEST(Fft, NonPowerOfTwoLengthThrows) {
+  std::vector<Complex> a(48, Complex(0));
+  EXPECT_THROW(fft_1d(a.data(), 48, false), std::invalid_argument);
+  EXPECT_THROW(fft_1d(a.data(), 0, false), std::invalid_argument);
+  EXPECT_THROW(fft_1d(a.data(), -4, true), std::invalid_argument);
+  try {
+    fft_1d(a.data(), 48, false);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("48"), std::string::npos);
+  }
+}
+
 TEST(Fft, DeltaTransformsToFlatSpectrum) {
   std::vector<Complex> a(16, Complex(0));
   a[0] = Complex(1);

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 
 #include "src/io/checkpoint.hpp"
 
@@ -151,6 +154,95 @@ TEST(Checkpoint, RejectsWrongStructure) {
   EXPECT_FALSE(read_checkpoint(path, other));
 
   EXPECT_FALSE(read_checkpoint("does_not_exist.bin", *sim));
+  std::remove(path.c_str());
+}
+
+// --- v2 checksum integrity ------------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os(std::ios::binary);
+  os << is.rdbuf();
+  return os.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(CheckpointIntegrity, WritesV2MagicAndChecksumTrailer) {
+  const std::string path = "ckpt_v2.bin";
+  auto sim = build_sim();
+  sim->run(2);
+  ASSERT_TRUE(write_checkpoint(path, *sim));
+
+  const std::string bytes = slurp(path);
+  ASSERT_GE(bytes.size(), 16u);
+  std::uint64_t magic = 0, stored = 0;
+  std::memcpy(&magic, bytes.data(), 8);
+  std::memcpy(&stored, bytes.data() + bytes.size() - 8, 8);
+  EXPECT_EQ(magic, checkpoint_magic_v2);
+  EXPECT_EQ(stored, fnv1a64(bytes.data() + 8, bytes.size() - 16));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIntegrity, TruncatedFileRejected) {
+  const std::string path = "ckpt_trunc.bin";
+  auto sim = build_sim();
+  sim->run(3);
+  ASSERT_TRUE(write_checkpoint(path, *sim));
+
+  const std::string bytes = slurp(path);
+  // Cut mid-payload (a crash during the write) and just inside the trailer.
+  for (const std::size_t keep : {bytes.size() / 2, bytes.size() - 3}) {
+    spit(path, bytes.substr(0, keep));
+    auto victim = build_sim();
+    EXPECT_FALSE(read_checkpoint(path, *victim)) << "kept " << keep;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIntegrity, CorruptedFileRejectedWithoutTouchingState) {
+  const std::string path = "ckpt_flip.bin";
+  auto sim = build_sim();
+  sim->run(3);
+  ASSERT_TRUE(write_checkpoint(path, *sim));
+
+  std::string bytes = slurp(path);
+  bytes[bytes.size() / 2] ^= 0x40; // single bit flip mid-payload
+  spit(path, bytes);
+
+  auto victim = build_sim();
+  victim->run(1);
+  EXPECT_FALSE(read_checkpoint(path, *victim));
+  // The checksum is verified before any state is restored: the victim must
+  // be untouched, i.e. still bit-identical to a twin run the same way.
+  auto twin = build_sim();
+  twin->run(1);
+  EXPECT_EQ(victim->step_count(), 1);
+  EXPECT_TRUE(fields_identical(victim->fields().E(), twin->fields().E()));
+  EXPECT_TRUE(particles_identical(victim->species_level0(0), twin->species_level0(0)));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIntegrity, V1FilesStillReadable) {
+  const std::string path = "ckpt_v1.bin";
+  auto sim = build_sim();
+  sim->run(4);
+  ASSERT_TRUE(write_checkpoint(path, *sim));
+
+  // Synthesize a legacy v1 file: same payload, v1 magic, no trailer.
+  std::string bytes = slurp(path);
+  std::uint64_t v1 = checkpoint_magic;
+  std::memcpy(bytes.data(), &v1, 8);
+  spit(path, bytes.substr(0, bytes.size() - 8));
+
+  auto restored = build_sim();
+  ASSERT_TRUE(read_checkpoint(path, *restored));
+  EXPECT_EQ(restored->step_count(), 4);
+  EXPECT_TRUE(fields_identical(restored->fields().E(), sim->fields().E()));
+  EXPECT_TRUE(particles_identical(restored->species_level0(0), sim->species_level0(0)));
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/resil/checkpoint_policy.hpp"
+
+namespace mrpic::resil {
+namespace {
+
+TEST(CheckpointPolicy, PeriodicFiresEveryNSteps) {
+  CheckpointPolicyConfig cfg;
+  cfg.mode = CheckpointMode::Periodic;
+  cfg.interval_steps = 5;
+  CheckpointPolicy pol(cfg);
+
+  int fired = 0;
+  for (int step = 1; step <= 20; ++step) {
+    pol.add_step(0.1);
+    if (pol.should_checkpoint()) {
+      pol.notify_checkpoint(step, /*measured_cost_s=*/0.02);
+      ++fired;
+      EXPECT_EQ(step % 5, 0) << "fired off-cadence at step " << step;
+    }
+  }
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(pol.num_checkpoints(), 4);
+  EXPECT_EQ(pol.last_checkpoint_step(), 20);
+}
+
+TEST(CheckpointPolicy, YoungOptimumIsSqrt2CM) {
+  CheckpointPolicyConfig cfg;
+  cfg.mode = CheckpointMode::Young;
+  cfg.checkpoint_cost_s = 2.0;
+  cfg.mtbf_s = 900.0;
+  CheckpointPolicy pol(cfg);
+  EXPECT_DOUBLE_EQ(pol.optimal_interval_s(), std::sqrt(2.0 * 2.0 * 900.0));
+}
+
+TEST(CheckpointPolicy, DalySubtractsCheckpointCostAndClamps) {
+  CheckpointPolicyConfig cfg;
+  cfg.mode = CheckpointMode::Daly;
+  cfg.checkpoint_cost_s = 2.0;
+  cfg.mtbf_s = 900.0;
+  CheckpointPolicy pol(cfg);
+  EXPECT_DOUBLE_EQ(pol.optimal_interval_s(), std::sqrt(2.0 * 2.0 * 900.0) - 2.0);
+
+  // Pathological C >> M: the optimum must clamp to the floor, not go negative.
+  cfg.checkpoint_cost_s = 1e4;
+  cfg.mtbf_s = 1e-3;
+  cfg.min_interval_s = 0.5;
+  CheckpointPolicy clamped(cfg);
+  EXPECT_DOUBLE_EQ(clamped.optimal_interval_s(), 0.5);
+}
+
+TEST(CheckpointPolicy, YoungFiresOnAccumulatedWorkSeconds) {
+  CheckpointPolicyConfig cfg;
+  cfg.mode = CheckpointMode::Young;
+  cfg.checkpoint_cost_s = 0.5;
+  cfg.mtbf_s = 100.0; // optimum = sqrt(2*0.5*100) = 10 s
+  CheckpointPolicy pol(cfg);
+
+  for (int i = 0; i < 9; ++i) {
+    pol.add_step(1.0);
+    EXPECT_FALSE(pol.should_checkpoint()) << i;
+  }
+  pol.add_step(1.0); // 10 s accrued
+  EXPECT_TRUE(pol.should_checkpoint());
+  pol.notify_checkpoint(10, 0);
+  EXPECT_FALSE(pol.should_checkpoint());
+  EXPECT_EQ(pol.steps_since_checkpoint(), 0);
+  EXPECT_DOUBLE_EQ(pol.seconds_since_checkpoint(), 0);
+}
+
+TEST(CheckpointPolicy, MeasuredCostAdaptsIntervalWithEwma) {
+  CheckpointPolicyConfig cfg;
+  cfg.mode = CheckpointMode::Young;
+  cfg.checkpoint_cost_s = 1.0;
+  cfg.cost_smoothing = 0.5;
+  cfg.mtbf_s = 50.0;
+  CheckpointPolicy pol(cfg);
+
+  pol.notify_checkpoint(1, 3.0); // cost -> 0.5*3 + 0.5*1 = 2
+  EXPECT_DOUBLE_EQ(pol.checkpoint_cost_s(), 2.0);
+  EXPECT_DOUBLE_EQ(pol.optimal_interval_s(), std::sqrt(2.0 * 2.0 * 50.0));
+
+  pol.notify_checkpoint(2, 2.0); // cost stays 2
+  EXPECT_DOUBLE_EQ(pol.checkpoint_cost_s(), 2.0);
+
+  // Non-positive measurements keep the current estimate.
+  pol.notify_checkpoint(3, 0.0);
+  EXPECT_DOUBLE_EQ(pol.checkpoint_cost_s(), 2.0);
+}
+
+TEST(CheckpointPolicy, OverheadFractionCurveHasMinimumAtYoungOptimum) {
+  const double C = 1.5, M = 600.0;
+  const double t_opt = std::sqrt(2.0 * C * M);
+  const double f_opt = checkpoint_overhead_fraction(t_opt, C, M);
+  EXPECT_LT(f_opt, checkpoint_overhead_fraction(t_opt / 3, C, M));
+  EXPECT_LT(f_opt, checkpoint_overhead_fraction(t_opt * 3, C, M));
+  // At the optimum the two terms are equal: C/T = T/(2M).
+  EXPECT_NEAR(C / t_opt, t_opt / (2 * M), 1e-12);
+  EXPECT_DOUBLE_EQ(checkpoint_overhead_fraction(0, C, M), 0);
+}
+
+} // namespace
+} // namespace mrpic::resil

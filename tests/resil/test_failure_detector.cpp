@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "src/resil/failure_detector.hpp"
+
+namespace mrpic::resil {
+namespace {
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyAndClamps) {
+  RetryPolicy p;
+  p.backoff_base_s = 100e-6;
+  p.backoff_factor = 2.0;
+  p.backoff_max_s = 500e-6;
+  EXPECT_DOUBLE_EQ(p.backoff_s(0), 100e-6);
+  EXPECT_DOUBLE_EQ(p.backoff_s(1), 200e-6);
+  EXPECT_DOUBLE_EQ(p.backoff_s(2), 400e-6);
+  EXPECT_DOUBLE_EQ(p.backoff_s(3), 500e-6); // clamped
+  EXPECT_DOUBLE_EQ(p.backoff_s(10), 500e-6);
+  // Monotone non-decreasing.
+  for (int a = 1; a < 12; ++a) { EXPECT_GE(p.backoff_s(a), p.backoff_s(a - 1)) << a; }
+}
+
+TEST(RetryPolicy, GiveUpTimeSumsEveryTimeoutAndBackoff) {
+  RetryPolicy p;
+  p.max_retries = 2;
+  p.timeout_s = 1e-3;
+  p.backoff_base_s = 2e-3;
+  p.backoff_factor = 3.0;
+  p.backoff_max_s = 1.0;
+  // attempt 0 times out, backoff(0), attempt 1 times out, backoff(1),
+  // attempt 2 times out -> 3 timeouts + backoffs 2ms and 6ms.
+  EXPECT_DOUBLE_EQ(p.give_up_time_s(), 3 * 1e-3 + 2e-3 + 6e-3);
+}
+
+TEST(RetryPolicy, NoRetriesMeansSingleTimeout) {
+  RetryPolicy p;
+  p.max_retries = 0;
+  p.timeout_s = 7e-4;
+  EXPECT_DOUBLE_EQ(p.give_up_time_s(), 7e-4);
+}
+
+TEST(FailureDetector, DetectionTimeIsMissedHeartbeatsPlusProbe) {
+  DetectorConfig cfg;
+  cfg.heartbeat_interval_s = 2e-3;
+  cfg.missed_heartbeats = 4;
+  cfg.retry.timeout_s = 300e-6;
+  FailureDetector det(cfg);
+  EXPECT_DOUBLE_EQ(det.detection_time_s(), 4 * 2e-3 + 300e-6);
+}
+
+} // namespace
+} // namespace mrpic::resil

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/cluster/sim_cluster.hpp"
+#include "src/obs/rank_recorder.hpp"
+#include "src/resil/fault_injector.hpp"
+
+namespace mrpic::resil {
+namespace {
+
+using cluster::MessageFate;
+
+TEST(FaultInjector, CleanPlanIsTransparent) {
+  FaultInjector inj(FaultPlan{});
+  inj.set_step(7);
+  EXPECT_TRUE(inj.rank_alive(0));
+  EXPECT_DOUBLE_EQ(inj.compute_multiplier(3), 1.0);
+  const auto fate = inj.message_fate(0, 1, 4096, 0);
+  EXPECT_TRUE(fate.delivered);
+  EXPECT_EQ(fate.attempts, 1);
+  EXPECT_DOUBLE_EQ(fate.extra_s, 0);
+  EXPECT_EQ(inj.crash_due(7), -1);
+  EXPECT_EQ(inj.first_dead_rank(), -1);
+}
+
+TEST(FaultInjector, SlowdownAppliesOnlyInsideItsWindow) {
+  FaultPlan plan;
+  plan.slowdowns.push_back({.rank = 1, .factor = 3.0, .from_step = 10, .to_step = 20});
+  plan.slowdowns.push_back({.rank = 1, .factor = 2.0, .from_step = 15, .to_step = 20});
+  FaultInjector inj(plan);
+
+  inj.set_step(9);
+  EXPECT_DOUBLE_EQ(inj.compute_multiplier(1), 1.0);
+  inj.set_step(10);
+  EXPECT_DOUBLE_EQ(inj.compute_multiplier(1), 3.0);
+  inj.set_step(15);
+  EXPECT_DOUBLE_EQ(inj.compute_multiplier(1), 6.0); // windows compose
+  inj.set_step(20);
+  EXPECT_DOUBLE_EQ(inj.compute_multiplier(1), 1.0); // to_step exclusive
+  inj.set_step(15);
+  EXPECT_DOUBLE_EQ(inj.compute_multiplier(0), 1.0); // other ranks untouched
+}
+
+TEST(FaultInjector, CrashKillsRankUntilRetired) {
+  FaultPlan plan;
+  plan.crashes.push_back({.rank = 2, .step = 5});
+  FaultInjector inj(plan);
+
+  inj.set_step(4);
+  EXPECT_TRUE(inj.rank_alive(2));
+  EXPECT_EQ(inj.crash_due(4), -1);
+  EXPECT_EQ(inj.crash_due(5), 2);
+
+  inj.set_step(5);
+  EXPECT_FALSE(inj.rank_alive(2));
+  EXPECT_EQ(inj.first_dead_rank(), 2);
+  inj.set_step(9);
+  EXPECT_FALSE(inj.rank_alive(2)); // dead stays dead...
+
+  inj.retire_crash(2); // ...until recovery retires the crash
+  EXPECT_TRUE(inj.rank_alive(2));
+  EXPECT_EQ(inj.first_dead_rank(), -1);
+  EXPECT_EQ(inj.crash_due(5), -1); // must not re-fire on replay
+}
+
+TEST(FaultInjector, DeadPeerExhaustsTheRetryLadder) {
+  FaultPlan plan;
+  plan.crashes.push_back({.rank = 1, .step = 0});
+  DetectorConfig det;
+  det.retry.max_retries = 3;
+  FaultInjector inj(plan, det);
+  inj.set_step(0);
+
+  for (const auto& fate :
+       {inj.message_fate(0, 1, 1024, 0), inj.message_fate(1, 2, 1024, 1)}) {
+    EXPECT_FALSE(fate.delivered);
+    EXPECT_EQ(fate.attempts, 1 + det.retry.max_retries);
+    EXPECT_DOUBLE_EQ(fate.extra_s, det.retry.give_up_time_s());
+  }
+}
+
+TEST(FaultInjector, FaultDecisionsAreDeterministic) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.message.drop_p = 0.2;
+  plan.message.corrupt_p = 0.1;
+  plan.message.delay_p = 0.1;
+  FaultInjector a(plan), b(plan);
+
+  for (std::int64_t step : {0, 3, 17}) {
+    a.set_step(step);
+    b.set_step(step);
+    for (int ordinal = 0; ordinal < 200; ++ordinal) {
+      const auto fa = a.message_fate(0, 1, 512, ordinal);
+      const auto fb = b.message_fate(0, 1, 512, ordinal);
+      EXPECT_EQ(fa.delivered, fb.delivered);
+      EXPECT_EQ(fa.attempts, fb.attempts);
+      EXPECT_DOUBLE_EQ(fa.extra_s, fb.extra_s);
+      EXPECT_EQ(fa.corrupted, fb.corrupted);
+      EXPECT_EQ(fa.delayed, fb.delayed);
+    }
+  }
+
+  // A different seed decides differently somewhere.
+  plan.seed = 43;
+  FaultInjector c(plan);
+  c.set_step(0);
+  a.set_step(0);
+  int differs = 0;
+  for (int ordinal = 0; ordinal < 200; ++ordinal) {
+    if (c.message_fate(0, 1, 512, ordinal).attempts !=
+        a.message_fate(0, 1, 512, ordinal).attempts) {
+      ++differs;
+    }
+  }
+  EXPECT_GT(differs, 0);
+}
+
+TEST(FaultInjector, DropRateMatchesProbabilityStatistically) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.message.drop_p = 0.3;
+  FaultInjector inj(plan);
+
+  int retried = 0;
+  const int n = 4000;
+  for (int ordinal = 0; ordinal < n; ++ordinal) {
+    inj.set_step(ordinal / 100);
+    if (inj.message_fate(0, 1, 256, ordinal % 100).attempts > 1) { ++retried; }
+  }
+  // P(first attempt drops) = 0.3; 4000 samples => ~8 sigma tolerance.
+  const double frac = static_cast<double>(retried) / n;
+  EXPECT_NEAR(frac, 0.3, 0.06);
+}
+
+TEST(FaultInjector, DropChargesTimeoutPlusBackoffPerRetry) {
+  // drop_p = 1: every attempt drops, the ladder exhausts.
+  FaultPlan plan;
+  plan.message.drop_p = 1.0;
+  DetectorConfig det;
+  det.retry.max_retries = 2;
+  det.retry.timeout_s = 1e-3;
+  det.retry.backoff_base_s = 4e-3;
+  det.retry.backoff_factor = 2.0;
+  det.retry.backoff_max_s = 1.0;
+  FaultInjector inj(plan, det);
+  inj.set_step(0);
+
+  const auto fate = inj.message_fate(0, 1, 64, 0);
+  EXPECT_FALSE(fate.delivered);
+  EXPECT_EQ(fate.attempts, 3);
+  // 3 timeouts + backoff(0) + backoff(1) = 3 ms + 4 ms + 8 ms.
+  EXPECT_DOUBLE_EQ(fate.extra_s, 3e-3 + 4e-3 + 8e-3);
+  EXPECT_DOUBLE_EQ(fate.extra_s, det.retry.give_up_time_s());
+}
+
+TEST(FaultInjector, CorruptChargesBackoffOnly) {
+  // corrupt_p = 1 with one retry: NACK is immediate, no ack timeout.
+  FaultPlan plan;
+  plan.message.corrupt_p = 1.0;
+  DetectorConfig det;
+  det.retry.max_retries = 1;
+  det.retry.timeout_s = 1e-3;
+  det.retry.backoff_base_s = 2e-3;
+  FaultInjector inj(plan, det);
+  inj.set_step(0);
+
+  const auto fate = inj.message_fate(0, 1, 64, 0);
+  EXPECT_TRUE(fate.corrupted);
+  EXPECT_FALSE(fate.delivered); // both attempts corrupted
+  EXPECT_EQ(fate.attempts, 2);
+  EXPECT_DOUBLE_EQ(fate.extra_s, 2e-3); // backoff(0) only
+}
+
+TEST(FaultInjector, DelayAddsConfiguredLatency) {
+  FaultPlan plan;
+  plan.message.delay_p = 1.0;
+  plan.message.delay_s = 5e-3;
+  FaultInjector inj(plan);
+  inj.set_step(0);
+
+  const auto fate = inj.message_fate(0, 1, 64, 0);
+  EXPECT_TRUE(fate.delivered);
+  EXPECT_TRUE(fate.delayed);
+  EXPECT_EQ(fate.attempts, 1);
+  EXPECT_DOUBLE_EQ(fate.extra_s, 5e-3);
+}
+
+// --- SimCluster integration ------------------------------------------------
+
+mrpic::BoxArray<2> grid_ba() {
+  return mrpic::BoxArray<2>::decompose(
+      mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(63, 63)), 16); // 16 boxes
+}
+
+TEST(FaultInjectorCluster, DeadRankShowsUpInStepCost) {
+  const auto ba = grid_ba();
+  const auto dm = dist::DistributionMapping::make(ba, 4, dist::Strategy::RoundRobin);
+  cluster::SimCluster cl(4);
+
+  FaultPlan plan;
+  plan.crashes.push_back({.rank = 2, .step = 3});
+  FaultInjector inj(plan);
+  cl.set_faults(&inj);
+  const std::vector<Real> costs(16, 1.0);
+
+  inj.set_step(0);
+  const auto healthy = cl.step_cost(ba, dm, costs, 6, 2);
+  EXPECT_EQ(healthy.failed_rank, -1);
+  EXPECT_DOUBLE_EQ(healthy.detect_s, 0);
+  EXPECT_EQ(healthy.retries, 0);
+
+  inj.set_step(3);
+  const auto crashed = cl.step_cost(ba, dm, costs, 6, 2);
+  EXPECT_EQ(crashed.failed_rank, 2);
+  EXPECT_DOUBLE_EQ(crashed.detect_s, inj.detection_time_s());
+  EXPECT_GT(crashed.undelivered_messages, 0); // messages to/from the corpse
+  EXPECT_GT(crashed.retries, 0);
+  EXPECT_GT(crashed.retry_s, 0);
+  EXPECT_GT(crashed.total_s, healthy.total_s); // failure costs time
+}
+
+TEST(FaultInjectorCluster, StragglersInflateImbalance) {
+  const auto ba = grid_ba();
+  const auto dm = dist::DistributionMapping::make(ba, 4, dist::Strategy::RoundRobin);
+  cluster::SimCluster cl(4);
+  const std::vector<Real> costs(16, 1.0);
+
+  const auto clean = cl.step_cost(ba, dm, costs, 6, 2);
+  EXPECT_NEAR(clean.imbalance, 1.0, 1e-12); // uniform costs, round-robin
+
+  FaultPlan plan;
+  plan.slowdowns.push_back({.rank = 1, .factor = 4.0, .from_step = 0});
+  FaultInjector inj(plan);
+  inj.set_step(0);
+  cl.set_faults(&inj);
+  const auto slow = cl.step_cost(ba, dm, costs, 6, 2);
+  EXPECT_DOUBLE_EQ(slow.compute_s, 4.0 * clean.compute_s);
+  EXPECT_GT(slow.imbalance, 2.0);
+}
+
+TEST(FaultInjectorCluster, RetriesReachTheRankRecorder) {
+  const auto ba = grid_ba();
+  const auto dm = dist::DistributionMapping::make(ba, 4, dist::Strategy::RoundRobin);
+  cluster::SimCluster cl(4);
+
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.message.drop_p = 0.5;
+  FaultInjector inj(plan);
+  inj.set_step(1);
+  cl.set_faults(&inj);
+
+  obs::RankRecorder rec(4);
+  rec.set_step(1);
+  const auto cost = cl.step_cost(ba, dm, std::vector<Real>(16, 1.0), 6, 2, 8, &rec);
+  ASSERT_GT(cost.retries, 0);
+
+  ASSERT_EQ(rec.steps().size(), 1u);
+  std::int64_t recorded_retries = 0;
+  double recorded_retry_s = 0;
+  for (const auto& rs : rec.steps()[0].ranks) {
+    recorded_retries += rs.retries;
+    recorded_retry_s += rs.retry_s;
+  }
+  EXPECT_EQ(recorded_retries, 2 * cost.retries); // charged to both endpoints
+  EXPECT_GT(recorded_retry_s, 0);
+
+  int msgs_with_retries = 0;
+  for (const auto& m : rec.messages()) {
+    if (m.attempts > 1) {
+      ++msgs_with_retries;
+      EXPECT_GT(m.retry_s, 0);
+    }
+  }
+  EXPECT_GT(msgs_with_retries, 0);
+}
+
+} // namespace
+} // namespace mrpic::resil

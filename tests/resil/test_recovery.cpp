@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "src/resil/recovery.hpp"
+
+namespace mrpic::resil {
+namespace {
+
+TEST(Recovery, SurvivorsKeepBoxesWithCompactedIds) {
+  // 8 boxes over 4 ranks, round-robin. Rank 2 dies.
+  dist::DistributionMapping dm({0, 1, 2, 3, 0, 1, 2, 3}, 4);
+  const auto res = remap_after_failure(dm, {}, /*dead_rank=*/2);
+
+  EXPECT_EQ(res.mapping.nranks(), 3);
+  EXPECT_EQ(res.boxes_moved, 2);
+  // Ranks 0 and 1 keep their ids; rank 3 compacts to 2.
+  EXPECT_EQ(res.mapping.rank(0), 0);
+  EXPECT_EQ(res.mapping.rank(1), 1);
+  EXPECT_EQ(res.mapping.rank(3), 2);
+  EXPECT_EQ(res.mapping.rank(4), 0);
+  EXPECT_EQ(res.mapping.rank(5), 1);
+  EXPECT_EQ(res.mapping.rank(7), 2);
+  // Orphans (boxes 2 and 6) land on valid survivor ranks.
+  EXPECT_GE(res.mapping.rank(2), 0);
+  EXPECT_LT(res.mapping.rank(2), 3);
+  EXPECT_GE(res.mapping.rank(6), 0);
+  EXPECT_LT(res.mapping.rank(6), 3);
+}
+
+TEST(Recovery, OrphansGoToLeastLoadedSurvivors) {
+  // Rank 0 already heavy; rank 1 dies; rank 2 light. Orphans must prefer 2.
+  dist::DistributionMapping dm({0, 0, 0, 1, 2}, 3);
+  const std::vector<Real> costs = {10, 10, 10, 4, 1};
+  const auto res = remap_after_failure(dm, costs, /*dead_rank=*/1);
+
+  EXPECT_EQ(res.mapping.nranks(), 2);
+  EXPECT_EQ(res.boxes_moved, 1);
+  // Survivor rank 2 compacts to id 1 (load 1) and takes the orphan box 3.
+  EXPECT_EQ(res.mapping.rank(3), 1);
+  EXPECT_EQ(res.mapping.rank(4), 1);
+  for (int b = 0; b < 3; ++b) { EXPECT_EQ(res.mapping.rank(b), 0) << b; }
+}
+
+TEST(Recovery, LptSpreadsManyOrphans) {
+  // Rank 0 dies owning 4 boxes of distinct weight; two equal survivors.
+  dist::DistributionMapping dm({0, 0, 0, 0, 1, 2}, 3);
+  const std::vector<Real> costs = {8, 6, 5, 3, 1, 1};
+  const auto res = remap_after_failure(dm, costs, /*dead_rank=*/0);
+
+  EXPECT_EQ(res.boxes_moved, 4);
+  // LPT: 8 -> s0 (9), 6 -> s1 (7), 5 -> s1 (12)? no: least-loaded gets each
+  // heaviest next: loads start (1,1); 8->(9,1); 6->(9,7); 5->(9,12)? least
+  // is s1 at 7 -> (9,12); 3 -> s0 -> (12,12). Balanced within the heaviest.
+  std::vector<double> loads(2, 0);
+  for (int b = 0; b < dm.size(); ++b) { loads[res.mapping.rank(b)] += costs[b]; }
+  EXPECT_DOUBLE_EQ(loads[0], 12);
+  EXPECT_DOUBLE_EQ(loads[1], 12);
+  EXPECT_LE(res.imbalance_after, res.imbalance_before + 1e-12);
+}
+
+TEST(Recovery, ImbalanceMetricsBracketTheRemap) {
+  dist::DistributionMapping dm({0, 1, 2, 3}, 4);
+  const std::vector<Real> costs = {5, 5, 5, 5};
+  const auto res = remap_after_failure(dm, costs, /*dead_rank=*/3);
+  // Before re-homing, the 3 survivors are perfectly balanced.
+  EXPECT_DOUBLE_EQ(res.imbalance_before, 1.0);
+  // One orphan onto one of three equal survivors: max 10, mean 20/3.
+  EXPECT_DOUBLE_EQ(res.imbalance_after, 10.0 / (20.0 / 3.0));
+}
+
+TEST(Recovery, DeterministicAcrossCalls) {
+  dist::DistributionMapping dm({0, 1, 2, 0, 1, 2, 0, 1, 2, 1}, 3);
+  const std::vector<Real> costs = {3, 3, 7, 1, 4, 7, 2, 2, 5, 6};
+  const auto a = remap_after_failure(dm, costs, 1);
+  const auto b = remap_after_failure(dm, costs, 1);
+  EXPECT_EQ(a.mapping.ranks(), b.mapping.ranks());
+  EXPECT_EQ(a.boxes_moved, b.boxes_moved);
+  EXPECT_DOUBLE_EQ(a.imbalance_after, b.imbalance_after);
+}
+
+} // namespace
+} // namespace mrpic::resil

@@ -1,0 +1,91 @@
+// Concurrency contract of the fault layer (run under MRPIC_SANITIZE=thread
+// as the `resil_concurrency_sanitized` ctest): once a FaultInjector's step
+// is set, its const query surface — the surface SimCluster::step_cost hits,
+// potentially from parallel sweep evaluations — is safe to hammer from many
+// threads and agrees exactly with a single-threaded baseline.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/resil/fault_injector.hpp"
+
+namespace mrpic::resil {
+namespace {
+
+FaultPlan busy_plan() {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.slowdowns.push_back({.rank = 1, .factor = 2.5, .from_step = 0, .to_step = 100});
+  plan.message.drop_p = 0.2;
+  plan.message.corrupt_p = 0.1;
+  plan.message.delay_p = 0.1;
+  plan.crashes.push_back({.rank = 3, .step = 50});
+  return plan;
+}
+
+TEST(ResilConcurrency, ConstQueriesAreThreadSafeAndDeterministic) {
+  FaultInjector inj(busy_plan());
+  inj.set_step(7);
+
+  constexpr int kOrdinals = 512;
+  // Single-threaded baseline.
+  std::vector<cluster::MessageFate> baseline(kOrdinals);
+  for (int o = 0; o < kOrdinals; ++o) { baseline[o] = inj.message_fate(0, 2, 1024, o); }
+  const double mult1 = inj.compute_multiplier(1);
+  const double detect = inj.detection_time_s();
+
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < 4; ++rep) {
+        for (int o = t; o < kOrdinals; o += 1 + t % 3) {
+          const auto f = inj.message_fate(0, 2, 1024, o);
+          if (f.delivered != baseline[o].delivered || f.attempts != baseline[o].attempts ||
+              f.extra_s != baseline[o].extra_s || f.corrupted != baseline[o].corrupted ||
+              f.delayed != baseline[o].delayed) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        if (inj.compute_multiplier(1) != mult1 || inj.detection_time_s() != detect ||
+            !inj.rank_alive(3) /* crash is at step 50, we are at 7 */ ||
+            inj.first_dead_rank() != -1) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) { th.join(); }
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ResilConcurrency, CrashStepQueriesFromManyThreads) {
+  FaultInjector inj(busy_plan());
+  inj.set_step(50); // rank 3 is dead this step
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int o = 0; o < 256; ++o) {
+        if (inj.rank_alive(3) || inj.first_dead_rank() != 3 || inj.crash_due(50) != 3) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        const auto f = inj.message_fate(3, 0, 64, o);
+        if (f.delivered || f.attempts != 1 + inj.detector().retry.max_retries) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) { th.join(); }
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+} // namespace
+} // namespace mrpic::resil
