@@ -18,8 +18,8 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
 echo "== run benches (--json) into $tmp"
-"$bindir/bench_weak_scaling" --json --outdir "$tmp" > /dev/null
-"$bindir/bench_strong_scaling" --json --outdir "$tmp" > /dev/null
+"$bindir/bench_weak_scaling" --json --attribution --outdir "$tmp" > /dev/null
+"$bindir/bench_strong_scaling" --json --attribution --outdir "$tmp" > /dev/null
 "$bindir/bench_resilience" --json --outdir "$tmp" > /dev/null
 "$bindir/bench_kernels" --json --quick --outdir "$tmp" > /dev/null
 
@@ -38,6 +38,11 @@ echo "== compare deterministic benches against baselines"
     "$basedir/BENCH_strong_scaling.json" "$tmp/BENCH_strong_scaling.json"
 "$bindir/bench_compare" --rel-tol 0.02 \
     "$basedir/BENCH_resilience.json" "$tmp/BENCH_resilience.json"
+# The attribution output is pure arithmetic over the same recorder sweep, so
+# it is held to a much tighter tolerance; the invariant-gap metrics sit at
+# FP-epsilon scale and are gated by the test suite instead.
+"$bindir/bench_compare" --rel-tol 1e-6 --ignore invariant_gap \
+    "$basedir/BENCH_attribution.json" "$tmp/BENCH_attribution.json"
 
 echo "== gate self-checks"
 "$bindir/bench_compare" "$tmp/BENCH_weak_scaling.json" "$tmp/BENCH_weak_scaling.json" \

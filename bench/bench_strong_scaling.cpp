@@ -8,6 +8,10 @@
 // With --json, additionally writes BENCH_strong_scaling.json: model
 // speedup/efficiency rows per machine, plus per-rank-count simulated
 // cluster records (compute_s, comm_s, total_s, bytes, messages).
+//
+// With --attribution, runs obs::analysis over the recorded sweep and writes
+// BENCH_attribution_strong.json + attribution_report_strong.md (per-point
+// loss decomposition against the ideal t1/N, plus critical paths).
 
 #include <cmath>
 #include <cstdio>
@@ -18,6 +22,7 @@
 #include "src/cluster/sim_cluster.hpp"
 #include "src/diag/output_dir.hpp"
 #include "src/obs/json.hpp"
+#include "src/obs/perf_report.hpp"
 #include "src/obs/rank_recorder.hpp"
 #include "src/perf/machine.hpp"
 #include "src/perf/scaling_model.hpp"
@@ -27,8 +32,10 @@ using namespace mrpic;
 int main(int argc, char** argv) {
   const auto out = diag::OutputDir::from_args(argc, argv);
   bool json_out = false;
+  bool attribution = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) { json_out = true; }
+    if (std::strcmp(argv[i], "--attribution") == 0) { attribution = true; }
   }
   struct Range {
     const char* machine;
@@ -147,6 +154,32 @@ int main(int argc, char** argv) {
     const std::string heatmap_path = out.path("strong_scaling_rank_heatmap.csv");
     recorder.write_rank_heatmap_csv(heatmap_path);
     std::printf("\nwrote %s and %s\n", json_path.c_str(), heatmap_path.c_str());
+  }
+
+  if (attribution) {
+    obs::PerfReportOptions opt;
+    opt.title = "strong-scaling attribution (fixed 128^3 domain, Summit network)";
+    opt.latency_s = cm.latency_s;
+    auto report = obs::build_perf_report(recorder, opt);
+    // Strong scaling: perfectly-scaled time at N ranks is t1/N.
+    const auto& steps = recorder.steps();
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      const double n = static_cast<double>(cluster_records[i].nranks);
+      report.scaling_losses.push_back(
+          obs::analysis::decompose_loss(steps[i], cm.latency_s, t1 / n));
+    }
+    const std::string json_path = out.path("BENCH_attribution_strong.json");
+    const std::string md_path = out.path("attribution_report_strong.md");
+    obs::write_json(report, json_path);
+    obs::write_markdown(report, md_path);
+    std::printf("\nattribution: loss terms per rank count (sum == loss exactly)\n");
+    for (const auto& t : report.scaling_losses) {
+      std::printf("  %4.0f ranks: eff %5.1f %%  imbalance %5.2f %%  comm %5.2f %%  "
+                  "latency %5.2f %%  resil %5.2f %%  gap %.1e\n",
+                  t.nodes, 100 * t.efficiency, 100 * t.imbalance, 100 * t.comm,
+                  100 * t.latency, 100 * t.resil, t.invariant_gap());
+    }
+    std::printf("wrote %s and %s\n", json_path.c_str(), md_path.c_str());
   }
   return 0;
 }

@@ -17,6 +17,11 @@
 // efficiencies per machine per node count, plus per-node-count simulated
 // cluster records (compute_s, comm_s, total_s, bytes, messages) — the
 // machine-readable perf trajectory consumed by later PRs (EXPERIMENTS.md).
+//
+// With --attribution, runs obs::analysis over the recorded sweep and writes
+// BENCH_attribution.json (bench kind "attribution": per-point scaling-loss
+// decomposition whose terms sum to 1 - efficiency exactly, plus the
+// per-point critical path) and attribution_report.md.
 
 #include <cstdio>
 #include <cstring>
@@ -26,6 +31,7 @@
 #include "src/cluster/sim_cluster.hpp"
 #include "src/diag/output_dir.hpp"
 #include "src/obs/json.hpp"
+#include "src/obs/perf_report.hpp"
 #include "src/obs/rank_recorder.hpp"
 #include "src/perf/machine.hpp"
 #include "src/perf/scaling_model.hpp"
@@ -35,8 +41,10 @@ using namespace mrpic;
 int main(int argc, char** argv) {
   const auto out = diag::OutputDir::from_args(argc, argv);
   bool json_out = false;
+  bool attribution = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) { json_out = true; }
+    if (std::strcmp(argv[i], "--attribution") == 0) { attribution = true; }
   }
 
   std::printf("Fig. 5 (left): weak scaling efficiency [%%], model calibrated on the\n");
@@ -152,6 +160,31 @@ int main(int argc, char** argv) {
     const std::string heatmap_path = out.path("weak_scaling_rank_heatmap.csv");
     recorder.write_rank_heatmap_csv(heatmap_path);
     std::printf("\nwrote %s and %s\n", json_path.c_str(), heatmap_path.c_str());
+  }
+
+  if (attribution) {
+    obs::PerfReportOptions opt;
+    opt.title = "weak-scaling attribution (Summit network, one 64^3 box per rank)";
+    opt.latency_s = cm.latency_s;
+    auto report = obs::build_perf_report(recorder, opt);
+    // Weak scaling: the perfectly-scaled step time is the 1-rank total, so
+    // each point's loss terms account for its full efficiency drop.
+    for (const auto& step : recorder.steps()) {
+      report.scaling_losses.push_back(
+          obs::analysis::decompose_loss(step, cm.latency_s, t1));
+    }
+    const std::string json_path = out.path("BENCH_attribution.json");
+    const std::string md_path = out.path("attribution_report.md");
+    obs::write_json(report, json_path);
+    obs::write_markdown(report, md_path);
+    std::printf("\nattribution: loss terms per node count (sum == loss exactly)\n");
+    for (const auto& t : report.scaling_losses) {
+      std::printf("  %4.0f ranks: eff %5.1f %%  imbalance %5.2f %%  comm %5.2f %%  "
+                  "latency %5.2f %%  resil %5.2f %%  gap %.1e\n",
+                  t.nodes, 100 * t.efficiency, 100 * t.imbalance, 100 * t.comm,
+                  100 * t.latency, 100 * t.resil, t.invariant_gap());
+    }
+    std::printf("wrote %s and %s\n", json_path.c_str(), md_path.c_str());
   }
   return 0;
 }

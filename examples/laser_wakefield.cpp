@@ -15,7 +15,10 @@
 //         lane per profiled thread plus one lane per simulated rank, halo
 //         messages drawn as flow arrows between rank lanes),
 //         lwfa_metrics.jsonl (per-step counters/gauges + per-rank sections),
-//         rank_heatmap.csv (step x rank compute/comm/imbalance matrix)
+//         rank_heatmap.csv (step x rank compute/comm/imbalance matrix),
+//         lwfa_ranks.json (the full recorder dump, re-loadable by the
+//         perf_report CLI), lwfa_perf_report.{md,json} (critical-path /
+//         loss-attribution report over the run, obs::analysis)
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,7 +28,15 @@
 #include "src/diag/csv_writer.hpp"
 #include "src/diag/output_dir.hpp"
 #include "src/diag/spectrum.hpp"
+#include "src/obs/analysis.hpp"
+#include "src/obs/perf_report.hpp"
+#include "src/obs/rank_recorder_io.hpp"
 #include "src/obs/trace.hpp"
+#include "src/particles/deposition.hpp"
+#include "src/particles/gather.hpp"
+#include "src/particles/pusher.hpp"
+#include "src/perf/flop_counter.hpp"
+#include "src/perf/machine.hpp"
 
 using namespace mrpic;
 using namespace mrpic::constants;
@@ -116,8 +127,66 @@ int main(int argc, char** argv) {
                           out.path("lwfa_trace.json"), "laser_wakefield");
   sim.metrics().write_jsonl(out.path("lwfa_metrics.jsonl"));
   sim.rank_recorder().write_rank_heatmap_csv(out.path("rank_heatmap.csv"));
+  obs::write_recorder_json(sim.rank_recorder(), out.path("lwfa_ranks.json"));
+
+  // Attribution report over the recorded run: per-step critical paths and
+  // overhead decomposition, plus a roofline placement of the PIC stages
+  // (canonical per-element flop counts x this run's last-step volume).
+  obs::PerfReportOptions ropt;
+  ropt.title = "LWFA attribution (4 simulated ranks)";
+  ropt.latency_s = cluster::CommModel{}.latency_s;
+  auto report = obs::build_perf_report(sim.rank_recorder(), ropt);
+  {
+    const auto& rep = sim.last_step_report();
+    perf::FlopCounter fc;
+    fc.record("gather", particles::gather_flops_per_particle(cfg.shape_order, 2) *
+                            rep.particles_pushed);
+    fc.record("push", particles::push_flops_per_particle() * rep.particles_pushed);
+    fc.record("deposition", particles::deposit_flops_per_particle(cfg.shape_order, 2) *
+                                rep.particles_pushed);
+    fc.record("field_solve",
+              fields::FDTDSolver<2>::flops_per_cell() * rep.cells_advanced);
+    report.machine = "Summit";
+    report.roofline = obs::analysis::roofline(
+        fc,
+        obs::analysis::pic_kernel_bytes(static_cast<double>(rep.particles_pushed),
+                                        static_cast<double>(rep.cells_advanced)),
+        perf::machine_by_name(report.machine));
+  }
+  obs::write_markdown(report, out.path("lwfa_perf_report.md"));
+  obs::write_json(report, out.path("lwfa_perf_report.json"));
+
+  // Name the run's dominant critical path: which rank chain gated the worst
+  // step and what it was made of.
+  if (!report.paths.empty()) {
+    const auto& worst = report.paths[std::size_t(report.worst_steps().front())];
+    std::printf("\ncritical path (worst step %lld, %.3f ms makespan): ranks",
+                static_cast<long long>(worst.step), worst.makespan_s * 1e3);
+    const std::size_t shown = worst.rank_chain.size() < 8 ? worst.rank_chain.size() : 8;
+    for (std::size_t i = 0; i < shown; ++i) {
+      std::printf(" %d%s", worst.rank_chain[i], i + 1 < shown ? " ->" : "");
+    }
+    if (shown < worst.rank_chain.size()) {
+      std::printf(" ... (%zu hops)", worst.rank_chain.size());
+    }
+    std::printf("\n  composition: compute %.1f%%  halo transfer %.1f%%  latency %.1f%%"
+                "  resil %.1f%%\n",
+                100 * worst.compute_s / worst.makespan_s,
+                100 * worst.transfer_s / worst.makespan_s,
+                100 * worst.latency_s / worst.makespan_s,
+                100 * worst.retry_s / worst.makespan_s);
+    const auto stragglers = report.summary.stragglers();
+    if (!stragglers.empty()) {
+      std::printf("  straggler rank %d: %.3f ms on the critical path over %d steps\n",
+                  stragglers.front(),
+                  report.summary.critical_s_per_rank[std::size_t(stragglers.front())] * 1e3,
+                  report.summary.steps);
+    }
+  }
+
   std::printf("wrote lwfa_{history,field}.csv, lwfa_trace.json, lwfa_metrics.jsonl, "
-              "rank_heatmap.csv in %s/\n", out.dir().c_str());
+              "rank_heatmap.csv, lwfa_ranks.json, lwfa_perf_report.{md,json} in %s/\n",
+              out.dir().c_str());
   sim.timers().report(std::cout);
   const auto& rep = sim.last_step_report();
   std::printf("last step %lld: %.3f ms wall, %lld particles, %lld cells\n",

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <numeric>
 
+#include "src/dist/imbalance.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/rank_recorder.hpp"
 
@@ -120,16 +121,15 @@ StepCost SimCluster::step_cost(const mrpic::BoxArray<DIM>& ba,
     }
   }
 
-  double compute_sum = 0;
-  for (const auto& r : ranks) {
-    cost.compute_s = std::max(cost.compute_s, r.compute_s);
-    cost.comm_s = std::max(cost.comm_s, r.comm_s);
-    cost.retry_s = std::max(cost.retry_s, r.retry_s);
-    compute_sum += r.compute_s;
+  std::vector<double> compute_loads(ranks.size());
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    cost.compute_s = std::max(cost.compute_s, ranks[r].compute_s);
+    cost.comm_s = std::max(cost.comm_s, ranks[r].comm_s);
+    cost.retry_s = std::max(cost.retry_s, ranks[r].retry_s);
+    compute_loads[r] = ranks[r].compute_s;
   }
   cost.total_s = cost.compute_s + cost.comm_s + cost.detect_s;
-  const double mean = compute_sum / m_nranks;
-  cost.imbalance = mean > 0 ? cost.compute_s / mean : 1.0;
+  cost.imbalance = dist::max_over_mean(compute_loads);
   record_metrics(cost);
 
   if (m_metrics != nullptr) {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <numeric>
 
+#include "src/dist/imbalance.hpp"
 #include "src/dist/knapsack.hpp"
 #include "src/dist/morton.hpp"
 
@@ -114,11 +115,7 @@ std::vector<Real> DistributionMapping::rank_loads(const std::vector<Real>& costs
 }
 
 Real DistributionMapping::imbalance(const std::vector<Real>& costs) const {
-  const auto loads = rank_loads(costs);
-  const Real mx = *std::max_element(loads.begin(), loads.end());
-  const Real total = std::accumulate(loads.begin(), loads.end(), Real(0));
-  const Real mean = total / m_nranks;
-  return mean > 0 ? mx / mean : Real(1);
+  return static_cast<Real>(max_over_mean(rank_loads(costs)));
 }
 
 template DistributionMapping DistributionMapping::make<2>(const mrpic::BoxArray<2>&, int,

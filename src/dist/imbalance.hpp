@@ -1,0 +1,30 @@
+#pragma once
+
+// The one load-imbalance metric of the codebase: lambda = max/mean over
+// per-rank loads (1.0 = perfect balance; the paper's Sec. V.C load-balance
+// factor). Every layer that reports imbalance — DistributionMapping,
+// LoadBalancer rebalance snapshots, cluster::StepCost, obs::RankRecorder
+// and the obs::analysis scaling-loss decomposition — funnels through this
+// helper so their numbers are bit-identical for the same rank loads.
+
+#include <vector>
+
+namespace mrpic::dist {
+
+// max/mean of per-rank loads, accumulated in double; 1.0 when the load set
+// is empty or the mean is not positive.
+template <typename T>
+double max_over_mean(const std::vector<T>& loads) {
+  if (loads.empty()) { return 1.0; }
+  double mx = 0;
+  double sum = 0;
+  for (const T& v : loads) {
+    const double d = static_cast<double>(v);
+    if (d > mx) { mx = d; }
+    sum += d;
+  }
+  const double mean = sum / static_cast<double>(loads.size());
+  return mean > 0 ? mx / mean : 1.0;
+}
+
+} // namespace mrpic::dist

@@ -6,22 +6,11 @@
 #include <limits>
 #include <numeric>
 
+#include "src/dist/imbalance.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/rank_recorder.hpp"
 
 namespace mrpic::dist {
-
-namespace {
-
-double rank_imbalance(const std::vector<double>& rank_costs) {
-  if (rank_costs.empty()) { return 1.0; }
-  const double max = *std::max_element(rank_costs.begin(), rank_costs.end());
-  const double mean = std::accumulate(rank_costs.begin(), rank_costs.end(), 0.0) /
-                      static_cast<double>(rank_costs.size());
-  return mean > 0 ? max / mean : 1.0;
-}
-
-} // namespace
 
 void LoadBalancer::record_costs(const std::vector<Real>& new_costs) {
   if (m_costs.size() != new_costs.size()) {
@@ -38,11 +27,7 @@ void LoadBalancer::record_costs(const std::vector<Real>& new_costs) {
 }
 
 Real LoadBalancer::cost_imbalance() const {
-  if (m_costs.empty()) { return Real(1); }
-  const Real max = *std::max_element(m_costs.begin(), m_costs.end());
-  const Real mean = std::accumulate(m_costs.begin(), m_costs.end(), Real(0)) /
-                    static_cast<Real>(m_costs.size());
-  return mean > 0 ? max / mean : Real(1);
+  return static_cast<Real>(max_over_mean(m_costs));
 }
 
 void LoadBalancer::count_rebalance() {
@@ -65,8 +50,8 @@ void LoadBalancer::count_rebalance(const DistributionMapping& before,
   obs::RebalanceRecord rec;
   rec.rank_cost_before = rank_costs(before);
   rec.rank_cost_after = rank_costs(after);
-  rec.imbalance_before = rank_imbalance(rec.rank_cost_before);
-  rec.imbalance_after = rank_imbalance(rec.rank_cost_after);
+  rec.imbalance_before = max_over_mean(rec.rank_cost_before);
+  rec.imbalance_after = max_over_mean(rec.rank_cost_after);
   if (m_metrics != nullptr) {
     m_metrics->gauge("lb_imbalance_before").set(rec.imbalance_before);
     m_metrics->gauge("lb_imbalance_after").set(rec.imbalance_after);

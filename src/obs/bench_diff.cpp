@@ -228,6 +228,29 @@ std::vector<std::string> validate_schema(const json::Value& doc) {
                    {"recovery_s", 'n'},
                    {"imbalance_after", 'n'}},
                   errors);
+  } else if (bench == "attribution") {
+    check_records(doc, "loss",
+                  {{"nodes", 'n'},
+                   {"total_s", 'n'},
+                   {"ideal_s", 'n'},
+                   {"efficiency", 'n'},
+                   {"loss", 'n'},
+                   {"imbalance", 'n'},
+                   {"comm", 'n'},
+                   {"latency", 'n'},
+                   {"resil", 'n'},
+                   {"residual", 'n'},
+                   {"invariant_gap", 'n'}},
+                  errors);
+    check_records(doc, "critical_path",
+                  {{"step", 'n'},
+                   {"makespan_s", 'n'},
+                   {"compute_s", 'n'},
+                   {"transfer_s", 'n'},
+                   {"latency_s", 'n'},
+                   {"retry_s", 'n'},
+                   {"critical_rank", 'n'}},
+                  errors);
   }
   // Unknown bench kinds: the 'bench' name above is the whole contract.
   return errors;

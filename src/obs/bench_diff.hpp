@@ -58,7 +58,8 @@ void print_report(const Report& report, std::ostream& os, bool verbose = false);
 
 // Schema check for a BENCH_*.json document: returns human-readable errors
 // (empty = valid). Knows the required keys of the kernels / weak_scaling /
-// strong_scaling records; unknown bench kinds only need a "bench" name.
+// strong_scaling / resilience / attribution records; unknown bench kinds
+// only need a "bench" name.
 std::vector<std::string> validate_schema(const json::Value& doc);
 
 } // namespace mrpic::obs::benchdiff

@@ -1,0 +1,282 @@
+#include "src/obs/perf_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <ostream>
+
+#include "src/obs/json.hpp"
+
+namespace mrpic::obs {
+
+namespace {
+
+std::string fmt_us(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return std::string(buf) + " us";
+}
+
+std::string fmt_pct(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string fmt3(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
+}
+
+// Chain rendering for the Markdown table: long chains (dense halo graphs
+// route the path through many ranks) show head ... tail plus the hop count;
+// the JSON keeps the full chain.
+std::string chain_string(const std::vector<int>& ranks) {
+  constexpr std::size_t kHead = 6, kTail = 3;
+  std::string s;
+  auto append = [&s](int r) {
+    if (!s.empty()) { s += " -> "; }
+    s += std::to_string(r);
+  };
+  if (ranks.size() <= kHead + kTail + 1) {
+    for (int r : ranks) { append(r); }
+  } else {
+    for (std::size_t i = 0; i < kHead; ++i) { append(ranks[i]); }
+    s += " -> ...";
+    for (std::size_t i = ranks.size() - kTail; i < ranks.size(); ++i) { append(ranks[i]); }
+    s += " (" + std::to_string(ranks.size()) + " hops)";
+  }
+  return s.empty() ? "-" : s;
+}
+
+int path_final_rank(const analysis::CriticalPath& p) {
+  return p.rank_chain.empty() ? -1 : p.rank_chain.back();
+}
+
+void write_loss_json(json::Writer& w, const analysis::LossTerms& t) {
+  w.begin_object()
+      .field("nodes", t.nodes)
+      .field("total_s", t.total_s)
+      .field("ideal_s", t.ideal_s)
+      .field("efficiency", t.efficiency)
+      .field("loss", t.loss)
+      .field("imbalance", t.imbalance)
+      .field("comm", t.comm)
+      .field("latency", t.latency)
+      .field("resil", t.resil)
+      .field("residual", t.residual)
+      .field("lambda", t.lambda)
+      .field("invariant_gap", t.invariant_gap())
+      .field("compute_critical_rank", t.compute_critical_rank)
+      .field("comm_critical_rank", t.comm_critical_rank)
+      .end_object();
+}
+
+} // namespace
+
+std::vector<int> PerfReport::worst_steps() const {
+  std::vector<int> order(paths.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+    return paths[std::size_t(a)].makespan_s > paths[std::size_t(b)].makespan_s;
+  });
+  return order;
+}
+
+PerfReport build_perf_report(const RankRecorder& rec, const PerfReportOptions& opt) {
+  PerfReport report;
+  report.title = opt.title;
+  report.nranks = rec.nranks();
+  report.latency_s = opt.latency_s;
+  report.top_steps = opt.top_steps;
+  report.paths = analysis::critical_paths(rec);
+  report.summary = analysis::summarize(report.paths, rec.nranks());
+  report.step_overhead.reserve(rec.steps().size());
+  for (const auto& step : rec.steps()) {
+    report.step_overhead.push_back(
+        analysis::decompose_step_overhead(step, opt.latency_s));
+  }
+  return report;
+}
+
+void write_markdown(const PerfReport& report, std::ostream& os) {
+  os << "# " << report.title << "\n\n";
+  os << report.nranks << " ranks, " << report.summary.steps
+     << " recorded steps, wire latency " << fmt_us(report.latency_s) << ".\n\n";
+
+  // --- aggregate critical-path composition --------------------------------
+  const auto& s = report.summary;
+  os << "## Critical-path composition (all steps)\n\n";
+  if (s.steps == 0 || s.makespan_s <= 0) {
+    os << "No recorded steps.\n\n";
+  } else {
+    os << "| component | seconds | share |\n|---|---:|---:|\n";
+    const double T = s.makespan_s;
+    os << "| compute | " << fmt3(s.compute_s) << " | " << fmt_pct(s.compute_s / T) << " |\n";
+    os << "| halo transfer | " << fmt3(s.transfer_s) << " | " << fmt_pct(s.transfer_s / T) << " |\n";
+    os << "| message latency | " << fmt3(s.latency_s) << " | " << fmt_pct(s.latency_s / T) << " |\n";
+    os << "| resil (retries) | " << fmt3(s.retry_s) << " | " << fmt_pct(s.retry_s / T) << " |\n";
+    os << "| **total makespan** | **" << fmt3(T) << "** | 100% |\n\n";
+  }
+
+  // --- stragglers ---------------------------------------------------------
+  os << "## Straggler ranks\n\n";
+  const auto stragglers = s.stragglers();
+  if (stragglers.empty()) {
+    os << "No per-rank critical-path evidence.\n\n";
+  } else {
+    os << "Ranks by time spent on the critical path:\n\n";
+    os << "| rank | critical seconds | path finishes here |\n|---:|---:|---:|\n";
+    const int listed = std::min<int>(8, int(stragglers.size()));
+    for (int i = 0; i < listed; ++i) {
+      const int r = stragglers[std::size_t(i)];
+      os << "| " << r << " | " << fmt3(s.critical_s_per_rank[std::size_t(r)]) << " | "
+         << s.finishes_per_rank[std::size_t(r)] << " |\n";
+    }
+    os << "\n";
+  }
+
+  // --- worst steps --------------------------------------------------------
+  const auto order = report.worst_steps();
+  const int shown = std::min<int>(report.top_steps, int(order.size()));
+  if (shown > 0) {
+    os << "## Top " << shown << " steps by critical-path makespan\n\n";
+    os << "| step | makespan | compute | transfer | latency | resil | rank chain |\n"
+       << "|---:|---:|---:|---:|---:|---:|---|\n";
+    for (int i = 0; i < shown; ++i) {
+      const auto& p = report.paths[std::size_t(order[std::size_t(i)])];
+      os << "| " << p.step << " | " << fmt3(p.makespan_s) << " | " << fmt3(p.compute_s)
+         << " | " << fmt3(p.transfer_s) << " | " << fmt3(p.latency_s) << " | "
+         << fmt3(p.retry_s) << " | " << chain_string(p.rank_chain) << " |\n";
+    }
+    os << "\n";
+  }
+
+  // --- scaling losses -----------------------------------------------------
+  const bool sweep = !report.scaling_losses.empty();
+  const auto& losses = sweep ? report.scaling_losses : report.step_overhead;
+  if (!losses.empty()) {
+    os << (sweep ? "## Scaling-loss decomposition\n\n"
+                 : "## Per-step parallel overhead\n\n");
+    os << "Each row splits 1 - efficiency into terms that sum to the loss "
+          "exactly (invariant gap shown).\n\n";
+    os << "| " << (sweep ? "nodes" : "step") << " | efficiency | loss | imbalance | comm "
+       << "| latency | resil | residual | gap |\n"
+       << "|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n";
+    for (std::size_t i = 0; i < losses.size(); ++i) {
+      const auto& t = losses[i];
+      os << "| " << (sweep ? std::to_string(std::int64_t(t.nodes))
+                           : std::to_string(report.paths.size() > i
+                                                ? std::int64_t(report.paths[i].step)
+                                                : std::int64_t(i)))
+         << " | " << fmt_pct(t.efficiency) << " | " << fmt_pct(t.loss) << " | "
+         << fmt_pct(t.imbalance) << " | " << fmt_pct(t.comm) << " | "
+         << fmt_pct(t.latency) << " | " << fmt_pct(t.resil) << " | "
+         << fmt_pct(t.residual) << " | " << fmt3(t.invariant_gap()) << " |\n";
+    }
+    os << "\n";
+  }
+
+  // --- roofline -----------------------------------------------------------
+  if (!report.roofline.empty()) {
+    os << "## Roofline attribution";
+    if (!report.machine.empty()) { os << " (" << report.machine << ")"; }
+    os << "\n\n| kernel | flops | bytes | intensity | roof TFlop/s | bound | attainment |\n"
+       << "|---|---:|---:|---:|---:|---|---:|\n";
+    for (const auto& k : report.roofline) {
+      os << "| " << k.kernel << " | " << fmt3(k.flops) << " | " << fmt3(k.bytes) << " | "
+         << fmt3(k.intensity) << " | " << fmt3(k.roof_tflops) << " | "
+         << (k.memory_bound ? "memory" : "compute") << " | "
+         << (k.time_s > 0 ? fmt_pct(k.attainment) : std::string("-")) << " |\n";
+    }
+    os << "\n";
+  }
+}
+
+bool write_markdown(const PerfReport& report, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) { return false; }
+  write_markdown(report, os);
+  return static_cast<bool>(os);
+}
+
+void write_json(const PerfReport& report, std::ostream& os) {
+  json::Writer w(os);
+  w.begin_object();
+  w.field("bench", "attribution");
+  w.field("title", report.title);
+  w.field("nranks", report.nranks);
+  w.field("latency_s", report.latency_s);
+
+  const auto& s = report.summary;
+  w.begin_object("summary")
+      .field("steps", s.steps)
+      .field("makespan_s", s.makespan_s)
+      .field("compute_s", s.compute_s)
+      .field("transfer_s", s.transfer_s)
+      .field("latency_s", s.latency_s)
+      .field("retry_s", s.retry_s)
+      .end_object();
+
+  w.begin_array("critical_path");
+  for (const auto& p : report.paths) {
+    w.begin_object()
+        .field("step", p.step)
+        .field("makespan_s", p.makespan_s)
+        .field("modeled_total_s", p.modeled_total_s)
+        .field("compute_s", p.compute_s)
+        .field("transfer_s", p.transfer_s)
+        .field("latency_s", p.latency_s)
+        .field("retry_s", p.retry_s)
+        .field("critical_rank", path_final_rank(p));
+    w.begin_array("rank_chain");
+    for (int r : p.rank_chain) { w.value(std::int64_t(r)); }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  const auto& losses =
+      report.scaling_losses.empty() ? report.step_overhead : report.scaling_losses;
+  w.begin_array("loss");
+  for (const auto& t : losses) { write_loss_json(w, t); }
+  w.end_array();
+
+  w.begin_array("stragglers");
+  for (int r : s.stragglers()) { w.value(std::int64_t(r)); }
+  w.end_array();
+
+  if (!report.roofline.empty()) {
+    w.field("machine", report.machine);
+    w.begin_array("roofline");
+    for (const auto& k : report.roofline) {
+      w.begin_object()
+          .field("kernel", k.kernel)
+          .field("flops", k.flops)
+          .field("bytes", k.bytes)
+          .field("intensity", k.intensity)
+          .field("peak_tflops", k.peak_tflops)
+          .field("peak_tbyte_s", k.peak_tbyte_s)
+          .field("roof_tflops", k.roof_tflops)
+          .field("memory_bound", k.memory_bound)
+          .field("time_s", k.time_s)
+          .field("attained_tflops", k.attained_tflops)
+          .field("attainment", k.attainment)
+          .end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  os << '\n';
+}
+
+bool write_json(const PerfReport& report, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) { return false; }
+  write_json(report, os);
+  return static_cast<bool>(os);
+}
+
+} // namespace mrpic::obs

@@ -1,0 +1,63 @@
+#pragma once
+
+// perf_report — the automated performance report over obs::analysis: per
+// step the critical path (rank chain + composition), the parallel-overhead
+// decomposition, straggler ranks, optionally a scaling sweep's loss terms
+// and a roofline placement. Two serializations of the same report:
+//
+//  - Markdown (write_markdown): the human artifact — summary table, the
+//    worst steps' critical-path chains, loss breakdown per node count.
+//  - JSON (write_json): bench kind "attribution", schema-validated by
+//    obs::benchdiff and baseline-gated in bench_smoke like every other
+//    BENCH_*.json.
+//
+// Producers: the perf_report CLI (bench/perf_report.cpp) over a recorder
+// dump, the scaling benches under --attribution, and examples
+// (laser_wakefield) directly through this API.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/obs/analysis.hpp"
+
+namespace mrpic::obs {
+
+struct PerfReportOptions {
+  std::string title = "perf report";
+  // Wire model used for the latency split (cluster::CommModel::latency_s of
+  // the model the recorder was driven with).
+  double latency_s = 2e-6;
+  // Steps listed individually in the Markdown (worst by makespan).
+  int top_steps = 5;
+};
+
+struct PerfReport {
+  std::string title;
+  int nranks = 0;
+  double latency_s = 0;
+  std::vector<analysis::CriticalPath> paths;        // one per recorded step
+  analysis::CriticalPathSummary summary;
+  std::vector<analysis::LossTerms> step_overhead;   // per-step decomposition
+  std::vector<analysis::LossTerms> scaling_losses;  // optional sweep terms
+  std::vector<analysis::KernelRoofline> roofline;   // optional placement
+  std::string machine;                              // roofline machine name
+  int top_steps = 5;
+
+  // Steps ordered by descending critical-path makespan.
+  std::vector<int> worst_steps() const;
+};
+
+// Build the per-step part (critical paths + overhead decomposition) from a
+// recorder. Sweep losses / roofline are attached by the caller when
+// available (they need context the recorder does not carry).
+PerfReport build_perf_report(const RankRecorder& rec, const PerfReportOptions& opt = {});
+
+void write_markdown(const PerfReport& report, std::ostream& os);
+bool write_markdown(const PerfReport& report, const std::string& path);
+// bench kind "attribution": {"bench":"attribution","critical_path":[...],
+// "loss":[...]} (loss = scaling_losses when present, else step_overhead).
+void write_json(const PerfReport& report, std::ostream& os);
+bool write_json(const PerfReport& report, const std::string& path);
+
+} // namespace mrpic::obs

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "src/dist/imbalance.hpp"
+
 namespace mrpic::obs {
 
 double RankStepBreakdown::max_compute_s() const {
@@ -20,8 +22,9 @@ double RankStepBreakdown::mean_compute_s() const {
 }
 
 double RankStepBreakdown::imbalance() const {
-  const double mean = mean_compute_s();
-  return mean > 0 ? max_compute_s() / mean : 1.0;
+  std::vector<double> loads(ranks.size());
+  for (std::size_t r = 0; r < ranks.size(); ++r) { loads[r] = ranks[r].compute_s; }
+  return dist::max_over_mean(loads);
 }
 
 double RankStepBreakdown::max_total_s() const {

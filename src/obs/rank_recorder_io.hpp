@@ -1,0 +1,29 @@
+#pragma once
+
+// JSON persistence for obs::RankRecorder: a run (or a sweep) dumps its
+// per-rank telemetry — step breakdowns, the message-level halo log,
+// rebalance snapshots and fault events — as one self-describing document
+// ({"format":"mrpic-ranks","version":1,...}), and the perf_report CLI (or
+// any later analysis) re-loads it without re-running the simulation. The
+// round trip is lossless for everything obs::analysis consumes.
+
+#include <iosfwd>
+#include <string>
+
+#include "src/obs/json.hpp"
+#include "src/obs/rank_recorder.hpp"
+
+namespace mrpic::obs {
+
+void write_recorder_json(const RankRecorder& rec, std::ostream& os);
+bool write_recorder_json(const RankRecorder& rec, const std::string& path);
+
+// Rebuild a recorder from a parsed document. Throws std::runtime_error on a
+// wrong format tag / version or structurally invalid content.
+RankRecorder read_recorder_json(const json::Value& doc);
+// Parse + rebuild from raw text.
+RankRecorder read_recorder_json(const std::string& text);
+// Load from a file. Throws std::runtime_error when unreadable or malformed.
+RankRecorder read_recorder_file(const std::string& path);
+
+} // namespace mrpic::obs

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/amr/box_array.hpp"
+#include "src/dist/distribution_mapping.hpp"
+#include "src/dist/imbalance.hpp"
+#include "src/obs/rank_recorder.hpp"
+
+namespace mrpic::dist {
+namespace {
+
+// The one imbalance metric (max/mean load, λ of the paper's Sec. V.C load
+// balancing) shared by DistributionMapping, LoadBalancer, SimCluster and the
+// obs layer. These tests pin the helper's edge cases and that every consumer
+// agrees with it bit-for-bit.
+
+TEST(Imbalance, MaxOverMeanBasics) {
+  EXPECT_DOUBLE_EQ(max_over_mean(std::vector<double>{}), 1.0);      // empty
+  EXPECT_DOUBLE_EQ(max_over_mean(std::vector<double>{0.0, 0.0}), 1.0); // no load
+  EXPECT_DOUBLE_EQ(max_over_mean(std::vector<double>{2.0, 2.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(max_over_mean(std::vector<double>{3.0, 1.0}), 1.5);
+  // One loaded rank among n: lambda = n.
+  EXPECT_DOUBLE_EQ(max_over_mean(std::vector<double>{4.0, 0.0, 0.0, 0.0}), 4.0);
+}
+
+TEST(Imbalance, WorksAcrossArithmeticTypes) {
+  EXPECT_DOUBLE_EQ(max_over_mean(std::vector<float>{3.0f, 1.0f}), 1.5);
+  EXPECT_DOUBLE_EQ(max_over_mean(std::vector<int>{3, 1}), 1.5);
+  EXPECT_DOUBLE_EQ(max_over_mean(std::vector<long long>{6, 2, 1}), 2.0);
+}
+
+TEST(Imbalance, DistributionMappingAgreesWithHelper) {
+  const Box3 domain(IntVect3(0, 0, 0), IntVect3(63, 63, 63));
+  const auto ba = BoxArray<3>::decompose(domain, 16); // 64 boxes
+  const auto dm = DistributionMapping::make(ba, 4, Strategy::RoundRobin);
+  std::vector<Real> costs(ba.size());
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    costs[i] = static_cast<Real>(1 + (i % 7));
+  }
+  const auto loads = dm.rank_loads(costs);
+  EXPECT_DOUBLE_EQ(static_cast<double>(dm.imbalance(costs)),
+                   max_over_mean(loads));
+}
+
+TEST(Imbalance, RankRecorderBreakdownAgreesWithHelper) {
+  obs::RankStepBreakdown bd;
+  bd.ranks.resize(3);
+  bd.ranks[0].compute_s = 3.0;
+  bd.ranks[1].compute_s = 1.0;
+  bd.ranks[2].compute_s = 2.0;
+  EXPECT_DOUBLE_EQ(bd.imbalance(),
+                   max_over_mean(std::vector<double>{3.0, 1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(bd.imbalance(), 1.5);
+}
+
+} // namespace
+} // namespace mrpic::dist

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/obs/bench_diff.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/perf_report.hpp"
+#include "src/obs/rank_recorder_io.hpp"
+
+namespace mrpic::obs {
+namespace {
+
+// Two ranks, two steps, one inter-rank message per step, plus a rebalance
+// and a fault event so every array of the document is exercised.
+RankRecorder make_recorder() {
+  RankRecorder rec(2);
+  for (std::int64_t s = 0; s < 2; ++s) {
+    RankStepBreakdown bd;
+    bd.step = s;
+    bd.ranks.resize(2);
+    for (int r = 0; r < 2; ++r) {
+      bd.ranks[r].rank = r;
+      bd.ranks[r].compute_s = r == 0 ? 3e-3 : 1e-3;
+      bd.ranks[r].comm_s = 0.5e-3;
+      bd.ranks[r].bytes_sent = r == 0 ? 1024 : 0;
+      bd.ranks[r].bytes_recv = r == 0 ? 0 : 1024;
+      bd.ranks[r].messages = 1;
+      bd.ranks[r].boxes = 2;
+    }
+    // Retry time is part of comm_s by construction (SimCluster charges the
+    // protocol overhead into the rank's halo time), so rank 1 is the
+    // comm-critical rank and the resil term is attributed to it.
+    bd.ranks[1].retry_s = 1e-5;
+    bd.ranks[1].comm_s += 1e-5;
+    bd.ranks[1].retries = 1;
+    HaloMessage msg;
+    msg.src_rank = 0;
+    msg.dst_rank = 1;
+    msg.src_box = 0;
+    msg.dst_box = 2;
+    msg.bytes = 1024;
+    msg.latency_s = 2e-6;
+    msg.transfer_s = 1e-7;
+    msg.attempts = 2;
+    msg.retry_s = 1e-5;
+    rec.set_step(s);
+    rec.add_step(bd, {msg});
+  }
+  RebalanceRecord rb;
+  rb.step = 1;
+  rb.rank_cost_before = {4.0, 1.0};
+  rb.rank_cost_after = {2.5, 2.5};
+  rb.imbalance_before = 1.6;
+  rb.imbalance_after = 1.0;
+  rec.add_rebalance(rb);
+  FaultEvent ev;
+  ev.step = 1;
+  ev.kind = "slowdown";
+  ev.rank = 1;
+  ev.time_s = 1e-4;
+  ev.detail = "rank 1 of 2";
+  rec.add_fault_event(ev);
+  return rec;
+}
+
+TEST(RankRecorderIo, RoundTripIsLossless) {
+  const auto rec = make_recorder();
+  std::ostringstream os;
+  write_recorder_json(rec, os);
+  const auto back = read_recorder_json(os.str());
+
+  EXPECT_EQ(back.nranks(), rec.nranks());
+  ASSERT_EQ(back.steps().size(), rec.steps().size());
+  for (std::size_t s = 0; s < rec.steps().size(); ++s) {
+    const auto& a = rec.steps()[s];
+    const auto& b = back.steps()[s];
+    EXPECT_EQ(a.step, b.step);
+    ASSERT_EQ(a.ranks.size(), b.ranks.size());
+    for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+      EXPECT_EQ(a.ranks[r].rank, b.ranks[r].rank);
+      EXPECT_DOUBLE_EQ(a.ranks[r].compute_s, b.ranks[r].compute_s);
+      EXPECT_DOUBLE_EQ(a.ranks[r].comm_s, b.ranks[r].comm_s);
+      EXPECT_DOUBLE_EQ(a.ranks[r].retry_s, b.ranks[r].retry_s);
+      EXPECT_EQ(a.ranks[r].bytes_sent, b.ranks[r].bytes_sent);
+      EXPECT_EQ(a.ranks[r].bytes_recv, b.ranks[r].bytes_recv);
+      EXPECT_EQ(a.ranks[r].messages, b.ranks[r].messages);
+      EXPECT_EQ(a.ranks[r].retries, b.ranks[r].retries);
+      EXPECT_EQ(a.ranks[r].boxes, b.ranks[r].boxes);
+    }
+  }
+  ASSERT_EQ(back.messages().size(), rec.messages().size());
+  for (std::size_t i = 0; i < rec.messages().size(); ++i) {
+    const auto& a = rec.messages()[i];
+    const auto& b = back.messages()[i];
+    EXPECT_EQ(a.step, b.step);
+    EXPECT_EQ(a.src_rank, b.src_rank);
+    EXPECT_EQ(a.dst_rank, b.dst_rank);
+    EXPECT_EQ(a.src_box, b.src_box);
+    EXPECT_EQ(a.dst_box, b.dst_box);
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_DOUBLE_EQ(a.latency_s, b.latency_s);
+    EXPECT_DOUBLE_EQ(a.transfer_s, b.transfer_s);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_DOUBLE_EQ(a.retry_s, b.retry_s);
+  }
+  ASSERT_EQ(back.rebalances().size(), 1u);
+  EXPECT_EQ(back.rebalances()[0].step, 1);
+  EXPECT_DOUBLE_EQ(back.rebalances()[0].imbalance_before, 1.6);
+  ASSERT_EQ(back.rebalances()[0].rank_cost_before.size(), 2u);
+  ASSERT_EQ(back.fault_events().size(), 1u);
+  EXPECT_EQ(back.fault_events()[0].kind, "slowdown");
+  EXPECT_EQ(back.fault_events()[0].detail, "rank 1 of 2");
+}
+
+TEST(RankRecorderIo, RejectsForeignDocuments) {
+  EXPECT_THROW(read_recorder_json(std::string("{\"bench\":\"kernels\"}")),
+               std::runtime_error);
+  EXPECT_THROW(read_recorder_json(
+                   std::string("{\"format\":\"mrpic-ranks\",\"version\":99}")),
+               std::runtime_error);
+  EXPECT_THROW(read_recorder_json(std::string("not json")), std::runtime_error);
+}
+
+TEST(PerfReport, BuildExtractsPathsAndOverheads) {
+  PerfReportOptions opt;
+  opt.title = "unit";
+  opt.latency_s = 2e-6;
+  const auto report = build_perf_report(make_recorder(), opt);
+  EXPECT_EQ(report.nranks, 2);
+  ASSERT_EQ(report.paths.size(), 2u);
+  ASSERT_EQ(report.step_overhead.size(), 2u);
+  EXPECT_EQ(report.summary.steps, 2);
+  for (const auto& t : report.step_overhead) {
+    EXPECT_NEAR(t.invariant_gap(), 0.0, 1e-12);
+    EXPECT_DOUBLE_EQ(t.residual, 0.0);
+    EXPECT_GT(t.resil, 0.0); // the injected retry shows up
+  }
+  // Worst-step order is by descending makespan.
+  const auto order = report.worst_steps();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_GE(report.paths[std::size_t(order[0])].makespan_s,
+            report.paths[std::size_t(order[1])].makespan_s);
+}
+
+TEST(PerfReport, JsonValidatesAgainstAttributionSchema) {
+  const auto report = build_perf_report(make_recorder());
+  std::ostringstream os;
+  write_json(report, os);
+  const auto doc = json::parse(os.str());
+  EXPECT_EQ(doc["bench"].as_string(), "attribution");
+  const auto errors = benchdiff::validate_schema(doc);
+  for (const auto& e : errors) { ADD_FAILURE() << e; }
+  // Loss records carry the invariant gap for the regression gate.
+  ASSERT_TRUE(doc["loss"].is_array());
+  for (const auto& rec : doc["loss"].as_array()) {
+    EXPECT_LT(std::abs(rec["invariant_gap"].as_number()), 1e-9);
+  }
+  ASSERT_TRUE(doc["critical_path"].is_array());
+  EXPECT_TRUE(doc["critical_path"].as_array()[0]["rank_chain"].is_array());
+  EXPECT_TRUE(doc["stragglers"].is_array());
+}
+
+TEST(PerfReport, MarkdownNamesChainAndComposition) {
+  PerfReportOptions opt;
+  opt.title = "md unit";
+  const auto report = build_perf_report(make_recorder(), opt);
+  std::ostringstream os;
+  write_markdown(report, os);
+  const std::string md = os.str();
+  EXPECT_NE(md.find("# md unit"), std::string::npos);
+  EXPECT_NE(md.find("Critical-path composition"), std::string::npos);
+  EXPECT_NE(md.find("Straggler ranks"), std::string::npos);
+  EXPECT_NE(md.find("0 -> 1"), std::string::npos); // the rank chain
+  EXPECT_NE(md.find("Per-step parallel overhead"), std::string::npos);
+}
+
+TEST(PerfReport, ScalingLossesReplaceStepOverheadInJson) {
+  auto report = build_perf_report(make_recorder());
+  analysis::LossTerms t;
+  t.nodes = 64;
+  t.total_s = 2.0;
+  t.ideal_s = 1.0;
+  t.efficiency = 0.5;
+  t.loss = 0.5;
+  t.imbalance = 0.5;
+  report.scaling_losses.push_back(t);
+  std::ostringstream os;
+  write_json(report, os);
+  const auto doc = json::parse(os.str());
+  ASSERT_EQ(doc["loss"].as_array().size(), 1u);
+  EXPECT_DOUBLE_EQ(doc["loss"].as_array()[0]["nodes"].as_number(), 64.0);
+  EXPECT_TRUE(benchdiff::validate_schema(doc).empty());
+}
+
+} // namespace
+} // namespace mrpic::obs

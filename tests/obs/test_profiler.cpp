@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <functional>
 #include <sstream>
 #include <thread>
 
@@ -134,6 +135,91 @@ TEST(Profiler, ResetClearsEverything) {
     auto s = p.scope("x");
   }
   EXPECT_EQ(p.stats("x").count, 1);
+}
+
+TEST(Profiler, RecursiveScopesNestIntoDistinctNodes) {
+  Profiler p;
+  // Direct recursion: each re-entry nests under the previous instance, so
+  // the tree records f, f/f, f/f/f as distinct nodes with one instance each.
+  std::function<void(int)> recurse = [&](int depth) {
+    auto s = p.scope("f");
+    spin_for(5e-4);
+    if (depth > 1) { recurse(depth - 1); }
+  };
+  recurse(3);
+
+  const auto d1 = p.stats("f");
+  const auto d2 = p.stats("f/f");
+  const auto d3 = p.stats("f/f/f");
+  EXPECT_EQ(d1.count, 1);
+  EXPECT_EQ(d2.count, 1);
+  EXPECT_EQ(d3.count, 1);
+  // Inclusive telescopes: outer covers inner.
+  EXPECT_GE(d1.inclusive_s, d2.inclusive_s);
+  EXPECT_GE(d2.inclusive_s, d3.inclusive_s);
+  // Exclusive strips the recursive child, so each level keeps only its own
+  // ~0.5 ms of spinning and never goes negative; the levels' exclusive
+  // times sum back to the root's inclusive.
+  for (const auto& s : {d1, d2, d3}) {
+    EXPECT_GE(s.exclusive_s, 0.0);
+    EXPECT_GE(s.exclusive_s, 2.5e-4);
+  }
+  EXPECT_NEAR(d1.exclusive_s + d2.exclusive_s + d3.exclusive_s, d1.inclusive_s, 1e-9);
+  // The innermost level is a leaf: exclusive == inclusive.
+  EXPECT_DOUBLE_EQ(d3.exclusive_s, d3.inclusive_s);
+  // Flat totals merge the recursion chain under the shared leaf name.
+  EXPECT_EQ(p.flat_totals().at("f").count, 3);
+}
+
+TEST(Profiler, ReenteredScopeMergesIntoOneNode) {
+  Profiler p;
+  {
+    auto outer = p.scope("outer");
+    for (int i = 0; i < 4; ++i) {
+      auto inner = p.scope("work"); // sequential re-entry, same parent
+      spin_for(2e-4);
+    }
+  }
+  const auto inner = p.stats("outer/work");
+  EXPECT_EQ(inner.count, 4);
+  EXPECT_DOUBLE_EQ(inner.exclusive_s, inner.inclusive_s); // leaf
+  EXPECT_LE(inner.min_s, inner.max_s);
+  // Parent exclusive strips all four instances at once.
+  const auto outer = p.stats("outer");
+  EXPECT_NEAR(outer.exclusive_s, outer.inclusive_s - inner.inclusive_s, 1e-12);
+  EXPECT_GE(outer.exclusive_s, 0.0);
+}
+
+TEST(Profiler, ScopeSpanningStepBoundaryIsTaggedWithClosingStep) {
+  Profiler p;
+  p.set_tracing(true);
+  p.set_step(0);
+  {
+    auto before = p.scope("inside_step0");
+  }
+  {
+    auto spanning = p.scope("spans_boundary"); // opened in step 0...
+    spin_for(1e-4);
+    p.set_step(1);                             // ...boundary crossed...
+  }                                            // ...closed in step 1
+  {
+    auto after = p.scope("inside_step1");
+  }
+
+  std::int64_t step_of_span = -2, step_of_before = -2, step_of_after = -2;
+  for (const auto& ev : p.trace_events()) {
+    if (ev.name == "spans_boundary") { step_of_span = ev.step; }
+    if (ev.name == "inside_step0") { step_of_before = ev.step; }
+    if (ev.name == "inside_step1") { step_of_after = ev.step; }
+  }
+  EXPECT_EQ(step_of_before, 0);
+  // Events record at close, so a spanning scope lands in the step that saw
+  // it finish — the invariant the per-step trace grouping relies on.
+  EXPECT_EQ(step_of_span, 1);
+  EXPECT_EQ(step_of_after, 1);
+  // Aggregated stats are step-agnostic and unaffected by the boundary.
+  EXPECT_EQ(p.stats("spans_boundary").count, 1);
+  EXPECT_GE(p.stats("spans_boundary").inclusive_s, 1e-4);
 }
 
 TEST(Profiler, ScopeElapsedAndMoveSemantics) {

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/obs/json.hpp"
+#include "src/obs/profiler.hpp"
+#include "src/obs/rank_recorder.hpp"
+#include "src/obs/trace.hpp"
+
+namespace mrpic::obs {
+namespace {
+
+// Structural validity of the combined (profiler + rank-lane) Chrome trace:
+// the properties a chrome://tracing / Perfetto loader relies on, checked on
+// the parsed document rather than on substrings. Complements the content
+// checks in test_trace.cpp / test_rank_recorder.cpp.
+
+RankRecorder make_recorder(int nranks, int steps) {
+  RankRecorder rec(nranks);
+  for (std::int64_t s = 0; s < steps; ++s) {
+    RankStepBreakdown bd;
+    bd.step = s;
+    bd.ranks.resize(nranks);
+    std::vector<HaloMessage> msgs;
+    for (int r = 0; r < nranks; ++r) {
+      bd.ranks[r].rank = r;
+      bd.ranks[r].compute_s = 1e-3 * (r + 1);
+      bd.ranks[r].comm_s = 2e-4;
+      bd.ranks[r].messages = 2;
+      bd.ranks[r].boxes = 1;
+    }
+    for (int r = 0; r < nranks; ++r) {
+      HaloMessage m;
+      m.src_rank = r;
+      m.dst_rank = (r + 1) % nranks;
+      m.bytes = 4096;
+      m.latency_s = 2e-6;
+      m.transfer_s = 3e-6;
+      msgs.push_back(m);
+    }
+    rec.set_step(s);
+    rec.add_step(bd, msgs);
+  }
+  return rec;
+}
+
+json::Value make_trace(int nranks, int steps) {
+  Profiler p;
+  p.set_tracing(true);
+  for (std::int64_t s = 0; s < 2; ++s) {
+    p.set_step(s);
+    auto scope = p.scope("step");
+  }
+  const auto rec = make_recorder(nranks, steps);
+  std::ostringstream os;
+  write_chrome_trace(p.trace_events(), rec, os, "validity_proc");
+  return json::parse(os.str());
+}
+
+TEST(TraceValidity, EveryFlowFinishHasMatchingStartSameIdAndCat) {
+  const auto doc = make_trace(3, 2);
+  ASSERT_TRUE(doc["traceEvents"].is_array());
+  const auto& events = doc["traceEvents"].as_array();
+
+  // Collect flow starts/finishes keyed by id.
+  std::map<std::int64_t, const json::Value*> starts;
+  std::map<std::int64_t, const json::Value*> finishes;
+  for (const auto& ev : events) {
+    if (!ev["ph"].is_string()) { continue; }
+    const auto& ph = ev["ph"].as_string();
+    if (ph != "s" && ph != "f") { continue; }
+    ASSERT_TRUE(ev["id"].is_number()) << "flow event without id";
+    ASSERT_TRUE(ev["cat"].is_string()) << "flow event without cat";
+    const std::int64_t id = ev["id"].as_int();
+    auto& slot = ph == "s" ? starts : finishes;
+    EXPECT_EQ(slot.count(id), 0u) << "duplicate flow id " << id;
+    slot[id] = &ev;
+  }
+  EXPECT_FALSE(starts.empty());
+  EXPECT_EQ(starts.size(), finishes.size());
+  for (const auto& [id, fin] : finishes) {
+    const auto it = starts.find(id);
+    ASSERT_NE(it, starts.end()) << "finish without start, id " << id;
+    const auto& start = *it->second;
+    EXPECT_EQ((*fin)["cat"].as_string(), start["cat"].as_string());
+    // The arrow connects two distinct rank lanes. (Endpoints anchor at each
+    // lane's own halo-slice midpoint in the modeled timebase, so the finish
+    // may legitimately carry an earlier timestamp than the start.)
+    EXPECT_NE((*fin)["pid"].as_int(), start["pid"].as_int());
+    EXPECT_GE(start["ts"].as_number(), 0.0);
+    EXPECT_GE((*fin)["ts"].as_number(), 0.0);
+    // Binding point "e" attaches the finish to the enclosing slice.
+    EXPECT_EQ((*fin)["bp"].as_string(), "e");
+  }
+}
+
+TEST(TraceValidity, RankLanePidsAndMetadataAreConsistent) {
+  const int nranks = 4;
+  const auto doc = make_trace(nranks, 2);
+  const auto& events = doc["traceEvents"].as_array();
+
+  // pid 0 stays the real process; each rank r gets pid r + 1 with a
+  // process_name metadata event naming it.
+  std::map<std::int64_t, std::string> lane_names;
+  std::set<std::int64_t> slice_pids;
+  for (const auto& ev : events) {
+    if (!ev["ph"].is_string()) { continue; }
+    const auto& ph = ev["ph"].as_string();
+    if (ph == "M" && ev["name"].as_string() == "process_name") {
+      lane_names[ev["pid"].as_int()] = ev["args"]["name"].as_string();
+    } else if (ph == "X") {
+      slice_pids.insert(ev["pid"].is_number() ? ev["pid"].as_int() : 0);
+    }
+  }
+  ASSERT_EQ(lane_names.count(0), 1u);
+  EXPECT_EQ(lane_names[0], "validity_proc");
+  for (int r = 0; r < nranks; ++r) {
+    ASSERT_EQ(lane_names.count(r + 1), 1u) << "no metadata for rank lane " << r;
+    EXPECT_EQ(lane_names[r + 1], "rank " + std::to_string(r));
+  }
+  // Every slice lands on a named lane, and every rank lane carries slices.
+  for (std::int64_t pid : slice_pids) {
+    EXPECT_EQ(lane_names.count(pid), 1u) << "slice on unnamed pid " << pid;
+  }
+  for (int r = 0; r < nranks; ++r) {
+    EXPECT_EQ(slice_pids.count(r + 1), 1u) << "rank lane " << r << " has no slices";
+  }
+}
+
+TEST(TraceValidity, SlicesAreNonNegativeAndLanesMonotone) {
+  const auto doc = make_trace(3, 3);
+  const auto& events = doc["traceEvents"].as_array();
+  // Per (pid, tid) lane, complete events must not overlap when laid out
+  // back-to-back per step (the rank-lane timebase): sort order in the file
+  // is emission order, so check via last-end bookkeeping.
+  std::map<std::pair<std::int64_t, std::int64_t>, double> last_end;
+  for (const auto& ev : events) {
+    if (!ev["ph"].is_string() || ev["ph"].as_string() != "X") { continue; }
+    ASSERT_TRUE(ev["ts"].is_number());
+    ASSERT_TRUE(ev["dur"].is_number());
+    EXPECT_GE(ev["dur"].as_number(), 0.0);
+    const std::int64_t pid = ev["pid"].is_number() ? ev["pid"].as_int() : 0;
+    if (pid == 0) { continue; } // profiler lane may nest; rank lanes may not
+    const auto key = std::make_pair(pid, ev["tid"].is_number() ? ev["tid"].as_int() : 0);
+    const auto it = last_end.find(key);
+    if (it != last_end.end()) {
+      EXPECT_GE(ev["ts"].as_number(), it->second - 1e-6)
+          << "overlapping slices on rank lane pid " << pid;
+    }
+    last_end[key] = ev["ts"].as_number() + ev["dur"].as_number();
+  }
+  EXPECT_FALSE(last_end.empty());
+}
+
+} // namespace
+} // namespace mrpic::obs
