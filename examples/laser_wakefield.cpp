@@ -9,7 +9,11 @@
 // to c and the pulse does not slip out of the c-moving window), and the
 // electron energy spectrum diagnostic.
 //
-// Run: ./laser_wakefield [--outdir DIR] [t_end_fs]
+// Run: ./laser_wakefield [--outdir DIR] [--health] [t_end_fs]
+// With --health, the in-situ invariant ledger + NaN/stability watchdog run
+// alongside (src/health): lwfa_health.jsonl carries the per-step ledger,
+// lwfa_alerts.jsonl any alerts, and the perf report gains a "Simulation
+// health" section with the probe-overhead line item.
 // Output (in --outdir, default out/): lwfa_history.csv (time series),
 //         lwfa_field.csv, lwfa_trace.json (Chrome/Perfetto trace with one
 //         lane per profiled thread plus one lane per simulated rank, halo
@@ -22,6 +26,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "src/core/simulation.hpp"
@@ -43,7 +48,17 @@ using namespace mrpic::constants;
 
 int main(int argc, char** argv) {
   const auto out = diag::OutputDir::from_args(argc, argv);
-  const Real t_end = (argc > 1 ? std::atof(argv[1]) : 150.0) * 1e-15;
+  bool with_health = false;
+  Real t_end = 150.0 * 1e-15;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--health") == 0) {
+      with_health = true;
+    } else if (std::strcmp(argv[i], "--outdir") == 0) {
+      ++i; // value consumed by OutputDir
+    } else if (argv[i][0] != '-') {
+      t_end = std::atof(argv[i]) * 1e-15;
+    }
+  }
 
   // 30 x 10 um window; 0.05 um (lambda/16) longitudinal, 0.2 um transverse.
   core::SimulationConfig<2> cfg;
@@ -90,7 +105,40 @@ int main(int argc, char** argv) {
   // Window follows the pulse once it is fully emitted.
   sim.set_moving_window(0, c, /*start_time=*/40e-15);
   sim.profiler().set_tracing(true); // collect Chrome trace events per region
+
+  if (with_health) {
+    // Light self-diagnostics: ledger + NaN scan every step, the expensive
+    // charge-conservation residuals every 20th, plus a relativistic-gamma
+    // sanity bound (a0 = 3.5 wakes top out far below gamma ~ 1e4). A NaN
+    // anywhere checkpoints (when a policy is armed) and aborts cleanly with
+    // the telemetry flushed.
+    health::MonitorConfig hcfg;
+    hcfg.ledger_interval = 1;
+    hcfg.nan_interval = 1;
+    hcfg.residual_interval = 20;
+    hcfg.alerts_path = out.path("lwfa_alerts.jsonl");
+    hcfg.watchdog.bounds.push_back(
+        {"max_gamma", 0.0, 1e4, health::Severity::Warn, {}});
+    health::DriftRule drift;
+    drift.quantity = "step_wall_s";
+    drift.z_threshold = 50.0; // flag only pathological per-step slowdowns
+    drift.warmup = 32;
+    hcfg.watchdog.drifts.push_back(drift);
+    sim.enable_health(hcfg);
+  }
   sim.init();
+  if (with_health) {
+    // On a watchdog abort these run before the AbortError propagates, so
+    // the dying run's telemetry is already on disk.
+    sim.health()->add_flush_sink(
+        [&] { sim.metrics().write_jsonl(out.path("lwfa_metrics.jsonl")); });
+    sim.health()->add_flush_sink([&] {
+      obs::write_chrome_trace(sim.profiler(), sim.rank_recorder(),
+                              out.path("lwfa_trace.json"), "laser_wakefield");
+    });
+    sim.health()->add_flush_sink(
+        [&] { sim.health()->write_ledger_jsonl(out.path("lwfa_health.jsonl")); });
+  }
 
   std::printf("LWFA: n_gas/n_c = %.4f, a0 = %.1f, %lld particles, dt = %.2e s\n",
               n_gas / plasma::critical_density(lc.wavelength), lc.a0,
@@ -136,6 +184,16 @@ int main(int argc, char** argv) {
   ropt.title = "LWFA attribution (4 simulated ranks)";
   ropt.latency_s = cluster::CommModel{}.latency_s;
   auto report = obs::build_perf_report(sim.rank_recorder(), ropt);
+  if (with_health) {
+    report.health = obs::summarize_health(*sim.health(), sim.profiler());
+    sim.health()->write_ledger_jsonl(out.path("lwfa_health.jsonl"));
+    std::printf("\nhealth: %lld ledger samples, %lld alerts, probe overhead %.2f%% "
+                "(energy drift %.2e, worst continuity residual %.2e)\n",
+                static_cast<long long>(report.health.samples),
+                static_cast<long long>(report.health.alerts),
+                100 * report.health.probe_overhead, report.health.energy_drift,
+                report.health.max_continuity_residual);
+  }
   {
     const auto& rep = sim.last_step_report();
     perf::FlopCounter fc;

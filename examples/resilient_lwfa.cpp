@@ -6,7 +6,10 @@
 // last checkpoint; the physics finishes as if nothing happened (the
 // bit-identity property proven by the resil_smoke ctest).
 //
-// Run: ./resilient_lwfa [--outdir DIR] [t_end_fs]
+// Run: ./resilient_lwfa [--outdir DIR] [--health] [t_end_fs]
+// With --health, every rebuilt simulation (initial + post-recovery replays)
+// carries the invariant ledger + watchdog; alerts land in
+// resil_alerts.jsonl and the final ledger in resil_health.jsonl.
 // Output (in --outdir, default out/): resil_trace.json (Chrome/Perfetto
 //         trace: rank lanes + crash/detect/rollback/remap/replay instants),
 //         resil_metrics.jsonl (per-step metrics incl. resil_* counters),
@@ -14,6 +17,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 
 #include "src/diag/output_dir.hpp"
@@ -25,9 +29,19 @@ using namespace mrpic::constants;
 
 int main(int argc, char** argv) {
   const auto out = diag::OutputDir::from_args(argc, argv);
-  const Real t_end = (argc > 1 && argv[1][0] != '-' ? std::atof(argv[1]) : 60.0) * 1e-15;
+  bool with_health = false;
+  Real t_end = 60.0 * 1e-15;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--health") == 0) {
+      with_health = true;
+    } else if (std::strcmp(argv[i], "--outdir") == 0) {
+      ++i; // value consumed by OutputDir
+    } else if (argv[i][0] != '-') {
+      t_end = std::atof(argv[i]) * 1e-15;
+    }
+  }
 
-  const auto factory = [] {
+  const auto factory = [with_health, &out] {
     core::SimulationConfig<2> cfg;
     cfg.domain = Box2(IntVect2(0, 0), IntVect2(299, 49));
     cfg.prob_lo = RealVect2(0, 0);
@@ -58,6 +72,18 @@ int main(int argc, char** argv) {
     sim->set_moving_window(0, c, /*start_time=*/30e-15);
     sim->enable_cluster_obs();
     sim->profiler().set_tracing(true);
+    if (with_health) {
+      // Every incarnation of the sim (initial and the post-recovery
+      // replays) watches its own invariants; the alerts file is shared and
+      // appended across incarnations within this process.
+      health::MonitorConfig hcfg;
+      hcfg.nan_interval = 1;
+      hcfg.residual_interval = 25;
+      hcfg.alerts_path = out.path("resil_alerts.jsonl");
+      hcfg.watchdog.bounds.push_back(
+          {"max_gamma", 0.0, 1e4, health::Severity::Warn, {}});
+      sim->enable_health(hcfg);
+    }
     sim->init();
     return sim;
   };
@@ -107,6 +133,12 @@ int main(int argc, char** argv) {
                           out.path("resil_trace.json"), "resilient_lwfa");
   sim.metrics().write_jsonl(out.path("resil_metrics.jsonl"));
   sim.rank_recorder().write_rank_heatmap_csv(out.path("resil_rank_heatmap.csv"));
+  if (with_health && sim.health_enabled()) {
+    sim.health()->write_ledger_jsonl(out.path("resil_health.jsonl"));
+    std::printf("  health: %lld samples, %lld alerts across the surviving run\n",
+                static_cast<long long>(sim.health()->num_samples()),
+                static_cast<long long>(sim.health()->num_alerts()));
+  }
   std::printf("wrote resil_trace.json, resil_metrics.jsonl, resil_rank_heatmap.csv in %s/\n",
               out.dir().c_str());
   return rep.completed ? 0 : 1;

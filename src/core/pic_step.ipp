@@ -3,6 +3,7 @@
 
 #include <chrono>
 
+#include "src/diag/diagnostics.hpp"
 #include "src/particles/sorting.hpp"
 
 namespace mrpic::core {
@@ -18,13 +19,31 @@ void Simulation<DIM>::step() {
   // per-region breakdown of exactly this step (StepReport::region_s).
   const auto flat_before = m_profiler.flat_totals();
 
+  m_window_shifted = false;
+  const bool health_residual = m_health && m_health->residual_due(this_step);
+
   {
     auto t_step = m_profiler.scope("step");
+
+    // 0. Residual probe, charge side: rho at t^n from the pre-push particle
+    // positions (private copies; the physics path never sees them).
+    if (health_residual) {
+      auto t = m_profiler.scope("health");
+      begin_health_probe();
+    }
 
     // 1. Particles: gather -> push -> deposit (fills J on every level).
     {
       auto t = m_profiler.scope("particles");
       advance_particles();
+    }
+
+    // 1b. Residual probe, current side: rho at t^{n+1} plus the raw particle
+    // currents, snapshotted before the laser antenna and the MR coupling add
+    // non-particle terms — the continuity identity is particle-only.
+    if (health_residual) {
+      auto t = m_profiler.scope("health");
+      snapshot_health_currents();
     }
 
     // 2. External sources: laser antenna currents at t^{n+1/2} (level 0; the
@@ -68,7 +87,12 @@ void Simulation<DIM>::step() {
     // 7. Particle housekeeping: redistribute, migrate across levels, sort.
     {
       auto t = m_profiler.scope("redistribute");
-      for (auto& sd : m_species) { sd.level0.redistribute(m_fields.geom()); }
+      std::int64_t escaped = 0;
+      for (auto& sd : m_species) { escaped += sd.level0.redistribute(m_fields.geom()); }
+      if (escaped > 0) {
+        m_escaped_total += escaped;
+        m_metrics.counter("particles_escaped").add(escaped);
+      }
       if (m_patch) { migrate_patch_particles(); }
       if (m_cfg.sort_interval > 0 && (m_step + 1) % m_cfg.sort_interval == 0) {
         for (auto& sd : m_species) {
@@ -93,6 +117,15 @@ void Simulation<DIM>::step() {
 
     m_time += m_dt;
     ++m_step;
+
+    // 10. Invariant ledger + watchdog: sample the end-of-step state (still
+    // inside the "step" scope so the probe cost shows up in the attribution,
+    // and before end_step() so the health_* gauges land in this step's
+    // JSONL record).
+    if (m_health && m_health->sample_due(this_step)) {
+      auto t = m_profiler.scope("health");
+      observe_health(this_step);
+    }
   }
 
   // Publish the unified per-step picture: counters into the registry, the
@@ -116,9 +149,18 @@ void Simulation<DIM>::step() {
   }
   if (m_step_callback) { m_step_callback(m_report); }
 
-  // 10. Automatic checkpointing (after the report so the policy sees this
-  // step's wall seconds; the write itself is outside the step's timings).
+  // 11. Health actions, then automatic checkpointing (after the report so
+  // the policy sees this step's wall seconds; the write itself is outside
+  // the step's timings). Checkpoint-now runs before any abort, so a fatal
+  // alert with both actions saves state and then stops.
+  if (m_health && m_health->consume_checkpoint_request() && m_ckpt_policy) {
+    m_ckpt_policy->request_now();
+  }
   maybe_checkpoint();
+  if (m_health && m_health->abort_requested()) {
+    m_health->flush(); // metrics JSONL, traces, ... are on disk before we die
+    throw health::AbortError(m_health->abort_alert());
+  }
 }
 
 template <int DIM>
@@ -126,6 +168,7 @@ void Simulation<DIM>::maybe_checkpoint() {
   if (!m_ckpt_policy || !m_ckpt_writer) { return; }
   m_ckpt_policy->add_step(m_report.wall_s);
   if (!m_ckpt_policy->should_checkpoint()) { return; }
+  const bool health_forced = m_ckpt_policy->now_pending();
   auto t = m_profiler.scope("checkpoint");
   const auto t0 = std::chrono::steady_clock::now();
   const bool ok = m_ckpt_writer(*this);
@@ -141,7 +184,8 @@ void Simulation<DIM>::maybe_checkpoint() {
       static_cast<double>(m_metrics.counter_value("checkpoints")));
   m_metrics.gauge("checkpoint_cost_s").set(cost);
   m_metrics.gauge("checkpoint_interval_s").set(m_ckpt_policy->optimal_interval_s());
-  m_rank_recorder.add_fault_event({m_step - 1, "checkpoint", -1, cost, ""});
+  m_rank_recorder.add_fault_event(
+      {m_step - 1, health_forced ? "health_checkpoint" : "checkpoint", -1, cost, ""});
 }
 
 template <int DIM>
@@ -237,12 +281,18 @@ void Simulation<DIM>::apply_moving_window() {
 
   if (m_pml) { m_pml->shift_data(dir, ncells); }
   if (m_patch && m_patch->active()) { m_patch->shift_window(dir, ncells); }
+  m_window_shifted = true; // end-of-step Gauss probe is invalid this step
 
   const auto& geom = m_fields.geom();
   // Drop particles that fell off the trailing edge...
+  std::int64_t swept = 0;
   for (auto& sd : m_species) {
-    sd.level0.remove_below(dir, geom.prob_lo()[dir]);
-    sd.patch.remove_below(dir, geom.prob_lo()[dir]);
+    swept += sd.level0.remove_below(dir, geom.prob_lo()[dir]);
+    swept += sd.patch.remove_below(dir, geom.prob_lo()[dir]);
+  }
+  if (swept > 0) {
+    m_swept_total += swept;
+    m_metrics.counter("particles_swept").add(swept);
   }
   // ...and fill the freshly exposed strip at the leading edge.
   mrpic::Box<DIM> strip = geom.domain();
@@ -339,6 +389,142 @@ void Simulation<DIM>::maybe_rebalance() {
     m_dm = m_lb.rebalance(m_fields.box_array(), m_cfg.nranks);
     m_lb.count_rebalance(before, m_dm);
   }
+}
+
+template <int DIM>
+void Simulation<DIM>::begin_health_probe() {
+  if (!m_hscratch) { m_hscratch = std::make_unique<HealthScratch>(); }
+  auto& h = *m_hscratch;
+  h.level0_valid = false;
+  h.fine_valid = false;
+
+  const auto& geom = m_fields.geom();
+  h.rho_old0 = mrpic::MultiFab<DIM>(m_fields.box_array(), m_dm, 1, m_fields.num_ghost());
+  for (auto& sd : m_species) {
+    diag::accumulate_charge<DIM>(m_cfg.shape_order, sd.level0, geom, h.rho_old0);
+  }
+  h.rho_old0.sum_boundary(geom);
+  h.level0_valid = true;
+
+  if (m_patch && m_patch->active()) {
+    const auto& fgeom = m_patch->fine().geom();
+    const mrpic::BoxArray<DIM> fba(m_patch->fine_region());
+    h.rho_oldf = mrpic::MultiFab<DIM>(fba, 1, m_patch->fine().num_ghost());
+    for (auto& sd : m_species) {
+      diag::accumulate_charge<DIM>(m_cfg.shape_order, sd.patch, fgeom, h.rho_oldf);
+    }
+    h.rho_oldf.sum_boundary(fgeom);
+    h.fine_valid = true;
+  }
+}
+
+template <int DIM>
+void Simulation<DIM>::snapshot_health_currents() {
+  if (!m_hscratch) { return; }
+  auto& h = *m_hscratch;
+
+  if (h.level0_valid) {
+    const auto& geom = m_fields.geom();
+    h.rho_new0 = mrpic::MultiFab<DIM>(m_fields.box_array(), m_dm, 1, m_fields.num_ghost());
+    for (auto& sd : m_species) {
+      diag::accumulate_charge<DIM>(m_cfg.shape_order, sd.level0, geom, h.rho_new0);
+    }
+    h.rho_new0.sum_boundary(geom);
+    // Ghost deposits are still un-folded on the physics J at this point; the
+    // private copy takes them along and reduces them itself.
+    h.J0 = m_fields.J();
+    h.J0.sum_boundary(geom);
+  }
+
+  if (h.fine_valid && m_patch && m_patch->active()) {
+    const auto& fgeom = m_patch->fine().geom();
+    const mrpic::BoxArray<DIM> fba(m_patch->fine_region());
+    h.rho_newf = mrpic::MultiFab<DIM>(fba, 1, m_patch->fine().num_ghost());
+    for (auto& sd : m_species) {
+      diag::accumulate_charge<DIM>(m_cfg.shape_order, sd.patch, fgeom, h.rho_newf);
+    }
+    h.rho_newf.sum_boundary(fgeom);
+    h.Jf = m_patch->fine().J();
+    h.Jf.sum_boundary(fgeom);
+  }
+}
+
+template <int DIM>
+void Simulation<DIM>::observe_health(std::int64_t step) {
+  health::LedgerSample s;
+  s.step = step;
+  s.time = m_time;
+  s.field_energy_J = m_fields.field_energy();
+  for (const auto& sd : m_species) {
+    health::SpeciesSample sp;
+    sp.name = sd.level0.species().name;
+    sp.level0 = sd.level0.total_particles();
+    sp.patch = sd.patch.total_particles();
+    sp.kinetic_J = sd.level0.kinetic_energy() + sd.patch.kinetic_energy();
+    sp.charge_C = sd.level0.total_charge() + sd.patch.total_charge();
+    sp.max_gamma = std::max(sd.level0.max_gamma(), sd.patch.max_gamma());
+    s.kinetic_energy_J += sp.kinetic_J;
+    s.total_charge_C += sp.charge_C;
+    s.num_particles += sp.level0 + sp.patch;
+    s.max_gamma = std::max(s.max_gamma, sp.max_gamma);
+    s.species.push_back(std::move(sp));
+  }
+  s.escaped = m_escaped_total;
+  s.swept = m_swept_total;
+  s.cfl_margin = m_cfl_limit_dt > 0 ? 1 - m_dt / m_cfl_limit_dt : 0;
+  s.step_wall_s = m_report.wall_s; // previous step (this one is still open)
+
+  if (m_health->nan_due(step)) {
+    s.nan_cells = 0;
+    const auto scan = [&](const mrpic::MultiFab<DIM>& mf, const char* name) {
+      const auto n = health::count_nonfinite<DIM>(mf);
+      if (n > 0 && s.nan_field.empty()) { s.nan_field = name; }
+      s.nan_cells += n;
+    };
+    scan(m_fields.E(), "E");
+    scan(m_fields.B(), "B");
+    scan(m_fields.J(), "J");
+    if (m_patch && m_patch->active()) {
+      scan(m_patch->fine().E(), "fine_E");
+      scan(m_patch->fine().B(), "fine_B");
+      scan(m_patch->fine().J(), "fine_J");
+    }
+  }
+
+  if (m_hscratch && m_health->residual_due(step)) {
+    auto& h = *m_hscratch;
+    if (h.level0_valid) {
+      const auto& geom = m_fields.geom();
+      const Real scale = h.rho_new0.max_abs(0) / m_dt;
+      const Real raw =
+          diag::continuity_residual<DIM>(h.rho_old0, h.rho_new0, h.J0, geom, m_dt);
+      s.continuity_residual = scale > 0 ? raw / scale : raw;
+      // Gauss needs the post-solve E against the post-push rho; a window
+      // shift scrolled E after the rho snapshot, so skip it on those steps.
+      if (!m_window_shifted) {
+        s.gauss_residual = diag::gauss_residual<DIM>(m_fields, h.rho_new0);
+      }
+    }
+    if (h.fine_valid && m_patch && m_patch->active()) {
+      const auto& fgeom = m_patch->fine().geom();
+      // Keep the fine-level stencil away from the patch PML and the
+      // transition zone (where particles deposit on the parent instead).
+      const int shrink =
+          m_patch->config().transition_cells * m_patch->config().ratio + 1;
+      const Real scale = h.rho_newf.max_abs(0) / m_dt;
+      const Real raw = diag::continuity_residual<DIM>(h.rho_oldf, h.rho_newf, h.Jf,
+                                                      fgeom, m_dt, shrink);
+      s.continuity_residual_fine = scale > 0 ? raw / scale : raw;
+      if (!m_window_shifted) {
+        s.gauss_residual_fine =
+            diag::gauss_residual<DIM>(m_patch->fine(), h.rho_newf, shrink);
+      }
+    }
+    h.level0_valid = false;
+    h.fine_valid = false;
+  }
+
+  m_health->record(std::move(s));
 }
 
 template <int DIM>

@@ -49,6 +49,12 @@ void Simulation<DIM>::enable_cluster_obs(cluster::CommModel cm, double cost_unit
 }
 
 template <int DIM>
+void Simulation<DIM>::enable_health(health::MonitorConfig cfg) {
+  m_health = std::make_unique<health::HealthMonitor>(std::move(cfg));
+  m_health->set_metrics(&m_metrics);
+}
+
+template <int DIM>
 void Simulation<DIM>::remove_rank(int dead_rank) {
   assert(m_initialized);
   assert(m_cfg.nranks > 1);
@@ -102,6 +108,8 @@ void Simulation<DIM>::init() {
 
   // Global time step: the finest level sets the CFL limit (no subcycling,
   // paper Sec. V.B).
+  m_cfl_limit_dt = m_patch ? fields::cfl_dt(geom.refined(m_patch->config().ratio), Real(1))
+                           : fields::cfl_dt(geom, Real(1));
   if (m_cfg.forced_dt > 0) {
     m_dt = m_cfg.forced_dt;
   } else if (m_patch) {

@@ -22,6 +22,7 @@
 #include "src/amr/config.hpp"
 #include "src/cluster/sim_cluster.hpp"
 #include "src/diag/timers.hpp"
+#include "src/health/monitor.hpp"
 #include "src/dist/load_balancer.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/profiler.hpp"
@@ -175,6 +176,31 @@ public:
   // handle through which a fault model attaches (SimCluster::set_faults).
   cluster::SimCluster* sim_cluster() { return m_cluster.get(); }
 
+  // --- simulation health --------------------------------------------------
+  // In-situ invariant ledger + NaN/stability watchdog (src/health). At the
+  // configured cadences each step assembles a LedgerSample (energies, charge,
+  // particle accounting, CFL margin, max gamma, optional NaN scan and
+  // Gauss/continuity residuals on every active level) inside a "health"
+  // profiler region, so probe overhead is attributable like any other stage.
+  // Watchdog alert actions are honored at the end of the step: checkpoint-now
+  // arms the checkpoint policy (set_checkpoint_policy), abort flushes the
+  // monitor's registered telemetry sinks and throws health::AbortError.
+  // Callable before or after init().
+  void enable_health(health::MonitorConfig cfg = {});
+  bool health_enabled() const { return m_health != nullptr; }
+  health::HealthMonitor* health() { return m_health.get(); }
+  const health::HealthMonitor* health() const { return m_health.get(); }
+
+  // Cumulative particle-loss accounting (also in the ledger): particles that
+  // left the domain through boundaries / were dropped at the moving-window
+  // trailing edge.
+  std::int64_t particles_escaped() const { return m_escaped_total; }
+  std::int64_t particles_swept() const { return m_swept_total; }
+
+  // dt ceiling of the finest active level at cfl = 1 (set by init);
+  // cfl_margin in the ledger is 1 - dt / this.
+  Real cfl_limit_dt() const { return m_cfl_limit_dt; }
+
   // --- resilience ---------------------------------------------------------
   // Automatic checkpointing: after each step the policy accrues that step's
   // wall seconds; when it fires, `writer` is invoked (e.g. a lambda around
@@ -227,6 +253,12 @@ private:
   void maybe_rebalance();
   void maybe_checkpoint();
   void observe_cluster(std::int64_t step);
+  // Health probes (pic_step.ipp): rho_old deposit at step start, rho_new + J
+  // snapshots right after the particle advance (before the laser/MR current
+  // couplings), ledger assembly + watchdog evaluation at step end.
+  void begin_health_probe();
+  void snapshot_health_currents();
+  void observe_health(std::int64_t step);
   void exchange_level0();
   // Per-box cost heuristic (cells + weighted particle counts) shared by the
   // load balancer and the cluster observer.
@@ -236,6 +268,16 @@ private:
     particles::ParticleContainer<DIM> level0;
     particles::ParticleContainer<DIM> patch;
     std::optional<plasma::InjectorConfig<DIM>> injector;
+  };
+
+  // Private per-level charge/current copies for the residual probes; the
+  // snapshots carry their own sum_boundary so the physics-path J is never
+  // touched. Rebuilt on probe steps only.
+  struct HealthScratch {
+    bool level0_valid = false;
+    bool fine_valid = false;
+    mrpic::MultiFab<DIM> rho_old0, rho_new0, J0;
+    mrpic::MultiFab<DIM> rho_oldf, rho_newf, Jf;
   };
 
   SimulationConfig<DIM> m_cfg;
@@ -259,6 +301,12 @@ private:
   std::function<void(const obs::StepReport&)> m_step_callback;
   std::optional<resil::CheckpointPolicy> m_ckpt_policy;
   CheckpointWriter m_ckpt_writer;
+  std::unique_ptr<health::HealthMonitor> m_health; // set by enable_health()
+  std::unique_ptr<HealthScratch> m_hscratch;
+  Real m_cfl_limit_dt = 0;
+  std::int64_t m_escaped_total = 0;
+  std::int64_t m_swept_total = 0;
+  bool m_window_shifted = false; // grid scrolled this step (Gauss probe skips)
 
   // Reused per-tile scratch.
   particles::GatheredFields m_gathered;

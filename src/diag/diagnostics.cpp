@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/particles/deposition.hpp"
+
 namespace mrpic::diag {
 
 namespace {
@@ -24,13 +26,15 @@ Real div_at(const mrpic::Array4<const Real>& f, const mrpic::IntVect<DIM>& p,
 } // namespace
 
 template <int DIM>
-Real gauss_residual(const fields::FieldSet<DIM>& f, const mrpic::MultiFab<DIM>& rho) {
+Real gauss_residual(const fields::FieldSet<DIM>& f, const mrpic::MultiFab<DIM>& rho,
+                    int interior_shrink) {
   const auto inv_dx = f.geom().inv_dx();
   Real worst = 0;
   for (int m = 0; m < rho.num_fabs(); ++m) {
     const auto e = f.E().const_array(m);
     const auto r = rho.const_array(m);
-    const auto interior = rho.valid_box(m).grown(-1);
+    const auto interior = rho.valid_box(m).grown(-interior_shrink);
+    if (interior.empty()) { continue; }
     rho.fab(m).for_each_cell(interior, [&](const mrpic::IntVect<DIM>& p) {
       Real div;
       if constexpr (DIM == 2) {
@@ -50,14 +54,15 @@ Real gauss_residual(const fields::FieldSet<DIM>& f, const mrpic::MultiFab<DIM>& 
 template <int DIM>
 Real continuity_residual(const mrpic::MultiFab<DIM>& rho_old,
                          const mrpic::MultiFab<DIM>& rho_new, const mrpic::MultiFab<DIM>& J,
-                         const mrpic::Geometry<DIM>& geom, Real dt) {
+                         const mrpic::Geometry<DIM>& geom, Real dt, int interior_shrink) {
   const auto inv_dx = geom.inv_dx();
   Real worst = 0;
   for (int m = 0; m < J.num_fabs(); ++m) {
     const auto j4 = J.const_array(m);
     const auto r0 = rho_old.const_array(m);
     const auto r1 = rho_new.const_array(m);
-    const auto interior = J.valid_box(m).grown(-1);
+    const auto interior = J.valid_box(m).grown(-interior_shrink);
+    if (interior.empty()) { continue; }
     J.fab(m).for_each_cell(interior, [&](const mrpic::IntVect<DIM>& p) {
       const Real div = div_at<DIM>(j4, p, inv_dx);
       Real drho;
@@ -72,13 +77,26 @@ Real continuity_residual(const mrpic::MultiFab<DIM>& rho_old,
   return worst;
 }
 
-template Real gauss_residual<2>(const fields::FieldSet<2>&, const mrpic::MultiFab<2>&);
-template Real gauss_residual<3>(const fields::FieldSet<3>&, const mrpic::MultiFab<3>&);
+template <int DIM>
+void accumulate_charge(int order, const particles::ParticleContainer<DIM>& pc,
+                       const mrpic::Geometry<DIM>& geom, mrpic::MultiFab<DIM>& rho) {
+  for (int ti = 0; ti < pc.num_tiles() && ti < rho.num_fabs(); ++ti) {
+    particles::deposit_charge<DIM>(order, pc.tile(ti), geom, rho.array(ti),
+                                   pc.species().charge);
+  }
+}
+
+template Real gauss_residual<2>(const fields::FieldSet<2>&, const mrpic::MultiFab<2>&, int);
+template Real gauss_residual<3>(const fields::FieldSet<3>&, const mrpic::MultiFab<3>&, int);
 template Real continuity_residual<2>(const mrpic::MultiFab<2>&, const mrpic::MultiFab<2>&,
                                      const mrpic::MultiFab<2>&, const mrpic::Geometry<2>&,
-                                     Real);
+                                     Real, int);
 template Real continuity_residual<3>(const mrpic::MultiFab<3>&, const mrpic::MultiFab<3>&,
                                      const mrpic::MultiFab<3>&, const mrpic::Geometry<3>&,
-                                     Real);
+                                     Real, int);
+template void accumulate_charge<2>(int, const particles::ParticleContainer<2>&,
+                                   const mrpic::Geometry<2>&, mrpic::MultiFab<2>&);
+template void accumulate_charge<3>(int, const particles::ParticleContainer<3>&,
+                                   const mrpic::Geometry<3>&, mrpic::MultiFab<3>&);
 
 } // namespace mrpic::diag

@@ -3,7 +3,14 @@
 // Reduced diagnostics computed in-situ each step ("light self-diagnostics"
 // in the paper's benchmark protocol): charge in the window, field and
 // particle energy, and divergence/continuity residuals used by the
-// correctness tests.
+// correctness tests and the runtime health ledger (src/health).
+//
+// The residuals are per-level primitives: call them on the level-0 FieldSet
+// and again on an MR patch's fine FieldSet (with that level's rho/J) to
+// cover every level. `interior_shrink` strips cells from each face of the
+// valid regions before evaluating — 1 (the default) keeps the divergence
+// stencil inside the fab; MR fine levels pass npml + 1 so the patch PML and
+// transition zone do not pollute the residual.
 
 #include "src/amr/multifab.hpp"
 #include "src/fields/field_set.hpp"
@@ -15,7 +22,8 @@ namespace mrpic::diag {
 // residual; exact conservation requires Esirkepov deposition + consistent
 // initialization). rho must be nodal, deposited with the same shape order.
 template <int DIM>
-Real gauss_residual(const fields::FieldSet<DIM>& f, const mrpic::MultiFab<DIM>& rho);
+Real gauss_residual(const fields::FieldSet<DIM>& f, const mrpic::MultiFab<DIM>& rho,
+                    int interior_shrink = 1);
 
 // Max |(rho_new - rho_old)/dt + div J| over interior cells: the discrete
 // continuity residual that Esirkepov deposition satisfies to round-off.
@@ -23,17 +31,31 @@ template <int DIM>
 Real continuity_residual(const mrpic::MultiFab<DIM>& rho_old,
                          const mrpic::MultiFab<DIM>& rho_new,
                          const mrpic::MultiFab<DIM>& J, const mrpic::Geometry<DIM>& geom,
-                         Real dt);
+                         Real dt, int interior_shrink = 1);
 
-extern template Real gauss_residual<2>(const fields::FieldSet<2>&, const mrpic::MultiFab<2>&);
-extern template Real gauss_residual<3>(const fields::FieldSet<3>&, const mrpic::MultiFab<3>&);
+// Accumulate the macro-charge of every tile of `pc` into `rho` (nodal,
+// 1-component, on the same BoxArray: tile i deposits into fab i). Callers
+// zero rho first, repeat per species, then sum_boundary once to fold the
+// ghost deposits — the charge side of the residual probes above.
+template <int DIM>
+void accumulate_charge(int order, const particles::ParticleContainer<DIM>& pc,
+                       const mrpic::Geometry<DIM>& geom, mrpic::MultiFab<DIM>& rho);
+
+extern template Real gauss_residual<2>(const fields::FieldSet<2>&, const mrpic::MultiFab<2>&,
+                                       int);
+extern template Real gauss_residual<3>(const fields::FieldSet<3>&, const mrpic::MultiFab<3>&,
+                                       int);
 extern template Real continuity_residual<2>(const mrpic::MultiFab<2>&,
                                             const mrpic::MultiFab<2>&,
                                             const mrpic::MultiFab<2>&,
-                                            const mrpic::Geometry<2>&, Real);
+                                            const mrpic::Geometry<2>&, Real, int);
 extern template Real continuity_residual<3>(const mrpic::MultiFab<3>&,
                                             const mrpic::MultiFab<3>&,
                                             const mrpic::MultiFab<3>&,
-                                            const mrpic::Geometry<3>&, Real);
+                                            const mrpic::Geometry<3>&, Real, int);
+extern template void accumulate_charge<2>(int, const particles::ParticleContainer<2>&,
+                                          const mrpic::Geometry<2>&, mrpic::MultiFab<2>&);
+extern template void accumulate_charge<3>(int, const particles::ParticleContainer<3>&,
+                                          const mrpic::Geometry<3>&, mrpic::MultiFab<3>&);
 
 } // namespace mrpic::diag

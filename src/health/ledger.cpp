@@ -1,0 +1,92 @@
+#include "src/health/ledger.hpp"
+
+#include "src/obs/json.hpp"
+
+namespace mrpic::health {
+
+double LedgerSample::value(std::string_view quantity) const {
+  if (quantity == "field_energy_J") { return field_energy_J; }
+  if (quantity == "kinetic_energy_J") { return kinetic_energy_J; }
+  if (quantity == "total_energy_J") { return total_energy_J(); }
+  if (quantity == "energy_drift_rate") { return energy_drift_rate; }
+  if (quantity == "total_charge_C") { return total_charge_C; }
+  if (quantity == "num_particles") { return static_cast<double>(num_particles); }
+  if (quantity == "escaped") { return static_cast<double>(escaped); }
+  if (quantity == "swept") { return static_cast<double>(swept); }
+  if (quantity == "max_gamma") { return max_gamma; }
+  if (quantity == "cfl_margin") { return cfl_margin; }
+  if (quantity == "step_wall_s") { return step_wall_s; }
+  if (quantity == "gauss_residual") { return gauss_residual; }
+  if (quantity == "continuity_residual") { return continuity_residual; }
+  if (quantity == "gauss_residual_fine") { return gauss_residual_fine; }
+  if (quantity == "continuity_residual_fine") { return continuity_residual_fine; }
+  if (quantity == "nan_cells") {
+    return nan_cells < 0 ? std::numeric_limits<double>::quiet_NaN()
+                         : static_cast<double>(nan_cells);
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+const std::vector<std::string>& ledger_quantities() {
+  static const std::vector<std::string> names = {
+      "field_energy_J",    "kinetic_energy_J",     "total_energy_J",
+      "energy_drift_rate", "total_charge_C",       "num_particles",
+      "escaped",           "swept",                "max_gamma",
+      "cfl_margin",        "step_wall_s",          "gauss_residual",
+      "continuity_residual", "gauss_residual_fine", "continuity_residual_fine",
+      "nan_cells"};
+  return names;
+}
+
+void write_sample(const LedgerSample& s, std::ostream& os) {
+  obs::json::Writer w(os);
+  w.begin_object();
+  w.field("step", s.step);
+  w.field("time", s.time);
+  for (const auto& q : ledger_quantities()) {
+    if (q == "step" || q == "time") { continue; }
+    w.field(q, s.value(q));  // non-finite values render as null
+  }
+  if (!s.nan_field.empty()) { w.field("nan_field", s.nan_field); }
+  if (!s.species.empty()) {
+    w.begin_array("species");
+    for (const auto& sp : s.species) {
+      w.begin_object();
+      w.field("name", sp.name);
+      w.field("level0", sp.level0);
+      w.field("patch", sp.patch);
+      w.field("kinetic_J", sp.kinetic_J);
+      w.field("charge_C", sp.charge_C);
+      w.field("max_gamma", sp.max_gamma);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+}
+
+template <int DIM>
+std::int64_t count_nonfinite(const mrpic::MultiFab<DIM>& mf) {
+  std::int64_t bad = 0;
+  for (int m = 0; m < mf.num_fabs(); ++m) {
+    const auto a = mf.const_array(m);
+    const auto& box = mf.valid_box(m);
+    for (int c = 0; c < mf.num_comp(); ++c) {
+      mf.fab(m).for_each_cell(box, [&](const mrpic::IntVect<DIM>& p) {
+        Real v;
+        if constexpr (DIM == 2) {
+          v = a(p[0], p[1], 0, c);
+        } else {
+          v = a(p[0], p[1], p[2], c);
+        }
+        if (!std::isfinite(v)) { ++bad; }
+      });
+    }
+  }
+  return bad;
+}
+
+template std::int64_t count_nonfinite<2>(const mrpic::MultiFab<2>&);
+template std::int64_t count_nonfinite<3>(const mrpic::MultiFab<3>&);
+
+} // namespace mrpic::health

@@ -1,0 +1,94 @@
+#pragma once
+
+// health::LedgerSample — one row of the invariant ledger: the conserved (or
+// slowly-varying) physics quantities of a PIC step, sampled in-situ at a
+// configurable cadence (the paper's benchmark protocol runs with "light
+// self-diagnostics" enabled; WarpX ships the same idea as reduced
+// diagnostics). The sample is pure data with a by-name lookup so watchdog
+// rules can reference any ledger quantity; core::Simulation assembles it,
+// health::HealthMonitor records it and publishes each field as a gauge in
+// the obs metrics JSONL.
+//
+// Also hosts the NaN/Inf field scan: count_nonfinite() walks the *valid*
+// regions of a MultiFab (ghosts legitimately hold stale data mid-step), the
+// primitive behind the watchdog's stability check.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/amr/multifab.hpp"
+
+namespace mrpic::health {
+
+// Per-species slice of one ledger sample.
+struct SpeciesSample {
+  std::string name;
+  std::int64_t level0 = 0;     // macroparticles on the coarse level
+  std::int64_t patch = 0;      // macroparticles in the MR patch container
+  double kinetic_J = 0;        // relativistic kinetic energy [J]
+  double charge_C = 0;         // total macro-charge q*w [C]
+  double max_gamma = 1;        // largest Lorentz factor (1 when empty)
+};
+
+// One invariant-ledger row. Residuals are normalized to the natural scale
+// of their equation (continuity: max|rho|/dt; see pic_step.ipp); fields not
+// probed this sample stay NaN and are skipped by rules and gauges.
+struct LedgerSample {
+  std::int64_t step = -1;
+  double time = 0;
+
+  // Energy accounting [J].
+  double field_energy_J = 0;    // level-0 E/B energy
+  double kinetic_energy_J = 0;  // all species, all levels
+  double total_energy_J() const { return field_energy_J + kinetic_energy_J; }
+  // Relative total-energy drift rate [1/s] vs the previous sample (filled by
+  // the monitor; NaN for the first sample).
+  double energy_drift_rate = std::numeric_limits<double>::quiet_NaN();
+
+  // Charge / particle bookkeeping.
+  double total_charge_C = 0;
+  std::int64_t num_particles = 0;
+  std::int64_t escaped = 0;  // cumulative: left the domain through boundaries
+  std::int64_t swept = 0;    // cumulative: dropped at the moving-window tail
+  std::vector<SpeciesSample> species;
+
+  // Stability / numerics.
+  double max_gamma = 1;
+  double cfl_margin = 0;  // 1 - dt / dt_CFL(finest level)
+  double step_wall_s = std::numeric_limits<double>::quiet_NaN();  // previous step
+
+  // Field-equation residuals (NaN = not probed this sample).
+  double gauss_residual = std::numeric_limits<double>::quiet_NaN();
+  double continuity_residual = std::numeric_limits<double>::quiet_NaN();
+  double gauss_residual_fine = std::numeric_limits<double>::quiet_NaN();
+  double continuity_residual_fine = std::numeric_limits<double>::quiet_NaN();
+
+  // NaN/Inf scan over field valid regions (-1 = not scanned this sample).
+  std::int64_t nan_cells = -1;
+  std::string nan_field;  // first offending field ("E", "B", "J", "fine_E", ...)
+
+  // By-name lookup for watchdog rules; NaN for unknown names or unprobed
+  // quantities (rules skip NaN values).
+  double value(std::string_view quantity) const;
+};
+
+// Quantity names value() understands, for docs/validation.
+const std::vector<std::string>& ledger_quantities();
+
+// One {"step":...,...} JSON object per sample (no trailing newline).
+void write_sample(const LedgerSample& s, std::ostream& os);
+
+// Count non-finite values over the valid region of every fab, all
+// components. Ghost cells are intentionally excluded.
+template <int DIM>
+std::int64_t count_nonfinite(const mrpic::MultiFab<DIM>& mf);
+
+extern template std::int64_t count_nonfinite<2>(const mrpic::MultiFab<2>&);
+extern template std::int64_t count_nonfinite<3>(const mrpic::MultiFab<3>&);
+
+} // namespace mrpic::health

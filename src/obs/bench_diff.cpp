@@ -251,6 +251,21 @@ std::vector<std::string> validate_schema(const json::Value& doc) {
                    {"retry_s", 'n'},
                    {"critical_rank", 'n'}},
                   errors);
+  } else if (bench == "health") {
+    // bench_health: one record per probed cadence; ok flags are 0/1 numbers
+    // so they diff like any other metric.
+    check_records(doc, "cadence",
+                  {{"ledger_interval", 'n'},
+                   {"steps", 'n'},
+                   {"probes", 'n'},
+                   {"alerts", 'n'},
+                   {"nan_cells", 'n'},
+                   {"probe_s", 'n'},
+                   {"step_s", 'n'},
+                   {"overhead_frac", 'n'},
+                   {"energy_drift_ok", 'n'},
+                   {"continuity_ok", 'n'}},
+                  errors);
   }
   // Unknown bench kinds: the 'bench' name above is the whole contract.
   return errors;

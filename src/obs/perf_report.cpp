@@ -6,7 +6,11 @@
 #include <numeric>
 #include <ostream>
 
+#include <cmath>
+
+#include "src/health/monitor.hpp"
 #include "src/obs/json.hpp"
+#include "src/obs/profiler.hpp"
 
 namespace mrpic::obs {
 
@@ -83,6 +87,45 @@ std::vector<int> PerfReport::worst_steps() const {
     return paths[std::size_t(a)].makespan_s > paths[std::size_t(b)].makespan_s;
   });
   return order;
+}
+
+HealthSection summarize_health(const health::HealthMonitor& mon, const Profiler& prof) {
+  HealthSection h;
+  h.enabled = true;
+  const auto history = mon.snapshot_history();
+  const auto alerts = mon.snapshot_alerts();
+  h.samples = static_cast<std::int64_t>(history.size());
+  h.alerts = static_cast<std::int64_t>(alerts.size());
+  for (const auto& a : alerts) {
+    if (a.severity == health::Severity::Critical) { ++h.critical_alerts; }
+  }
+  if (!alerts.empty()) { h.last_alert = alerts.back().message; }
+
+  const auto totals = prof.flat_totals();
+  if (const auto it = totals.find("health"); it != totals.end()) {
+    h.probe_s = it->second.inclusive_s;
+  }
+  if (const auto it = totals.find("step"); it != totals.end()) {
+    h.step_s = it->second.inclusive_s;
+  }
+  h.probe_overhead = h.step_s > 0 ? h.probe_s / h.step_s : 0;
+
+  if (history.size() >= 2) {
+    const double e0 = history.front().total_energy_J();
+    const double e1 = history.back().total_energy_J();
+    h.energy_drift = (e1 - e0) / std::max(std::abs(e0), 1e-300);
+  }
+  for (const auto& s : history) {
+    const auto acc_max = [](double& dst, double v) {
+      if (std::isfinite(v) && (!std::isfinite(dst) || v > dst)) { dst = v; }
+    };
+    acc_max(h.max_gauss_residual, s.gauss_residual);
+    acc_max(h.max_gauss_residual, s.gauss_residual_fine);
+    acc_max(h.max_continuity_residual, s.continuity_residual);
+    acc_max(h.max_continuity_residual, s.continuity_residual_fine);
+    if (s.nan_cells > h.nan_cells) { h.nan_cells = s.nan_cells; }
+  }
+  return h;
 }
 
 PerfReport build_perf_report(const RankRecorder& rec, const PerfReportOptions& opt) {
@@ -179,6 +222,28 @@ void write_markdown(const PerfReport& report, std::ostream& os) {
     os << "\n";
   }
 
+  // --- simulation health --------------------------------------------------
+  if (report.health.enabled) {
+    const auto& h = report.health;
+    os << "## Simulation health\n\n";
+    os << h.samples << " ledger samples, " << h.alerts << " alerts (" << h.critical_alerts
+       << " critical). Probe cost " << fmt3(h.probe_s) << " s of " << fmt3(h.step_s)
+       << " s stepped (" << fmt_pct(h.probe_overhead) << " overhead).\n\n";
+    os << "| invariant | value |\n|---|---:|\n";
+    os << "| relative energy drift | "
+       << (std::isfinite(h.energy_drift) ? fmt3(h.energy_drift) : std::string("-")) << " |\n";
+    os << "| max Gauss residual | "
+       << (std::isfinite(h.max_gauss_residual) ? fmt3(h.max_gauss_residual)
+                                               : std::string("-"))
+       << " |\n";
+    os << "| max continuity residual (normalized) | "
+       << (std::isfinite(h.max_continuity_residual) ? fmt3(h.max_continuity_residual)
+                                                    : std::string("-"))
+       << " |\n";
+    os << "| worst NaN scan (cells) | " << h.nan_cells << " |\n\n";
+    if (!h.last_alert.empty()) { os << "Last alert: " << h.last_alert << "\n\n"; }
+  }
+
   // --- roofline -----------------------------------------------------------
   if (!report.roofline.empty()) {
     os << "## Roofline attribution";
@@ -247,6 +312,23 @@ void write_json(const PerfReport& report, std::ostream& os) {
   w.begin_array("stragglers");
   for (int r : s.stragglers()) { w.value(std::int64_t(r)); }
   w.end_array();
+
+  if (report.health.enabled) {
+    const auto& h = report.health;
+    w.begin_object("health")
+        .field("samples", h.samples)
+        .field("alerts", h.alerts)
+        .field("critical_alerts", h.critical_alerts)
+        .field("probe_s", h.probe_s)
+        .field("step_s", h.step_s)
+        .field("probe_overhead", h.probe_overhead)
+        .field("energy_drift", h.energy_drift)
+        .field("max_gauss_residual", h.max_gauss_residual)
+        .field("max_continuity_residual", h.max_continuity_residual)
+        .field("nan_cells", h.nan_cells)
+        .field("last_alert", h.last_alert)
+        .end_object();
+  }
 
   if (!report.roofline.empty()) {
     w.field("machine", report.machine);

@@ -15,13 +15,46 @@
 // dump, the scaling benches under --attribution, and examples
 // (laser_wakefield) directly through this API.
 
+#include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "src/obs/analysis.hpp"
 
+namespace mrpic::health {
+class HealthMonitor;
+}
+
 namespace mrpic::obs {
+
+class Profiler;
+
+// Summary of a run's simulation-health telemetry (src/health) for the perf
+// report: ledger/alert counts, probe cost against the step cost (so the
+// overhead of the in-situ self-diagnostics is an explicit line item, same
+// idea as the paper's "light self-diagnostics" accounting), and the headline
+// invariants over the sampled window.
+struct HealthSection {
+  bool enabled = false;
+  std::int64_t samples = 0;
+  std::int64_t alerts = 0;
+  std::int64_t critical_alerts = 0;
+  double probe_s = 0;          // total seconds inside the "health" region
+  double step_s = 0;           // total seconds inside the "step" region
+  double probe_overhead = 0;   // probe_s / step_s (0 when step_s == 0)
+  // Relative total-energy drift between the first and last ledger sample.
+  double energy_drift = std::numeric_limits<double>::quiet_NaN();
+  double max_gauss_residual = std::numeric_limits<double>::quiet_NaN();
+  double max_continuity_residual = std::numeric_limits<double>::quiet_NaN();
+  std::int64_t nan_cells = 0;  // worst single NaN-scan result
+  std::string last_alert;      // message of the most recent alert ("" = none)
+};
+
+// Collapse a monitor's history/alerts (plus the profiler's "health"/"step"
+// region totals for the overhead split) into a HealthSection.
+HealthSection summarize_health(const health::HealthMonitor& mon, const Profiler& prof);
 
 struct PerfReportOptions {
   std::string title = "perf report";
@@ -42,6 +75,7 @@ struct PerfReport {
   std::vector<analysis::LossTerms> scaling_losses;  // optional sweep terms
   std::vector<analysis::KernelRoofline> roofline;   // optional placement
   std::string machine;                              // roofline machine name
+  HealthSection health;                             // optional (health.enabled)
   int top_steps = 5;
 
   // Steps ordered by descending critical-path makespan.

@@ -1,5 +1,6 @@
 #include "src/particles/particle_container.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace mrpic::particles {
@@ -18,6 +19,18 @@ Real ParticleContainer<DIM>::kinetic_energy() const {
     }
   }
   return s;
+}
+
+template <int DIM>
+Real ParticleContainer<DIM>::max_gamma() const {
+  Real u2_max = 0;
+  for (const auto& t : m_tiles) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const Real u2 = t.u[0][i] * t.u[0][i] + t.u[1][i] * t.u[1][i] + t.u[2][i] * t.u[2][i];
+      u2_max = std::max(u2_max, u2);
+    }
+  }
+  return std::sqrt(1 + u2_max / (c * c));
 }
 
 template <int DIM>

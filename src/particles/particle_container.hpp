@@ -98,6 +98,9 @@ public:
   // Total relativistic kinetic energy sum w (gamma-1) m c^2 [J].
   Real kinetic_energy() const;
 
+  // Largest Lorentz factor of any particle (1 when the container is empty).
+  Real max_gamma() const;
+
   // Add one particle; it is placed in the tile whose box contains its cell.
   // Returns false (dropping the particle) if the position is outside every
   // box of the level.

@@ -29,6 +29,7 @@ void CheckpointPolicy::add_step(double step_seconds) {
 }
 
 bool CheckpointPolicy::should_checkpoint() const {
+  if (m_now_pending) { return true; }
   if (m_cfg.mode == CheckpointMode::Periodic) {
     return m_steps_since >= m_cfg.interval_steps;
   }
@@ -44,6 +45,7 @@ void CheckpointPolicy::notify_checkpoint(std::int64_t step, double measured_cost
   m_seconds_since = 0;
   m_last_step = step;
   ++m_num_checkpoints;
+  m_now_pending = false;
 }
 
 double checkpoint_overhead_fraction(double interval_s, double checkpoint_cost_s,

@@ -47,8 +47,15 @@ public:
   // Record one completed step of `step_seconds` work (called once per step).
   void add_step(double step_seconds);
 
-  // True when the work since the last checkpoint warrants a new one.
+  // True when the work since the last checkpoint warrants a new one, or a
+  // checkpoint-now request is pending.
   bool should_checkpoint() const;
+
+  // Out-of-band checkpoint-now request (health watchdog alert actions):
+  // latches until the next checkpoint is written, overriding the interval
+  // trigger. notify_checkpoint clears it.
+  void request_now() { m_now_pending = true; }
+  bool now_pending() const { return m_now_pending; }
 
   // A checkpoint was written at `step` and took `measured_cost_s` (<= 0:
   // keep the current estimate). Resets the interval accumulators and folds
@@ -68,6 +75,7 @@ private:
   double m_seconds_since = 0;
   std::int64_t m_last_step = -1;
   int m_num_checkpoints = 0;
+  bool m_now_pending = false;
 };
 
 // The expected overhead fraction of checkpointing every `interval_s` work

@@ -17,10 +17,12 @@
 // StepCost/RankStepStats so stragglers and retry storms show up in the
 // Chrome trace rank lanes and the metrics JSONL.
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
+#include "src/amr/multifab.hpp"
 #include "src/cluster/fault_hooks.hpp"
 #include "src/resil/failure_detector.hpp"
 
@@ -58,6 +60,17 @@ struct FaultPlan {
     std::int64_t step = 0;
   };
   std::vector<Crash> crashes;
+
+  // Silent data corruption: poison `nan_cells` valid cells of a field
+  // MultiFab with quiet NaNs at step `step` (-1 = never). Which cells is a
+  // pure hash of the seed, so the health_smoke test and its replay corrupt
+  // the same memory. Applied by FaultInjector::corrupt_field, which the
+  // driver calls on a field of its choosing after the field solve.
+  struct FieldFaults {
+    std::int64_t step = -1;
+    int nan_cells = 1;
+  };
+  FieldFaults field;
 };
 
 class FaultInjector final : public cluster::FaultHooks {
@@ -79,6 +92,39 @@ public:
   // Recovery completed: the crash no longer reports the rank dead (the
   // shrunken cluster renumbers ranks, so stale entries must not re-fire).
   void retire_crash(int rank);
+
+  // Silent-data-corruption injection: when the current step matches
+  // plan.field.step, write quiet NaNs into plan.field.nan_cells
+  // deterministically chosen valid cells of `mf`. Returns the number of
+  // cells corrupted (0 when the step does not match or mf is empty).
+  template <int DIM>
+  int corrupt_field(mrpic::MultiFab<DIM>& mf) const {
+    if (m_step != m_plan.field.step || mf.num_fabs() == 0) { return 0; }
+    int corrupted = 0;
+    for (int k = 0; k < m_plan.field.nan_cells; ++k) {
+      const int fi = static_cast<int>(u01(m_step, k, 0, 0xF1E1Du) * mf.num_fabs());
+      const auto& vb = mf.valid_box(std::min(fi, mf.num_fabs() - 1));
+      if (vb.empty()) { continue; }
+      const int m = std::min(fi, mf.num_fabs() - 1);
+      mrpic::IntVect<DIM> p;
+      const auto sz = vb.size();
+      for (int d = 0; d < DIM; ++d) {
+        const auto off = static_cast<std::int64_t>(u01(m_step, k, d + 1, 0xF1E1Du) * sz[d]);
+        p[d] = vb.lo()[d] + static_cast<int>(std::min<std::int64_t>(off, sz[d] - 1));
+      }
+      const int c =
+          static_cast<int>(u01(m_step, k, DIM + 1, 0xF1E1Du) * mf.num_comp()) %
+          mf.num_comp();
+      auto a = mf.array(m);
+      if constexpr (DIM == 2) {
+        a(p[0], p[1], 0, c) = std::numeric_limits<Real>::quiet_NaN();
+      } else {
+        a(p[0], p[1], p[2], c) = std::numeric_limits<Real>::quiet_NaN();
+      }
+      ++corrupted;
+    }
+    return corrupted;
+  }
 
   // --- cluster::FaultHooks ------------------------------------------------
   bool rank_alive(int rank) const override;

@@ -1,0 +1,163 @@
+// ResidualMR: the charge-conservation invariants on a mesh-refined run. The
+// hybrid solid-gas target of the MR restart test (ratio-2 patch over the
+// foil, PML, laser, moving window) probed by the health monitor's residual
+// pipeline: the Esirkepov continuity identity must hold to round-off on the
+// coarse level AND on the fine patch level (interior, away from the
+// transition band and patch PML), while everything is in motion.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/core/simulation.hpp"
+#include "src/health/monitor.hpp"
+
+namespace mrpic::diag {
+namespace {
+
+using namespace mrpic::constants;
+
+// tests/io/test_restart_mr.cpp's hybrid target, with health probes on.
+std::unique_ptr<core::Simulation<2>> build_hybrid_sim(int residual_interval) {
+  const Real wavelength = 0.8e-6;
+  const Real nc = plasma::critical_density(wavelength);
+
+  core::SimulationConfig<2> cfg;
+  cfg.domain = Box2(IntVect2(0, 0), IntVect2(119, 23));
+  cfg.prob_lo = RealVect2(0, 0);
+  cfg.prob_hi = RealVect2(6.0e-6, 1.2e-6);
+  cfg.periodic = {false, false};
+  cfg.use_pml = true;
+  cfg.pml.npml = 6;
+  cfg.max_grid_size = IntVect2(60, 24);
+  cfg.shape_order = 3;
+  auto sim = std::make_unique<core::Simulation<2>>(cfg);
+
+  plasma::InjectorConfig<2> gas_inj;
+  gas_inj.density = plasma::uniform<2>(0.02 * nc);
+  gas_inj.ppc = IntVect2(1, 1);
+  sim->add_species(particles::Species::electron("gas_electrons"), gas_inj);
+
+  plasma::InjectorConfig<2> solid_inj;
+  solid_inj.density = plasma::slab<2>(4 * nc, 1.5e-6, 2.2e-6);
+  solid_inj.ppc = IntVect2(2, 2);
+  solid_inj.temperature_ev = 10.0;
+  sim->add_species(particles::Species::electron("solid_electrons"), solid_inj);
+
+  laser::LaserConfig lc;
+  lc.a0 = 2.0;
+  lc.wavelength = wavelength;
+  lc.waist = 0.8e-6;
+  lc.duration = 4e-15;
+  lc.t_peak = 6e-15;
+  lc.x_antenna = 4.0e-6;
+  lc.center = {2.0e-6, 0};
+  sim->add_laser(lc);
+
+  mr::MRPatch<2>::Config pcfg;
+  pcfg.region = Box2(IntVect2(24, 4), IntVect2(55, 19));
+  pcfg.ratio = 2;
+  pcfg.transition_cells = 2;
+  pcfg.pml.npml = 4;
+  sim->enable_mr_patch(pcfg);
+
+  sim->set_moving_window(0, c, /*start_time=*/1e-15);
+
+  health::MonitorConfig hcfg;
+  hcfg.log_to_stderr = false;
+  hcfg.nan_interval = 1;
+  hcfg.residual_interval = residual_interval;
+  sim->enable_health(hcfg);
+
+  sim->init();
+  return sim;
+}
+
+TEST(ResidualMR, ContinuityHoldsOnCoarseAndFineLevels) {
+  auto sim = build_hybrid_sim(/*residual_interval=*/3);
+  sim->run(24);
+  ASSERT_TRUE(sim->patch() != nullptr && sim->patch()->active());
+  ASSERT_GT(sim->species_patch(1).total_particles(), 0)
+      << "config error: the foil must populate the fine patch";
+
+  int probed_coarse = 0, probed_fine = 0;
+  for (const auto& s : sim->health()->history()) {
+    if (!std::isnan(s.continuity_residual)) {
+      ++probed_coarse;
+      // Esirkepov on level 0: round-off, normalized by max|rho|/dt.
+      EXPECT_LE(s.continuity_residual, 1e-12) << "step " << s.step;
+    }
+    if (!std::isnan(s.continuity_residual_fine)) {
+      ++probed_fine;
+      // Same identity inside the patch interior (shrunk past the
+      // transition band), with the fine particles' own deposition.
+      EXPECT_LE(s.continuity_residual_fine, 1e-12) << "step " << s.step;
+    }
+    // A laser antenna radiates charge-free fields, so Gauss is not gated
+    // here — but where probed it must at least be finite.
+    if (!std::isnan(s.gauss_residual)) {
+      EXPECT_TRUE(std::isfinite(s.gauss_residual)) << "step " << s.step;
+    }
+  }
+  EXPECT_EQ(probed_coarse, 8); // steps 3,6,...,24
+  EXPECT_EQ(probed_fine, 8);   // the patch is active from init
+  EXPECT_EQ(sim->health()->num_alerts(health::Severity::Critical), 0);
+}
+
+TEST(ResidualMR, WindowShiftStepsSkipGaussButKeepContinuity) {
+  // 48 steps: the window starts at 1 fs and needs a few fs to scroll whole
+  // 50 nm cells, so the run must cross several actual grid shifts.
+  auto sim = build_hybrid_sim(/*residual_interval=*/1);
+  sim->run(48);
+  ASSERT_GT(sim->window().accumulated(), 0.0)
+      << "config error: the moving window must have advanced";
+
+  int shifted_probes = 0;
+  for (const auto& s : sim->health()->history()) {
+    // Continuity is snapshotted before the shift: probed on every step.
+    ASSERT_FALSE(std::isnan(s.continuity_residual)) << "step " << s.step;
+    EXPECT_LE(s.continuity_residual, 1e-12) << "step " << s.step;
+    // Gauss is NaN exactly on the steps whose grid scrolled mid-step.
+    if (std::isnan(s.gauss_residual)) { ++shifted_probes; }
+  }
+  EXPECT_GT(shifted_probes, 0);
+  EXPECT_LT(shifted_probes, 48);
+
+  // Swept-particle accounting: the window dropped plasma behind it and the
+  // ledger saw it.
+  EXPECT_GT(sim->health()->history().back().swept, 0);
+}
+
+TEST(ResidualMR, EscapedParticlesAreAccounted) {
+  // Open boundaries without a moving window: hot plasma leaks out and the
+  // ledger's escaped counter must pick it up.
+  core::SimulationConfig<2> cfg;
+  cfg.domain = Box2(IntVect2(0, 0), IntVect2(31, 31));
+  cfg.prob_lo = RealVect2(0, 0);
+  cfg.prob_hi = RealVect2(3.2e-6, 3.2e-6);
+  cfg.periodic = {false, false};
+  cfg.use_pml = true;
+  cfg.pml.npml = 4;
+  cfg.max_grid_size = IntVect2(16);
+  cfg.shape_order = 2;
+  core::Simulation<2> sim(cfg);
+  plasma::InjectorConfig<2> inj;
+  inj.density = plasma::uniform<2>(1e24);
+  inj.ppc = IntVect2(2, 2);
+  inj.temperature_ev = 5e4; // hot: fast tails reach the walls quickly
+  sim.add_species(particles::Species::electron(), inj);
+  health::MonitorConfig hcfg;
+  hcfg.log_to_stderr = false;
+  sim.enable_health(hcfg);
+  sim.init();
+  const auto n0 = sim.total_particles();
+  sim.run(40);
+  const auto& last = sim.health()->history().back();
+  EXPECT_GT(last.escaped, 0);
+  EXPECT_EQ(last.num_particles + last.escaped, n0);
+  EXPECT_EQ(last.num_particles, sim.total_particles());
+}
+
+} // namespace
+} // namespace mrpic::diag

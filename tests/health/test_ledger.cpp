@@ -1,0 +1,134 @@
+// Invariant-ledger data layer: by-name lookup, JSONL serialization (round-
+// trips through the obs JSON parser), and the NaN/Inf field scan over valid
+// regions in 2D and 3D.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "src/health/ledger.hpp"
+#include "src/obs/json.hpp"
+
+namespace mrpic::health {
+namespace {
+
+TEST(Ledger, ValueLooksUpEveryQuantity) {
+  LedgerSample s;
+  s.field_energy_J = 2.0;
+  s.kinetic_energy_J = 3.0;
+  s.total_charge_C = -1.5;
+  s.num_particles = 42;
+  s.escaped = 7;
+  s.swept = 9;
+  s.max_gamma = 5.0;
+  s.cfl_margin = 0.02;
+  s.gauss_residual = 1e-9;
+  s.continuity_residual = 1e-13;
+  EXPECT_DOUBLE_EQ(s.value("field_energy_J"), 2.0);
+  EXPECT_DOUBLE_EQ(s.value("kinetic_energy_J"), 3.0);
+  EXPECT_DOUBLE_EQ(s.value("total_energy_J"), 5.0);
+  EXPECT_DOUBLE_EQ(s.value("total_charge_C"), -1.5);
+  EXPECT_DOUBLE_EQ(s.value("num_particles"), 42.0);
+  EXPECT_DOUBLE_EQ(s.value("escaped"), 7.0);
+  EXPECT_DOUBLE_EQ(s.value("swept"), 9.0);
+  EXPECT_DOUBLE_EQ(s.value("max_gamma"), 5.0);
+  EXPECT_DOUBLE_EQ(s.value("cfl_margin"), 0.02);
+  EXPECT_DOUBLE_EQ(s.value("gauss_residual"), 1e-9);
+  EXPECT_DOUBLE_EQ(s.value("continuity_residual"), 1e-13);
+  // Unprobed / unknown names are NaN (rules skip them).
+  EXPECT_TRUE(std::isnan(s.value("energy_drift_rate")));
+  EXPECT_TRUE(std::isnan(s.value("nan_cells"))); // -1 sentinel -> NaN
+  EXPECT_TRUE(std::isnan(s.value("no_such_quantity")));
+  s.nan_cells = 3;
+  EXPECT_DOUBLE_EQ(s.value("nan_cells"), 3.0);
+}
+
+TEST(Ledger, EveryDeclaredQuantityResolves) {
+  LedgerSample s;
+  s.nan_cells = 0;
+  s.energy_drift_rate = 0;
+  s.step_wall_s = 0;
+  s.gauss_residual = 0;
+  s.continuity_residual = 0;
+  s.gauss_residual_fine = 0;
+  s.continuity_residual_fine = 0;
+  for (const auto& q : ledger_quantities()) {
+    EXPECT_FALSE(std::isnan(s.value(q))) << q;
+  }
+}
+
+TEST(Ledger, WriteSampleRoundTripsThroughJsonParser) {
+  LedgerSample s;
+  s.step = 17;
+  s.time = 1.25e-15;
+  s.field_energy_J = 4.5;
+  s.kinetic_energy_J = 0.5;
+  s.nan_cells = 2;
+  s.nan_field = "fine_E";
+  SpeciesSample sp;
+  sp.name = "electrons";
+  sp.level0 = 100;
+  sp.patch = 20;
+  sp.kinetic_J = 0.5;
+  sp.charge_C = -1e-12;
+  sp.max_gamma = 3.0;
+  s.species.push_back(sp);
+
+  std::ostringstream os;
+  write_sample(s, os);
+  const auto doc = obs::json::parse(os.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc["step"].as_int(), 17);
+  EXPECT_DOUBLE_EQ(doc["time"].as_number(), 1.25e-15);
+  EXPECT_DOUBLE_EQ(doc["total_energy_J"].as_number(), 5.0);
+  EXPECT_EQ(doc["nan_cells"].as_int(), 2);
+  EXPECT_EQ(doc["nan_field"].as_string(), "fine_E");
+  // Unprobed residuals serialize as null, not NaN (JSON has no NaN).
+  EXPECT_TRUE(doc["gauss_residual"].is_null());
+  ASSERT_TRUE(doc["species"].is_array());
+  ASSERT_EQ(doc["species"].as_array().size(), 1u);
+  const auto& jsp = doc["species"].as_array()[0];
+  EXPECT_EQ(jsp["name"].as_string(), "electrons");
+  EXPECT_EQ(jsp["level0"].as_int(), 100);
+  EXPECT_EQ(jsp["patch"].as_int(), 20);
+  EXPECT_DOUBLE_EQ(jsp["max_gamma"].as_number(), 3.0);
+}
+
+TEST(Ledger, CountNonfinite2DFindsNanAndInfInValidCells) {
+  const mrpic::BoxArray<2> ba(mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(7, 7)));
+  mrpic::MultiFab<2> mf(ba, 3, 2);
+  EXPECT_EQ(count_nonfinite<2>(mf), 0);
+  mf.fab(0)(mrpic::IntVect2(3, 4), 1) = std::numeric_limits<Real>::quiet_NaN();
+  mf.fab(0)(mrpic::IntVect2(0, 0), 2) = std::numeric_limits<Real>::infinity();
+  EXPECT_EQ(count_nonfinite<2>(mf), 2);
+}
+
+TEST(Ledger, CountNonfiniteIgnoresGhostCells) {
+  const mrpic::BoxArray<2> ba(mrpic::Box2(mrpic::IntVect2(0, 0), mrpic::IntVect2(7, 7)));
+  mrpic::MultiFab<2> mf(ba, 1, 2);
+  // A NaN in the ghost frame is mid-step business as usual.
+  mf.fab(0)(mrpic::IntVect2(-1, 3), 0) = std::numeric_limits<Real>::quiet_NaN();
+  mf.fab(0)(mrpic::IntVect2(9, 9), 0) = std::numeric_limits<Real>::quiet_NaN();
+  EXPECT_EQ(count_nonfinite<2>(mf), 0);
+}
+
+TEST(Ledger, CountNonfinite3D) {
+  const mrpic::BoxArray<3> ba(
+      mrpic::Box3(mrpic::IntVect3(0, 0, 0), mrpic::IntVect3(3, 3, 3)));
+  mrpic::MultiFab<3> mf(ba, 3, 1);
+  EXPECT_EQ(count_nonfinite<3>(mf), 0);
+  mf.fab(0)(mrpic::IntVect3(1, 2, 3), 0) = std::numeric_limits<Real>::quiet_NaN();
+  mf.fab(0)(mrpic::IntVect3(0, 0, 0), 2) = -std::numeric_limits<Real>::infinity();
+  mf.fab(0)(mrpic::IntVect3(-1, 0, 0), 0) = std::numeric_limits<Real>::quiet_NaN(); // ghost
+  EXPECT_EQ(count_nonfinite<3>(mf), 2);
+}
+
+TEST(Ledger, CountNonfiniteEmptyMultiFab) {
+  mrpic::MultiFab<2> mf;
+  EXPECT_EQ(count_nonfinite<2>(mf), 0);
+}
+
+} // namespace
+} // namespace mrpic::health
