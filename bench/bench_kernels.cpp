@@ -36,7 +36,7 @@
 #include <fstream>
 
 #include "src/diag/output_dir.hpp"
-#include "src/diag/timers.hpp"
+#include "src/diag/stopwatch.hpp"
 #include "src/kernels/optimized_kernels.hpp"
 #include "src/kernels/reference_kernels.hpp"
 #include "src/obs/json.hpp"

@@ -28,7 +28,7 @@
 #include "src/core/simulation.hpp"
 #include "src/diag/csv_writer.hpp"
 #include "src/diag/output_dir.hpp"
-#include "src/diag/timers.hpp"
+#include "src/diag/stopwatch.hpp"
 
 using namespace mrpic;
 using namespace mrpic::constants;

@@ -22,6 +22,7 @@ echo "== run benches (--json) into $tmp"
 "$bindir/bench_strong_scaling" --json --attribution --outdir "$tmp" > /dev/null
 "$bindir/bench_resilience" --json --outdir "$tmp" > /dev/null
 "$bindir/bench_health" --json --outdir "$tmp" > /dev/null
+"$bindir/bench_insitu" --json --outdir "$tmp" > /dev/null
 "$bindir/bench_kernels" --json --quick --outdir "$tmp" > /dev/null
 
 for f in "$tmp"/BENCH_*.json; do
@@ -45,6 +46,12 @@ echo "== compare deterministic benches against baselines"
 "$bindir/bench_compare" --rel-tol 0.02 \
     --ignore probe_s --ignore step_s --ignore overhead_frac \
     "$basedir/BENCH_health.json" "$tmp/BENCH_health.json"
+# bench_insitu: record/frame/byte counts and the series/beam verdicts are
+# deterministic and gated; insitu/step seconds and their ratio are host
+# timing noise, so only those columns are ignored.
+"$bindir/bench_compare" --rel-tol 0.02 \
+    --ignore insitu_s --ignore step_s --ignore overhead_frac \
+    "$basedir/BENCH_insitu.json" "$tmp/BENCH_insitu.json"
 # The attribution output is pure arithmetic over the same recorder sweep, so
 # it is held to a much tighter tolerance; the invariant-gap metrics sit at
 # FP-epsilon scale and are gated by the test suite instead.

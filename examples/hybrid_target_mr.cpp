@@ -14,7 +14,12 @@
 // per the paper's Ref. [19]) and the +x moving window follows the
 // *reflected* pulse through the gas.
 //
-// Run: ./hybrid_target_mr [--outdir DIR] [--no-mr] [t_end_fs]
+// Run: ./hybrid_target_mr [--outdir DIR] [--no-mr] [--insitu] [t_end_fs]
+// With --insitu, the in-situ physics registry (src/insitu) additionally
+// tracks beam moments/emittance, spectrum peak/FWHM, laser a0/centroid,
+// wakefield amplitude and per-level field energy at their cadences
+// (hybrid_insitu.jsonl) and streams downsampled field slices + a beam
+// phase-space histogram (hybrid_stream.*.bin + manifest).
 // Output (in --outdir, default out/): hybrid_history.csv,
 //         hybrid_spectrum.csv, hybrid_field.csv, hybrid_phase_space.csv
 
@@ -35,11 +40,16 @@ using namespace mrpic::constants;
 int main(int argc, char** argv) {
   const auto out = diag::OutputDir::from_args(argc, argv);
   bool use_mr = true;
+  bool with_insitu = false;
   Real t_end = 150e-15;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--no-mr") == 0) {
       use_mr = false;
-    } else {
+    } else if (std::strcmp(argv[i], "--insitu") == 0) {
+      with_insitu = true;
+    } else if (std::strcmp(argv[i], "--outdir") == 0) {
+      ++i; // value consumed by OutputDir
+    } else if (argv[i][0] != '-') {
       t_end = std::atof(argv[i]) * 1e-15;
     }
   }
@@ -104,6 +114,42 @@ int main(int argc, char** argv) {
   }
   // The reflected pulse forms at ~70 fs; follow it from 75 fs on.
   sim.set_moving_window(0, c, /*start_time=*/75e-15);
+
+  // Injected-beam diagnostics through the insitu registry: the final
+  // spectrum print/CSV below always goes through it (one code path);
+  // --insitu turns on the cadence series and the streaming exporter.
+  const Real mev = 1e6 * q_e;
+  insitu::InsituConfig icfg;
+  icfg.beam_species = solid_e;
+  icfg.beam_e_min_J = 0.5 * mev;
+  icfg.spectrum_e_min_J = 0.5 * mev;
+  icfg.spectrum_e_max_J = 40 * mev;
+  icfg.spectrum_bins = 80;
+  if (with_insitu) {
+    icfg.moments_interval = 10;
+    icfg.spectrum_interval = 50;
+    icfg.laser_interval = 10;
+    icfg.wakefield_interval = 10;
+    icfg.field_energy_interval = 10; // per-level: fine_* keys while MR is on
+    icfg.series_path = out.path("hybrid_insitu.jsonl");
+    icfg.stream_interval = 100;
+    icfg.stream_downsample = 4;
+    icfg.stream.basename = out.path("hybrid_stream");
+    icfg.stream.max_file_bytes = 1u << 20;
+    icfg.stream.max_files = 4;
+    icfg.phase_space.ax = diag::Axis::Energy;
+    icfg.phase_space.ay = diag::Axis::Ux;
+    icfg.phase_space.a_max = 40 * mev;
+    icfg.phase_space.b_min = -5 * c;
+    icfg.phase_space.b_max = 40 * c;
+    icfg.phase_space.na = 160;
+    icfg.phase_space.nb = 90;
+  } else {
+    icfg.moments_interval = icfg.spectrum_interval = icfg.laser_interval =
+        icfg.wakefield_interval = icfg.field_energy_interval = 0;
+  }
+  sim.enable_insitu(icfg);
+
   sim.init();
 
   std::printf("hybrid target (%s): gas %.3f n_c, solid %.0f n_c, a0 = %.0f, %lld particles\n",
@@ -112,7 +158,6 @@ int main(int argc, char** argv) {
 
   diag::CsvSeries history({"t_fs", "charge_above_1MeV_pC", "solid_charge_pC",
                            "field_energy_J", "active_cells", "patch_active"});
-  const Real mev = 1e6 * q_e;
   while (sim.time() < t_end) {
     sim.step();
     if (sim.step_count() % 100 == 0) {
@@ -131,11 +176,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Fig. 7b analogue: spectrum of the injected (solid) electrons.
-  auto spec = diag::energy_spectrum<2>(sim.species_level0(solid_e), 0.5 * mev, 40 * mev, 80);
-  const auto beam = diag::analyze_beam(spec, q_e);
+  // Fig. 7b analogue: spectrum of the injected (solid) electrons, forced
+  // through the insitu registry so the print, the CSV, the insitu_* gauges
+  // and the JSONL series come from one computation.
+  sim.insitu()->collect(sim.step_count(), sim.time(), /*force=*/true);
+  const auto& summary = *sim.last_spectrum();
+  const auto& spec = summary.spectrum;
+  const auto& beam = summary.beam;
   std::printf("\ninjected-beam spectrum: peak %.2f MeV, spread %.1f%%, charge %.3f nC/m\n",
               beam.peak_energy / mev, 100 * beam.energy_spread, beam.charge * 1e9);
+  const auto& mom = *sim.last_beam_moments();
+  std::printf("injected beam (>0.5 MeV): norm. emittance %.3f mm mrad, <gamma> %.1f\n",
+              mom.emit_ny * 1e6, mom.mean_gamma);
 
   diag::CsvSeries spec_csv({"energy_MeV", "dN"});
   for (std::size_t b = 0; b < spec.counts.size(); ++b) {
@@ -162,6 +214,6 @@ int main(int argc, char** argv) {
   diag::write_field_2d(out.path("hybrid_field.csv"), sim.fields().E(), fields::Y);
   std::printf("wrote hybrid_{history,spectrum,field,phase_space}.csv in %s/\n",
               out.dir().c_str());
-  sim.timers().report(std::cout);
+  sim.profiler().report(std::cout);
   return 0;
 }

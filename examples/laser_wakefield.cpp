@@ -9,11 +9,17 @@
 // to c and the pulse does not slip out of the c-moving window), and the
 // electron energy spectrum diagnostic.
 //
-// Run: ./laser_wakefield [--outdir DIR] [--health] [t_end_fs]
+// Run: ./laser_wakefield [--outdir DIR] [--health] [--insitu] [t_end_fs]
 // With --health, the in-situ invariant ledger + NaN/stability watchdog run
 // alongside (src/health): lwfa_health.jsonl carries the per-step ledger,
 // lwfa_alerts.jsonl any alerts, and the perf report gains a "Simulation
 // health" section with the probe-overhead line item.
+// With --insitu, the in-situ physics registry (src/insitu) tracks beam
+// moments/emittance, spectrum peak/FWHM, laser a0/centroid, wakefield
+// amplitude and field energy at their cadences (lwfa_insitu.jsonl), streams
+// downsampled Ex/Ey slices + a beam phase-space histogram as binary frames
+// (lwfa_stream.*.bin + lwfa_stream.manifest.json), and the perf report
+// gains a "Beam physics" section.
 // Output (in --outdir, default out/): lwfa_history.csv (time series),
 //         lwfa_field.csv, lwfa_trace.json (Chrome/Perfetto trace with one
 //         lane per profiled thread plus one lane per simulated rank, halo
@@ -49,10 +55,13 @@ using namespace mrpic::constants;
 int main(int argc, char** argv) {
   const auto out = diag::OutputDir::from_args(argc, argv);
   bool with_health = false;
+  bool with_insitu = false;
   Real t_end = 150.0 * 1e-15;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--health") == 0) {
       with_health = true;
+    } else if (std::strcmp(argv[i], "--insitu") == 0) {
+      with_insitu = true;
     } else if (std::strcmp(argv[i], "--outdir") == 0) {
       ++i; // value consumed by OutputDir
     } else if (argv[i][0] != '-') {
@@ -126,6 +135,42 @@ int main(int argc, char** argv) {
     hcfg.watchdog.drifts.push_back(drift);
     sim.enable_health(hcfg);
   }
+
+  // The in-situ physics registry computes the run's beam deliverables; the
+  // final spectrum/beam-quality print below always goes through it (one
+  // code path), --insitu additionally turns on the cadence series and the
+  // streaming exporter.
+  const Real mev = 1e6 * q_e;
+  insitu::InsituConfig icfg;
+  icfg.beam_species = electrons;
+  icfg.beam_e_min_J = 2 * mev;       // accelerated beam, not the thermal bulk
+  icfg.spectrum_e_min_J = 2 * mev;
+  icfg.spectrum_e_max_J = 60 * mev;
+  icfg.spectrum_bins = 116;
+  if (with_insitu) {
+    icfg.moments_interval = 10;
+    icfg.spectrum_interval = 50;
+    icfg.laser_interval = 10;
+    icfg.wakefield_interval = 10;
+    icfg.field_energy_interval = 10;
+    icfg.series_path = out.path("lwfa_insitu.jsonl");
+    icfg.stream_interval = 100;
+    icfg.stream_downsample = 4;
+    icfg.stream.basename = out.path("lwfa_stream");
+    icfg.stream.max_file_bytes = 1u << 20;
+    icfg.stream.max_files = 4;
+    icfg.phase_space.ax = diag::Axis::Energy;
+    icfg.phase_space.ay = diag::Axis::Ux;
+    icfg.phase_space.a_min = 0;
+    icfg.phase_space.a_max = 60 * mev;
+    icfg.phase_space.b_min = -2e9;
+    icfg.phase_space.b_max = 4e10;
+  } else {
+    icfg.moments_interval = icfg.spectrum_interval = icfg.laser_interval =
+        icfg.wakefield_interval = icfg.field_energy_interval = 0;
+  }
+  sim.enable_insitu(icfg);
+
   sim.init();
   if (with_health) {
     // On a watchdog abort these run before the AbortError propagates, so
@@ -146,7 +191,6 @@ int main(int argc, char** argv) {
 
   diag::CsvSeries history({"t_fs", "window_x_um", "field_energy_J", "charge_above_1MeV_pC",
                            "max_Ex_GV_per_m"});
-  const Real mev = 1e6 * q_e;
   while (sim.time() < t_end) {
     sim.step();
     if (sim.step_count() % 100 == 0) {
@@ -161,13 +205,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Final spectrum of the accelerated electrons.
-  // Spectrum above the wave-breaking thermal bulk.
-  const auto spec = diag::energy_spectrum<2>(sim.species_level0(electrons), 2 * mev,
-                                             60 * mev, 116);
-  const auto beam = diag::analyze_beam(spec, q_e);
+  // Final reduced diagnostics of the accelerated electrons (spectrum above
+  // the wave-breaking thermal bulk) — forced through the insitu registry so
+  // this print, the insitu_* gauges and the JSONL series are one code path.
+  sim.insitu()->collect(sim.step_count(), sim.time(), /*force=*/true);
+  const auto& beam = sim.last_spectrum()->beam;
   std::printf("\nspectral peak: %.2f MeV, relative spread %.1f%%, charge %.3f nC/m\n",
               beam.peak_energy / mev, 100 * beam.energy_spread, beam.charge * 1e9);
+  const auto& mom = *sim.last_beam_moments();
+  std::printf("beam (>2 MeV): %.3f pC/m, norm. emittance %.3f mm mrad, <gamma> %.1f\n",
+              std::abs(mom.charge_C) * 1e12, mom.emit_ny * 1e6, mom.mean_gamma);
 
   history.write(out.path("lwfa_history.csv"));
   diag::write_field_2d(out.path("lwfa_field.csv"), sim.fields().E(), fields::X);
@@ -184,6 +231,9 @@ int main(int argc, char** argv) {
   ropt.title = "LWFA attribution (4 simulated ranks)";
   ropt.latency_s = cluster::CommModel{}.latency_s;
   auto report = obs::build_perf_report(sim.rank_recorder(), ropt);
+  if (with_insitu) {
+    report.beam = obs::summarize_insitu(*sim.insitu(), sim.profiler(), sim.insitu_stream());
+  }
   if (with_health) {
     report.health = obs::summarize_health(*sim.health(), sim.profiler());
     sim.health()->write_ledger_jsonl(out.path("lwfa_health.jsonl"));
@@ -245,7 +295,7 @@ int main(int argc, char** argv) {
   std::printf("wrote lwfa_{history,field}.csv, lwfa_trace.json, lwfa_metrics.jsonl, "
               "rank_heatmap.csv, lwfa_ranks.json, lwfa_perf_report.{md,json} in %s/\n",
               out.dir().c_str());
-  sim.timers().report(std::cout);
+  sim.profiler().report(std::cout);
   const auto& rep = sim.last_step_report();
   std::printf("last step %lld: %.3f ms wall, %lld particles, %lld cells\n",
               static_cast<long long>(rep.step), rep.wall_s * 1e3,

@@ -51,6 +51,6 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\nper-stage timing:\n");
-  sim.timers().report(std::cout);
+  sim.profiler().report(std::cout);
   return 0;
 }

@@ -6,10 +6,14 @@
 // last checkpoint; the physics finishes as if nothing happened (the
 // bit-identity property proven by the resil_smoke ctest).
 //
-// Run: ./resilient_lwfa [--outdir DIR] [--health] [t_end_fs]
+// Run: ./resilient_lwfa [--outdir DIR] [--health] [--insitu] [t_end_fs]
 // With --health, every rebuilt simulation (initial + post-recovery replays)
 // carries the invariant ledger + watchdog; alerts land in
 // resil_alerts.jsonl and the final ledger in resil_health.jsonl.
+// With --insitu, every incarnation also runs the in-situ physics registry;
+// the resil_insitu.jsonl series is opened in append mode by replay
+// incarnations, so it stays continuous across crash -> shrink -> replay
+// (reader-side canonicalize collapses the replayed overlap).
 // Output (in --outdir, default out/): resil_trace.json (Chrome/Perfetto
 //         trace: rank lanes + crash/detect/rollback/remap/replay instants),
 //         resil_metrics.jsonl (per-step metrics incl. resil_* counters),
@@ -21,6 +25,7 @@
 #include <memory>
 
 #include "src/diag/output_dir.hpp"
+#include "src/insitu/registry.hpp"
 #include "src/obs/trace.hpp"
 #include "src/resil/resilient_runner.hpp"
 
@@ -30,10 +35,13 @@ using namespace mrpic::constants;
 int main(int argc, char** argv) {
   const auto out = diag::OutputDir::from_args(argc, argv);
   bool with_health = false;
+  bool with_insitu = false;
   Real t_end = 60.0 * 1e-15;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--health") == 0) {
       with_health = true;
+    } else if (std::strcmp(argv[i], "--insitu") == 0) {
+      with_insitu = true;
     } else if (std::strcmp(argv[i], "--outdir") == 0) {
       ++i; // value consumed by OutputDir
     } else if (argv[i][0] != '-') {
@@ -41,7 +49,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto factory = [with_health, &out] {
+  int incarnation = 0; // 0 = initial sim, >0 = post-recovery replays
+  const auto factory = [with_health, with_insitu, &incarnation, &out] {
     core::SimulationConfig<2> cfg;
     cfg.domain = Box2(IntVect2(0, 0), IntVect2(299, 49));
     cfg.prob_lo = RealVect2(0, 0);
@@ -84,6 +93,25 @@ int main(int argc, char** argv) {
           {"max_gamma", 0.0, 1e4, health::Severity::Warn, {}});
       sim->enable_health(hcfg);
     }
+    if (with_insitu) {
+      // The physics series survives the crash: the initial incarnation
+      // truncates, every replay incarnation appends (each record is
+      // flushed as it is written, so nothing of the pre-crash run is lost).
+      insitu::InsituConfig icfg;
+      icfg.moments_interval = 5;
+      icfg.spectrum_interval = 25;
+      icfg.laser_interval = 5;
+      icfg.wakefield_interval = 5;
+      icfg.field_energy_interval = 5;
+      icfg.beam_e_min_J = 0.5e6 * q_e;
+      icfg.spectrum_e_min_J = 0.5e6 * q_e;
+      icfg.spectrum_e_max_J = 30e6 * q_e;
+      icfg.spectrum_bins = 60;
+      icfg.series_path = out.path("resil_insitu.jsonl");
+      icfg.series_append = incarnation > 0;
+      sim->enable_insitu(icfg);
+    }
+    ++incarnation;
     sim->init();
     return sim;
   };
@@ -133,6 +161,18 @@ int main(int argc, char** argv) {
                           out.path("resil_trace.json"), "resilient_lwfa");
   sim.metrics().write_jsonl(out.path("resil_metrics.jsonl"));
   sim.rank_recorder().write_rank_heatmap_csv(out.path("resil_rank_heatmap.csv"));
+  if (with_insitu && sim.insitu_enabled()) {
+    // Continuity check over the surviving series: schema-valid, and per
+    // diagnostic strictly increasing steps once the replayed overlap is
+    // collapsed (last occurrence wins).
+    const auto path = out.path("resil_insitu.jsonl");
+    const auto errors = insitu::Registry::validate_series(path);
+    const auto raw = insitu::Registry::read_series_jsonl(path);
+    const auto canonical = insitu::Registry::canonicalize(raw);
+    std::printf("  insitu: %zu series records (%zu canonical after replay), %s\n",
+                raw.size(), canonical.size(),
+                errors.empty() ? "continuous" : errors.front().c_str());
+  }
   if (with_health && sim.health_enabled()) {
     sim.health()->write_ledger_jsonl(out.path("resil_health.jsonl"));
     std::printf("  health: %lld samples, %lld alerts across the surviving run\n",

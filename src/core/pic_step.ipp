@@ -126,6 +126,17 @@ void Simulation<DIM>::step() {
       auto t = m_profiler.scope("health");
       observe_health(this_step);
     }
+
+    // 11. In-situ reduced physics diagnostics + streaming frames: same
+    // placement rationale as health (inside "step" for attribution, before
+    // end_step() so insitu_* gauges land in this step's metrics record).
+    if (m_insitu &&
+        (m_insitu->any_due(this_step) ||
+         (m_insitu_stream && insitu::Registry::due(this_step, m_insitu_cfg.stream_interval)))) {
+      auto t = m_profiler.scope("insitu");
+      m_insitu->collect(this_step, m_time);
+      maybe_stream_insitu(this_step);
+    }
   }
 
   // Publish the unified per-step picture: counters into the registry, the
@@ -149,7 +160,7 @@ void Simulation<DIM>::step() {
   }
   if (m_step_callback) { m_step_callback(m_report); }
 
-  // 11. Health actions, then automatic checkpointing (after the report so
+  // 12. Health actions, then automatic checkpointing (after the report so
   // the policy sees this step's wall seconds; the write itself is outside
   // the step's timings). Checkpoint-now runs before any abort, so a fatal
   // alert with both actions saves state and then stops.
@@ -525,6 +536,122 @@ void Simulation<DIM>::observe_health(std::int64_t step) {
   }
 
   m_health->record(std::move(s));
+}
+
+// The standard reduced diagnostics of enable_insitu: closures over the
+// Simulation state so the physics-agnostic insitu::Registry never needs to
+// know about Simulation. Registration order matters for same-step cadences:
+// "laser" runs before "wakefield" so the wakefield probe can sit behind the
+// freshly-probed pulse centroid.
+template <int DIM>
+void Simulation<DIM>::register_insitu_diagnostics() {
+  const auto beam_index = [this]() {
+    const int s = m_insitu_cfg.beam_species;
+    return s >= 0 && s < num_species() ? s : -1;
+  };
+
+  m_insitu->add("beam", m_insitu_cfg.moments_interval, [this, beam_index](insitu::Record& r) {
+    const int s = beam_index();
+    if (s < 0) { return; }
+    insitu::BeamMomentsAccumulator<DIM> acc(m_insitu_cfg.beam_e_min_J);
+    acc.add(m_species[s].level0);
+    acc.add(m_species[s].patch);
+    const auto m = acc.finalize();
+    m_last_moments = m;
+    r.set("count", static_cast<double>(m.count));
+    r.set("charge_C", m.charge_C);
+    r.set("mean_x_m", m.mean_x[0]);
+    r.set("rms_y_m", m.rms_x[1]);
+    r.set("emit_ny_m_rad", m.emit_ny);
+    r.set("emit_nz_m_rad", m.emit_nz);
+    r.set("mean_gamma", m.mean_gamma);
+    r.set("max_gamma", m.max_gamma);
+    r.set("mean_energy_J", m.mean_energy_J);
+  });
+
+  m_insitu->add("spectrum", m_insitu_cfg.spectrum_interval, [this, beam_index](insitu::Record& r) {
+    const auto& c = m_insitu_cfg;
+    const int s = beam_index();
+    if (s < 0 || c.spectrum_e_max_J <= c.spectrum_e_min_J) { return; }
+    const std::vector<const particles::ParticleContainer<DIM>*> pcs{
+        &m_species[s].level0, &m_species[s].patch};
+    const auto sum = insitu::summarize_spectrum<DIM>(
+        pcs, static_cast<Real>(c.spectrum_e_min_J), static_cast<Real>(c.spectrum_e_max_J),
+        c.spectrum_bins, std::abs(m_species[s].level0.species().charge));
+    m_last_spectrum = sum;
+    r.set("peak_energy_J", sum.beam.peak_energy);
+    r.set("energy_spread", sum.beam.energy_spread);
+    r.set("charge_C", sum.beam.charge);
+    r.set("weight_total", sum.weight_total);
+  });
+
+  m_insitu->add("laser", m_insitu_cfg.laser_interval, [this](insitu::Record& r) {
+    double wavelength = m_insitu_cfg.laser_wavelength;
+    int pol = m_insitu_cfg.laser_polarization;
+    if (wavelength <= 0 && !m_lasers.empty()) {
+      wavelength = m_lasers.front().config().wavelength;
+      pol = m_lasers.front().config().polarization;
+    }
+    if (wavelength <= 0) { return; }
+    const auto ls = insitu::laser_probe<DIM>(m_fields, static_cast<Real>(wavelength), pol);
+    r.set("a0", ls.a0);
+    r.set("peak_E_V_m", ls.peak_E_V_m);
+    r.set("centroid_x_m", ls.centroid_x_m);
+  });
+
+  m_insitu->add("wakefield", m_insitu_cfg.wakefield_interval, [this](insitu::Record& r) {
+    Real x_behind = std::numeric_limits<Real>::infinity();
+    if (const auto* l = m_insitu->last("laser")) {
+      const double c = l->value("centroid_x_m");
+      if (std::isfinite(c)) { x_behind = static_cast<Real>(c); }
+    }
+    r.set("max_Ex_V_m", insitu::wakefield_amplitude<DIM>(m_fields, x_behind));
+  });
+
+  m_insitu->add("field_energy", m_insitu_cfg.field_energy_interval, [this](insitu::Record& r) {
+    const auto b0 = insitu::field_energy_breakdown<DIM>(m_fields);
+    r.set("level0_Ex_J", b0.E_J[0]);
+    r.set("level0_Ey_J", b0.E_J[1]);
+    r.set("level0_Ez_J", b0.E_J[2]);
+    r.set("level0_B_J", b0.B_J[0] + b0.B_J[1] + b0.B_J[2]);
+    r.set("level0_total_J", b0.total_J());
+    if (m_patch && m_patch->active()) {
+      const auto bf = insitu::field_energy_breakdown<DIM>(m_patch->fine());
+      r.set("fine_Ex_J", bf.E_J[0]);
+      r.set("fine_total_J", bf.total_J());
+    }
+  });
+}
+
+template <int DIM>
+void Simulation<DIM>::maybe_stream_insitu(std::int64_t step) {
+  if (!m_insitu_stream || !insitu::Registry::due(step, m_insitu_cfg.stream_interval)) {
+    return;
+  }
+  static constexpr char comp_names[3] = {'x', 'y', 'z'};
+  for (int comp : m_insitu_cfg.stream_components) {
+    if (comp < 0 || comp > 2) { continue; }
+    auto fr = insitu::downsample_slice<DIM>(m_fields.E(), m_fields.geom(), comp,
+                                            m_insitu_cfg.stream_downsample,
+                                            std::string("E") + comp_names[comp]);
+    fr.step = step;
+    fr.time = m_time;
+    m_insitu_stream->write(fr);
+  }
+  const int s = m_insitu_cfg.beam_species;
+  if (s >= 0 && s < num_species()) {
+    diag::PhaseSpace ps(m_insitu_cfg.phase_space);
+    ps.accumulate(m_species[s].level0);
+    ps.accumulate(m_species[s].patch);
+    auto fr = insitu::phase_space_frame(ps, "beam_phase_space");
+    fr.step = step;
+    fr.time = m_time;
+    m_insitu_stream->write(fr);
+  }
+  m_metrics.gauge("insitu_stream_frames")
+      .set(static_cast<double>(m_insitu_stream->frames_written()));
+  m_metrics.gauge("insitu_stream_bytes")
+      .set(static_cast<double>(m_insitu_stream->bytes_written()));
 }
 
 template <int DIM>

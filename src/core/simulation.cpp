@@ -55,6 +55,21 @@ void Simulation<DIM>::enable_health(health::MonitorConfig cfg) {
 }
 
 template <int DIM>
+void Simulation<DIM>::enable_insitu(insitu::InsituConfig cfg) {
+  m_insitu_cfg = std::move(cfg);
+  m_insitu = std::make_unique<insitu::Registry>();
+  m_insitu->set_metrics(&m_metrics);
+  m_insitu->set_history_limit(m_insitu_cfg.history_limit);
+  if (!m_insitu_cfg.series_path.empty()) {
+    m_insitu->open_series(m_insitu_cfg.series_path, m_insitu_cfg.series_append);
+  }
+  if (m_insitu_cfg.stream_interval > 0 && !m_insitu_cfg.stream.basename.empty()) {
+    m_insitu_stream = std::make_unique<insitu::StreamWriter>(m_insitu_cfg.stream);
+  }
+  register_insitu_diagnostics();
+}
+
+template <int DIM>
 void Simulation<DIM>::remove_rank(int dead_rank) {
   assert(m_initialized);
   assert(m_cfg.nranks > 1);

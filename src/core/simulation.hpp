@@ -21,8 +21,9 @@
 
 #include "src/amr/config.hpp"
 #include "src/cluster/sim_cluster.hpp"
-#include "src/diag/timers.hpp"
 #include "src/health/monitor.hpp"
+#include "src/insitu/reductions.hpp"
+#include "src/insitu/registry.hpp"
 #include "src/dist/load_balancer.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/profiler.hpp"
@@ -191,6 +192,32 @@ public:
   health::HealthMonitor* health() { return m_health.get(); }
   const health::HealthMonitor* health() const { return m_health.get(); }
 
+  // --- in-situ physics diagnostics ----------------------------------------
+  // Reduced physics diagnostics (insitu::Registry) at the configured
+  // cadences: beam moments/emittance, energy-spectrum peak/FWHM, laser
+  // a0/centroid, wakefield amplitude, per-level field energy — computed at
+  // the end of each due step inside an "insitu" profiler region, published
+  // as insitu_* gauges and appended (+flushed) to the JSONL series. When
+  // cfg.stream_interval > 0 and cfg.stream.basename is set, downsampled
+  // field slices and a beam phase-space histogram are additionally exported
+  // as rotating binary stream frames (insitu::StreamWriter).
+  // Callable before or after init().
+  void enable_insitu(insitu::InsituConfig cfg = {});
+  bool insitu_enabled() const { return m_insitu != nullptr; }
+  insitu::Registry* insitu() { return m_insitu.get(); }
+  const insitu::Registry* insitu() const { return m_insitu.get(); }
+  const insitu::InsituConfig& insitu_config() const { return m_insitu_cfg; }
+  insitu::StreamWriter* insitu_stream() { return m_insitu_stream.get(); }
+  // Most recent spectrum/moments computed by the registry (nullptr until
+  // the diagnostic first runs) — examples write their CSVs from these so
+  // file output and gauges come from one code path.
+  const insitu::SpectrumSummary* last_spectrum() const {
+    return m_last_spectrum ? &*m_last_spectrum : nullptr;
+  }
+  const insitu::BeamMoments* last_beam_moments() const {
+    return m_last_moments ? &*m_last_moments : nullptr;
+  }
+
   // Cumulative particle-loss accounting (also in the ledger): particles that
   // left the domain through boundaries / were dropped at the moving-window
   // trailing edge.
@@ -223,11 +250,6 @@ public:
   // physics state is untouched — ranks only exist in the cluster model.
   void remove_rank(int dead_rank);
 
-  // Legacy flat timers, refreshed from the profiler on access.
-  diag::Timers& timers() {
-    m_profiler.flatten_into(m_timers);
-    return m_timers;
-  }
   const SimulationConfig<DIM>& config() const { return m_cfg; }
   const dist::DistributionMapping& dist_map() const { return m_dm; }
   const dist::LoadBalancer& load_balancer() const { return m_lb; }
@@ -259,6 +281,8 @@ private:
   void begin_health_probe();
   void snapshot_health_currents();
   void observe_health(std::int64_t step);
+  void register_insitu_diagnostics();
+  void maybe_stream_insitu(std::int64_t step);
   void exchange_level0();
   // Per-box cost heuristic (cells + weighted particle counts) shared by the
   // load balancer and the cluster observer.
@@ -291,7 +315,6 @@ private:
   fields::MovingWindow<DIM> m_window;
   dist::DistributionMapping m_dm;
   dist::LoadBalancer m_lb;
-  diag::Timers m_timers; // compatibility shim, refreshed from m_profiler
   obs::Profiler m_profiler;
   obs::MetricsRegistry m_metrics;
   std::unique_ptr<cluster::SimCluster> m_cluster; // set by enable_cluster_obs()
@@ -303,6 +326,11 @@ private:
   CheckpointWriter m_ckpt_writer;
   std::unique_ptr<health::HealthMonitor> m_health; // set by enable_health()
   std::unique_ptr<HealthScratch> m_hscratch;
+  std::unique_ptr<insitu::Registry> m_insitu;      // set by enable_insitu()
+  insitu::InsituConfig m_insitu_cfg;
+  std::unique_ptr<insitu::StreamWriter> m_insitu_stream;
+  std::optional<insitu::SpectrumSummary> m_last_spectrum;
+  std::optional<insitu::BeamMoments> m_last_moments;
   Real m_cfl_limit_dt = 0;
   std::int64_t m_escaped_total = 0;
   std::int64_t m_swept_total = 0;

@@ -1,0 +1,25 @@
+#pragma once
+
+// diag::Stopwatch — a bare wall-clock interval timer for benches and ad-hoc
+// measurements. Instrumented code paths should use obs::Profiler scopes
+// instead; this exists for timing loops where a named region would be noise.
+
+#include <chrono>
+
+namespace mrpic::diag {
+
+class Stopwatch {
+public:
+  using clock = std::chrono::steady_clock;
+
+  Stopwatch() : m_start(clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - m_start).count();
+  }
+  void restart() { m_start = clock::now(); }
+
+private:
+  clock::time_point m_start;
+};
+
+} // namespace mrpic::diag

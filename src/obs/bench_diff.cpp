@@ -266,6 +266,23 @@ std::vector<std::string> validate_schema(const json::Value& doc) {
                    {"energy_drift_ok", 'n'},
                    {"continuity_ok", 'n'}},
                   errors);
+  } else if (bench == "insitu") {
+    // bench_insitu: one record per probed cadence; the ok flags are 0/1
+    // numbers so they diff like any other metric.
+    check_records(doc, "cadence",
+                  {{"reduced_interval", 'n'},
+                   {"spectrum_interval", 'n'},
+                   {"stream_interval", 'n'},
+                   {"steps", 'n'},
+                   {"records", 'n'},
+                   {"stream_frames", 'n'},
+                   {"stream_bytes", 'n'},
+                   {"insitu_s", 'n'},
+                   {"step_s", 'n'},
+                   {"overhead_frac", 'n'},
+                   {"series_ok", 'n'},
+                   {"beam_ok", 'n'}},
+                  errors);
   }
   // Unknown bench kinds: the 'bench' name above is the whole contract.
   return errors;

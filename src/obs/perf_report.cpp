@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "src/health/monitor.hpp"
+#include "src/insitu/registry.hpp"
 #include "src/obs/json.hpp"
 #include "src/obs/profiler.hpp"
 
@@ -128,6 +129,42 @@ HealthSection summarize_health(const health::HealthMonitor& mon, const Profiler&
   return h;
 }
 
+BeamPhysicsSection summarize_insitu(const insitu::Registry& reg, const Profiler& prof,
+                                    const insitu::StreamWriter* stream) {
+  BeamPhysicsSection b;
+  b.enabled = true;
+  b.records = reg.num_records();
+
+  const auto totals = prof.flat_totals();
+  if (const auto it = totals.find("insitu"); it != totals.end()) {
+    b.probe_s = it->second.inclusive_s;
+  }
+  if (const auto it = totals.find("step"); it != totals.end()) {
+    b.step_s = it->second.inclusive_s;
+  }
+  b.probe_overhead = b.step_s > 0 ? b.probe_s / b.step_s : 0;
+
+  if (const auto* r = reg.last("beam")) {
+    b.emit_ny = r->value("emit_ny_m_rad");
+    b.beam_charge_C = r->value("charge_C");
+    b.mean_gamma = r->value("mean_gamma");
+  }
+  if (const auto* r = reg.last("spectrum")) {
+    b.peak_energy_J = r->value("peak_energy_J");
+    b.energy_spread = r->value("energy_spread");
+  }
+  if (const auto* r = reg.last("laser")) { b.laser_a0 = r->value("a0"); }
+  if (const auto* r = reg.last("wakefield")) { b.wakefield_V_m = r->value("max_Ex_V_m"); }
+  if (const auto* r = reg.last("field_energy")) {
+    b.field_energy_J = r->value("level0_total_J");
+  }
+  if (stream != nullptr) {
+    b.stream_frames = stream->frames_written();
+    b.stream_bytes = stream->bytes_written();
+  }
+  return b;
+}
+
 PerfReport build_perf_report(const RankRecorder& rec, const PerfReportOptions& opt) {
   PerfReport report;
   report.title = opt.title;
@@ -244,6 +281,34 @@ void write_markdown(const PerfReport& report, std::ostream& os) {
     if (!h.last_alert.empty()) { os << "Last alert: " << h.last_alert << "\n\n"; }
   }
 
+  // --- beam physics -------------------------------------------------------
+  if (report.beam.enabled) {
+    const auto& b = report.beam;
+    os << "## Beam physics\n\n";
+    os << b.records << " in-situ records. Probe cost " << fmt3(b.probe_s) << " s of "
+       << fmt3(b.step_s) << " s stepped (" << fmt_pct(b.probe_overhead)
+       << " overhead).";
+    if (b.stream_frames > 0) {
+      os << " Streamed " << b.stream_frames << " frames (" << b.stream_bytes
+         << " bytes).";
+    }
+    os << "\n\n";
+    const auto row = [&os](const char* name, double v, const char* unit) {
+      os << "| " << name << " | " << (std::isfinite(v) ? fmt3(v) : std::string("-"))
+         << " " << unit << " |\n";
+    };
+    os << "| beam metric | value |\n|---|---:|\n";
+    row("normalized emittance (y)", b.emit_ny, "m rad");
+    row("beam charge", b.beam_charge_C, "C");
+    row("mean gamma", b.mean_gamma, "");
+    row("spectral peak energy", b.peak_energy_J, "J");
+    row("relative FWHM spread", b.energy_spread, "");
+    row("laser a0", b.laser_a0, "");
+    row("wakefield amplitude", b.wakefield_V_m, "V/m");
+    row("level-0 field energy", b.field_energy_J, "J");
+    os << "\n";
+  }
+
   // --- roofline -----------------------------------------------------------
   if (!report.roofline.empty()) {
     os << "## Roofline attribution";
@@ -327,6 +392,26 @@ void write_json(const PerfReport& report, std::ostream& os) {
         .field("max_continuity_residual", h.max_continuity_residual)
         .field("nan_cells", h.nan_cells)
         .field("last_alert", h.last_alert)
+        .end_object();
+  }
+
+  if (report.beam.enabled) {
+    const auto& b = report.beam;
+    w.begin_object("beam_physics")
+        .field("records", b.records)
+        .field("probe_s", b.probe_s)
+        .field("step_s", b.step_s)
+        .field("probe_overhead", b.probe_overhead)
+        .field("emit_ny", b.emit_ny)
+        .field("beam_charge_C", b.beam_charge_C)
+        .field("mean_gamma", b.mean_gamma)
+        .field("peak_energy_J", b.peak_energy_J)
+        .field("energy_spread", b.energy_spread)
+        .field("laser_a0", b.laser_a0)
+        .field("wakefield_V_m", b.wakefield_V_m)
+        .field("field_energy_J", b.field_energy_J)
+        .field("stream_frames", b.stream_frames)
+        .field("stream_bytes", b.stream_bytes)
         .end_object();
   }
 

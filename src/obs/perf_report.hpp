@@ -27,6 +27,11 @@ namespace mrpic::health {
 class HealthMonitor;
 }
 
+namespace mrpic::insitu {
+class Registry;
+class StreamWriter;
+}
+
 namespace mrpic::obs {
 
 class Profiler;
@@ -56,6 +61,38 @@ struct HealthSection {
 // region totals for the overhead split) into a HealthSection.
 HealthSection summarize_health(const health::HealthMonitor& mon, const Profiler& prof);
 
+// Summary of a run's in-situ physics telemetry (src/insitu) for the perf
+// report: the paper's Fig. 6/7 beam deliverables as headline numbers, plus
+// the diagnostics' cost against the step cost (the "insitu" profiler region)
+// and the streaming exporter's volume.
+struct BeamPhysicsSection {
+  bool enabled = false;
+  std::int64_t records = 0;     // reduced-diagnostic records collected
+  double probe_s = 0;           // total seconds inside the "insitu" region
+  double step_s = 0;            // total seconds inside the "step" region
+  double probe_overhead = 0;    // probe_s / step_s (0 when step_s == 0)
+
+  // Headline beam metrics: latest record of each diagnostic (NaN = that
+  // diagnostic never ran).
+  double emit_ny = std::numeric_limits<double>::quiet_NaN();    // [m rad]
+  double beam_charge_C = std::numeric_limits<double>::quiet_NaN();
+  double mean_gamma = std::numeric_limits<double>::quiet_NaN();
+  double peak_energy_J = std::numeric_limits<double>::quiet_NaN();
+  double energy_spread = std::numeric_limits<double>::quiet_NaN();
+  double laser_a0 = std::numeric_limits<double>::quiet_NaN();
+  double wakefield_V_m = std::numeric_limits<double>::quiet_NaN();
+  double field_energy_J = std::numeric_limits<double>::quiet_NaN();
+
+  // Streaming exporter (0s when streaming is off).
+  std::int64_t stream_frames = 0;
+  std::int64_t stream_bytes = 0;
+};
+
+// Collapse a registry's history (plus the profiler's "insitu"/"step" totals
+// and, when streaming, the writer's counters) into a BeamPhysicsSection.
+BeamPhysicsSection summarize_insitu(const insitu::Registry& reg, const Profiler& prof,
+                                    const insitu::StreamWriter* stream = nullptr);
+
 struct PerfReportOptions {
   std::string title = "perf report";
   // Wire model used for the latency split (cluster::CommModel::latency_s of
@@ -76,6 +113,7 @@ struct PerfReport {
   std::vector<analysis::KernelRoofline> roofline;   // optional placement
   std::string machine;                              // roofline machine name
   HealthSection health;                             // optional (health.enabled)
+  BeamPhysicsSection beam;                          // optional (beam.enabled)
   int top_steps = 5;
 
   // Steps ordered by descending critical-path makespan.

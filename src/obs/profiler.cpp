@@ -6,8 +6,6 @@
 #include <cstdio>
 #include <unordered_map>
 
-#include "src/diag/timers.hpp"
-
 namespace mrpic::obs {
 
 namespace {
@@ -191,11 +189,6 @@ std::map<std::string, RegionStats> Profiler::flat_totals() const {
     s.max_s = std::max(s.max_s, n.stats.max_s);
   }
   return out;
-}
-
-void Profiler::flatten_into(diag::Timers& timers) const {
-  timers.reset();
-  for (const auto& [name, s] : flat_totals()) { timers.set(name, s.inclusive_s, s.count); }
 }
 
 namespace {

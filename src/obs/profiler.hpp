@@ -8,10 +8,6 @@
 // a worker's outermost scope becomes a root of its own). When tracing is
 // enabled, every region instance is additionally recorded as a trace event
 // (start, duration, thread, step) for Chrome/Perfetto export (trace.hpp).
-//
-// This subsumes the flat diag::Timers: Simulation keeps a Timers shim that
-// flatten_into() refreshes from the profiler, so legacy report()/total()
-// call sites keep working.
 
 #include <chrono>
 #include <cstdint>
@@ -22,10 +18,6 @@
 #include <string>
 #include <string_view>
 #include <vector>
-
-namespace mrpic::diag {
-class Timers;
-}
 
 namespace mrpic::obs {
 
@@ -116,9 +108,8 @@ public:
   RegionStats stats(std::string_view path) const;
 
   // Flat per-name totals: leaf name -> (inclusive seconds, count), summed
-  // over every path sharing the name. Feeds the diag::Timers shim.
+  // over every path sharing the name.
   std::map<std::string, RegionStats> flat_totals() const;
-  void flatten_into(diag::Timers& timers) const;
 
   // Indented tree, children sorted by descending inclusive time, with
   // count / mean / min / max columns.

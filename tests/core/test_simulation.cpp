@@ -167,17 +167,18 @@ TEST(Simulation, DynamicLoadBalancingRebalances) {
   EXPECT_LT(sim.dist_map().imbalance(sim.load_balancer().costs()), 1.5);
 }
 
-TEST(Simulation, TimersRecordStages) {
+TEST(Simulation, ProfilerRecordsStages) {
   Simulation<2> sim(periodic_config());
   plasma::InjectorConfig<2> inj;
   inj.density = plasma::uniform<2>(1e23);
   sim.add_species(particles::Species::electron(), inj);
   sim.init();
   sim.run(3);
-  EXPECT_EQ(sim.timers().count("step"), 3);
-  EXPECT_EQ(sim.timers().count("particles"), 3);
-  EXPECT_EQ(sim.timers().count("field_solve"), 3);
-  EXPECT_GT(sim.timers().total("step"), 0.0);
+  const auto flat = sim.profiler().flat_totals();
+  EXPECT_EQ(flat.at("step").count, 3);
+  EXPECT_EQ(flat.at("particles").count, 3);
+  EXPECT_EQ(flat.at("field_solve").count, 3);
+  EXPECT_GT(flat.at("step").inclusive_s, 0.0);
 }
 
 } // namespace

@@ -7,7 +7,6 @@
 
 #include "src/diag/csv_writer.hpp"
 #include "src/diag/spectrum.hpp"
-#include "src/diag/timers.hpp"
 
 namespace mrpic::diag {
 namespace {
@@ -72,46 +71,12 @@ TEST(Spectrum, ChargeAboveThreshold) {
   EXPECT_NEAR(charge_above<2>(pc, 1 * mev), 5.0 * q_e, 1e-25);
 }
 
-TEST(Timers, ReportSortsByTotalWithCountAndMean) {
-  Timers t;
-  t.add("small", 0.1);
-  t.add("big", 2.0);
-  t.add("big", 2.0);
-  std::ostringstream os;
-  t.report(os);
-  const std::string out = os.str();
-  // Header columns present; rows sorted by descending total.
-  EXPECT_NE(out.find("total(s)"), std::string::npos);
-  EXPECT_NE(out.find("count"), std::string::npos);
-  EXPECT_NE(out.find("mean(s)"), std::string::npos);
-  EXPECT_LT(out.find("big"), out.find("small"));
-  EXPECT_NE(out.find("4.0000"), std::string::npos); // big total
-  EXPECT_NE(out.find("2.000000"), std::string::npos); // big mean
-}
-
 TEST(CsvWriter, AddRowRejectsWidthMismatch) {
   CsvSeries s({"a", "b", "c"});
   EXPECT_THROW(s.add_row({1.0}), std::invalid_argument);
   EXPECT_THROW(s.add_row({1.0, 2.0, 3.0, 4.0}), std::invalid_argument);
   EXPECT_NO_THROW(s.add_row({1.0, 2.0, 3.0}));
   EXPECT_EQ(s.num_rows(), 1u);
-}
-
-TEST(Timers, AccumulateAndCount) {
-  Timers t;
-  t.add("push", 0.5);
-  t.add("push", 0.25);
-  t.add("solve", 1.0);
-  EXPECT_DOUBLE_EQ(t.total("push"), 0.75);
-  EXPECT_EQ(t.count("push"), 2);
-  EXPECT_DOUBLE_EQ(t.total("missing"), 0.0);
-  {
-    auto s = t.scope("scoped");
-  }
-  EXPECT_EQ(t.count("scoped"), 1);
-  EXPECT_GE(t.total("scoped"), 0.0);
-  t.reset();
-  EXPECT_EQ(t.count("push"), 0);
 }
 
 TEST(CsvWriter, SeriesRoundTrip) {

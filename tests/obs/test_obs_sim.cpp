@@ -47,9 +47,9 @@ TEST(ObsSim, ProfilerNestsStagesUnderStep) {
   const auto step = sim.profiler().stats("step");
   const auto particles = sim.profiler().stats("step/particles");
   EXPECT_GE(step.inclusive_s, particles.inclusive_s);
-  // The legacy flat shim still answers the old questions.
-  EXPECT_EQ(sim.timers().count("step"), 3);
-  EXPECT_EQ(sim.timers().count("particles"), 3);
+  // Flat per-name totals answer the same questions without paths.
+  EXPECT_EQ(sim.profiler().flat_totals().at("step").count, 3);
+  EXPECT_EQ(sim.profiler().flat_totals().at("particles").count, 3);
 }
 
 TEST(ObsSim, StepReportAndMetricsPipeline) {

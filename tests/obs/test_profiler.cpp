@@ -5,7 +5,6 @@
 #include <sstream>
 #include <thread>
 
-#include "src/diag/timers.hpp"
 #include "src/obs/profiler.hpp"
 
 namespace mrpic::obs {
@@ -77,17 +76,16 @@ TEST(Profiler, SameNameUnderDifferentParentsIsDistinct) {
   EXPECT_EQ(flat.at("sync").count, 2);
 }
 
-TEST(Profiler, FlattenIntoTimersShim) {
+TEST(Profiler, FlatTotalsAggregateNestedScopes) {
   Profiler p;
   for (int i = 0; i < 2; ++i) {
     auto s = p.scope("step");
     auto q = p.scope("particles");
   }
-  diag::Timers t;
-  p.flatten_into(t);
-  EXPECT_EQ(t.count("step"), 2);
-  EXPECT_EQ(t.count("particles"), 2);
-  EXPECT_GE(t.total("step"), t.total("particles"));
+  const auto flat = p.flat_totals();
+  EXPECT_EQ(flat.at("step").count, 2);
+  EXPECT_EQ(flat.at("particles").count, 2);
+  EXPECT_GE(flat.at("step").inclusive_s, flat.at("particles").inclusive_s);
 }
 
 TEST(Profiler, ReportPrintsTreeSortedByInclusive) {
