@@ -20,15 +20,28 @@
 //
 // Output (in --outdir, default out/): mr_savings_<case>.csv
 // (t_fs, cumulative_s, step_ms, cells, parts)
+//
+// --json additionally writes BENCH_mr_savings.json: the *memory*-savings
+// side of the same affordability argument, a deterministic sweep of the
+// analytic model in obs::analytic_mr_savings over (dim, ratio,
+// patch-fraction) — the uniform-fine-equivalent bytes over the MR-run bytes.
+// This is pure arithmetic (no timing) and is baseline-gated by bench_smoke;
+// --quick skips the wall-clock cases and emits only the JSON.
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/simulation.hpp"
 #include "src/diag/csv_writer.hpp"
 #include "src/diag/output_dir.hpp"
 #include "src/diag/stopwatch.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/memory.hpp"
 
 using namespace mrpic;
 using namespace mrpic::constants;
@@ -152,10 +165,77 @@ CaseResult run_case(const std::string& name, const std::string& label, bool mr,
   return res;
 }
 
+// Analytic memory-savings sweep for --json: a cube of side `n` (2D: n^2)
+// with a patch covering `fraction` of the cells at `ratio` refinement, 4
+// particles per level-0 cell (and per fine patch cell). Ghost/PML cells are
+// left out of the model points: the structural cross-check against the
+// *measured* ledger (which includes them) lives in the test suite; here the
+// sweep isolates the ratio^dim field/particle scaling the paper's
+// affordability argument rests on.
+obs::MrSavings model_point(int dim, int ratio, double fraction, std::int64_t* actual_n) {
+  const std::int64_t n = dim == 2 ? 512 : 64;
+  std::int64_t cells = 1;
+  for (int d = 0; d < dim; ++d) { cells *= n; }
+  const auto patch_cells = static_cast<std::int64_t>(fraction * double(cells));
+  std::int64_t fine_cells = patch_cells;
+  for (int d = 0; d < dim; ++d) { fine_cells *= ratio; }
+
+  obs::MrSavingsInputs in;
+  in.dim = dim;
+  in.ratio = ratio;
+  in.level0_grown_cells = cells;
+  in.fine_grown_cells = fine_cells;
+  in.coarse_grown_cells = patch_cells;
+  in.num_particles = 4 * (cells + fine_cells);
+  if (actual_n != nullptr) { *actual_n = cells; }
+  return obs::analytic_mr_savings(in);
+}
+
+void write_savings_json(const std::string& path) {
+  struct Pt {
+    int dim, ratio;
+    double fraction;
+  };
+  const std::vector<Pt> sweep = {{2, 2, 0.05}, {2, 2, 0.20}, {2, 4, 0.05},
+                                 {3, 2, 0.05}, {3, 2, 0.20}, {3, 4, 0.05}};
+  std::ofstream os(path);
+  obs::json::Writer w(os);
+  w.begin_object();
+  w.field("bench", "mr_savings");
+  w.begin_array("points");
+  std::printf("analytic MR memory savings (uniform-fine bytes / MR bytes):\n");
+  for (const auto& p : sweep) {
+    std::int64_t cells = 0;
+    const auto s = model_point(p.dim, p.ratio, p.fraction, &cells);
+    std::printf("  %dD ratio %d patch %4.0f%%: %6.2fx\n", p.dim, p.ratio,
+                100 * p.fraction, s.factor);
+    w.begin_object()
+        .field("dim", std::int64_t(p.dim))
+        .field("ratio", std::int64_t(p.ratio))
+        .field("patch_fraction", p.fraction)
+        .field("actual_bytes", s.actual_bytes)
+        .field("uniform_fine_bytes", s.uniform_fine_bytes)
+        .field("savings", s.factor)
+        .end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  std::printf("wrote %s\n\n", path.c_str());
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
   g_out = diag::OutputDir::from_args(argc, argv);
+  bool json_out = false, quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) { json_out = true; }
+    if (std::strcmp(argv[i], "--quick") == 0) { quick = true; }
+  }
+  if (json_out) { write_savings_json(g_out.path("BENCH_mr_savings.json")); }
+  if (quick) { return 0; }
+
   std::printf("Fig. 6: time-to-solution with and without mesh refinement\n");
   std::printf("(moving window starts at %.0f fs — the dashed line; the MR patch is\n",
               window_start * 1e15);

@@ -23,6 +23,8 @@ echo "== run benches (--json) into $tmp"
 "$bindir/bench_resilience" --json --outdir "$tmp" > /dev/null
 "$bindir/bench_health" --json --outdir "$tmp" > /dev/null
 "$bindir/bench_insitu" --json --outdir "$tmp" > /dev/null
+"$bindir/bench_memory" --json --outdir "$tmp" > /dev/null
+"$bindir/bench_mr_savings" --json --quick --outdir "$tmp" > /dev/null
 "$bindir/bench_kernels" --json --quick --outdir "$tmp" > /dev/null
 
 for f in "$tmp"/BENCH_*.json; do
@@ -52,6 +54,16 @@ echo "== compare deterministic benches against baselines"
 "$bindir/bench_compare" --rel-tol 0.02 \
     --ignore insitu_s --ignore step_s --ignore overhead_frac \
     "$basedir/BENCH_insitu.json" "$tmp/BENCH_insitu.json"
+# bench_memory: the byte columns are deterministic (capacity-exact fabs,
+# size-based particle accounts) and gated, as are the conservation and
+# <=1%-overhead verdicts; only the raw probe/step seconds and their ratio
+# are host timing noise.
+"$bindir/bench_compare" --rel-tol 0.02 \
+    --ignore probe_s --ignore step_s --ignore overhead_frac \
+    "$basedir/BENCH_memory.json" "$tmp/BENCH_memory.json"
+# bench_mr_savings --json: pure arithmetic of the analytic memory model.
+"$bindir/bench_compare" --rel-tol 1e-6 \
+    "$basedir/BENCH_mr_savings.json" "$tmp/BENCH_mr_savings.json"
 # The attribution output is pure arithmetic over the same recorder sweep, so
 # it is held to a much tighter tolerance; the invariant-gap metrics sit at
 # FP-epsilon scale and are gated by the test suite instead.

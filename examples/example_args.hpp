@@ -1,0 +1,68 @@
+#pragma once
+
+// Shared argv parsing for the example drivers (laser_wakefield,
+// hybrid_target_mr, resilient_lwfa): one place for the common observability
+// flags instead of three copies of the same strcmp loop. --outdir is parsed
+// by diag::OutputDir::from_args; this helper only skips its value.
+//
+//   --health              in-situ invariant ledger + watchdog (src/health)
+//   --insitu              in-situ physics registry + streaming (src/insitu)
+//   --memory              byte ledger published as mem_* gauges, per-rank
+//                         resident model + memory_heatmap.csv, "## Memory"
+//                         perf-report section (src/obs memory observability)
+//   --node-budget-gb G    per-rank memory budget for the OOM headroom gauge
+//                         and first-rank-to-OOM prediction (e.g. 16 =
+//                         Summit V100, 40 = Perlmutter A100; see
+//                         perf::Machine::hbm_gb_device). Implies --memory.
+//   --no-mr               disable the MR patch (hybrid_target_mr only)
+//   <number>              t_end in femtoseconds (positional)
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/core/simulation.hpp"
+
+namespace examples {
+
+struct ExampleArgs {
+  bool health = false;
+  bool insitu = false;
+  bool memory = false;
+  bool no_mr = false;
+  double node_budget_gb = 0; // 0 = no budget configured
+  double t_end = 0;          // seconds (default passed to parse, in fs)
+
+  // Memory-observability config for core::Simulation::enable_memory_obs.
+  mrpic::core::MemoryObsConfig memory_cfg() const {
+    mrpic::core::MemoryObsConfig cfg;
+    cfg.interval = 1;
+    cfg.node_budget_gb = node_budget_gb;
+    return cfg;
+  }
+};
+
+inline ExampleArgs parse_example_args(int argc, char** argv, double default_t_end_fs) {
+  ExampleArgs a;
+  a.t_end = default_t_end_fs * 1e-15;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--health") == 0) {
+      a.health = true;
+    } else if (std::strcmp(argv[i], "--insitu") == 0) {
+      a.insitu = true;
+    } else if (std::strcmp(argv[i], "--memory") == 0) {
+      a.memory = true;
+    } else if (std::strcmp(argv[i], "--node-budget-gb") == 0 && i + 1 < argc) {
+      a.node_budget_gb = std::atof(argv[++i]);
+      a.memory = true;
+    } else if (std::strcmp(argv[i], "--no-mr") == 0) {
+      a.no_mr = true;
+    } else if (std::strcmp(argv[i], "--outdir") == 0) {
+      ++i; // value consumed by diag::OutputDir::from_args
+    } else if (argv[i][0] != '-') {
+      a.t_end = std::atof(argv[i]) * 1e-15;
+    }
+  }
+  return a;
+}
+
+} // namespace examples

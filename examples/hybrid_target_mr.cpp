@@ -14,7 +14,11 @@
 // per the paper's Ref. [19]) and the +x moving window follows the
 // *reflected* pulse through the gas.
 //
-// Run: ./hybrid_target_mr [--outdir DIR] [--no-mr] [--insitu] [t_end_fs]
+// Run: ./hybrid_target_mr [--outdir DIR] [--no-mr] [--insitu] [--memory]
+//                         [--node-budget-gb G] [t_end_fs]
+// With --memory, the byte ledger runs alongside: per-step mem_* gauges in
+// the metrics, and a final measured-vs-analytic MR memory-savings print
+// (the memory half of the Fig. 6 affordability argument).
 // With --insitu, the in-situ physics registry (src/insitu) additionally
 // tracks beam moments/emittance, spectrum peak/FWHM, laser a0/centroid,
 // wakefield amplitude and per-level field energy at their cadences
@@ -34,25 +38,17 @@
 #include "src/diag/phase_space.hpp"
 #include "src/diag/spectrum.hpp"
 
+#include "example_args.hpp"
+
 using namespace mrpic;
 using namespace mrpic::constants;
 
 int main(int argc, char** argv) {
   const auto out = diag::OutputDir::from_args(argc, argv);
-  bool use_mr = true;
-  bool with_insitu = false;
-  Real t_end = 150e-15;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--no-mr") == 0) {
-      use_mr = false;
-    } else if (std::strcmp(argv[i], "--insitu") == 0) {
-      with_insitu = true;
-    } else if (std::strcmp(argv[i], "--outdir") == 0) {
-      ++i; // value consumed by OutputDir
-    } else if (argv[i][0] != '-') {
-      t_end = std::atof(argv[i]) * 1e-15;
-    }
-  }
+  const auto args = examples::parse_example_args(argc, argv, /*default fs*/ 150.0);
+  const bool use_mr = !args.no_mr;
+  const bool with_insitu = args.insitu;
+  const Real t_end = args.t_end;
 
   const Real wavelength = 0.8e-6;
   const Real nc = plasma::critical_density(wavelength);
@@ -71,6 +67,7 @@ int main(int argc, char** argv) {
   cfg.mr_remove_when_lo_above = 4.6e-6;
 
   core::Simulation<2> sim(cfg);
+  if (args.memory) { sim.enable_memory_obs(args.memory_cfg()); }
 
   // Hybrid target: foil at 3..4.5 um (15 n_c; the fine patch resolves its
   // ~35 nm skin depth), gas from 5.5 um onward (0.01 n_c, plasma wavelength
@@ -212,6 +209,20 @@ int main(int argc, char** argv) {
   ps.accumulate(sim.species_level0(gas_e));
   ps.write(out.path("hybrid_phase_space.csv"));
   diag::write_field_2d(out.path("hybrid_field.csv"), sim.fields().E(), fields::Y);
+  if (args.memory) {
+    const auto& ledger = obs::memory_ledger();
+    std::printf("\nmemory: %s live (high water %s), checkpoint staging peak %s\n",
+                obs::format_bytes(double(ledger.total_current())).c_str(),
+                obs::format_bytes(double(ledger.total_high_water())).c_str(),
+                obs::format_bytes(double(ledger.high_water("checkpoint"))).c_str());
+    if (use_mr) {
+      const auto measured = sim.measured_mr_savings();
+      const auto analytic = obs::analytic_mr_savings(sim.mr_savings_inputs());
+      std::printf("memory: MR savings vs uniform fine grid — measured %.2fx, "
+                  "analytic %.2fx\n",
+                  measured.factor, analytic.factor);
+    }
+  }
   std::printf("wrote hybrid_{history,spectrum,field,phase_space}.csv in %s/\n",
               out.dir().c_str());
   sim.profiler().report(std::cout);

@@ -9,7 +9,8 @@
 // to c and the pulse does not slip out of the c-moving window), and the
 // electron energy spectrum diagnostic.
 //
-// Run: ./laser_wakefield [--outdir DIR] [--health] [--insitu] [t_end_fs]
+// Run: ./laser_wakefield [--outdir DIR] [--health] [--insitu] [--memory]
+//                        [--node-budget-gb G] [t_end_fs]
 // With --health, the in-situ invariant ledger + NaN/stability watchdog run
 // alongside (src/health): lwfa_health.jsonl carries the per-step ledger,
 // lwfa_alerts.jsonl any alerts, and the perf report gains a "Simulation
@@ -20,6 +21,13 @@
 // downsampled Ex/Ey slices + a beam phase-space histogram as binary frames
 // (lwfa_stream.*.bin + lwfa_stream.manifest.json), and the perf report
 // gains a "Beam physics" section.
+// With --memory, the byte ledger (src/obs/memory) publishes per-step mem_*
+// gauges into lwfa_metrics.jsonl, the per-rank resident model fills
+// memory_heatmap.csv, and the perf report gains a "## Memory" section with
+// the measured-vs-analytic MR memory-savings factor — a ratio-2 MR patch is
+// placed over the wake region for this mode so the savings accounting has a
+// patch to account. --node-budget-gb G (implies --memory) adds the OOM
+// headroom gauge and first-rank-to-OOM prediction against a G-GiB budget.
 // Output (in --outdir, default out/): lwfa_history.csv (time series),
 //         lwfa_field.csv, lwfa_trace.json (Chrome/Perfetto trace with one
 //         lane per profiled thread plus one lane per simulated rank, halo
@@ -49,25 +57,17 @@
 #include "src/perf/flop_counter.hpp"
 #include "src/perf/machine.hpp"
 
+#include "example_args.hpp"
+
 using namespace mrpic;
 using namespace mrpic::constants;
 
 int main(int argc, char** argv) {
   const auto out = diag::OutputDir::from_args(argc, argv);
-  bool with_health = false;
-  bool with_insitu = false;
-  Real t_end = 150.0 * 1e-15;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--health") == 0) {
-      with_health = true;
-    } else if (std::strcmp(argv[i], "--insitu") == 0) {
-      with_insitu = true;
-    } else if (std::strcmp(argv[i], "--outdir") == 0) {
-      ++i; // value consumed by OutputDir
-    } else if (argv[i][0] != '-') {
-      t_end = std::atof(argv[i]) * 1e-15;
-    }
-  }
+  const auto args = examples::parse_example_args(argc, argv, /*default fs*/ 150.0);
+  const bool with_health = args.health;
+  const bool with_insitu = args.insitu;
+  const Real t_end = args.t_end;
 
   // 30 x 10 um window; 0.05 um (lambda/16) longitudinal, 0.2 um transverse.
   core::SimulationConfig<2> cfg;
@@ -91,6 +91,18 @@ int main(int argc, char** argv) {
 
   core::Simulation<2> sim(cfg);
   sim.enable_cluster_obs();
+  if (args.memory) {
+    // Byte-ledger publication every step; the wake region gets a ratio-2 MR
+    // patch so the MR memory-savings accounting has a patch to measure (the
+    // physics-motivated placement: highest resolution where the bunch forms).
+    sim.enable_memory_obs(args.memory_cfg());
+    mr::MRPatch<2>::Config pcfg;
+    pcfg.region = Box2(IntVect2(200, 10), IntVect2(399, 39));
+    pcfg.ratio = 2;
+    pcfg.transition_cells = 2;
+    pcfg.pml.npml = 8;
+    sim.enable_mr_patch(pcfg);
+  }
 
   // Gas jet: n = 5e25 m^-3 ~ 0.029 n_c at 800 nm (plasma wavelength
   // ~4.7 um, resolved; short enough for self-injection within the run).
@@ -243,6 +255,25 @@ int main(int argc, char** argv) {
                 static_cast<long long>(report.health.alerts),
                 100 * report.health.probe_overhead, report.health.energy_drift,
                 report.health.max_continuity_residual);
+  }
+  if (args.memory) {
+    const auto measured = sim.measured_mr_savings();
+    const auto analytic = obs::analytic_mr_savings(sim.mr_savings_inputs());
+    report.memory = obs::summarize_memory(
+        obs::memory_ledger(), sim.profiler(), &measured, &analytic,
+        &sim.rank_recorder(), args.memory_cfg().budget_bytes());
+    sim.rank_recorder().write_memory_heatmap_csv(out.path("memory_heatmap.csv"));
+    std::printf("\nmemory: %s live (high water %s), MR savings measured %.2fx / "
+                "analytic %.2fx\n",
+                obs::format_bytes(double(report.memory.total_bytes)).c_str(),
+                obs::format_bytes(double(report.memory.high_water_bytes)).c_str(),
+                measured.factor, analytic.factor);
+    if (report.memory.oom.peak_bytes > 0 && args.node_budget_gb > 0) {
+      std::printf("memory: per-rank peak %s vs %.0f GiB budget -> %s\n",
+                  obs::format_bytes(double(report.memory.oom.peak_bytes)).c_str(),
+                  args.node_budget_gb,
+                  report.memory.oom.predicted ? "predicted OOM" : "fits");
+    }
   }
   {
     const auto& rep = sim.last_step_report();

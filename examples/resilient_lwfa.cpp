@@ -6,7 +6,13 @@
 // last checkpoint; the physics finishes as if nothing happened (the
 // bit-identity property proven by the resil_smoke ctest).
 //
-// Run: ./resilient_lwfa [--outdir DIR] [--health] [--insitu] [t_end_fs]
+// Run: ./resilient_lwfa [--outdir DIR] [--health] [--insitu] [--memory]
+//                       [--node-budget-gb G] [t_end_fs]
+// With --memory, every incarnation publishes the process-global byte ledger
+// as mem_* gauges; because the ledger outlives any one Simulation, the
+// high-water mark carries across crash -> shrink -> replay, so the final
+// print shows the worst footprint of the whole campaign (asserted by the
+// memory tests).
 // With --health, every rebuilt simulation (initial + post-recovery replays)
 // carries the invariant ledger + watchdog; alerts land in
 // resil_alerts.jsonl and the final ledger in resil_health.jsonl.
@@ -29,28 +35,20 @@
 #include "src/obs/trace.hpp"
 #include "src/resil/resilient_runner.hpp"
 
+#include "example_args.hpp"
+
 using namespace mrpic;
 using namespace mrpic::constants;
 
 int main(int argc, char** argv) {
   const auto out = diag::OutputDir::from_args(argc, argv);
-  bool with_health = false;
-  bool with_insitu = false;
-  Real t_end = 60.0 * 1e-15;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--health") == 0) {
-      with_health = true;
-    } else if (std::strcmp(argv[i], "--insitu") == 0) {
-      with_insitu = true;
-    } else if (std::strcmp(argv[i], "--outdir") == 0) {
-      ++i; // value consumed by OutputDir
-    } else if (argv[i][0] != '-') {
-      t_end = std::atof(argv[i]) * 1e-15;
-    }
-  }
+  const auto args = examples::parse_example_args(argc, argv, /*default fs*/ 60.0);
+  const bool with_health = args.health;
+  const bool with_insitu = args.insitu;
+  const Real t_end = args.t_end;
 
   int incarnation = 0; // 0 = initial sim, >0 = post-recovery replays
-  const auto factory = [with_health, with_insitu, &incarnation, &out] {
+  const auto factory = [&args, with_health, with_insitu, &incarnation, &out] {
     core::SimulationConfig<2> cfg;
     cfg.domain = Box2(IntVect2(0, 0), IntVect2(299, 49));
     cfg.prob_lo = RealVect2(0, 0);
@@ -81,6 +79,7 @@ int main(int argc, char** argv) {
     sim->set_moving_window(0, c, /*start_time=*/30e-15);
     sim->enable_cluster_obs();
     sim->profiler().set_tracing(true);
+    if (args.memory) { sim->enable_memory_obs(args.memory_cfg()); }
     if (with_health) {
       // Every incarnation of the sim (initial and the post-recovery
       // replays) watches its own invariants; the alerts file is shared and
@@ -178,6 +177,15 @@ int main(int argc, char** argv) {
     std::printf("  health: %lld samples, %lld alerts across the surviving run\n",
                 static_cast<long long>(sim.health()->num_samples()),
                 static_cast<long long>(sim.health()->num_alerts()));
+  }
+  if (args.memory) {
+    // High water is the campaign-wide peak: the process-global ledger
+    // carried it across every crash -> shrink -> replay incarnation.
+    const auto& ledger = obs::memory_ledger();
+    std::printf("  memory: %s live in the surviving incarnation, campaign high "
+                "water %s\n",
+                obs::format_bytes(double(ledger.total_current())).c_str(),
+                obs::format_bytes(double(ledger.total_high_water())).c_str());
   }
   std::printf("wrote resil_trace.json, resil_metrics.jsonl, resil_rank_heatmap.csv in %s/\n",
               out.dir().c_str());

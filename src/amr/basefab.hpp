@@ -10,6 +10,7 @@
 #include "src/amr/array4.hpp"
 #include "src/amr/box.hpp"
 #include "src/amr/config.hpp"
+#include "src/obs/memory.hpp"
 
 namespace mrpic {
 
@@ -26,6 +27,10 @@ public:
     m_box = bx;
     m_ncomp = ncomp;
     m_data.assign(static_cast<std::size_t>(bx.num_cells()) * ncomp, T(0));
+    // Charge the owning allocation into the memory ledger under the active
+    // ScopedMemTag (the account binds on the first resize and then sticks;
+    // the compiler-generated copy/move of m_mem keeps the books balanced).
+    m_mem.update(static_cast<std::int64_t>(m_data.capacity() * sizeof(T)));
   }
 
   const Box<DIM>& box() const { return m_box; }
@@ -123,6 +128,7 @@ private:
   Box<DIM> m_box;
   int m_ncomp = 0;
   std::vector<T> m_data;
+  obs::MemCharge m_mem;
 };
 
 template <int DIM>

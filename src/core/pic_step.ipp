@@ -118,6 +118,17 @@ void Simulation<DIM>::step() {
     m_time += m_dt;
     ++m_step;
 
+    // 9b. Memory observability: refresh the per-species particle byte
+    // accounts, model the per-rank resident footprint (feeding the memory
+    // lanes of the step recorded by 9.) and publish the ledger as mem_*
+    // gauges — before the health sample below so an OOM guard-rail
+    // BoundRule on mem_total_bytes sees this step's occupancy.
+    if (m_memory_enabled && m_memory_cfg.interval > 0 &&
+        this_step % m_memory_cfg.interval == 0) {
+      auto t = m_profiler.scope("memory");
+      observe_memory(this_step);
+    }
+
     // 10. Invariant ledger + watchdog: sample the end-of-step state (still
     // inside the "step" scope so the probe cost shows up in the attribution,
     // and before end_step() so the health_* gauges land in this step's
@@ -404,6 +415,10 @@ void Simulation<DIM>::maybe_rebalance() {
 
 template <int DIM>
 void Simulation<DIM>::begin_health_probe() {
+  // Scratch copies bind their ledger accounts to "health.scratch" so the
+  // probe's footprint is attributable (and excluded from the MR-savings
+  // field terms).
+  obs::ScopedMemTag mem_tag("health.scratch");
   if (!m_hscratch) { m_hscratch = std::make_unique<HealthScratch>(); }
   auto& h = *m_hscratch;
   h.level0_valid = false;
@@ -431,6 +446,7 @@ void Simulation<DIM>::begin_health_probe() {
 
 template <int DIM>
 void Simulation<DIM>::snapshot_health_currents() {
+  obs::ScopedMemTag mem_tag("health.scratch");
   if (!m_hscratch) { return; }
   auto& h = *m_hscratch;
 
@@ -484,6 +500,9 @@ void Simulation<DIM>::observe_health(std::int64_t step) {
   s.swept = m_swept_total;
   s.cfl_margin = m_cfl_limit_dt > 0 ? 1 - m_dt / m_cfl_limit_dt : 0;
   s.step_wall_s = m_report.wall_s; // previous step (this one is still open)
+  if (m_memory_enabled) {
+    s.mem_total_bytes = static_cast<double>(obs::memory_ledger().total_current());
+  }
 
   if (m_health->nan_due(step)) {
     s.nan_cells = 0;
@@ -662,6 +681,124 @@ void Simulation<DIM>::observe_cluster(std::int64_t step) {
   // E+B+J components with shape-order ghosts, double precision on the wire.
   m_cluster->step_cost(m_fields.box_array(), m_dm, costs, 3 * DIM,
                        m_cfg.shape_order + 1, 8, &m_rank_recorder);
+}
+
+template <int DIM>
+void Simulation<DIM>::refresh_particle_mem_accounts() {
+  // One pair of accounts per species ("particles.<name>.level0"/".patch"),
+  // created lazily because species can be added in any order relative to
+  // enable_memory_obs(). Accounts are *size*-based (live particles times
+  // bytes-per-particle, vector slack excluded) so the measured footprint
+  // matches the analytic MR-savings model term for term.
+  if (m_mem_particles.size() != m_species.size()) {
+    m_mem_particles.clear();
+    m_mem_particles.resize(m_species.size());
+    for (std::size_t i = 0; i < m_species.size(); ++i) {
+      const std::string base = "particles." + m_species[i].level0.species().name;
+      m_mem_particles[i].level0 = obs::MemCharge(base + ".level0");
+      m_mem_particles[i].patch = obs::MemCharge(base + ".patch");
+    }
+  }
+  for (std::size_t i = 0; i < m_species.size(); ++i) {
+    m_mem_particles[i].level0.update(m_species[i].level0.byte_footprint());
+    m_mem_particles[i].patch.update(m_species[i].patch.byte_footprint());
+  }
+}
+
+template <int DIM>
+std::vector<std::int64_t> Simulation<DIM>::model_rank_resident_bytes() const {
+  // Distribute the ledger's live bytes over simulated ranks: level-0 field
+  // and particle bytes go to the owner of their box/tile, the whole MR-patch
+  // surcharge (fields + patch particles) to the rank owning the box under
+  // the patch center (the patch is not domain-decomposed), and whatever the
+  // per-box model does not explain (PMLs, scratch, checkpoint staging, ...)
+  // is spread evenly so the per-rank sum equals the ledger total exactly.
+  std::vector<std::int64_t> bytes(std::max(m_cfg.nranks, 1), 0);
+  const auto& ledger = obs::memory_ledger();
+  const auto& ba = m_fields.box_array();
+  const int ng = m_fields.num_ghost();
+  std::int64_t assigned = 0;
+
+  for (int i = 0; i < ba.size(); ++i) {
+    // E+B+J components, ghosts included, matching FieldSet's footprint.
+    const std::int64_t b =
+        9 * ba[i].grown(ng).num_cells() * static_cast<std::int64_t>(sizeof(Real));
+    bytes[m_dm.rank(i)] += b;
+    assigned += b;
+  }
+  for (const auto& sd : m_species) {
+    for (int ti = 0; ti < sd.level0.num_tiles(); ++ti) {
+      const std::int64_t b = sd.level0.tile(ti).byte_footprint();
+      bytes[m_dm.rank(ti)] += b;
+      assigned += b;
+    }
+  }
+  if (m_patch) {
+    std::int64_t patch_bytes = ledger.current_prefix("mr");
+    for (const auto& sd : m_species) { patch_bytes += sd.patch.byte_footprint(); }
+    int owner = 0;
+    const auto& region = m_patch->region();
+    mrpic::IntVect<DIM> center;
+    for (int d = 0; d < DIM; ++d) { center[d] = (region.lo(d) + region.hi(d)) / 2; }
+    int which = -1;
+    if (ba.contains(center, &which)) { owner = m_dm.rank(which); }
+    bytes[owner] += patch_bytes;
+    assigned += patch_bytes;
+  }
+
+  // Remainder (may be negative if accounts lag the model; keep the sum exact
+  // either way): spread evenly, first rank takes the rounding slack.
+  const std::int64_t total = ledger.total_current();
+  const std::int64_t remainder = total - assigned;
+  const auto nranks = static_cast<std::int64_t>(bytes.size());
+  const std::int64_t share = remainder / nranks;
+  for (auto& b : bytes) { b += share; }
+  bytes[0] += remainder - share * nranks;
+  return bytes;
+}
+
+template <int DIM>
+void Simulation<DIM>::observe_memory(std::int64_t step) {
+  refresh_particle_mem_accounts();
+  auto& ledger = obs::memory_ledger();
+
+  if (m_cluster) {
+    m_last_rank_resident = model_rank_resident_bytes();
+    m_rank_recorder.set_last_step_resident_bytes(m_last_rank_resident);
+    std::int64_t max_b = 0;
+    double sum_b = 0;
+    for (const auto b : m_last_rank_resident) {
+      max_b = std::max(max_b, b);
+      sum_b += static_cast<double>(b);
+    }
+    const double mean_b = sum_b / static_cast<double>(m_last_rank_resident.size());
+    m_metrics.gauge("mem_rank_max_bytes").set(static_cast<double>(max_b));
+    m_metrics.gauge("mem_rank_imbalance")
+        .set(mean_b > 0 ? static_cast<double>(max_b) / mean_b : 1.0);
+    if (m_memory_cfg.node_budget_gb > 0 && max_b > 0) {
+      m_metrics.gauge("mem_node_headroom")
+          .set(m_memory_cfg.budget_bytes() / static_cast<double>(max_b));
+    }
+  }
+
+  m_metrics.gauge("mem_total_bytes").set(static_cast<double>(ledger.total_current()));
+  m_metrics.gauge("mem_total_high_water_bytes")
+      .set(static_cast<double>(ledger.total_high_water()));
+  m_metrics.gauge("mem_fields_bytes")
+      .set(static_cast<double>(ledger.current_prefix("fields")));
+  m_metrics.gauge("mem_particles_bytes")
+      .set(static_cast<double>(ledger.current_prefix("particles")));
+  m_metrics.gauge("mem_mr_bytes").set(static_cast<double>(ledger.current_prefix("mr")));
+  m_metrics.gauge("mem_pml_bytes").set(static_cast<double>(ledger.current_prefix("pml")));
+  m_metrics.gauge("mem_checkpoint_high_water_bytes")
+      .set(static_cast<double>(ledger.high_water("checkpoint")));
+  m_metrics.gauge("mem_insitu_stream_bytes")
+      .set(static_cast<double>(ledger.current("insitu.stream")));
+  m_metrics.gauge("mem_alloc_count").set(static_cast<double>(ledger.total_alloc_count()));
+  if (m_patch) {
+    m_metrics.gauge("mem_mr_savings_factor").set(measured_mr_savings().factor);
+  }
+  (void)step;
 }
 
 } // namespace mrpic::core

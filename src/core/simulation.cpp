@@ -49,6 +49,44 @@ void Simulation<DIM>::enable_cluster_obs(cluster::CommModel cm, double cost_unit
 }
 
 template <int DIM>
+void Simulation<DIM>::enable_memory_obs(MemoryObsConfig cfg) {
+  m_memory_cfg = cfg;
+  m_memory_enabled = true;
+}
+
+template <int DIM>
+obs::MrSavingsInputs Simulation<DIM>::mr_savings_inputs() const {
+  obs::MrSavingsInputs in;
+  in.dim = DIM;
+  in.ratio = m_patch ? m_patch->config().ratio : 1;
+  in.bytes_per_real = static_cast<int>(sizeof(Real));
+  const auto& ba = m_fields.box_array();
+  const int ng = m_fields.num_ghost();
+  for (int i = 0; i < ba.size(); ++i) {
+    in.level0_grown_cells += ba[i].grown(ng).num_cells();
+  }
+  in.num_particles = total_particles();
+  // Patch storage persists after remove() (only the update is skipped), so
+  // the byte model keys on patch existence, not activity.
+  if (m_patch) {
+    const int ngf = m_patch->fine().num_ghost();
+    in.fine_grown_cells = m_patch->fine_region().grown(ngf).num_cells();
+    in.coarse_grown_cells = m_patch->region().grown(ngf).num_cells();
+    in.aux_grown_cells =
+        m_patch->fine_region().grown(m_patch->aux_E().num_ghost()).num_cells();
+    const auto pml_cells = [](const fields::Pml<DIM>& pml) {
+      std::int64_t n = 0;
+      const auto& fab = pml.split_fab();
+      for (int i = 0; i < fab.num_fabs(); ++i) { n += fab.grown_box(i).num_cells(); }
+      return n;
+    };
+    in.fine_pml_cells = pml_cells(m_patch->fine_pml());
+    in.coarse_pml_cells = pml_cells(m_patch->coarse_pml());
+  }
+  return in;
+}
+
+template <int DIM>
 void Simulation<DIM>::enable_health(health::MonitorConfig cfg) {
   m_health = std::make_unique<health::HealthMonitor>(std::move(cfg));
   m_health->set_metrics(&m_metrics);
@@ -105,7 +143,10 @@ void Simulation<DIM>::init() {
                                   m_cfg.periodic);
   const auto ba = mrpic::BoxArray<DIM>::decompose(m_cfg.domain, m_cfg.max_grid_size);
   m_dm = dist::DistributionMapping::make(ba, m_cfg.nranks, m_cfg.lb.strategy);
-  m_fields = fields::FieldSet<DIM>(geom, ba, m_dm);
+  {
+    obs::ScopedMemTag mem_tag("fields.level0");
+    m_fields = fields::FieldSet<DIM>(geom, ba, m_dm);
+  }
 
   if (m_cfg.maxwell == MaxwellSolver::PSATD) {
     // Spectral solve: fully periodic, one global box, no PML/MR.
@@ -118,6 +159,7 @@ void Simulation<DIM>::init() {
   if (m_cfg.use_pml) {
     std::array<bool, DIM> absorb;
     for (int d = 0; d < DIM; ++d) { absorb[d] = !m_cfg.periodic[d]; }
+    obs::ScopedMemTag mem_tag("pml.level0");
     m_pml = std::make_unique<fields::Pml<DIM>>(geom, m_cfg.domain, absorb, m_cfg.pml);
   }
 

@@ -25,6 +25,7 @@
 #include "src/insitu/reductions.hpp"
 #include "src/insitu/registry.hpp"
 #include "src/dist/load_balancer.hpp"
+#include "src/obs/memory.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/profiler.hpp"
 #include "src/obs/rank_recorder.hpp"
@@ -83,6 +84,20 @@ struct SimulationConfig {
   // Mesh refinement: when the moving window has advanced past this physical
   // x, the patch is removed (NaN = never remove automatically).
   Real mr_remove_when_lo_above = std::numeric_limits<Real>::quiet_NaN();
+};
+
+// Memory observability (enable_memory_obs): publish the process-global
+// obs::MemoryLedger per step as mem_* gauges, keep the per-species particle
+// accounts fresh, and (with cluster obs on) feed the per-rank resident-bytes
+// model into the RankRecorder's memory lanes.
+struct MemoryObsConfig {
+  int interval = 1;           // gauge/account refresh cadence (steps)
+  // Per-rank (per-device) memory budget in GiB for the OOM headroom gauge
+  // and first-rank-to-OOM prediction, e.g. a machine-table HBM capacity
+  // (perf::Machine::hbm_gb_device). 0 = no budget tracking.
+  double node_budget_gb = 0;
+
+  double budget_bytes() const { return node_budget_gb * 1024.0 * 1024.0 * 1024.0; }
 };
 
 template <int DIM>
@@ -176,6 +191,32 @@ public:
   // The simulated cluster behind enable_cluster_obs() (nullptr before); the
   // handle through which a fault model attaches (SimCluster::set_faults).
   cluster::SimCluster* sim_cluster() { return m_cluster.get(); }
+
+  // --- memory observability ----------------------------------------------
+  // Per-step publication of the process-global obs::MemoryLedger: mem_*
+  // gauges in metrics() (total/high-water/per-subsystem bytes, MR savings
+  // factor), per-species particle byte accounts, and — when cluster obs is
+  // enabled — per-rank resident-bytes lanes in rank_recorder() (exported by
+  // write_memory_heatmap_csv) plus budget-headroom gauges. The probe runs
+  // inside a "memory" profiler region so its overhead is attributable (and
+  // gated <= 1% by bench_memory). Callable before or after init().
+  void enable_memory_obs(MemoryObsConfig cfg = {});
+  bool memory_obs_enabled() const { return m_memory_enabled; }
+  const MemoryObsConfig& memory_obs_config() const { return m_memory_cfg; }
+  // Structural inputs for the analytic MR memory-savings model, taken from
+  // the live box layout (cells/particles, no ledger involved) — the
+  // cross-check for the ledger-measured factor.
+  obs::MrSavingsInputs mr_savings_inputs() const;
+  // Ledger-measured MR savings factor (uniform-fine-equivalent / actual).
+  obs::MrSavings measured_mr_savings() const {
+    const int ratio = m_patch ? m_patch->config().ratio : 1;
+    return obs::measure_mr_savings(obs::memory_ledger(), ratio, DIM);
+  }
+  // Modeled per-rank resident bytes of the most recent observed step (empty
+  // until cluster obs + memory obs have both run).
+  const std::vector<std::int64_t>& last_rank_resident_bytes() const {
+    return m_last_rank_resident;
+  }
 
   // --- simulation health --------------------------------------------------
   // In-situ invariant ledger + NaN/stability watchdog (src/health). At the
@@ -281,6 +322,11 @@ private:
   void begin_health_probe();
   void snapshot_health_currents();
   void observe_health(std::int64_t step);
+  // Memory probe (pic_step.ipp): refresh particle accounts, model per-rank
+  // resident bytes, publish mem_* gauges.
+  void observe_memory(std::int64_t step);
+  void refresh_particle_mem_accounts();
+  std::vector<std::int64_t> model_rank_resident_bytes() const;
   void register_insitu_diagnostics();
   void maybe_stream_insitu(std::int64_t step);
   void exchange_level0();
@@ -326,6 +372,15 @@ private:
   CheckpointWriter m_ckpt_writer;
   std::unique_ptr<health::HealthMonitor> m_health; // set by enable_health()
   std::unique_ptr<HealthScratch> m_hscratch;
+  bool m_memory_enabled = false;                   // set by enable_memory_obs()
+  MemoryObsConfig m_memory_cfg;
+  // Per-species ledger accounts ("particles.<name>.level0" / ".patch"),
+  // refreshed from live tile sizes on memory-probe steps.
+  struct SpeciesMem {
+    obs::MemCharge level0, patch;
+  };
+  std::vector<SpeciesMem> m_mem_particles;
+  std::vector<std::int64_t> m_last_rank_resident;
   std::unique_ptr<insitu::Registry> m_insitu;      // set by enable_insitu()
   insitu::InsituConfig m_insitu_cfg;
   std::unique_ptr<insitu::StreamWriter> m_insitu_stream;

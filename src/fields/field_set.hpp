@@ -18,9 +18,9 @@ public:
   FieldSet(const mrpic::Geometry<DIM>& geom, const mrpic::BoxArray<DIM>& ba,
            const mrpic::dist::DistributionMapping& dm, int ngrow = mrpic::default_num_ghost)
       : m_geom(geom),
-        m_E(ba, dm, 3, ngrow),
-        m_B(ba, dm, 3, ngrow),
-        m_J(ba, dm, 3, ngrow) {}
+        m_E(tagged("E", ba, dm, 3, ngrow)),
+        m_B(tagged("B", ba, dm, 3, ngrow)),
+        m_J(tagged("J", ba, dm, 3, ngrow)) {}
 
   FieldSet(const mrpic::Geometry<DIM>& geom, const mrpic::BoxArray<DIM>& ba,
            int ngrow = mrpic::default_num_ghost)
@@ -62,6 +62,16 @@ public:
   }
 
 private:
+  // Build one component MultiFab with its memory-ledger tag nested under the
+  // ambient allocation scope (e.g. "fields.level0" + "E"); guaranteed copy
+  // elision constructs the member in place while the scope is active.
+  static mrpic::MultiFab<DIM> tagged(const char* comp, const mrpic::BoxArray<DIM>& ba,
+                                     const mrpic::dist::DistributionMapping& dm,
+                                     int ncomp, int ngrow) {
+    mrpic::obs::ScopedMemTag tag(comp);
+    return mrpic::MultiFab<DIM>(ba, dm, ncomp, ngrow);
+  }
+
   mrpic::Geometry<DIM> m_geom;
   mrpic::MultiFab<DIM> m_E, m_B, m_J;
 };

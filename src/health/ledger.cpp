@@ -24,6 +24,7 @@ double LedgerSample::value(std::string_view quantity) const {
     return nan_cells < 0 ? std::numeric_limits<double>::quiet_NaN()
                          : static_cast<double>(nan_cells);
   }
+  if (quantity == "mem_total_bytes") { return mem_total_bytes; }
   return std::numeric_limits<double>::quiet_NaN();
 }
 
@@ -34,7 +35,7 @@ const std::vector<std::string>& ledger_quantities() {
       "escaped",           "swept",                "max_gamma",
       "cfl_margin",        "step_wall_s",          "gauss_residual",
       "continuity_residual", "gauss_residual_fine", "continuity_residual_fine",
-      "nan_cells"};
+      "nan_cells",         "mem_total_bytes"};
   return names;
 }
 

@@ -72,6 +72,12 @@ struct LedgerSample {
   std::int64_t nan_cells = -1;
   std::string nan_field;  // first offending field ("E", "B", "J", "fine_E", ...)
 
+  // Process-wide resident bytes from the obs::MemoryLedger (NaN when memory
+  // observability is off) — the hook for OOM guard-rail BoundRules: a
+  // Critical rule with checkpoint+abort actions on this quantity saves state
+  // and stops the run before a node-budget overrun becomes a real OOM kill.
+  double mem_total_bytes = std::numeric_limits<double>::quiet_NaN();
+
   // By-name lookup for watchdog rules; NaN for unknown names or unprobed
   // quantities (rules skip NaN values).
   double value(std::string_view quantity) const;

@@ -214,6 +214,12 @@ bool StreamWriter::rotate() {
 
 bool StreamWriter::write(const Frame& f) {
   const std::string buf = encode_frame(f);
+  // Steady "insitu.stream" account: the encode buffer of the frame in
+  // flight plus the manifest index held in memory. The high-water mark is
+  // the largest frame ever staged plus the index at its biggest.
+  m_mem.update(static_cast<std::int64_t>(
+      buf.size() + m_frames.capacity() * sizeof(FrameEntry) +
+      m_files.capacity() * sizeof(FileEntry)));
   const bool fits = m_current >= 0 && m_current_bytes > 0 &&
                     m_current_bytes + buf.size() <= m_cfg.max_file_bytes;
   if (m_current < 0 || (!fits && m_current_bytes > 0)) {

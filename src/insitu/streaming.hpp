@@ -24,6 +24,7 @@
 #include "src/amr/multifab.hpp"
 #include "src/diag/phase_space.hpp"
 #include "src/obs/json.hpp"
+#include "src/obs/memory.hpp"
 
 namespace mrpic::insitu {
 
@@ -123,6 +124,7 @@ private:
   std::vector<FileEntry> m_files;    // live (non-pruned) files, oldest first
   std::vector<FrameEntry> m_frames;  // frames in live files
   void* m_os = nullptr;              // std::ofstream*, kept opaque here
+  obs::MemCharge m_mem{"insitu.stream"}; // encode buffer + manifest index
 };
 
 // --- reader ----------------------------------------------------------------

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <string_view>
 
+#include "src/obs/memory.hpp"
+
 namespace mrpic::io {
 
 namespace {
@@ -203,6 +205,12 @@ bool write_checkpoint(const std::string& path, core::Simulation<DIM>& sim) {
   std::ostringstream payload(std::ios::binary);
   put_payload(payload, sim);
   const std::string bytes = payload.str();
+
+  // The staging buffer is a real (transient) memory cost at checkpoint time
+  // — charge it so the ledger's "checkpoint" high-water mark records the
+  // extra footprint a write adds on top of the resident state.
+  obs::MemCharge mem("checkpoint");
+  mem.update(static_cast<std::int64_t>(bytes.size()));
 
   std::ofstream os(path, std::ios::binary);
   if (!os) { return false; }

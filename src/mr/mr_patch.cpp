@@ -12,16 +12,32 @@ MRPatch<DIM>::MRPatch(const mrpic::Geometry<DIM>& parent_geom, const Config& cfg
   const mrpic::BoxArray<DIM> fine_ba(fine_region());
   const mrpic::BoxArray<DIM> coarse_ba(cfg.region);
 
-  m_fine = fields::FieldSet<DIM>(fine_geom, fine_ba);
-  m_coarse = fields::FieldSet<DIM>(parent_geom, coarse_ba);
+  // Every allocation of the patch surcharge lands under "mr.patch.*" in the
+  // memory ledger — the byte side of the paper's MR affordability argument
+  // (the savings factor compares these accounts against the uniform-fine
+  // equivalent, obs::measure_mr_savings).
+  mrpic::obs::ScopedMemTag t_mr("mr.patch");
+  {
+    mrpic::obs::ScopedMemTag t("fine");
+    m_fine = fields::FieldSet<DIM>(fine_geom, fine_ba);
+  }
+  {
+    mrpic::obs::ScopedMemTag t("coarse");
+    m_coarse = fields::FieldSet<DIM>(parent_geom, coarse_ba);
+  }
 
   std::array<bool, DIM> absorb;
   absorb.fill(true);
-  m_fine_pml = fields::Pml<DIM>(fine_geom, fine_region(), absorb, cfg.pml);
-  m_coarse_pml = fields::Pml<DIM>(parent_geom, cfg.region, absorb, cfg.pml);
-
-  m_auxE = mrpic::MultiFab<DIM>(fine_ba, 3, 2);
-  m_auxB = mrpic::MultiFab<DIM>(fine_ba, 3, 2);
+  {
+    mrpic::obs::ScopedMemTag t("pml");
+    m_fine_pml = fields::Pml<DIM>(fine_geom, fine_region(), absorb, cfg.pml);
+    m_coarse_pml = fields::Pml<DIM>(parent_geom, cfg.region, absorb, cfg.pml);
+  }
+  {
+    mrpic::obs::ScopedMemTag t("aux");
+    m_auxE = mrpic::MultiFab<DIM>(fine_ba, 3, 2);
+    m_auxB = mrpic::MultiFab<DIM>(fine_ba, 3, 2);
+  }
 }
 
 template <int DIM>

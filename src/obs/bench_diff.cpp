@@ -283,6 +283,39 @@ std::vector<std::string> validate_schema(const json::Value& doc) {
                    {"series_ok", 'n'},
                    {"beam_ok", 'n'}},
                   errors);
+  } else if (bench == "memory") {
+    // bench_memory: one record per (grid, species, MR on/off, cadence) case;
+    // byte columns are deterministic and diff exactly, timings are ignored
+    // by bench_smoke. ok/overhead flags are 0/1 numbers.
+    check_records(doc, "cases",
+                  {{"case", 's'},
+                   {"cells", 'n'},
+                   {"species", 'n'},
+                   {"mr", 'n'},
+                   {"interval", 'n'},
+                   {"steps", 'n'},
+                   {"total_bytes", 'n'},
+                   {"high_water_bytes", 'n'},
+                   {"fields_bytes", 'n'},
+                   {"particles_bytes", 'n'},
+                   {"mr_bytes", 'n'},
+                   {"conservation_ok", 'n'},
+                   {"probe_s", 'n'},
+                   {"step_s", 'n'},
+                   {"overhead_frac", 'n'},
+                   {"overhead_ok", 'n'}},
+                  errors);
+  } else if (bench == "mr_savings") {
+    // bench_mr_savings --json: one record per (dim, ratio, patch-fraction)
+    // point of the analytic affordability model.
+    check_records(doc, "points",
+                  {{"dim", 'n'},
+                   {"ratio", 'n'},
+                   {"patch_fraction", 'n'},
+                   {"actual_bytes", 'n'},
+                   {"uniform_fine_bytes", 'n'},
+                   {"savings", 'n'}},
+                  errors);
   }
   // Unknown bench kinds: the 'bench' name above is the whole contract.
   return errors;

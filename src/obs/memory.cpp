@@ -1,0 +1,347 @@
+#include "src/obs/memory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/obs/rank_recorder.hpp"
+
+namespace mrpic::obs {
+
+// --- MemoryLedger ----------------------------------------------------------
+
+MemoryLedger::MemoryLedger() {
+  intern("untagged"); // id 0
+}
+
+int MemoryLedger::intern(std::string_view tag) {
+  std::lock_guard<std::mutex> lk(m_mu);
+  const auto it = m_ids.find(tag);
+  if (it != m_ids.end()) { return it->second; }
+  const int id = static_cast<int>(m_accounts.size());
+  if (id >= kMaxAccounts) { return 0; } // overflow lands in "untagged"
+  m_accounts.emplace_back();
+  m_accounts.back().tag = std::string(tag);
+  m_ids.emplace(std::string(tag), id);
+  // Publish for the lock-free hot path; pairs with the acquire load in
+  // charge()/release() so the Account is fully constructed when seen.
+  m_table[static_cast<std::size_t>(id)].store(&m_accounts.back(),
+                                              std::memory_order_release);
+  return id;
+}
+
+namespace {
+void raise_mark(std::atomic<std::int64_t>& mark, std::int64_t value) {
+  std::int64_t seen = mark.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !mark.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {}
+}
+} // namespace
+
+void MemoryLedger::charge(int id, std::int64_t bytes) {
+  if (bytes <= 0) {
+    if (bytes < 0) { release(id, -bytes); }
+    return;
+  }
+  Account& a = *m_table[static_cast<std::size_t>(id)].load(std::memory_order_acquire);
+  const std::int64_t cur = a.current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  raise_mark(a.high_water, cur);
+  a.alloc_count.fetch_add(1, std::memory_order_relaxed);
+  a.charged.fetch_add(bytes, std::memory_order_relaxed);
+  const std::int64_t tot =
+      m_total_current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  raise_mark(m_total_high_water, tot);
+}
+
+void MemoryLedger::release(int id, std::int64_t bytes) {
+  if (bytes <= 0) {
+    if (bytes < 0) { charge(id, -bytes); }
+    return;
+  }
+  Account& a = *m_table[static_cast<std::size_t>(id)].load(std::memory_order_acquire);
+  a.current.fetch_sub(bytes, std::memory_order_relaxed);
+  a.released.fetch_add(bytes, std::memory_order_relaxed);
+  m_total_current.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+const MemoryLedger::Account* MemoryLedger::find(std::string_view tag) const {
+  std::lock_guard<std::mutex> lk(m_mu);
+  const auto it = m_ids.find(tag);
+  return it == m_ids.end() ? nullptr : &m_accounts[static_cast<std::size_t>(it->second)];
+}
+
+std::int64_t MemoryLedger::current(std::string_view tag) const {
+  const Account* a = find(tag);
+  return a ? a->current.load(std::memory_order_relaxed) : 0;
+}
+
+std::int64_t MemoryLedger::high_water(std::string_view tag) const {
+  const Account* a = find(tag);
+  return a ? a->high_water.load(std::memory_order_relaxed) : 0;
+}
+
+namespace {
+bool tag_under_prefix(std::string_view tag, std::string_view prefix) {
+  if (tag.size() < prefix.size() || tag.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
+  return tag.size() == prefix.size() || tag[prefix.size()] == '.';
+}
+} // namespace
+
+std::int64_t MemoryLedger::current_prefix(std::string_view prefix) const {
+  std::lock_guard<std::mutex> lk(m_mu);
+  std::int64_t sum = 0;
+  for (const auto& a : m_accounts) {
+    if (tag_under_prefix(a.tag, prefix)) {
+      sum += a.current.load(std::memory_order_relaxed);
+    }
+  }
+  return sum;
+}
+
+std::int64_t MemoryLedger::high_water_prefix(std::string_view prefix) const {
+  std::lock_guard<std::mutex> lk(m_mu);
+  std::int64_t sum = 0;
+  for (const auto& a : m_accounts) {
+    if (tag_under_prefix(a.tag, prefix)) {
+      sum += a.high_water.load(std::memory_order_relaxed);
+    }
+  }
+  return sum;
+}
+
+std::int64_t MemoryLedger::total_current() const {
+  return m_total_current.load(std::memory_order_relaxed);
+}
+std::int64_t MemoryLedger::total_high_water() const {
+  return m_total_high_water.load(std::memory_order_relaxed);
+}
+
+std::int64_t MemoryLedger::total_charged() const {
+  std::lock_guard<std::mutex> lk(m_mu);
+  std::int64_t sum = 0;
+  for (const auto& a : m_accounts) { sum += a.charged.load(std::memory_order_relaxed); }
+  return sum;
+}
+
+std::int64_t MemoryLedger::total_released() const {
+  std::lock_guard<std::mutex> lk(m_mu);
+  std::int64_t sum = 0;
+  for (const auto& a : m_accounts) { sum += a.released.load(std::memory_order_relaxed); }
+  return sum;
+}
+
+std::int64_t MemoryLedger::total_alloc_count() const {
+  std::lock_guard<std::mutex> lk(m_mu);
+  std::int64_t sum = 0;
+  for (const auto& a : m_accounts) {
+    sum += a.alloc_count.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::vector<MemAccountSnapshot> MemoryLedger::snapshot() const {
+  std::lock_guard<std::mutex> lk(m_mu);
+  std::vector<MemAccountSnapshot> out;
+  out.reserve(m_accounts.size());
+  for (const auto& a : m_accounts) {
+    MemAccountSnapshot s;
+    s.tag = a.tag;
+    s.current = a.current.load(std::memory_order_relaxed);
+    s.high_water = a.high_water.load(std::memory_order_relaxed);
+    s.alloc_count = a.alloc_count.load(std::memory_order_relaxed);
+    s.charged = a.charged.load(std::memory_order_relaxed);
+    s.released = a.released.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MemoryLedger::reset_high_water() {
+  std::lock_guard<std::mutex> lk(m_mu);
+  for (auto& a : m_accounts) {
+    a.high_water.store(a.current.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  }
+  m_total_high_water.store(m_total_current.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+}
+
+MemoryLedger& memory_ledger() {
+  static MemoryLedger ledger;
+  return ledger;
+}
+
+// --- ScopedMemTag ----------------------------------------------------------
+
+namespace {
+std::string& tls_tag_path() {
+  static thread_local std::string path;
+  return path;
+}
+} // namespace
+
+ScopedMemTag::ScopedMemTag(std::string_view component) {
+  std::string& path = tls_tag_path();
+  m_prev_size = path.size();
+  if (!path.empty()) { path += '.'; }
+  path += component;
+}
+
+ScopedMemTag::~ScopedMemTag() { tls_tag_path().resize(m_prev_size); }
+
+std::string ScopedMemTag::current_path() { return tls_tag_path(); }
+
+int ScopedMemTag::current_id() {
+  const std::string& path = tls_tag_path();
+  return path.empty() ? 0 : memory_ledger().intern(path);
+}
+
+bool ScopedMemTag::active() { return !tls_tag_path().empty(); }
+
+// --- MemCharge -------------------------------------------------------------
+
+MemCharge::MemCharge(std::string_view tag) : m_id(memory_ledger().intern(tag)) {}
+
+void MemCharge::bind_for_copy(const MemCharge& o) {
+  // Fresh binding for a copy: the active scope wins (a scratch copy made
+  // under ScopedMemTag("health") is health memory), else stay in the
+  // source's account.
+  m_id = ScopedMemTag::active() ? ScopedMemTag::current_id() : o.m_id;
+}
+
+MemCharge::MemCharge(const MemCharge& o) {
+  if (o.m_bytes == 0 && o.m_id < 0) { return; }
+  bind_for_copy(o);
+  update(o.m_bytes);
+}
+
+MemCharge& MemCharge::operator=(const MemCharge& o) {
+  if (this == &o) { return *this; }
+  // Keep our own account when already bound (re-filling an existing owner
+  // does not re-home its bytes); otherwise bind like a fresh copy.
+  if (m_id < 0) { bind_for_copy(o); }
+  update(o.m_bytes);
+  return *this;
+}
+
+MemCharge::MemCharge(MemCharge&& o) noexcept : m_id(o.m_id), m_bytes(o.m_bytes) {
+  o.m_id = -1;
+  o.m_bytes = 0;
+}
+
+MemCharge& MemCharge::operator=(MemCharge&& o) noexcept {
+  if (this == &o) { return *this; }
+  if (m_bytes != 0 && m_id >= 0) { memory_ledger().release(m_id, m_bytes); }
+  m_id = o.m_id;
+  m_bytes = o.m_bytes;
+  o.m_id = -1;
+  o.m_bytes = 0;
+  return *this;
+}
+
+MemCharge::~MemCharge() {
+  if (m_bytes != 0 && m_id >= 0) { memory_ledger().release(m_id, m_bytes); }
+}
+
+void MemCharge::update(std::int64_t bytes) {
+  if (bytes < 0) { bytes = 0; }
+  if (m_id < 0) {
+    if (bytes == 0) { return; } // stay unbound until there is something to own
+    m_id = ScopedMemTag::current_id();
+  }
+  const std::int64_t delta = bytes - m_bytes;
+  if (delta > 0) {
+    memory_ledger().charge(m_id, delta);
+  } else if (delta < 0) {
+    memory_ledger().release(m_id, -delta);
+  }
+  m_bytes = bytes;
+}
+
+// --- MR memory-savings model -----------------------------------------------
+
+MrSavings mr_savings_from_bytes(double level0_field_bytes, double mr_bytes,
+                                double particle_bytes, int ratio, int dim) {
+  MrSavings s;
+  double scale = 1;
+  for (int d = 0; d < dim; ++d) { scale *= static_cast<double>(ratio); }
+  s.actual_bytes = level0_field_bytes + mr_bytes + particle_bytes;
+  // Uniform fine grid: same box layout and particles-per-cell density at
+  // ratio x the resolution everywhere — fields and particle count both scale
+  // with the cell count, i.e. by ratio^dim.
+  s.uniform_fine_bytes = (level0_field_bytes + particle_bytes) * scale;
+  s.factor = s.actual_bytes > 0 ? s.uniform_fine_bytes / s.actual_bytes : 1.0;
+  return s;
+}
+
+MrSavings analytic_mr_savings(const MrSavingsInputs& in) {
+  const double b = static_cast<double>(in.bytes_per_real);
+  const int rpp =
+      in.reals_per_particle > 0 ? in.reals_per_particle : in.dim + 4;
+  const double field0 =
+      static_cast<double>(in.field_comps) * static_cast<double>(in.level0_grown_cells) * b;
+  const std::int64_t aux_cells =
+      in.aux_grown_cells > 0 ? in.aux_grown_cells : in.fine_grown_cells;
+  const double mr =
+      static_cast<double>(in.field_comps) *
+          static_cast<double>(in.fine_grown_cells + in.coarse_grown_cells) * b +
+      static_cast<double>(in.aux_comps) * static_cast<double>(aux_cells) * b +
+      static_cast<double>(in.pml_comps) *
+          static_cast<double>(in.fine_pml_cells + in.coarse_pml_cells) * b;
+  const double particles =
+      static_cast<double>(in.num_particles) * static_cast<double>(rpp) * b;
+  return mr_savings_from_bytes(field0, mr, particles, in.ratio, in.dim);
+}
+
+MrSavings measure_mr_savings(const MemoryLedger& ledger, int ratio, int dim) {
+  const double field0 = static_cast<double>(ledger.current_prefix("fields.level0"));
+  const double mr = static_cast<double>(ledger.current_prefix("mr"));
+  const double particles = static_cast<double>(ledger.current_prefix("particles"));
+  return mr_savings_from_bytes(field0, mr, particles, ratio, dim);
+}
+
+// --- OOM prediction --------------------------------------------------------
+
+OomPrediction predict_first_oom(const RankRecorder& rec, double budget_bytes) {
+  OomPrediction p;
+  for (const auto& step : rec.steps()) {
+    for (const auto& r : step.ranks) {
+      if (r.resident_bytes > p.peak_bytes) {
+        p.peak_bytes = r.resident_bytes;
+        p.peak_step = step.step;
+        p.peak_rank = r.rank;
+      }
+      if (!p.predicted && budget_bytes > 0 &&
+          static_cast<double>(r.resident_bytes) > budget_bytes) {
+        p.predicted = true;
+        p.step = step.step;
+        p.rank = r.rank;
+      }
+    }
+  }
+  p.headroom = p.peak_bytes > 0 && budget_bytes > 0
+                   ? budget_bytes / static_cast<double>(p.peak_bytes)
+                   : 0;
+  return p;
+}
+
+std::string format_bytes(double bytes) {
+  static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = bytes;
+  int u = 0;
+  while (std::abs(v) >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", v, units[u]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, units[u]);
+  }
+  return std::string(buf);
+}
+
+} // namespace mrpic::obs

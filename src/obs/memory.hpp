@@ -1,0 +1,258 @@
+#pragma once
+
+// obs::MemoryLedger — per-subsystem byte accounting, the memory counterpart
+// of the time-side Profiler/MetricsRegistry. Every owning allocation in the
+// code charges its byte footprint into a tagged account ("fields.level0.E",
+// "particles.electrons.level0", "mr.patch.fine.J", "checkpoint",
+// "insitu.stream", ...) and releases it on destruction, so at any instant
+// the ledger answers the questions the paper's memory discussion raises:
+// how many bytes does each species/level/patch hold, what was the high-water
+// mark, and what is the measured MR memory-savings factor relative to an
+// equivalent uniform fine grid (the affordability claim behind Fig. 6).
+//
+// Design:
+//  * The ledger is process-global (memory_ledger()): allocations outlive any
+//    one Simulation (and resil's replay deliberately rebuilds Simulations in
+//    the same process), so high-water marks carry across incarnations unless
+//    explicitly reset — see reset_high_water().
+//  * Tags are interned once (mutex-guarded) into dense ids; the hot path
+//    (charge/release) is pure relaxed atomics on the account, cheap enough
+//    to stay always-on.
+//  * ScopedMemTag is a thread-local hierarchical tag: nested scopes join
+//    with '.', and any MemCharge first charged inside the scope binds to the
+//    joined path. Untagged charges land in account "untagged".
+//  * MemCharge is the RAII handle embedded in owners (one per BaseFab):
+//    update(bytes) re-charges the delta, the destructor releases, copies
+//    duplicate the charge and moves transfer it, so the conservation
+//    invariant  total_charged - total_released == total_current  holds
+//    exactly at every instant (gated in tests/obs/test_memory.cpp).
+//
+// On top of the raw accounts this header also hosts the two derived models:
+// the MR memory-savings factor (measured from ledger bytes and analytic from
+// structural cell counts, required to agree within 10%) and the first-rank-
+// to-OOM prediction over the per-rank resident-bytes lanes recorded by
+// obs::RankRecorder.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrpic::obs {
+
+class RankRecorder;
+
+// Read-only copy of one account's state at snapshot time.
+struct MemAccountSnapshot {
+  std::string tag;
+  std::int64_t current = 0;     // live bytes charged right now
+  std::int64_t high_water = 0;  // largest `current` ever seen
+  std::int64_t alloc_count = 0; // number of positive charges
+  std::int64_t charged = 0;     // cumulative bytes charged
+  std::int64_t released = 0;    // cumulative bytes released
+};
+
+class MemoryLedger {
+public:
+  MemoryLedger();
+
+  // Look up or create the account for `tag`; returned ids are dense, stable
+  // and valid for the ledger's lifetime. Id 0 is the "untagged" account,
+  // which also absorbs everything past the kMaxAccounts cap.
+  int intern(std::string_view tag);
+
+  // Hot path: relaxed atomics only (plus a CAS loop for high-water marks).
+  void charge(int id, std::int64_t bytes);
+  void release(int id, std::int64_t bytes);
+
+  // --- queries -----------------------------------------------------------
+  std::int64_t current(std::string_view tag) const;     // exact tag
+  std::int64_t high_water(std::string_view tag) const;  // exact tag
+  // Sum of `current` over `tag == prefix` and every `tag` starting with
+  // `prefix + "."` (so "fields" covers "fields.level0.E" but not "fieldsX").
+  std::int64_t current_prefix(std::string_view prefix) const;
+  std::int64_t high_water_prefix(std::string_view prefix) const; // sum of marks
+
+  std::int64_t total_current() const;
+  std::int64_t total_high_water() const;  // high-water of the *total*
+  std::int64_t total_charged() const;
+  std::int64_t total_released() const;
+  std::int64_t total_alloc_count() const;
+
+  std::vector<MemAccountSnapshot> snapshot() const;
+
+  // Restart the high-water tracking from the current occupancy (per-account
+  // marks and the total mark). The default across resil replay incarnations
+  // is carry-over — the process-global ledger keeps the pre-crash peak so
+  // "worst footprint of the whole campaign" survives the rebuild; call this
+  // for per-incarnation peaks instead. Never touches current/charged/
+  // released, so conservation is unaffected.
+  void reset_high_water();
+
+private:
+  struct Account {
+    std::string tag;
+    std::atomic<std::int64_t> current{0};
+    std::atomic<std::int64_t> high_water{0};
+    std::atomic<std::int64_t> alloc_count{0};
+    std::atomic<std::int64_t> charged{0};
+    std::atomic<std::int64_t> released{0};
+  };
+
+  const Account* find(std::string_view tag) const;
+
+  // More distinct tags than any real run uses (per-component field fabs x
+  // levels + per-species levels + a handful of subsystem accounts is a few
+  // hundred); intern() degrades to the "untagged" account past the cap.
+  static constexpr int kMaxAccounts = 4096;
+
+  mutable std::mutex m_mu;                       // guards interning only
+  std::deque<Account> m_accounts;                // stable addresses
+  // Lock-free id -> account map for the charge/release hot path: interning
+  // publishes the account pointer with a release store, so readers never
+  // touch the deque's internals while it grows under the mutex.
+  std::array<std::atomic<Account*>, kMaxAccounts> m_table{};
+  std::map<std::string, int, std::less<>> m_ids;
+  std::atomic<std::int64_t> m_total_current{0};
+  std::atomic<std::int64_t> m_total_high_water{0};
+};
+
+// The process-global ledger every MemCharge reports into.
+MemoryLedger& memory_ledger();
+
+// RAII hierarchical allocation tag (thread-local). While alive, MemCharges
+// first charged on this thread bind to the joined path of every active
+// scope, e.g. { ScopedMemTag a("fields.level0"); ScopedMemTag b("E"); ... }
+// tags allocations "fields.level0.E".
+class ScopedMemTag {
+public:
+  explicit ScopedMemTag(std::string_view component);
+  ~ScopedMemTag();
+  ScopedMemTag(const ScopedMemTag&) = delete;
+  ScopedMemTag& operator=(const ScopedMemTag&) = delete;
+
+  // Joined path of the active scopes on this thread ("" when none).
+  static std::string current_path();
+  // Interned id of the active path ("untagged" id 0 when none active).
+  static int current_id();
+  static bool active();
+
+private:
+  std::size_t m_prev_size;
+};
+
+// RAII charge handle: owns `bytes()` bytes in account `id` and releases them
+// on destruction. The tag binds on the first update (from the active
+// ScopedMemTag, or explicitly via the tag constructor) and then sticks:
+// resizing or copy-assigning *into* an already-bound handle re-charges the
+// byte delta against the original account, so a fab built under
+// "fields.level0" stays a level-0 fab even when later refilled from inside
+// another scope. Copy-*construction* binds fresh (active scope first, source
+// tag as fallback): a scratch copy made under ScopedMemTag("health") charges
+// "health", an untagged copy inherits the source's account.
+class MemCharge {
+public:
+  MemCharge() = default;
+  // Bind to an explicit tag immediately (no bytes charged yet).
+  explicit MemCharge(std::string_view tag);
+
+  MemCharge(const MemCharge& o);
+  MemCharge& operator=(const MemCharge& o);
+  MemCharge(MemCharge&& o) noexcept;
+  MemCharge& operator=(MemCharge&& o) noexcept;
+  ~MemCharge();
+
+  // Set the tracked footprint to `bytes` (charges/releases the delta).
+  void update(std::int64_t bytes);
+
+  std::int64_t bytes() const { return m_bytes; }
+  bool bound() const { return m_id >= 0; }
+  int account_id() const { return m_id; }
+
+private:
+  void bind_for_copy(const MemCharge& o);
+
+  int m_id = -1;          // < 0: not bound to an account yet
+  std::int64_t m_bytes = 0;
+};
+
+// ---------------------------------------------------------------------------
+// MR memory-savings factor (paper Fig. 6 affordability argument).
+//
+// savings = bytes(equivalent uniform fine grid) / bytes(MR run)
+//
+// where the uniform-fine equivalent keeps the level-0 box layout and the
+// particles-per-cell density but refines everything by the patch ratio, so
+// field and particle bytes both scale by ratio^DIM, while the MR run pays
+// level-0 plus the patch surcharge (fine + coarse companion + aux gather
+// fields + both patch PMLs). The *measured* variant reads every term from
+// ledger accounts (prefixes "fields.level0", "mr", "particles"); the
+// *analytic* variant recomputes the same formula from structural cell/
+// particle counts with the known component and ghost conventions. Both run
+// through mr_savings_from_bytes so any disagreement is purely instrumentation
+// coverage, gated at <= 10% in the tests.
+
+struct MrSavings {
+  double actual_bytes = 0;        // measured/modeled MR-run footprint
+  double uniform_fine_bytes = 0;  // equivalent uniform-fine footprint
+  double factor = 1;              // uniform_fine_bytes / actual_bytes (>= 1
+                                  // whenever the patch is cheaper than
+                                  // refining everything)
+};
+
+// Structural description of one MR run, fillable from a Simulation (see
+// core::Simulation::mr_savings_inputs) or by hand in the analytic benches.
+struct MrSavingsInputs {
+  int dim = 2;
+  int ratio = 2;
+  std::int64_t level0_grown_cells = 0;  // sum over level-0 boxes, ghosts incl.
+  std::int64_t fine_grown_cells = 0;    // fine patch region, ghosts included
+  std::int64_t coarse_grown_cells = 0;  // coarse companion, ghosts included
+  std::int64_t aux_grown_cells = 0;     // aux gather fields (own ghost width;
+                                        // 0 = same as fine_grown_cells)
+  std::int64_t fine_pml_cells = 0;      // split-fab ring cells, fine patch
+  std::int64_t coarse_pml_cells = 0;    // split-fab ring cells, companion
+  std::int64_t num_particles = 0;       // all species, all levels
+  int field_comps = 9;                  // E,B,J x 3 components
+  int aux_comps = 6;                    // aux E,B x 3 components
+  int pml_comps = 12;                   // split-field components
+  int bytes_per_real = 8;
+  int reals_per_particle = 0;           // 0 = dim + 4 (x[dim], u[3], w)
+};
+
+// Shared arithmetic: given the MR-run byte terms, form the savings factor.
+MrSavings mr_savings_from_bytes(double level0_field_bytes, double mr_bytes,
+                                double particle_bytes, int ratio, int dim);
+
+// Analytic model from structural counts (no ledger involved).
+MrSavings analytic_mr_savings(const MrSavingsInputs& in);
+
+// Measured model from the given ledger's live accounts.
+MrSavings measure_mr_savings(const MemoryLedger& ledger, int ratio, int dim);
+
+// ---------------------------------------------------------------------------
+// First-rank-to-OOM prediction over the resident-bytes lanes recorded into a
+// RankRecorder (cluster replay). `budget_bytes` is the per-rank (per-device)
+// memory budget, e.g. the machine table's HBM capacity.
+
+struct OomPrediction {
+  bool predicted = false;      // some (step, rank) exceeded the budget
+  std::int64_t step = -1;      // first offending step (-1 when none)
+  int rank = -1;               // first offending rank
+  std::int64_t peak_bytes = 0; // largest resident bytes over all (step, rank)
+  std::int64_t peak_step = -1;
+  int peak_rank = -1;
+  double headroom = 0;         // budget / peak (>1: fits; <=1: OOM)
+};
+
+OomPrediction predict_first_oom(const RankRecorder& rec, double budget_bytes);
+
+// Human-readable byte count ("1.50 GiB") for reports.
+std::string format_bytes(double bytes);
+
+} // namespace mrpic::obs

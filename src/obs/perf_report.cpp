@@ -165,6 +165,46 @@ BeamPhysicsSection summarize_insitu(const insitu::Registry& reg, const Profiler&
   return b;
 }
 
+MemorySection summarize_memory(const MemoryLedger& ledger, const Profiler& prof,
+                               const MrSavings* measured, const MrSavings* analytic,
+                               const RankRecorder* rec, double budget_bytes) {
+  MemorySection m;
+  m.enabled = true;
+  m.total_bytes = ledger.total_current();
+  m.high_water_bytes = ledger.total_high_water();
+  m.fields_bytes = ledger.current_prefix("fields");
+  m.particles_bytes = ledger.current_prefix("particles");
+  m.mr_bytes = ledger.current_prefix("mr");
+  m.pml_bytes = ledger.current_prefix("pml");
+  m.checkpoint_hw_bytes = ledger.high_water("checkpoint");
+  m.insitu_stream_bytes = ledger.current("insitu.stream");
+  m.alloc_count = ledger.total_alloc_count();
+
+  const auto totals = prof.flat_totals();
+  if (const auto it = totals.find("memory"); it != totals.end()) {
+    m.probe_s = it->second.inclusive_s;
+  }
+  if (const auto it = totals.find("step"); it != totals.end()) {
+    m.step_s = it->second.inclusive_s;
+  }
+  m.probe_overhead = m.step_s > 0 ? m.probe_s / m.step_s : 0;
+
+  if (measured != nullptr && analytic != nullptr) {
+    m.measured = *measured;
+    m.analytic = *analytic;
+    m.has_savings = true;
+    if (analytic->factor > 0) {
+      m.savings_disagreement =
+          std::abs(measured->factor - analytic->factor) / analytic->factor;
+    }
+  }
+  if (rec != nullptr) {
+    m.budget_bytes = budget_bytes > 0 ? budget_bytes : 0;
+    m.oom = predict_first_oom(*rec, budget_bytes);
+  }
+  return m;
+}
+
 PerfReport build_perf_report(const RankRecorder& rec, const PerfReportOptions& opt) {
   PerfReport report;
   report.title = opt.title;
@@ -309,6 +349,51 @@ void write_markdown(const PerfReport& report, std::ostream& os) {
     os << "\n";
   }
 
+  // --- memory -------------------------------------------------------------
+  if (report.memory.enabled) {
+    const auto& m = report.memory;
+    os << "## Memory\n\n";
+    os << "Live footprint " << format_bytes(double(m.total_bytes)) << " (high water "
+       << format_bytes(double(m.high_water_bytes)) << ", " << m.alloc_count
+       << " allocations). Probe cost " << fmt3(m.probe_s) << " s of " << fmt3(m.step_s)
+       << " s stepped (" << fmt_pct(m.probe_overhead) << " overhead).\n\n";
+    os << "| subsystem | bytes |\n|---|---:|\n";
+    os << "| level-0 + MR fields | " << format_bytes(double(m.fields_bytes + m.mr_bytes))
+       << " |\n";
+    os << "| particles | " << format_bytes(double(m.particles_bytes)) << " |\n";
+    os << "| MR patch surcharge | " << format_bytes(double(m.mr_bytes)) << " |\n";
+    os << "| level-0 PML | " << format_bytes(double(m.pml_bytes)) << " |\n";
+    os << "| checkpoint staging (high water) | "
+       << format_bytes(double(m.checkpoint_hw_bytes)) << " |\n";
+    os << "| in-situ stream buffers | " << format_bytes(double(m.insitu_stream_bytes))
+       << " |\n\n";
+    if (m.has_savings) {
+      os << "MR memory savings vs an equivalent uniform fine grid: measured **"
+         << fmt3(m.measured.factor) << "x** ("
+         << format_bytes(m.measured.uniform_fine_bytes) << " -> "
+         << format_bytes(m.measured.actual_bytes) << "), analytic model "
+         << fmt3(m.analytic.factor) << "x";
+      if (std::isfinite(m.savings_disagreement)) {
+        os << " (disagreement " << fmt_pct(m.savings_disagreement) << ")";
+      }
+      os << ".\n\n";
+    }
+    if (m.oom.peak_bytes > 0) {
+      os << "Per-rank resident peak " << format_bytes(double(m.oom.peak_bytes))
+         << " (rank " << m.oom.peak_rank << ", step " << m.oom.peak_step << ")";
+      if (m.budget_bytes > 0) {
+        os << " against a " << format_bytes(m.budget_bytes) << " budget: ";
+        if (m.oom.predicted) {
+          os << "**predicted OOM** first at rank " << m.oom.rank << ", step "
+             << m.oom.step;
+        } else {
+          os << "fits with " << fmt3(m.oom.headroom) << "x headroom";
+        }
+      }
+      os << ".\n\n";
+    }
+  }
+
   // --- roofline -----------------------------------------------------------
   if (!report.roofline.empty()) {
     os << "## Roofline attribution";
@@ -413,6 +498,39 @@ void write_json(const PerfReport& report, std::ostream& os) {
         .field("stream_frames", b.stream_frames)
         .field("stream_bytes", b.stream_bytes)
         .end_object();
+  }
+
+  if (report.memory.enabled) {
+    const auto& m = report.memory;
+    w.begin_object("memory")
+        .field("total_bytes", m.total_bytes)
+        .field("high_water_bytes", m.high_water_bytes)
+        .field("fields_bytes", m.fields_bytes)
+        .field("particles_bytes", m.particles_bytes)
+        .field("mr_bytes", m.mr_bytes)
+        .field("pml_bytes", m.pml_bytes)
+        .field("checkpoint_hw_bytes", m.checkpoint_hw_bytes)
+        .field("insitu_stream_bytes", m.insitu_stream_bytes)
+        .field("alloc_count", m.alloc_count)
+        .field("probe_s", m.probe_s)
+        .field("step_s", m.step_s)
+        .field("probe_overhead", m.probe_overhead);
+    if (m.has_savings) {
+      w.field("mr_savings_measured", m.measured.factor)
+          .field("mr_savings_analytic", m.analytic.factor)
+          .field("mr_savings_disagreement", m.savings_disagreement)
+          .field("mr_actual_bytes", m.measured.actual_bytes)
+          .field("mr_uniform_fine_bytes", m.measured.uniform_fine_bytes);
+    }
+    if (m.oom.peak_bytes > 0) {
+      w.field("rank_peak_bytes", m.oom.peak_bytes)
+          .field("rank_peak_rank", m.oom.peak_rank)
+          .field("rank_peak_step", m.oom.peak_step)
+          .field("budget_bytes", m.budget_bytes)
+          .field("oom_predicted", m.oom.predicted)
+          .field("oom_headroom", m.oom.headroom);
+    }
+    w.end_object();
   }
 
   if (!report.roofline.empty()) {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/obs/analysis.hpp"
+#include "src/obs/memory.hpp"
 
 namespace mrpic::health {
 class HealthMonitor;
@@ -93,6 +94,48 @@ struct BeamPhysicsSection {
 BeamPhysicsSection summarize_insitu(const insitu::Registry& reg, const Profiler& prof,
                                     const insitu::StreamWriter* stream = nullptr);
 
+// Summary of a run's memory telemetry (obs::MemoryLedger) for the perf
+// report: live/high-water bytes per subsystem, the measured-vs-analytic MR
+// memory-savings factors (the paper's Fig. 6 affordability argument), the
+// probe's own cost, and — when a recorder with resident-bytes lanes and a
+// budget are supplied — the per-rank peak and first-rank-to-OOM prediction.
+struct MemorySection {
+  bool enabled = false;
+  std::int64_t total_bytes = 0;       // ledger total at summary time
+  std::int64_t high_water_bytes = 0;  // high-water of the total
+  std::int64_t fields_bytes = 0;      // prefix "fields"
+  std::int64_t particles_bytes = 0;   // prefix "particles"
+  std::int64_t mr_bytes = 0;          // prefix "mr"
+  std::int64_t pml_bytes = 0;         // prefix "pml"
+  std::int64_t checkpoint_hw_bytes = 0; // high-water of "checkpoint" staging
+  std::int64_t insitu_stream_bytes = 0; // "insitu.stream"
+  std::int64_t alloc_count = 0;
+  double probe_s = 0;                 // total seconds inside "memory" region
+  double step_s = 0;                  // total seconds inside "step" region
+  double probe_overhead = 0;          // probe_s / step_s (0 when step_s == 0)
+
+  // MR savings (factor <= 0: not computed, e.g. no patch).
+  MrSavings measured;
+  MrSavings analytic;
+  bool has_savings = false;
+  // |measured.factor - analytic.factor| / analytic.factor (NaN w/o savings).
+  double savings_disagreement = std::numeric_limits<double>::quiet_NaN();
+
+  // Per-rank resident model (zeroed when no recorder lanes were fed).
+  double budget_bytes = 0;            // 0 = no budget configured
+  OomPrediction oom;                  // peak_bytes > 0 iff lanes existed
+};
+
+// Collapse the ledger (plus the profiler's "memory"/"step" totals) into a
+// MemorySection. Optional extras: measured/analytic savings pair, and a
+// recorder whose resident-bytes lanes drive the OOM prediction against
+// `budget_bytes` (ignored when <= 0 except for the peak lookup).
+MemorySection summarize_memory(const MemoryLedger& ledger, const Profiler& prof,
+                               const MrSavings* measured = nullptr,
+                               const MrSavings* analytic = nullptr,
+                               const RankRecorder* rec = nullptr,
+                               double budget_bytes = 0);
+
 struct PerfReportOptions {
   std::string title = "perf report";
   // Wire model used for the latency split (cluster::CommModel::latency_s of
@@ -114,6 +157,7 @@ struct PerfReport {
   std::string machine;                              // roofline machine name
   HealthSection health;                             // optional (health.enabled)
   BeamPhysicsSection beam;                          // optional (beam.enabled)
+  MemorySection memory;                             // optional (memory.enabled)
   int top_steps = 5;
 
   // Steps ordered by descending critical-path makespan.

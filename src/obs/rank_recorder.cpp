@@ -46,6 +46,14 @@ void RankRecorder::add_step(RankStepBreakdown breakdown, std::vector<HaloMessage
   m_steps.push_back(std::move(breakdown));
 }
 
+void RankRecorder::set_last_step_resident_bytes(const std::vector<std::int64_t>& bytes) {
+  if (m_steps.empty() || m_steps.back().ranks.size() != bytes.size()) { return; }
+  auto& ranks = m_steps.back().ranks;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    ranks[r].resident_bytes = bytes[r];
+  }
+}
+
 void RankRecorder::add_rebalance(RebalanceRecord rec) {
   if (rec.step < 0) { rec.step = m_step; }
   m_rebalances.push_back(std::move(rec));
@@ -86,6 +94,38 @@ bool RankRecorder::write_rank_heatmap_csv(const std::string& path) const {
   std::ofstream os(path);
   if (!os) { return false; }
   write_rank_heatmap_csv(os);
+  return static_cast<bool>(os);
+}
+
+void RankRecorder::write_memory_heatmap_csv(std::ostream& os) const {
+  os << "step,rank,boxes,resident_bytes,step_total_bytes,step_max_bytes,"
+        "mem_imbalance\n";
+  char buf[64];
+  const auto num = [&buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  std::vector<double> loads;
+  for (const auto& step : m_steps) {
+    std::int64_t total = 0, peak = 0;
+    loads.assign(step.ranks.size(), 0);
+    for (std::size_t r = 0; r < step.ranks.size(); ++r) {
+      total += step.ranks[r].resident_bytes;
+      peak = std::max(peak, step.ranks[r].resident_bytes);
+      loads[r] = static_cast<double>(step.ranks[r].resident_bytes);
+    }
+    const double imb = dist::max_over_mean(loads);
+    for (const auto& r : step.ranks) {
+      os << step.step << ',' << r.rank << ',' << r.boxes << ',' << r.resident_bytes
+         << ',' << total << ',' << peak << ',' << num(imb) << '\n';
+    }
+  }
+}
+
+bool RankRecorder::write_memory_heatmap_csv(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) { return false; }
+  write_memory_heatmap_csv(os);
   return static_cast<bool>(os);
 }
 

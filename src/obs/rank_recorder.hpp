@@ -33,6 +33,9 @@ struct RankStepStats {
   std::int64_t messages = 0;       // inter-rank messages touching this rank
   std::int64_t retries = 0;        // retransmission attempts touching this rank
   int boxes = 0;                   // boxes mapped to this rank
+  std::int64_t resident_bytes = 0; // modeled resident memory of the rank
+                                   // (fields + particles of its boxes + MR/
+                                   // shared terms; 0 when memory obs is off)
   double total_s() const { return compute_s + comm_s; }
 };
 
@@ -107,6 +110,10 @@ public:
   // Append one step's breakdown plus its message log. The breakdown's step
   // tag wins; messages are re-tagged to match.
   void add_step(RankStepBreakdown breakdown, std::vector<HaloMessage> messages);
+  // Attach the per-rank resident-bytes lane to the most recent step (the
+  // memory model is evaluated by the driver right after the cost replay;
+  // no-op when no step has been recorded or sizes mismatch).
+  void set_last_step_resident_bytes(const std::vector<std::int64_t>& bytes);
   void add_rebalance(RebalanceRecord rec);
   // Append a fault/recovery event (resil layer). A negative step is tagged
   // with the current step.
@@ -127,6 +134,15 @@ public:
   // rows (the paper's Fig. 9-style imbalance heatmap).
   void write_rank_heatmap_csv(std::ostream& os) const;
   bool write_rank_heatmap_csv(const std::string& path) const;
+  // step x rank resident-bytes matrix as CSV, one row per (step, rank):
+  //   step,rank,boxes,resident_bytes,step_total_bytes,step_max_bytes,
+  //   mem_imbalance
+  // with the per-step total/max/imbalance (max over mean resident bytes)
+  // repeated on each of the step's rows — the memory analogue of the
+  // compute-imbalance heatmap, feeding the first-rank-to-OOM analysis
+  // (obs::predict_first_oom).
+  void write_memory_heatmap_csv(std::ostream& os) const;
+  bool write_memory_heatmap_csv(const std::string& path) const;
 
 private:
   int m_nranks = 0;

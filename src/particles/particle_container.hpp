@@ -25,6 +25,13 @@ struct ParticleTile {
   std::vector<Real> w;
 
   std::size_t size() const { return w.size(); }
+  // Live SoA bytes of the tile: (DIM + 4) reals per particle (x[DIM], u[3],
+  // w). Counts particles, not vector slack, so the measured footprint
+  // matches the analytic count * bytes-per-particle model exactly.
+  std::int64_t byte_footprint() const {
+    return static_cast<std::int64_t>(size()) *
+           static_cast<std::int64_t>((DIM + 4) * sizeof(Real));
+  }
   void clear() {
     for (auto& v : x) { v.clear(); }
     for (auto& v : u) { v.clear(); }
@@ -83,6 +90,13 @@ public:
   std::int64_t total_particles() const {
     std::int64_t n = 0;
     for (const auto& t : m_tiles) { n += static_cast<std::int64_t>(t.size()); }
+    return n;
+  }
+
+  // Live SoA bytes over all tiles (see ParticleTile::byte_footprint).
+  std::int64_t byte_footprint() const {
+    std::int64_t n = 0;
+    for (const auto& t : m_tiles) { n += t.byte_footprint(); }
     return n;
   }
 

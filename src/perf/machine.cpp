@@ -12,16 +12,17 @@ const std::vector<Machine>& catalogue() {
   static const std::vector<Machine> machines = {
       {"Frontier", "MI250X", 47.9, 95.7, 3.3, 4, 9472, 9316,
        /*hpcg*/ -1.0, 0,
-       /*weak anchors*/ {64, 0.97, 8576, 0.80}, 256, 2e-6, 25e9, 0.45},
+       /*weak anchors*/ {64, 0.97, 8576, 0.80}, 256, 2e-6, 25e9, 0.45,
+       /*hbm GiB (per GCD)*/ 64.0},
       {"Fugaku", "A64FX", 3.38, 6.76, 1.0, 1, 158976, 152064,
        16.0, 158976,
-       {64, 0.98, 152064, 0.84}, 80, 1e-6, 6.8e9, 0.10},
+       {64, 0.98, 152064, 0.84}, 80, 1e-6, 6.8e9, 0.10, 32.0},
       {"Summit", "V100 SXM2 (16GB)", 7.5, 15.0, 0.9, 6, 4608, 4608,
        2.93, 4608,
-       {8, 0.85, 4263, 0.74}, 128, 2e-6, 12.5e9, 0.80},
+       {8, 0.85, 4263, 0.74}, 128, 2e-6, 12.5e9, 0.80, 16.0},
       {"Perlmutter", "A100 SXM2 (40GB)", 9.7, 19.5, 1.6, 4, 1536, 1100,
        1.91, 1424,
-       {30, 0.89, 1088, 0.62}, 128, 2e-6, 12.5e9, 0.55},
+       {30, 0.89, 1088, 0.62}, 128, 2e-6, 12.5e9, 0.55, 40.0},
   };
   return machines;
 }

@@ -43,6 +43,10 @@ struct Machine {
   // A64FX where the unoptimized code barely vectorizes (the paper's
   // optimized MP version is ~4x faster, matching its FOM ratio).
   double sustained_bw;
+  // Device-local high-bandwidth memory capacity [GiB] (per GCD on MI250X).
+  // This is the per-rank budget behind the first-rank-to-OOM prediction
+  // (obs::predict_first_oom) and the examples' --node-budget-gb default.
+  double hbm_gb_device;
 };
 
 // Frontier, Fugaku, Summit, Perlmutter (in the paper's Table II order).

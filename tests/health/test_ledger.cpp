@@ -54,6 +54,7 @@ TEST(Ledger, EveryDeclaredQuantityResolves) {
   s.continuity_residual = 0;
   s.gauss_residual_fine = 0;
   s.continuity_residual_fine = 0;
+  s.mem_total_bytes = 0;
   for (const auto& q : ledger_quantities()) {
     EXPECT_FALSE(std::isnan(s.value(q))) << q;
   }

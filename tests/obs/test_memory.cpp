@@ -1,0 +1,319 @@
+// obs::MemoryLedger unit semantics: tag interning, charge/release with the
+// exact conservation invariant (charged - released == current), dot-aware
+// prefix queries, high-water marks (carry-over by default, reset_high_water
+// to restart), ScopedMemTag path joining, MemCharge bind/copy/move rules,
+// the MR memory-savings arithmetic shared by the measured and analytic
+// models, and the first-rank-to-OOM prediction.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/memory.hpp"
+#include "src/obs/rank_recorder.hpp"
+
+namespace mrpic::obs {
+namespace {
+
+TEST(Memory, LedgerInternsDenseStableIds) {
+  MemoryLedger ledger;
+  // The ledger is born with the "untagged" account at id 0.
+  EXPECT_EQ(ledger.intern("untagged"), 0);
+  const int a = ledger.intern("fields.level0.E");
+  const int b = ledger.intern("particles.electrons.level0");
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  // Re-interning returns the same id, never a new account.
+  EXPECT_EQ(ledger.intern("fields.level0.E"), a);
+  EXPECT_EQ(ledger.snapshot().size(), 3u);
+}
+
+TEST(Memory, ChargeReleaseConservationIsExact) {
+  MemoryLedger ledger;
+  const int a = ledger.intern("a");
+  const int b = ledger.intern("b");
+  ledger.charge(a, 1000);
+  ledger.charge(b, 250);
+  ledger.release(a, 400);
+  ledger.charge(a, 7);
+  // The invariant the ctest gate is named for: bytes never leak between
+  // charge and release, to the byte.
+  EXPECT_EQ(ledger.total_charged() - ledger.total_released(),
+            ledger.total_current());
+  EXPECT_EQ(ledger.current("a"), 607);
+  EXPECT_EQ(ledger.current("b"), 250);
+  EXPECT_EQ(ledger.total_current(), 857);
+  EXPECT_EQ(ledger.total_alloc_count(), 3);
+  // Unknown tags read as empty, not as errors.
+  EXPECT_EQ(ledger.current("nope"), 0);
+  EXPECT_EQ(ledger.high_water("nope"), 0);
+}
+
+TEST(Memory, NegativeAmountsFlipDirection) {
+  MemoryLedger ledger;
+  const int a = ledger.intern("a");
+  ledger.charge(a, -100);  // a negative charge is a release...
+  EXPECT_EQ(ledger.current("a"), -100);
+  ledger.release(a, -300); // ...and a negative release is a charge
+  EXPECT_EQ(ledger.current("a"), 200);
+  EXPECT_EQ(ledger.total_charged() - ledger.total_released(),
+            ledger.total_current());
+}
+
+TEST(Memory, PrefixQueriesRespectDotBoundaries) {
+  MemoryLedger ledger;
+  ledger.charge(ledger.intern("fields"), 1);
+  ledger.charge(ledger.intern("fields.level0.E"), 10);
+  ledger.charge(ledger.intern("fields.level0.B"), 100);
+  ledger.charge(ledger.intern("fieldsX"), 1000); // not under "fields"
+  EXPECT_EQ(ledger.current_prefix("fields"), 111);
+  EXPECT_EQ(ledger.current_prefix("fields.level0"), 110);
+  EXPECT_EQ(ledger.current_prefix("fields.level0.E"), 10);
+  EXPECT_EQ(ledger.current_prefix("fieldsX"), 1000);
+  EXPECT_EQ(ledger.current_prefix("fie"), 0);
+  EXPECT_EQ(ledger.high_water_prefix("fields"), 111);
+}
+
+TEST(Memory, HighWaterCarriesOverUntilReset) {
+  MemoryLedger ledger;
+  const int a = ledger.intern("a");
+  ledger.charge(a, 1000);
+  ledger.release(a, 600);
+  // Default semantics: the mark remembers the historical peak even after the
+  // occupancy drops (resil replay relies on this to report the campaign-wide
+  // worst footprint across crash -> shrink -> replay incarnations).
+  EXPECT_EQ(ledger.current("a"), 400);
+  EXPECT_EQ(ledger.high_water("a"), 1000);
+  EXPECT_EQ(ledger.total_high_water(), 1000);
+
+  // reset_high_water() restarts the marks from the *current* occupancy (for
+  // per-incarnation or per-bench-case peaks) without touching conservation.
+  ledger.reset_high_water();
+  EXPECT_EQ(ledger.high_water("a"), 400);
+  EXPECT_EQ(ledger.total_high_water(), 400);
+  ledger.charge(a, 50);
+  EXPECT_EQ(ledger.high_water("a"), 450);
+  EXPECT_EQ(ledger.total_charged() - ledger.total_released(),
+            ledger.total_current());
+}
+
+TEST(Memory, ScopedTagNestingJoinsWithDots) {
+  EXPECT_FALSE(ScopedMemTag::active());
+  EXPECT_EQ(ScopedMemTag::current_path(), "");
+  EXPECT_EQ(ScopedMemTag::current_id(), 0); // "untagged"
+  {
+    ScopedMemTag outer("fields.level0");
+    EXPECT_TRUE(ScopedMemTag::active());
+    EXPECT_EQ(ScopedMemTag::current_path(), "fields.level0");
+    {
+      ScopedMemTag inner("E");
+      EXPECT_EQ(ScopedMemTag::current_path(), "fields.level0.E");
+      EXPECT_GT(ScopedMemTag::current_id(), 0);
+    }
+    EXPECT_EQ(ScopedMemTag::current_path(), "fields.level0");
+  }
+  EXPECT_FALSE(ScopedMemTag::active());
+}
+
+// The MemCharge tests run against the process-global ledger (that is the
+// whole point of the handle), so every tag is test-unique and each check
+// reads deltas of that tag only.
+TEST(Memory, MemChargeBindsOnFirstUpdateAndSticks) {
+  auto& ledger = memory_ledger();
+  const std::string tag = "memtest.bind.scope";
+  {
+    MemCharge c;
+    EXPECT_FALSE(c.bound());
+    c.update(0); // nothing to own yet: stays unbound
+    EXPECT_FALSE(c.bound());
+    {
+      ScopedMemTag scope("memtest.bind");
+      ScopedMemTag leaf("scope");
+      c.update(128); // first nonzero update binds to the active path
+    }
+    EXPECT_TRUE(c.bound());
+    EXPECT_EQ(ledger.current(tag), 128);
+    {
+      // Re-filling inside another scope does NOT re-home the bytes: the
+      // original account absorbs the delta.
+      ScopedMemTag elsewhere("memtest.elsewhere");
+      c.update(200);
+    }
+    EXPECT_EQ(ledger.current(tag), 200);
+    EXPECT_EQ(ledger.current("memtest.elsewhere"), 0);
+    c.update(50); // shrink releases the delta
+    EXPECT_EQ(ledger.current(tag), 50);
+  }
+  // Destruction returns every byte.
+  EXPECT_EQ(ledger.current(tag), 0);
+  EXPECT_EQ(ledger.high_water(tag), 200);
+  EXPECT_EQ(ledger.total_charged() - ledger.total_released(),
+            ledger.total_current());
+}
+
+TEST(Memory, MemChargeExplicitTagConstructor) {
+  auto& ledger = memory_ledger();
+  {
+    MemCharge c("memtest.explicit");
+    EXPECT_TRUE(c.bound());
+    EXPECT_EQ(c.bytes(), 0);
+    ScopedMemTag scope("memtest.ignored"); // explicit tag wins over the scope
+    c.update(64);
+    EXPECT_EQ(ledger.current("memtest.explicit"), 64);
+    EXPECT_EQ(ledger.current("memtest.ignored"), 0);
+  }
+  EXPECT_EQ(ledger.current("memtest.explicit"), 0);
+}
+
+TEST(Memory, MemChargeCopySemantics) {
+  auto& ledger = memory_ledger();
+  {
+    MemCharge src("memtest.copy.src");
+    src.update(100);
+    // Copy-construction with no active scope inherits the source account.
+    MemCharge dup(src);
+    EXPECT_EQ(ledger.current("memtest.copy.src"), 200);
+    // Copy-construction under a scope binds to the scope instead (a scratch
+    // copy made inside the health probe is health memory, not fields).
+    {
+      ScopedMemTag scope("memtest.copy.scratch");
+      MemCharge scratch(src);
+      EXPECT_EQ(ledger.current("memtest.copy.scratch"), 100);
+      EXPECT_EQ(ledger.current("memtest.copy.src"), 200);
+    }
+    EXPECT_EQ(ledger.current("memtest.copy.scratch"), 0);
+    // Copy-assignment into an already-bound handle keeps its own account.
+    MemCharge other("memtest.copy.other");
+    other.update(10);
+    other = src;
+    EXPECT_EQ(other.bytes(), 100);
+    EXPECT_EQ(ledger.current("memtest.copy.other"), 100);
+    EXPECT_EQ(ledger.current("memtest.copy.src"), 200);
+  }
+  EXPECT_EQ(ledger.current("memtest.copy.src"), 0);
+  EXPECT_EQ(ledger.current("memtest.copy.other"), 0);
+  EXPECT_EQ(ledger.total_charged() - ledger.total_released(),
+            ledger.total_current());
+}
+
+TEST(Memory, MemChargeMoveTransfersOwnership) {
+  auto& ledger = memory_ledger();
+  {
+    MemCharge a("memtest.move");
+    a.update(300);
+    MemCharge b(std::move(a));
+    EXPECT_EQ(a.bytes(), 0);
+    EXPECT_FALSE(a.bound());
+    EXPECT_EQ(b.bytes(), 300);
+    EXPECT_EQ(ledger.current("memtest.move"), 300); // no double charge
+    MemCharge c("memtest.move.other");
+    c.update(40);
+    c = std::move(b); // move-assign releases the destination's bytes first
+    EXPECT_EQ(ledger.current("memtest.move.other"), 0);
+    EXPECT_EQ(ledger.current("memtest.move"), 300);
+  }
+  EXPECT_EQ(ledger.current("memtest.move"), 0);
+  EXPECT_EQ(ledger.total_charged() - ledger.total_released(),
+            ledger.total_current());
+}
+
+TEST(Memory, SavingsFactorArithmetic) {
+  // level0 fields 100 B, MR surcharge 50 B, particles 30 B at ratio 2 in 2D:
+  // the uniform-fine equivalent refines fields and particles by 2^2 = 4x and
+  // pays no surcharge.
+  const MrSavings s = mr_savings_from_bytes(100, 50, 30, 2, 2);
+  EXPECT_DOUBLE_EQ(s.actual_bytes, 180.0);
+  EXPECT_DOUBLE_EQ(s.uniform_fine_bytes, 520.0);
+  EXPECT_DOUBLE_EQ(s.factor, 520.0 / 180.0);
+  // 3D scales by ratio^3.
+  EXPECT_DOUBLE_EQ(mr_savings_from_bytes(100, 0, 0, 2, 3).uniform_fine_bytes,
+                   800.0);
+  // An empty run degrades to factor 1, not a division by zero.
+  EXPECT_DOUBLE_EQ(mr_savings_from_bytes(0, 0, 0, 2, 2).factor, 1.0);
+}
+
+TEST(Memory, AnalyticSavingsMatchesHandComputation) {
+  MrSavingsInputs in;
+  in.dim = 2;
+  in.ratio = 2;
+  in.level0_grown_cells = 1000;
+  in.fine_grown_cells = 400;
+  in.coarse_grown_cells = 120;
+  in.aux_grown_cells = 0; // 0 = fall back to fine_grown_cells
+  in.fine_pml_cells = 50;
+  in.coarse_pml_cells = 30;
+  in.num_particles = 500; // reals_per_particle defaults to dim + 4 = 6
+  const double b = 8;
+  const double field0 = 9 * 1000 * b;
+  const double mr = 9 * (400 + 120) * b + 6 * 400 * b + 12 * (50 + 30) * b;
+  const double parts = 500 * 6 * b;
+  const MrSavings s = analytic_mr_savings(in);
+  EXPECT_DOUBLE_EQ(s.actual_bytes, field0 + mr + parts);
+  EXPECT_DOUBLE_EQ(s.uniform_fine_bytes, (field0 + parts) * 4);
+  // A distinct aux ghost width changes only the aux term.
+  in.aux_grown_cells = 300;
+  EXPECT_DOUBLE_EQ(analytic_mr_savings(in).actual_bytes,
+                   field0 + mr - 6 * 400 * b + 6 * 300 * b + parts);
+}
+
+TEST(Memory, MeasuredSavingsReadsLedgerPrefixes) {
+  auto& ledger = memory_ledger();
+  const double f0 = static_cast<double>(ledger.current_prefix("fields.level0"));
+  const double mr0 = static_cast<double>(ledger.current_prefix("mr"));
+  const double p0 = static_cast<double>(ledger.current_prefix("particles"));
+  MemCharge f("fields.level0.memtest");
+  MemCharge m("mr.patch.memtest");
+  MemCharge p("particles.memtest.level0");
+  f.update(9000);
+  m.update(2000);
+  p.update(1000);
+  const MrSavings got = measure_mr_savings(ledger, 2, 2);
+  const MrSavings want =
+      mr_savings_from_bytes(f0 + 9000, mr0 + 2000, p0 + 1000, 2, 2);
+  EXPECT_DOUBLE_EQ(got.actual_bytes, want.actual_bytes);
+  EXPECT_DOUBLE_EQ(got.uniform_fine_bytes, want.uniform_fine_bytes);
+  EXPECT_DOUBLE_EQ(got.factor, want.factor);
+}
+
+TEST(Memory, PredictFirstOomFindsEarliestOffender) {
+  RankRecorder rec(3);
+  const std::vector<std::vector<std::int64_t>> lanes = {
+      {100, 200, 150},  // step 0
+      {100, 900, 150},  // step 1: rank 1 spikes over a 512-byte budget
+      {950, 910, 150},  // step 2: rank 0 is the all-time peak
+  };
+  for (std::size_t s = 0; s < lanes.size(); ++s) {
+    RankStepBreakdown bd;
+    bd.step = static_cast<std::int64_t>(s);
+    bd.ranks.resize(3);
+    for (int r = 0; r < 3; ++r) { bd.ranks[static_cast<std::size_t>(r)].rank = r; }
+    rec.add_step(std::move(bd), {});
+    rec.set_last_step_resident_bytes(lanes[s]);
+  }
+  const OomPrediction p = predict_first_oom(rec, 512.0);
+  EXPECT_TRUE(p.predicted);
+  EXPECT_EQ(p.step, 1); // first crossing, not the peak
+  EXPECT_EQ(p.rank, 1);
+  EXPECT_EQ(p.peak_bytes, 950);
+  EXPECT_EQ(p.peak_step, 2);
+  EXPECT_EQ(p.peak_rank, 0);
+  EXPECT_DOUBLE_EQ(p.headroom, 512.0 / 950.0);
+  // A roomy budget fits with headroom > 1 and no prediction.
+  const OomPrediction fits = predict_first_oom(rec, 1e6);
+  EXPECT_FALSE(fits.predicted);
+  EXPECT_GT(fits.headroom, 1.0);
+  // No budget configured: no prediction, headroom unreported.
+  const OomPrediction off = predict_first_oom(rec, 0.0);
+  EXPECT_FALSE(off.predicted);
+  EXPECT_DOUBLE_EQ(off.headroom, 0.0);
+}
+
+TEST(Memory, FormatBytesPicksHumanUnits) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(3.0 * 1024 * 1024 * 1024), "3.00 GiB");
+}
+
+} // namespace
+} // namespace mrpic::obs

@@ -1,0 +1,128 @@
+// Concurrency suite for obs::MemoryLedger / MemCharge. The ledger's hot
+// path is relaxed atomics by design (charges fire from whatever thread owns
+// the allocation), so these tests hammer interning, charge/release and the
+// RAII handle from many threads and assert the conservation invariant at
+// the join. Re-run under TSan by the memory_concurrency_sanitized ctest
+// when the build is configured with -DMRPIC_SANITIZE=thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/memory.hpp"
+
+namespace mrpic::obs {
+namespace {
+
+TEST(MemoryConcurrency, ConcurrentChargeReleaseConserves) {
+  MemoryLedger ledger;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4000;
+  // Interning races with charging: every thread interns the shared tags
+  // itself, so the mutex-guarded slow path is exercised alongside the
+  // atomic fast path.
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&ledger, t] {
+      const int shared = ledger.intern("shared.account");
+      const int own = ledger.intern("worker." + std::to_string(t));
+      for (int i = 0; i < kIters; ++i) {
+        ledger.charge(shared, 64);
+        ledger.charge(own, 128);
+        ledger.release(shared, 64);
+        ledger.release(own, i % 2 ? 128 : 64);
+        if (i % 2 == 0) { ledger.release(own, 64); }
+      }
+    });
+  }
+  for (auto& w : workers) { w.join(); }
+
+  // Every byte charged was released: the ledger drained to zero and the
+  // conservation invariant holds exactly.
+  EXPECT_EQ(ledger.total_current(), 0);
+  EXPECT_EQ(ledger.current("shared.account"), 0);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(ledger.current("worker." + std::to_string(t)), 0);
+  }
+  EXPECT_EQ(ledger.total_charged() - ledger.total_released(),
+            ledger.total_current());
+  EXPECT_EQ(ledger.total_charged(),
+            std::int64_t(kThreads) * kIters * (64 + 128));
+  // The high-water mark saw at least one thread's live footprint and never
+  // less than the final occupancy.
+  EXPECT_GE(ledger.total_high_water(), 128);
+}
+
+TEST(MemoryConcurrency, MemChargeHammerOnGlobalLedger) {
+  auto& ledger = memory_ledger();
+  const std::int64_t base_current = ledger.total_current();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      // ScopedMemTag is thread-local: each worker's scope stack is its own.
+      ScopedMemTag scope("memtest.hammer");
+      ScopedMemTag mine(std::to_string(t));
+      for (int i = 0; i < kIters; ++i) {
+        MemCharge c;
+        c.update(256);
+        c.update(512);
+        MemCharge moved(std::move(c));
+        MemCharge copied(moved);
+        copied.update(100);
+        // Handles release on scope exit, from this thread.
+      }
+    });
+  }
+  for (auto& w : workers) { w.join(); }
+
+  for (int t = 0; t < kThreads; ++t) {
+    const std::string tag = "memtest.hammer." + std::to_string(t);
+    EXPECT_EQ(ledger.current(tag), 0) << tag;
+    EXPECT_GE(ledger.high_water(tag), 512 + 100) << tag;
+  }
+  EXPECT_EQ(ledger.current_prefix("memtest.hammer"), 0);
+  // The global ledger is quiescent again: everything this test charged was
+  // returned, and the process-wide invariant still balances to the byte.
+  EXPECT_EQ(ledger.total_current(), base_current);
+  EXPECT_EQ(ledger.total_charged() - ledger.total_released(),
+            ledger.total_current());
+}
+
+TEST(MemoryConcurrency, SnapshotWhileMutating) {
+  MemoryLedger ledger;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    const int id = ledger.intern("mutating");
+    std::int64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ledger.charge(id, 32);
+      ledger.release(id, 32);
+      // Keep growing the account table under the reader too.
+      if (++i % 64 == 0) { ledger.intern("grow." + std::to_string(i)); }
+    }
+  });
+  // Concurrent readers must never crash or tear: totals and snapshots are
+  // taken while the writer mutates.
+  for (int i = 0; i < 2000; ++i) {
+    const auto snap = ledger.snapshot();
+    EXPECT_GE(snap.size(), 1u);
+    (void)ledger.total_current();
+    (void)ledger.current_prefix("grow");
+    (void)ledger.high_water("mutating");
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_EQ(ledger.total_current(), 0);
+  EXPECT_EQ(ledger.total_charged(), ledger.total_released());
+}
+
+} // namespace
+} // namespace mrpic::obs

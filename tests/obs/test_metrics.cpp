@@ -124,6 +124,40 @@ TEST(Metrics, ReadJsonlSkipsAndCountsMalformedLines) {
                std::runtime_error);
 }
 
+TEST(Metrics, MemGaugesRoundTripAndSurviveTruncatedLines) {
+  // The memory probe publishes large-magnitude byte gauges (up to tens of
+  // GiB) next to small ratios; both must survive the JSONL round trip, and
+  // a half-written mem_* record (e.g. a run dying mid-OOM, exactly when the
+  // memory series matters most) must be skipped and counted, not fatal.
+  MetricsRegistry reg;
+  for (int s = 0; s < 3; ++s) {
+    reg.begin_step(s);
+    reg.gauge("mem_total_bytes").set(48.0 * (1 << 30) + s); // ~48 GiB
+    reg.gauge("mem_fields_bytes").set(1.5e9);
+    reg.gauge("mem_mr_savings_factor").set(1.73);
+    reg.gauge("mem_rank_imbalance").set(1.0 + 0.25 * s);
+    reg.end_step();
+  }
+  const std::string path = "test_metrics_mem_tmp.jsonl";
+  ASSERT_TRUE(reg.write_jsonl(path));
+  {
+    // Append a record truncated in the middle of a mem_* gauge value.
+    std::ofstream os(path, std::ios::app);
+    os << "{\"step\": 3, \"gauges\": {\"mem_total_bytes\": 515396" << '\n';
+  }
+  std::size_t malformed = 0;
+  const auto back = MetricsRegistry::read_jsonl(path, &malformed);
+  std::remove(path.c_str());
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(malformed, 1u);
+  EXPECT_DOUBLE_EQ(back[2].gauges.at("mem_total_bytes"), 48.0 * (1 << 30) + 2);
+  EXPECT_DOUBLE_EQ(back[2].gauges.at("mem_mr_savings_factor"), 1.73);
+  EXPECT_DOUBLE_EQ(back[2].gauges.at("mem_rank_imbalance"), 1.5);
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i], reg.history()[i]) << "record " << i;
+  }
+}
+
 TEST(Metrics, RankSectionsRoundTripThroughJsonl) {
   MetricsRegistry reg;
   reg.begin_step(0);
