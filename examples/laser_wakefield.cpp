@@ -3,11 +3,10 @@
 // pulse — the acceleration stage of the paper's hybrid scheme (Fig. 1a),
 // scaled down to laptop size.
 //
-// Demonstrates: laser antenna injection, gas-jet density profile, PML
-// boundaries, moving window with continuous plasma refill, anisotropic
-// cells (lambda/16 longitudinal so the numerical group velocity stays close
-// to c and the pulse does not slip out of the c-moving window), and the
-// electron energy spectrum diagnostic.
+// The physics setup lives in the scenario library ("lwfa", plus "lwfa_mr"
+// for the --memory mode's MR patch) and is assembled by
+// scenario::build_simulation; this driver keeps the example's rich final
+// reporting (critical path, roofline, straggler naming) on top of it.
 //
 // Run: ./laser_wakefield [--outdir DIR] [--health] [--insitu] [--memory]
 //                        [--node-budget-gb G] [t_end_fs]
@@ -24,10 +23,11 @@
 // With --memory, the byte ledger (src/obs/memory) publishes per-step mem_*
 // gauges into lwfa_metrics.jsonl, the per-rank resident model fills
 // memory_heatmap.csv, and the perf report gains a "## Memory" section with
-// the measured-vs-analytic MR memory-savings factor — a ratio-2 MR patch is
-// placed over the wake region for this mode so the savings accounting has a
-// patch to account. --node-budget-gb G (implies --memory) adds the OOM
-// headroom gauge and first-rank-to-OOM prediction against a G-GiB budget.
+// the measured-vs-analytic MR memory-savings factor — the run uses the
+// "lwfa_mr" spec (ratio-2 MR patch over the wake region) so the savings
+// accounting has a patch to account. --node-budget-gb G (implies --memory)
+// adds the OOM headroom gauge and first-rank-to-OOM prediction against a
+// G-GiB budget.
 // Output (in --outdir, default out/): lwfa_history.csv (time series),
 //         lwfa_field.csv, lwfa_trace.json (Chrome/Perfetto trace with one
 //         lane per profiled thread plus one lane per simulated rank, halo
@@ -56,6 +56,8 @@
 #include "src/particles/pusher.hpp"
 #include "src/perf/flop_counter.hpp"
 #include "src/perf/machine.hpp"
+#include "src/scenario/builder.hpp"
+#include "src/scenario/library.hpp"
 
 #include "example_args.hpp"
 
@@ -69,82 +71,30 @@ int main(int argc, char** argv) {
   const bool with_insitu = args.insitu;
   const Real t_end = args.t_end;
 
-  // 30 x 10 um window; 0.05 um (lambda/16) longitudinal, 0.2 um transverse.
-  core::SimulationConfig<2> cfg;
-  cfg.domain = Box2(IntVect2(0, 0), IntVect2(599, 49));
-  cfg.prob_lo = RealVect2(0, 0);
-  cfg.prob_hi = RealVect2(30e-6, 10e-6);
-  cfg.periodic = {false, false};
-  cfg.use_pml = true;
-  cfg.pml.npml = 10;
-  cfg.max_grid_size = IntVect2(150, 50);
-  cfg.shape_order = 3;
+  // The declarative setup: grid, jet, pulse, window, cadences and the
+  // health/insitu policy blocks all come from the registered spec. The
+  // --memory mode runs the MR variant so the savings accounting has a
+  // patch to measure (physics-motivated placement: highest resolution
+  // where the bunch forms).
+  scenario::ScenarioSpec spec =
+      args.memory ? scenario::make_lwfa_mr() : scenario::make_lwfa();
+  scenario::BuildOptions bopt;
+  bopt.init = false; // observability first, then init
+  auto sim_ptr = scenario::build_simulation(spec, bopt);
+  core::Simulation<2>& sim = *sim_ptr;
+  const int electrons = 0; // the spec's single species
 
-  // Observe the run as if it were domain-decomposed over 4 ranks: the
-  // virtual cluster replays each step's box->rank mapping, recording the
-  // per-rank compute/comm split, the message-level halo log (rank lanes in
-  // lwfa_trace.json) and load-balancer snapshots (the laser sweeping the
-  // jet drives real imbalance).
-  cfg.nranks = 4;
-  cfg.dynamic_lb = true;
-  cfg.lb_interval = 50;
-
-  core::Simulation<2> sim(cfg);
+  // Observe the run as if it were domain-decomposed over 4 ranks (the
+  // spec's nranks): per-rank compute/comm split, message-level halo log
+  // (rank lanes in lwfa_trace.json) and load-balancer snapshots (the laser
+  // sweeping the jet drives real imbalance).
   sim.enable_cluster_obs();
-  if (args.memory) {
-    // Byte-ledger publication every step; the wake region gets a ratio-2 MR
-    // patch so the MR memory-savings accounting has a patch to measure (the
-    // physics-motivated placement: highest resolution where the bunch forms).
-    sim.enable_memory_obs(args.memory_cfg());
-    mr::MRPatch<2>::Config pcfg;
-    pcfg.region = Box2(IntVect2(200, 10), IntVect2(399, 39));
-    pcfg.ratio = 2;
-    pcfg.transition_cells = 2;
-    pcfg.pml.npml = 8;
-    sim.enable_mr_patch(pcfg);
-  }
-
-  // Gas jet: n = 5e25 m^-3 ~ 0.029 n_c at 800 nm (plasma wavelength
-  // ~4.7 um, resolved; short enough for self-injection within the run).
-  const Real n_gas = 5e25;
-  plasma::InjectorConfig<2> inj;
-  inj.density = plasma::gas_jet<2>(n_gas, 8e-6, 500e-6, 4e-6);
-  inj.ppc = IntVect2(1, 2);
-  const int electrons = sim.add_species(particles::Species::electron(), inj);
-
-  laser::LaserConfig lc;
-  lc.a0 = 3.5;
-  lc.wavelength = 0.8e-6;
-  lc.waist = 3.5e-6;
-  lc.duration = 9e-15;
-  lc.t_peak = 20e-15;
-  lc.x_antenna = 2e-6;
-  lc.center = {5e-6, 0};
-  lc.focal_distance = 10e-6;
-  sim.add_laser(lc);
-
-  // Window follows the pulse once it is fully emitted.
-  sim.set_moving_window(0, c, /*start_time=*/40e-15);
+  if (args.memory) { sim.enable_memory_obs(args.memory_cfg()); }
   sim.profiler().set_tracing(true); // collect Chrome trace events per region
 
   if (with_health) {
-    // Light self-diagnostics: ledger + NaN scan every step, the expensive
-    // charge-conservation residuals every 20th, plus a relativistic-gamma
-    // sanity bound (a0 = 3.5 wakes top out far below gamma ~ 1e4). A NaN
-    // anywhere checkpoints (when a policy is armed) and aborts cleanly with
-    // the telemetry flushed.
-    health::MonitorConfig hcfg;
-    hcfg.ledger_interval = 1;
-    hcfg.nan_interval = 1;
-    hcfg.residual_interval = 20;
+    health::MonitorConfig hcfg = spec.health;
     hcfg.alerts_path = out.path("lwfa_alerts.jsonl");
-    hcfg.watchdog.bounds.push_back(
-        {"max_gamma", 0.0, 1e4, health::Severity::Warn, {}});
-    health::DriftRule drift;
-    drift.quantity = "step_wall_s";
-    drift.z_threshold = 50.0; // flag only pathological per-step slowdowns
-    drift.warmup = 32;
-    hcfg.watchdog.drifts.push_back(drift);
     sim.enable_health(hcfg);
   }
 
@@ -153,33 +103,14 @@ int main(int argc, char** argv) {
   // code path), --insitu additionally turns on the cadence series and the
   // streaming exporter.
   const Real mev = 1e6 * q_e;
-  insitu::InsituConfig icfg;
-  icfg.beam_species = electrons;
-  icfg.beam_e_min_J = 2 * mev;       // accelerated beam, not the thermal bulk
-  icfg.spectrum_e_min_J = 2 * mev;
-  icfg.spectrum_e_max_J = 60 * mev;
-  icfg.spectrum_bins = 116;
+  insitu::InsituConfig icfg = spec.insitu;
   if (with_insitu) {
-    icfg.moments_interval = 10;
-    icfg.spectrum_interval = 50;
-    icfg.laser_interval = 10;
-    icfg.wakefield_interval = 10;
-    icfg.field_energy_interval = 10;
     icfg.series_path = out.path("lwfa_insitu.jsonl");
-    icfg.stream_interval = 100;
-    icfg.stream_downsample = 4;
     icfg.stream.basename = out.path("lwfa_stream");
-    icfg.stream.max_file_bytes = 1u << 20;
-    icfg.stream.max_files = 4;
-    icfg.phase_space.ax = diag::Axis::Energy;
-    icfg.phase_space.ay = diag::Axis::Ux;
-    icfg.phase_space.a_min = 0;
-    icfg.phase_space.a_max = 60 * mev;
-    icfg.phase_space.b_min = -2e9;
-    icfg.phase_space.b_max = 4e10;
   } else {
     icfg.moments_interval = icfg.spectrum_interval = icfg.laser_interval =
         icfg.wakefield_interval = icfg.field_energy_interval = 0;
+    icfg.stream_interval = 0;
   }
   sim.enable_insitu(icfg);
 
@@ -197,15 +128,17 @@ int main(int argc, char** argv) {
         [&] { sim.health()->write_ledger_jsonl(out.path("lwfa_health.jsonl")); });
   }
 
+  const Real n_gas = 5e25; // the spec's jet plateau density
   std::printf("LWFA: n_gas/n_c = %.4f, a0 = %.1f, %lld particles, dt = %.2e s\n",
-              n_gas / plasma::critical_density(lc.wavelength), lc.a0,
-              static_cast<long long>(sim.total_particles()), sim.dt());
+              n_gas / plasma::critical_density(spec.lasers[0].wavelength),
+              spec.lasers[0].a0, static_cast<long long>(sim.total_particles()),
+              sim.dt());
 
   diag::CsvSeries history({"t_fs", "window_x_um", "field_energy_J", "charge_above_1MeV_pC",
                            "max_Ex_GV_per_m"});
   while (sim.time() < t_end) {
     sim.step();
-    if (sim.step_count() % 100 == 0) {
+    if (spec.cadences.diagnostics.due(sim.step_count())) {
       const Real q_pc = diag::charge_above<2>(sim.species_level0(electrons), 1 * mev) * 1e12;
       history.add_row({sim.time() * 1e15, sim.geom().prob_lo()[0] * 1e6,
                        sim.fields().field_energy(), q_pc,
@@ -278,11 +211,12 @@ int main(int argc, char** argv) {
   {
     const auto& rep = sim.last_step_report();
     perf::FlopCounter fc;
-    fc.record("gather", particles::gather_flops_per_particle(cfg.shape_order, 2) *
+    fc.record("gather", particles::gather_flops_per_particle(spec.sim.shape_order, 2) *
                             rep.particles_pushed);
     fc.record("push", particles::push_flops_per_particle() * rep.particles_pushed);
-    fc.record("deposition", particles::deposit_flops_per_particle(cfg.shape_order, 2) *
-                                rep.particles_pushed);
+    fc.record("deposition",
+              particles::deposit_flops_per_particle(spec.sim.shape_order, 2) *
+                  rep.particles_pushed);
     fc.record("field_solve",
               fields::FDTDSolver<2>::flops_per_cell() * rep.cells_advanced);
     report.machine = "Summit";

@@ -1,0 +1,14 @@
+// mrpic_run: the single scenario driver. Every registered workload —
+// uniform benchmark boxes, the LWFA injection variants, boosted-frame LWFA,
+// plasma mirror, hybrid solid-gas target, thin-foil ion acceleration — runs
+// through one lifecycle (src/scenario/driver.cpp) with the shared
+// observability flags.
+//
+//   mrpic_run --list
+//   mrpic_run --scenario lwfa_mr --steps 50 --health --insitu --memory
+
+#include "src/scenario/driver.hpp"
+
+int main(int argc, char** argv) {
+  return mrpic::scenario::run_scenario_main(argc, argv);
+}

@@ -4,11 +4,15 @@
 // 45) with p-polarization, so Brunel/vacuum heating pulls electron bunches
 // out of the surface once per cycle.
 //
-// Demonstrates: overdense slab targets, two mobile species, oblique
-// incidence via the antenna phase tilt, p- vs s-polarization, extraction of
-// charge from a solid surface.
+// The foil/laser setup lives in the scenario library ("plasma_mirror") and
+// is assembled by scenario::build_simulation; this driver keeps the
+// example's extracted-charge bookkeeping and adds the shared observability
+// flags.
 //
-// Run: ./plasma_mirror [--outdir DIR] [a0] [--s-pol]
+// Run: ./plasma_mirror [--outdir DIR] [--a0 A] [--s-pol] [--health]
+//                      [--insitu] [--memory] [--node-budget-gb G] [t_end_fs]
+// (the laser amplitude moved from a positional to --a0 when the examples
+// adopted the shared strict parser; the positional is now t_end_fs)
 // Output (in --outdir, default out/): mirror_history.csv, mirror_field.csv
 
 #include <cstdio>
@@ -20,61 +24,44 @@
 #include "src/diag/csv_writer.hpp"
 #include "src/diag/output_dir.hpp"
 #include "src/diag/spectrum.hpp"
+#include "src/scenario/builder.hpp"
+#include "src/scenario/library.hpp"
+
+#include "example_args.hpp"
 
 using namespace mrpic;
 using namespace mrpic::constants;
 
 int main(int argc, char** argv) {
   const auto out = diag::OutputDir::from_args(argc, argv);
-  Real a0 = 8.0;
-  bool p_pol = true;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--s-pol") == 0) {
-      p_pol = false;
-    } else {
-      a0 = std::atof(argv[i]);
-    }
+  double a0 = 8.0;
+  bool s_pol = false;
+  const auto args = examples::parse_example_args(
+      argc, argv, /*default fs*/ 90.0,
+      {{"--a0", nullptr, &a0, "laser amplitude (default 8)"},
+       {"--s-pol", &s_pol, nullptr, "s-polarization (out-of-plane; default p-pol)"}});
+  const bool p_pol = !s_pol;
+
+  scenario::ScenarioSpec spec = scenario::make_plasma_mirror();
+  spec.lasers[0].a0 = a0;
+  spec.lasers[0].polarization = p_pol ? 1 : 2; // Ey = p-pol (in-plane), Ez = s-pol
+  scenario::BuildOptions bopt;
+  bopt.init = false;
+  auto sim_ptr = scenario::build_simulation(spec, bopt);
+  core::Simulation<2>& sim = *sim_ptr;
+  const int electrons = 0, ions = 1; // the spec's species order
+
+  if (args.memory) { sim.enable_memory_obs(args.memory_cfg()); }
+  if (args.health) {
+    health::MonitorConfig hcfg = spec.health;
+    hcfg.alerts_path = out.path("mirror_alerts.jsonl");
+    sim.enable_health(hcfg);
   }
-
-  // 10 x 10 um; 0.05 um (lambda/16) cells along x, 0.1 um along y (the
-  // tilted wavefront needs transverse resolution too).
-  core::SimulationConfig<2> cfg;
-  cfg.domain = Box2(IntVect2(0, 0), IntVect2(199, 99));
-  cfg.prob_lo = RealVect2(0, 0);
-  cfg.prob_hi = RealVect2(10e-6, 10e-6);
-  cfg.periodic = {false, false};
-  cfg.use_pml = true;
-  cfg.pml.npml = 10;
-  cfg.max_grid_size = IntVect2(100, 100);
-  cfg.shape_order = 3;
-
-  core::Simulation<2> sim(cfg);
-
-  const Real wavelength = 0.8e-6;
-  const Real nc = plasma::critical_density(wavelength);
-
-  // Solid foil at x = 6..7.5 um, 20 n_c (mildly overdense to stay laptop-
-  // scale; the paper's science case used 50-55 n_c).
-  plasma::InjectorConfig<2> inj;
-  inj.density = plasma::slab<2>(20 * nc, 6e-6, 7.5e-6);
-  inj.ppc = IntVect2(3, 2); // like the paper's 3x2(x3) solid loading
-  const int electrons = sim.add_species(particles::Species::electron(), inj);
-  // Mobile ions keep the foil from exploding unphysically fast.
-  plasma::InjectorConfig<2> ion_inj = inj;
-  const int ions = sim.add_species(particles::Species::proton(), ion_inj);
-
-  laser::LaserConfig lc;
-  lc.a0 = a0;
-  lc.wavelength = wavelength;
-  lc.waist = 2.5e-6;
-  lc.duration = 8e-15;
-  lc.t_peak = 20e-15;
-  lc.x_antenna = 1.0e-6;
-  lc.center = {2.8e-6, 0};
-  lc.tilt = 30.0 * pi / 180.0;   // oblique incidence
-  lc.focal_distance = 5e-6;
-  lc.polarization = p_pol ? 1 : 2; // Ey = p-pol (in-plane), Ez = s-pol
-  sim.add_laser(lc);
+  if (args.insitu) {
+    insitu::InsituConfig icfg = spec.insitu;
+    icfg.series_path = out.path("mirror_insitu.jsonl");
+    sim.enable_insitu(icfg);
+  }
   sim.init();
 
   std::printf("plasma mirror: n/n_c = 20, a0 = %.1f, 30 deg incidence, %s-pol, %lld particles\n",
@@ -84,9 +71,9 @@ int main(int argc, char** argv) {
       {"t_fs", "field_energy_J", "extracted_gt_0p2MeV_pC", "extracted_gt_0p5MeV_pC"});
   const Real mev = 1e6 * q_e;
 
-  while (sim.time() < 90e-15) {
+  while (sim.time() < args.t_end) {
     sim.step();
-    if (sim.step_count() % 50 == 0) {
+    if (spec.cadences.diagnostics.due(sim.step_count())) {
       // Extracted charge: energetic electrons in front of the foil.
       Real q02 = 0, q05 = 0;
       const auto& pc = sim.species_level0(electrons);
@@ -109,14 +96,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto spec =
+  const auto espec =
       diag::energy_spectrum<2>(sim.species_level0(electrons), 0.1 * mev, 10 * mev, 50);
-  const auto beam = diag::analyze_beam(spec, q_e);
+  const auto beam = diag::analyze_beam(espec, q_e);
   std::printf("\nhot-electron spectral peak %.2f MeV (foil ions intact: %lld)\n",
               beam.peak_energy / mev, static_cast<long long>(sim.num_particles(ions)));
 
   history.write(out.path("mirror_history.csv"));
   diag::write_field_2d(out.path("mirror_field.csv"), sim.fields().E(), fields::Y);
+  if (args.memory) {
+    const auto& ledger = obs::memory_ledger();
+    std::printf("memory: %s live (high water %s)\n",
+                obs::format_bytes(double(ledger.total_current())).c_str(),
+                obs::format_bytes(double(ledger.total_high_water())).c_str());
+  }
   std::printf("wrote mirror_history.csv, mirror_field.csv in %s/\n", out.dir().c_str());
   return 0;
 }

@@ -1,56 +1,21 @@
 // Quickstart: a uniform thermal plasma in a periodic box — the "hello
-// world" of PIC (and the workload of the paper's scaling benchmarks).
+// world" of PIC (and the workload of the paper's scaling benchmarks). The
+// setup lives in the scenario registry as "quickstart"; this binary is a
+// shim so `./quickstart [nsteps]` keeps working.
 //
-// Demonstrates: configuring a Simulation, registering a species with a
-// plasma injector, stepping, and reading reduced diagnostics.
-//
-// Run: ./quickstart [nsteps]
+// Run: ./quickstart [nsteps]   (equivalent: mrpic_run --scenario quickstart --steps N)
 
-#include <cstdio>
-#include <cstdlib>
-#include <iostream>
+#include <vector>
 
-#include "src/core/simulation.hpp"
-
-using namespace mrpic;
+#include "src/scenario/driver.hpp"
 
 int main(int argc, char** argv) {
-  const int nsteps = argc > 1 ? std::atoi(argv[1]) : 50;
-
-  // 64 x 64 cells, 6.4 x 6.4 um, fully periodic.
-  core::SimulationConfig<2> cfg;
-  cfg.domain = Box2(IntVect2(0, 0), IntVect2(63, 63));
-  cfg.prob_lo = RealVect2(0, 0);
-  cfg.prob_hi = RealVect2(6.4e-6, 6.4e-6);
-  cfg.periodic = {true, true};
-  cfg.max_grid_size = IntVect2(32);
-  cfg.shape_order = 3;
-
-  core::Simulation<2> sim(cfg);
-
-  // Warm electrons on a neutralizing background (ions implicit: the field
-  // solver only sees currents, so a uniform immobile background is free).
-  plasma::InjectorConfig<2> inj;
-  inj.density = plasma::uniform<2>(1e24); // m^-3
-  inj.ppc = IntVect2(2, 2);
-  inj.temperature_ev = 100.0;
-  sim.add_species(particles::Species::electron(), inj);
-
-  sim.init();
-  std::printf("quickstart: %lld particles on %lld cells, dt = %.3e s\n",
-              static_cast<long long>(sim.total_particles()),
-              static_cast<long long>(sim.active_cells()), sim.dt());
-
-  const Real e0 = sim.total_energy();
-  for (int s = 0; s < nsteps; ++s) {
-    sim.step();
-    if ((s + 1) % 10 == 0) {
-      std::printf("step %4d  t = %.3e s  field E = %.3e J  total E/E0 = %.4f\n", s + 1,
-                  sim.time(), sim.fields().field_energy(), sim.total_energy() / e0);
-    }
-  }
-
-  std::printf("\nper-stage timing:\n");
-  sim.profiler().report(std::cout);
-  return 0;
+  // Legacy positional [nsteps] -> the driver's --steps N (default 50).
+  const bool has_nsteps = argc > 1 && argv[1][0] != '-';
+  const char* steps = has_nsteps ? argv[1] : "50";
+  std::vector<char*> args = {argv[0], const_cast<char*>("--steps"),
+                             const_cast<char*>(steps)};
+  for (int i = has_nsteps ? 2 : 1; i < argc; ++i) { args.push_back(argv[i]); }
+  return mrpic::scenario::run_scenario_main(static_cast<int>(args.size()), args.data(),
+                                            "quickstart");
 }

@@ -34,6 +34,7 @@
 #include "src/insitu/registry.hpp"
 #include "src/obs/trace.hpp"
 #include "src/resil/resilient_runner.hpp"
+#include "src/scenario/builder.hpp"
 
 #include "example_args.hpp"
 
@@ -47,24 +48,25 @@ int main(int argc, char** argv) {
   const bool with_insitu = args.insitu;
   const Real t_end = args.t_end;
 
-  int incarnation = 0; // 0 = initial sim, >0 = post-recovery replays
-  const auto factory = [&args, with_health, with_insitu, &incarnation, &out] {
-    core::SimulationConfig<2> cfg;
-    cfg.domain = Box2(IntVect2(0, 0), IntVect2(299, 49));
-    cfg.prob_lo = RealVect2(0, 0);
-    cfg.prob_hi = RealVect2(15e-6, 10e-6);
-    cfg.periodic = {false, false};
-    cfg.use_pml = true;
-    cfg.pml.npml = 8;
-    cfg.max_grid_size = IntVect2(75, 25); // 8 boxes over 4 ranks
-    cfg.shape_order = 3;
-    cfg.nranks = 4;
-    auto sim = std::make_unique<core::Simulation<2>>(cfg);
-
-    plasma::InjectorConfig<2> inj;
-    inj.density = plasma::gas_jet<2>(5e25, 6e-6, 500e-6, 3e-6);
-    inj.ppc = IntVect2(1, 2);
-    sim->add_species(particles::Species::electron(), inj);
+  // The half-size LWFA stage as a local (off-registry) ScenarioSpec: the
+  // ResilientRunner rebuilds the simulation from scratch after every crash,
+  // so the declarative spec is the natural factory input.
+  scenario::ScenarioSpec spec;
+  spec.sim.domain = Box2(IntVect2(0, 0), IntVect2(299, 49));
+  spec.sim.prob_lo = RealVect2(0, 0);
+  spec.sim.prob_hi = RealVect2(15e-6, 10e-6);
+  spec.sim.periodic = {false, false};
+  spec.sim.use_pml = true;
+  spec.sim.pml.npml = 8;
+  spec.sim.max_grid_size = IntVect2(75, 25); // 8 boxes over 4 ranks
+  spec.sim.shape_order = 3;
+  spec.sim.nranks = 4;
+  {
+    scenario::SpeciesSpec sp;
+    sp.species = particles::Species::electron();
+    sp.injector.density = plasma::gas_jet<2>(5e25, 6e-6, 500e-6, 3e-6);
+    sp.injector.ppc = IntVect2(1, 2);
+    spec.species.push_back(sp);
 
     laser::LaserConfig lc;
     lc.a0 = 2.5;
@@ -74,9 +76,15 @@ int main(int argc, char** argv) {
     lc.t_peak = 14e-15;
     lc.x_antenna = 2e-6;
     lc.center = {4e-6, 0};
-    sim->add_laser(lc);
+    spec.lasers.push_back(lc);
+  }
+  spec.window = {true, 0, c, /*start_time=*/30e-15};
 
-    sim->set_moving_window(0, c, /*start_time=*/30e-15);
+  int incarnation = 0; // 0 = initial sim, >0 = post-recovery replays
+  const auto factory = [&args, &spec, with_health, with_insitu, &incarnation, &out] {
+    scenario::BuildOptions bopt;
+    bopt.init = false; // per-incarnation observability first, then init
+    auto sim = scenario::build_simulation(spec, bopt);
     sim->enable_cluster_obs();
     sim->profiler().set_tracing(true);
     if (args.memory) { sim->enable_memory_obs(args.memory_cfg()); }

@@ -5,6 +5,7 @@
 // scaling benchmarks), gas jets (LWFA), solid foils (plasma mirrors) and
 // the hybrid solid-gas target of the science case (Fig. 1b).
 
+#include <cmath>
 #include <functional>
 #include <utility>
 
@@ -41,6 +42,42 @@ DensityProfile<DIM> gas_jet(Real n0, Real x0, Real x1, Real ramp) {
     if (x < x0 + ramp) { return n0 * (x - x0) / ramp; }
     if (x >= x1 - ramp) { return n0 * (x1 - x) / ramp; }
     return n0;
+  };
+}
+
+// Density-downramp injection target: plateau n_hi (entered through a linear
+// `ramp`-long upramp at x0), a linear downramp of length `down_len` starting
+// at x_down onto a second plateau n_lo that extends to x1. The sudden
+// plasma-wavelength stretch at the downramp drops the wake phase velocity
+// and traps background electrons (downramp injection).
+template <int DIM>
+DensityProfile<DIM> downramp(Real n_hi, Real n_lo, Real x0, Real ramp, Real x_down,
+                             Real down_len, Real x1) {
+  return [=](const mrpic::RealVect<DIM>& r) {
+    const Real x = r[0];
+    if (x < x0 || x >= x1) { return Real(0); }
+    if (x < x0 + ramp) { return n_hi * (x - x0) / ramp; }
+    if (x < x_down) { return n_hi; }
+    if (x < x_down + down_len) {
+      return n_hi + (n_lo - n_hi) * (x - x_down) / down_len;
+    }
+    return n_lo;
+  };
+}
+
+// Transversally Gaussian column: density n0 for x in [x0, x1), modulated by
+// exp(-(y - y_center)^2 / (2 sigma^2)) in the first transverse direction.
+// The reduced model of an ionization-injection dopant: the high-Z species'
+// inner-shell electrons are only released near the axis where the laser
+// intensity peaks, so the injectable population is confined to a narrow
+// on-axis column.
+template <int DIM>
+DensityProfile<DIM> gaussian_column(Real n0, Real x0, Real x1, Real y_center,
+                                    Real y_sigma) {
+  return [=](const mrpic::RealVect<DIM>& r) {
+    if (r[0] < x0 || r[0] >= x1) { return Real(0); }
+    const Real dy = r[1] - y_center;
+    return n0 * std::exp(-dy * dy / (2 * y_sigma * y_sigma));
   };
 }
 

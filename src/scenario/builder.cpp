@@ -1,0 +1,45 @@
+#include "src/scenario/builder.hpp"
+
+namespace mrpic::scenario {
+
+core::SimulationConfig<2> effective_sim_config(const ScenarioSpec& spec) {
+  core::SimulationConfig<2> cfg = spec.sim;
+  cfg.sort_interval =
+      spec.cadences.sort.enabled ? static_cast<int>(spec.cadences.sort.every) : 0;
+  cfg.dynamic_lb = spec.cadences.rebalance.enabled;
+  if (spec.cadences.rebalance.every > 0) {
+    cfg.lb_interval = static_cast<int>(spec.cadences.rebalance.every);
+  }
+  return cfg;
+}
+
+std::unique_ptr<core::Simulation<2>> build_simulation(const ScenarioSpec& spec,
+                                                      const BuildOptions& opts) {
+  auto sim = std::make_unique<core::Simulation<2>>(effective_sim_config(spec));
+  for (const auto& sp : spec.species) { sim->add_species(sp.species, sp.injector); }
+  for (const auto& lc : spec.lasers) { sim->add_laser(lc); }
+  if (spec.mr_patch && !opts.no_mr) { sim->enable_mr_patch(*spec.mr_patch); }
+  if (spec.window.enabled) {
+    sim->set_moving_window(spec.window.dir, spec.window.speed, spec.window.start_time);
+  }
+  if (opts.init) {
+    sim->init();
+    apply_species_drifts(*sim, spec);
+  }
+  return sim;
+}
+
+void apply_species_drifts(core::Simulation<2>& sim, const ScenarioSpec& spec) {
+  const int ns = static_cast<int>(spec.species.size());
+  for (int s = 0; s < ns; ++s) {
+    const Real ux = spec.species[std::size_t(s)].drift_ux;
+    if (ux == Real(0)) { continue; }
+    auto& pc = sim.species_level0(s);
+    for (int ti = 0; ti < pc.num_tiles(); ++ti) {
+      auto& tile = pc.tile(ti);
+      for (std::size_t p = 0; p < tile.size(); ++p) { tile.u[0][p] = ux; }
+    }
+  }
+}
+
+} // namespace mrpic::scenario

@@ -1,0 +1,342 @@
+#include "src/scenario/driver.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/boost/lorentz.hpp"
+#include "src/diag/csv_writer.hpp"
+#include "src/health/watchdog.hpp"
+#include "src/io/checkpoint.hpp"
+#include "src/obs/analysis.hpp"
+#include "src/obs/perf_report.hpp"
+#include "src/obs/rank_recorder_io.hpp"
+#include "src/obs/trace.hpp"
+#include "src/particles/deposition.hpp"
+#include "src/particles/gather.hpp"
+#include "src/particles/pusher.hpp"
+#include "src/perf/flop_counter.hpp"
+#include "src/perf/machine.hpp"
+#include "src/scenario/builder.hpp"
+#include "src/scenario/registry.hpp"
+
+namespace mrpic::scenario {
+namespace {
+
+using mrpic::constants::c;
+using mrpic::constants::q_e;
+
+struct ParseResult {
+  RunOptions opt;
+  bool ok = true;
+};
+
+ParseResult parse_options(int argc, char** argv, const char* forced_scenario) {
+  ParseResult r;
+  if (forced_scenario != nullptr) { r.opt.scenario = forced_scenario; }
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--scenario") == 0 && i + 1 < argc) {
+      r.opt.scenario = argv[++i];
+    } else if (std::strcmp(a, "--list") == 0) {
+      r.opt.list = true;
+    } else if (std::strcmp(a, "--steps") == 0 && i + 1 < argc) {
+      r.opt.steps = std::atoll(argv[++i]);
+    } else if (std::strcmp(a, "--health") == 0) {
+      r.opt.health = true;
+    } else if (std::strcmp(a, "--insitu") == 0) {
+      r.opt.insitu = true;
+    } else if (std::strcmp(a, "--memory") == 0) {
+      r.opt.memory = true;
+    } else if (std::strcmp(a, "--node-budget-gb") == 0 && i + 1 < argc) {
+      r.opt.node_budget_gb = std::atof(argv[++i]);
+      r.opt.memory = true;
+    } else if (std::strcmp(a, "--no-mr") == 0) {
+      r.opt.no_mr = true;
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      print_usage(argv[0]);
+      std::exit(0);
+    } else if (a[0] != '-') {
+      r.opt.t_end_fs = std::atof(a);
+    } else {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], a);
+      r.ok = false;
+      return r;
+    }
+  }
+  return r;
+}
+
+// Lab <-> boosted-frame correspondence table for boosted specs: the spec
+// carries boosted-frame values, so invert them for the lab column.
+void print_boost_table(const ScenarioSpec& spec) {
+  const boost::BoostedFrame frame(spec.boost.gamma);
+  const Real g = frame.gamma(), b = frame.beta();
+  const laser::LaserConfig& lc = spec.lasers.front();
+  const Real lam_lab = lc.wavelength / (g * (1 + b));
+  std::printf("boosted frame gamma = %.1f (beta = %.4f)\n", g, b);
+  std::printf("  %-26s %12s %12s\n", "", "lab", "boosted");
+  std::printf("  %-26s %12.3f %12.3f\n", "laser wavelength [um]", lam_lab * 1e6,
+              lc.wavelength * 1e6);
+  std::printf("  %-26s %12.1f %12.1f\n", "laser duration [fs]",
+              lc.duration / (g * (1 + b)) * 1e15, lc.duration * 1e15);
+  if (!spec.species.empty()) {
+    const Real n_boost = 1; // per-profile; report the scale factor instead
+    (void)n_boost;
+    std::printf("  %-26s %12s %12s\n", "plasma density", "n", "gamma*n");
+    std::printf("  %-26s %12.3e %12s\n", "plasma drift u_x [m/s]", frame.plasma_drift_ux(),
+                "");
+  }
+  std::printf("  expected speedup vs lab frame: %.1fx  [(1+beta)^2 gamma^2, Vay 2007]\n",
+              boost::BoostedFrame::speedup_estimate(g));
+}
+
+} // namespace
+
+void print_usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s --scenario <name> [options] [t_end_fs]\n"
+      "       %s --list\n"
+      "\n"
+      "options:\n"
+      "  --scenario <name>     registered scenario to run (see --list)\n"
+      "  --list                print the scenario registry and exit\n"
+      "  --steps N             run exactly N steps (overrides t_end)\n"
+      "  --outdir DIR          artifact directory (default out/)\n"
+      "  --health              invariant ledger + NaN/stability watchdog\n"
+      "  --insitu              in-situ physics series + streaming exporter\n"
+      "  --memory              byte ledger, per-rank memory model, MR savings\n"
+      "  --node-budget-gb G    OOM headroom vs a G-GiB per-rank budget (implies --memory)\n"
+      "  --no-mr               strip the scenario's MR patch\n"
+      "  t_end_fs              end time in femtoseconds (positional)\n",
+      prog, prog);
+}
+
+int run_scenario(const ScenarioSpec& spec_in, const RunOptions& opt,
+                 const diag::OutputDir& out) {
+  ScenarioSpec spec = spec_in;
+  if (opt.no_mr) { spec.mr_patch.reset(); }
+  if (spec.output_prefix.empty()) {
+    spec.output_prefix = spec.name.empty() ? "scenario" : spec.name;
+  }
+  const std::string& pfx = spec.output_prefix;
+  const Real t_end = opt.t_end_fs > 0 ? opt.t_end_fs * 1e-15 : spec.t_end;
+  if (opt.steps <= 0 && t_end <= 0) {
+    std::fprintf(stderr, "scenario '%s' has no default t_end; pass --steps or t_end_fs\n",
+                 spec.name.c_str());
+    return 2;
+  }
+
+  // Assemble without init so pre-init observability hooks see the setup
+  // phase, then enable per-flag observability and init.
+  BuildOptions bopt;
+  bopt.init = false;
+  auto sim_ptr = build_simulation(spec, bopt);
+  core::Simulation<2>& sim = *sim_ptr;
+  sim.enable_cluster_obs();
+  sim.profiler().set_tracing(true);
+
+  if (opt.memory) {
+    core::MemoryObsConfig mcfg;
+    mcfg.interval = 1;
+    mcfg.node_budget_gb = opt.node_budget_gb;
+    sim.enable_memory_obs(mcfg);
+  }
+  if (opt.health) {
+    health::MonitorConfig hcfg = spec.health;
+    hcfg.alerts_path = out.path(pfx + "_alerts.jsonl");
+    sim.enable_health(hcfg);
+  }
+  {
+    insitu::InsituConfig icfg = spec.insitu;
+    if (opt.insitu) {
+      icfg.series_path = out.path(pfx + "_insitu.jsonl");
+      if (icfg.stream_interval > 0) { icfg.stream.basename = out.path(pfx + "_stream"); }
+    } else {
+      // Keep the registry armed (the final force-collect prints the beam
+      // deliverables through it) but disable every cadence series.
+      icfg.moments_interval = icfg.spectrum_interval = icfg.laser_interval =
+          icfg.wakefield_interval = icfg.field_energy_interval = 0;
+      icfg.stream_interval = 0;
+      icfg.series_path.clear();
+      icfg.stream.basename.clear();
+    }
+    sim.enable_insitu(icfg);
+  }
+
+  sim.init();
+  apply_species_drifts(sim, spec);
+
+  if (opt.health) {
+    sim.health()->add_flush_sink(
+        [&] { sim.metrics().write_jsonl(out.path(pfx + "_metrics.jsonl")); });
+    sim.health()->add_flush_sink([&] {
+      obs::write_chrome_trace(sim.profiler(), sim.rank_recorder(),
+                              out.path(pfx + "_trace.json"), spec.name);
+    });
+    sim.health()->add_flush_sink(
+        [&] { sim.health()->write_ledger_jsonl(out.path(pfx + "_health.jsonl")); });
+  }
+  if (spec.cadences.checkpoint.enabled && spec.cadences.checkpoint.every > 0) {
+    resil::CheckpointPolicyConfig ccfg;
+    ccfg.mode = resil::CheckpointMode::Periodic;
+    ccfg.interval_steps = static_cast<int>(spec.cadences.checkpoint.every);
+    const std::string ckpt_path = out.path(pfx + "_ckpt.bin");
+    sim.set_checkpoint_policy(resil::CheckpointPolicy(ccfg),
+                              [ckpt_path](core::Simulation<2>& s) {
+                                return io::write_checkpoint<2>(ckpt_path, s);
+                              });
+  }
+
+  std::printf("scenario %s: %s\n", spec.name.c_str(), spec.title.c_str());
+  std::printf("  %lld particles, %lld cells, dt = %.3e s, %s\n",
+              static_cast<long long>(sim.total_particles()),
+              static_cast<long long>(spec.sim.domain.num_cells()), sim.dt(),
+              opt.steps > 0 ? ("steps = " + std::to_string(opt.steps)).c_str()
+                            : ("t_end = " + std::to_string(t_end * 1e15) + " fs").c_str());
+  if (spec.boost.enabled && !spec.lasers.empty()) { print_boost_table(spec); }
+
+  diag::CsvSeries history({"t_fs", "window_x_um", "field_energy_J", "total_particles",
+                           "max_Ex_GV_per_m"});
+  const auto record_row = [&] {
+    history.add_row({sim.time() * 1e15, sim.geom().prob_lo()[0] * 1e6,
+                     sim.fields().field_energy(),
+                     static_cast<double>(sim.total_particles()),
+                     sim.fields().E().max_abs(fields::X) / 1e9});
+  };
+  int exit_code = 0;
+  try {
+    for (;;) {
+      if (opt.steps > 0 ? sim.step_count() >= opt.steps : sim.time() >= t_end) { break; }
+      sim.step();
+      if (spec.cadences.diagnostics.due(sim.step_count())) {
+        record_row();
+        std::printf("t = %7.1f fs  step %6lld  E_x = %8.2f GV/m  particles %lld\n",
+                    sim.time() * 1e15, static_cast<long long>(sim.step_count()),
+                    sim.fields().E().max_abs(fields::X) / 1e9,
+                    static_cast<long long>(sim.total_particles()));
+      }
+    }
+  } catch (const health::AbortError& e) {
+    std::fprintf(stderr, "scenario %s aborted by health watchdog: %s\n",
+                 spec.name.c_str(), e.what());
+    exit_code = 1;
+  }
+  record_row();
+
+  // Final reduced diagnostics through the insitu registry (one code path
+  // with the cadence series and the perf-report beam section).
+  sim.insitu()->collect(sim.step_count(), sim.time(), /*force=*/true);
+  const Real mev = 1e6 * q_e;
+  if (sim.last_spectrum() != nullptr && sim.last_beam_moments() != nullptr) {
+    const auto& beam = sim.last_spectrum()->beam;
+    const auto& mom = *sim.last_beam_moments();
+    std::printf("beam: spectral peak %.2f MeV (spread %.1f%%), %.3f pC/m, "
+                "norm. emittance %.3f mm mrad, <gamma> %.1f\n",
+                beam.peak_energy / mev, 100 * beam.energy_spread,
+                std::abs(mom.charge_C) * 1e12, mom.emit_ny * 1e6, mom.mean_gamma);
+  }
+
+  history.write(out.path(pfx + "_history.csv"));
+  diag::write_field_2d(out.path(pfx + "_field.csv"), sim.fields().E(), fields::X);
+  obs::write_chrome_trace(sim.profiler(), sim.rank_recorder(),
+                          out.path(pfx + "_trace.json"), spec.name);
+  sim.metrics().write_jsonl(out.path(pfx + "_metrics.jsonl"));
+  sim.rank_recorder().write_rank_heatmap_csv(out.path("rank_heatmap.csv"));
+  obs::write_recorder_json(sim.rank_recorder(), out.path(pfx + "_ranks.json"));
+
+  obs::PerfReportOptions ropt;
+  ropt.title = spec.title.empty() ? spec.name : spec.name + " — " + spec.title;
+  ropt.latency_s = cluster::CommModel{}.latency_s;
+  auto report = obs::build_perf_report(sim.rank_recorder(), ropt);
+  std::string sections = "attribution";
+  if (opt.health) {
+    report.health = obs::summarize_health(*sim.health(), sim.profiler());
+    sim.health()->write_ledger_jsonl(out.path(pfx + "_health.jsonl"));
+    sections += ", health";
+  }
+  if (opt.insitu) {
+    report.beam = obs::summarize_insitu(*sim.insitu(), sim.profiler(), sim.insitu_stream());
+    sections += ", beam physics";
+  }
+  if (opt.memory) {
+    const auto measured = sim.measured_mr_savings();
+    const auto analytic = obs::analytic_mr_savings(sim.mr_savings_inputs());
+    core::MemoryObsConfig mcfg;
+    mcfg.interval = 1;
+    mcfg.node_budget_gb = opt.node_budget_gb;
+    report.memory = obs::summarize_memory(obs::memory_ledger(), sim.profiler(), &measured,
+                                          &analytic, &sim.rank_recorder(),
+                                          mcfg.budget_bytes());
+    sim.rank_recorder().write_memory_heatmap_csv(out.path("memory_heatmap.csv"));
+    sections += ", memory";
+  }
+  {
+    const auto& rep = sim.last_step_report();
+    perf::FlopCounter fc;
+    fc.record("gather", particles::gather_flops_per_particle(spec.sim.shape_order, 2) *
+                            rep.particles_pushed);
+    fc.record("push", particles::push_flops_per_particle() * rep.particles_pushed);
+    fc.record("deposition",
+              particles::deposit_flops_per_particle(spec.sim.shape_order, 2) *
+                  rep.particles_pushed);
+    fc.record("field_solve",
+              fields::FDTDSolver<2>::flops_per_cell() * rep.cells_advanced);
+    report.machine = "Summit";
+    report.roofline = obs::analysis::roofline(
+        fc,
+        obs::analysis::pic_kernel_bytes(static_cast<double>(rep.particles_pushed),
+                                        static_cast<double>(rep.cells_advanced)),
+        perf::machine_by_name(report.machine));
+  }
+  obs::write_markdown(report, out.path(pfx + "_perf_report.md"));
+  obs::write_json(report, out.path(pfx + "_perf_report.json"));
+
+  std::printf("wrote %s_{history,field}.csv, %s_trace.json, %s_metrics.jsonl, "
+              "%s_ranks.json, %s_perf_report.{md,json} in %s/\n",
+              pfx.c_str(), pfx.c_str(), pfx.c_str(), pfx.c_str(), pfx.c_str(),
+              out.dir().c_str());
+  std::printf("perf report sections: %s\n", sections.c_str());
+  const auto& rep = sim.last_step_report();
+  std::printf("last step %lld: %.3f ms wall, %lld particles, %lld cells\n",
+              static_cast<long long>(rep.step), rep.wall_s * 1e3,
+              static_cast<long long>(rep.particles_pushed),
+              static_cast<long long>(rep.cells_advanced));
+  return exit_code;
+}
+
+int run_scenario_main(int argc, char** argv, const char* forced_scenario) {
+  const auto out = diag::OutputDir::from_args(argc, argv);
+  const ParseResult parsed = parse_options(argc, argv, forced_scenario);
+  if (!parsed.ok) {
+    print_usage(argv[0]);
+    return 2;
+  }
+  const RunOptions& opt = parsed.opt;
+  auto& reg = ScenarioRegistry::instance();
+  if (opt.list) {
+    std::printf("registered scenarios (%zu):\n", reg.entries().size());
+    for (const auto& e : reg.entries()) {
+      std::printf("  %-18s %s\n", e.name.c_str(), e.title.c_str());
+    }
+    return 0;
+  }
+  if (opt.scenario.empty()) {
+    print_usage(argv[0]);
+    return 2;
+  }
+  ScenarioSpec spec;
+  try {
+    spec = reg.make(opt.scenario);
+  } catch (const std::out_of_range& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  return run_scenario(spec, opt, out);
+}
+
+} // namespace mrpic::scenario

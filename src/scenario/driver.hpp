@@ -1,0 +1,47 @@
+#pragma once
+
+// The generic scenario driver behind the `mrpic_run` binary: one run
+// lifecycle (build spec -> enable observability per flags -> step loop with
+// ModuleRange cadences -> reduced diagnostics + perf report artifacts) for
+// every registered workload. Examples that used to hand-roll this loop call
+// run_scenario()/run_scenario_main() instead.
+//
+//   mrpic_run --list
+//   mrpic_run --scenario <name> [--steps N] [--outdir DIR] [--health]
+//             [--insitu] [--memory] [--node-budget-gb G] [--no-mr] [t_end_fs]
+
+#include <string>
+
+#include "src/diag/output_dir.hpp"
+#include "src/scenario/scenario_spec.hpp"
+
+namespace mrpic::scenario {
+
+struct RunOptions {
+  std::string scenario;      // registry name (empty + !list = usage error)
+  bool list = false;         // print the registry and exit
+  std::int64_t steps = 0;    // step-count limit (0 = run to t_end)
+  double t_end_fs = 0;       // end time override [fs] (0 = spec default)
+  bool health = false;       // invariant ledger + watchdog (src/health)
+  bool insitu = false;       // physics registry + streaming (src/insitu)
+  bool memory = false;       // byte ledger + per-rank model (src/obs/memory)
+  bool no_mr = false;        // strip the spec's MR patch
+  double node_budget_gb = 0; // OOM headroom budget; implies memory
+};
+
+// Print the mrpic_run usage text to stderr.
+void print_usage(const char* prog);
+
+// Execute one scenario run end to end. Artifacts land in `out` under
+// spec.output_prefix. Returns the process exit code (0 = completed,
+// 1 = aborted by a health watchdog alert).
+int run_scenario(const ScenarioSpec& spec, const RunOptions& opt,
+                 const diag::OutputDir& out);
+
+// Full driver main: parse argv (including --outdir via diag::OutputDir),
+// handle --list, look up the scenario and run it. When `forced_scenario`
+// is non-null it preselects the scenario (the quickstart shim);
+// --scenario still overrides it.
+int run_scenario_main(int argc, char** argv, const char* forced_scenario = nullptr);
+
+} // namespace mrpic::scenario

@@ -1,0 +1,24 @@
+#pragma once
+
+// ModuleRange: the cadence primitive of the scenario model (the shape Pigeon
+// uses for its sort/export/checkpoint/rebalance module scheduling). A module
+// is "due" on step n when it is enabled, the step has reached `start`, and
+// (n - start) is a multiple of `every`. A disabled range (or every <= 0)
+// is never due, which is how a scenario switches a module off while keeping
+// its configuration around for a later override.
+
+#include <cstdint>
+
+namespace mrpic::scenario {
+
+struct ModuleRange {
+  bool enabled = true;
+  std::int64_t start = 0; // first step on which the module may fire
+  std::int64_t every = 1; // period in steps (<= 0 disables)
+
+  bool due(std::int64_t step) const {
+    return enabled && every > 0 && step >= start && (step - start) % every == 0;
+  }
+};
+
+} // namespace mrpic::scenario

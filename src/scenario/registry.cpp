@@ -1,0 +1,42 @@
+#include "src/scenario/registry.hpp"
+
+#include <stdexcept>
+
+namespace mrpic::scenario {
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry reg = [] {
+    ScenarioRegistry r;
+    register_builtin_scenarios(r);
+    return r;
+  }();
+  return reg;
+}
+
+bool ScenarioRegistry::add(std::string name, std::string title, Factory factory) {
+  if (contains(name)) { return false; }
+  m_entries.push_back({std::move(name), std::move(title), std::move(factory)});
+  return true;
+}
+
+const ScenarioRegistry::Entry* ScenarioRegistry::find(std::string_view name) const {
+  for (const auto& e : m_entries) {
+    if (e.name == name) { return &e; }
+  }
+  return nullptr;
+}
+
+ScenarioSpec ScenarioRegistry::make(std::string_view name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) {
+    throw std::out_of_range("unknown scenario '" + std::string(name) +
+                            "' (mrpic_run --list shows the registered names)");
+  }
+  ScenarioSpec spec = e->make();
+  spec.name = e->name;
+  spec.title = e->title;
+  if (spec.output_prefix.empty()) { spec.output_prefix = e->name; }
+  return spec;
+}
+
+} // namespace mrpic::scenario

@@ -1,0 +1,59 @@
+#pragma once
+
+// ScenarioRegistry: the named workload library behind `mrpic_run --scenario`.
+// Each entry is a factory returning a fully-formed ScenarioSpec; the
+// built-in library (src/scenario/library.cpp) registers itself on first use
+// of instance(), so a static-library build cannot drop the registrations
+// and there is no static-initialization-order coupling between translation
+// units. User code may add further entries at runtime (campaign services
+// register parameter-scan variants this way).
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/scenario/scenario_spec.hpp"
+
+namespace mrpic::scenario {
+
+class ScenarioRegistry {
+public:
+  using Factory = std::function<ScenarioSpec()>;
+
+  struct Entry {
+    std::string name;
+    std::string title;
+    Factory make;
+  };
+
+  // The process-wide registry, with the built-in library registered.
+  static ScenarioRegistry& instance();
+
+  // Register a factory under `name`. Returns false (and leaves the existing
+  // entry untouched) when the name is already taken.
+  bool add(std::string name, std::string title, Factory factory);
+
+  bool contains(std::string_view name) const { return find(name) != nullptr; }
+  const Entry* find(std::string_view name) const;
+
+  // Build the named spec (spec.name/title are stamped from the entry).
+  // Throws std::out_of_range naming the unknown scenario.
+  ScenarioSpec make(std::string_view name) const;
+
+  // Entries in registration order (the built-in library registers
+  // alphabetically-meaningful groups: baselines, LWFA family, boosted,
+  // solid targets).
+  const std::vector<Entry>& entries() const { return m_entries; }
+  std::size_t size() const { return m_entries.size(); }
+
+private:
+  std::vector<Entry> m_entries;
+};
+
+// Populate `reg` with the built-in scenario library (idempotent per name:
+// existing entries win). Called by instance(); exposed for tests that build
+// a private registry.
+void register_builtin_scenarios(ScenarioRegistry& reg);
+
+} // namespace mrpic::scenario

@@ -108,5 +108,49 @@ TEST(BoostedFrame, SpeedupEstimateMatchesVay2007Scaling) {
   EXPECT_GT(BoostedFrame::speedup_estimate(100.0), 3.9e4);
 }
 
+TEST(BoostedFrame, RoundTripIdentityAcrossGammas) {
+  // lab -> boosted -> lab must be the identity (to rounding) for events,
+  // momenta and field pairs, across the gamma range the scenarios use.
+  for (const Real g : {1.0, 1.5, 2.0, 4.0, 10.0, 30.0}) {
+    SCOPED_TRACE("gamma = " + std::to_string(g));
+    BoostedFrame f(g);
+
+    const Real t = 4.2e-14, x = -1.3e-5;
+    const auto ev = f.event_to_boosted(t, x);
+    const auto ev_back = f.event_to_lab(ev[0], ev[1]);
+    EXPECT_NEAR(ev_back[0], t, std::abs(t) * g * 1e-12);
+    EXPECT_NEAR(ev_back[1], x, std::abs(x) * g * 1e-12);
+
+    const std::array<Real, 3> u = {0.7 * c, -1.9 * c, 3.1 * c};
+    const auto u_back = f.momentum_to_lab(f.momentum_to_boosted(u));
+    for (int cc = 0; cc < 3; ++cc) { EXPECT_NEAR(u_back[cc], u[cc], c * g * 1e-12); }
+
+    std::array<Real, 3> E = {1.1e9, -2.2e9, 3.3e9};
+    std::array<Real, 3> B = {-0.4, 1.6, 2.5};
+    const auto E0 = E;
+    const auto B0 = B;
+    f.fields_to_boosted(E, B);
+    f.fields_to_lab(E, B);
+    for (int cc = 0; cc < 3; ++cc) {
+      EXPECT_NEAR(E[cc], E0[cc], std::abs(E0[1]) * g * g * 1e-12);
+      EXPECT_NEAR(B[cc], B0[cc], std::abs(B0[2]) * g * g * 1e-12);
+    }
+  }
+}
+
+TEST(BoostedFrame, SpeedupEstimateMatchesClosedForm) {
+  // The estimate IS the Vay-2007 closed form (1 + beta)^2 gamma^2.
+  for (const Real g : {1.0, 2.0, 4.0, 7.5, 20.0, 100.0}) {
+    SCOPED_TRACE("gamma = " + std::to_string(g));
+    const Real beta = std::sqrt(1.0 - 1.0 / (g * g));
+    const Real closed_form = (1 + beta) * (1 + beta) * g * g;
+    EXPECT_NEAR(BoostedFrame::speedup_estimate(g), closed_form,
+                closed_form * 1e-14);
+  }
+  // gamma = 2: beta = sqrt(3)/2, speedup = (1 + sqrt(3)/2)^2 * 4 exactly.
+  const Real b2 = std::sqrt(3.0) / 2.0;
+  EXPECT_DOUBLE_EQ(BoostedFrame::speedup_estimate(2.0), (1 + b2) * (1 + b2) * 4.0);
+}
+
 } // namespace
 } // namespace mrpic::boost
