@@ -24,6 +24,7 @@ echo "== run benches (--json) into $tmp"
 "$bindir/bench_health" --json --outdir "$tmp" > /dev/null
 "$bindir/bench_insitu" --json --outdir "$tmp" > /dev/null
 "$bindir/bench_memory" --json --outdir "$tmp" > /dev/null
+"$bindir/bench_kernel_grain" --json --outdir "$tmp" > /dev/null
 "$bindir/bench_mr_savings" --json --quick --outdir "$tmp" > /dev/null
 "$bindir/bench_kernels" --json --quick --outdir "$tmp" > /dev/null
 
@@ -61,6 +62,16 @@ echo "== compare deterministic benches against baselines"
 "$bindir/bench_compare" --rel-tol 0.02 \
     --ignore probe_s --ignore step_s --ignore overhead_frac \
     "$basedir/BENCH_memory.json" "$tmp/BENCH_memory.json"
+# bench_kernel_grain: invocation/particle counts, the analytic
+# flops/bytes/intensity columns, the locality model and the halo phase
+# timeline are deterministic and gated, as are the split_ok and
+# <=1%-overhead verdicts; kernel wall times, achieved bandwidth and the raw
+# probe/step seconds are host timing noise. The substring "overhead_frac"
+# does not match "overhead_ok", so the verdict stays gated.
+"$bindir/bench_compare" --rel-tol 0.02 \
+    --ignore time_s --ignore gbyte_s \
+    --ignore probe_s --ignore step_s --ignore overhead_frac \
+    "$basedir/BENCH_kernel_grain.json" "$tmp/BENCH_kernel_grain.json"
 # bench_mr_savings --json: pure arithmetic of the analytic memory model.
 "$bindir/bench_compare" --rel-tol 1e-6 \
     "$basedir/BENCH_mr_savings.json" "$tmp/BENCH_mr_savings.json"
@@ -69,6 +80,16 @@ echo "== compare deterministic benches against baselines"
 # FP-epsilon scale and are gated by the test suite instead.
 "$bindir/bench_compare" --rel-tol 1e-6 --ignore invariant_gap \
     "$basedir/BENCH_attribution.json" "$tmp/BENCH_attribution.json"
+
+echo "== append run to the bench-history ledger"
+# Cross-run perf trajectory (obs::bench_history): one schema-tagged JSONL
+# record per BENCH_*.json of this run, then the trend over recent entries.
+# This runs before the self-checks below so their perturbed scratch file
+# never reaches the ledger.
+ledger_dir="$basedir/../history"
+mkdir -p "$ledger_dir"
+"$bindir/bench_trend" --append "$ledger_dir/BENCH_history.jsonl" "$tmp"/BENCH_*.json
+"$bindir/bench_trend" "$ledger_dir/BENCH_history.jsonl" --last 5
 
 echo "== gate self-checks"
 "$bindir/bench_compare" "$tmp/BENCH_weak_scaling.json" "$tmp/BENCH_weak_scaling.json" \

@@ -17,6 +17,11 @@ struct CommModel {
   double bandwidth_Bps = 12.5e9;    // inter-rank bandwidth [bytes/s]
   double intranode_Bps = 200e9;     // same-rank (device-local) copy rate
   double allreduce_latency_s = 5e-6; // per-hop cost of a reduction tree
+  // CPU cost of posting one nonblocking send/recv pair (descriptor setup,
+  // not wire time). Used only to *split* a message's comm time into a post
+  // sub-span and a wait sub-span for the halo phase timeline — it is never
+  // added on top of message_time(), so totals are unchanged.
+  double post_overhead_s = 1e-7;
 
   double message_time(std::int64_t bytes, bool same_rank) const {
     if (same_rank) { return static_cast<double>(bytes) / intranode_Bps; }

@@ -17,6 +17,10 @@ void SimCluster::record_metrics(const StepCost& cost) const {
   m_metrics->gauge("cluster_compute_s").set(cost.compute_s);
   m_metrics->gauge("cluster_comm_s").set(cost.comm_s);
   m_metrics->gauge("cluster_imbalance").set(cost.imbalance);
+  m_metrics->gauge("cluster_post_s").set(cost.post_s);
+  m_metrics->gauge("cluster_wait_s").set(cost.wait_s);
+  m_metrics->gauge("cluster_interior_compute_s").set(cost.interior_compute_s);
+  m_metrics->gauge("cluster_overlap_headroom_s").set(cost.overlap_headroom_s);
   if (m_faults != nullptr) {
     m_metrics->counter("halo_retries").add(cost.retries);
     m_metrics->counter("halo_corrupt").add(cost.corrupt_messages);
@@ -42,8 +46,19 @@ StepCost SimCluster::step_cost(const mrpic::BoxArray<DIM>& ba,
   std::vector<obs::HaloMessage> messages;
 
   for (int i = 0; i < ba.size(); ++i) {
-    ranks[dm.rank(i)].compute_s += static_cast<double>(box_compute_s[i]);
-    ++ranks[dm.rank(i)].boxes;
+    auto& r = ranks[dm.rank(i)];
+    r.compute_s += static_cast<double>(box_compute_s[i]);
+    // Interior share of the box's work: cells more than ngrow from the box
+    // surface need no ghost data, so their update could overlap the halo
+    // exchange. Small boxes (fully within ngrow of their surface) have no
+    // interior and contribute nothing.
+    const auto interior = ba[i].grown(-ngrow);
+    if (ba[i].num_cells() > 0) {
+      r.interior_compute_s += static_cast<double>(box_compute_s[i]) *
+                              static_cast<double>(interior.num_cells()) /
+                              static_cast<double>(ba[i].num_cells());
+    }
+    ++r.boxes;
   }
 
   // Fault model, compute side: stragglers run slow, dead ranks do no work
@@ -54,8 +69,10 @@ StepCost SimCluster::step_cost(const mrpic::BoxArray<DIM>& ba,
       if (!m_faults->rank_alive(r.rank)) {
         if (cost.failed_rank < 0) { cost.failed_rank = r.rank; }
         r.compute_s = 0;
+        r.interior_compute_s = 0;
       } else {
         r.compute_s *= m_faults->compute_multiplier(r.rank);
+        r.interior_compute_s *= m_faults->compute_multiplier(r.rank);
       }
     }
     if (cost.failed_rank >= 0) { cost.detect_s = m_faults->detection_time_s(); }
@@ -77,7 +94,10 @@ StepCost SimCluster::step_cost(const mrpic::BoxArray<DIM>& ba,
       const bool same_rank = src == dst;
       const double t = m_comm.message_time(bytes, same_rank);
       if (same_rank) {
+        // Device-local copy: no descriptor post, the whole span is wait
+        // (keeps the per-rank invariant post_s + wait_s == comm_s).
         ranks[dst].comm_s += t;
+        ranks[dst].wait_s += t;
         continue;
       }
       // Wire faults: a retried message occupies the wire once per attempt
@@ -99,6 +119,15 @@ StepCost SimCluster::step_cost(const mrpic::BoxArray<DIM>& ba,
       }
       ranks[dst].comm_s += t_total;
       ranks[src].comm_s += t_total;
+      // Phase split of the message's comm charge: a fixed nonblocking-post
+      // CPU cost, the rest blocked on the wire. A split, not a surcharge —
+      // post + wait == t_total on both endpoints.
+      const double post = std::min(t_total, m_comm.post_overhead_s);
+      const double wait = t_total - post;
+      ranks[dst].post_s += post;
+      ranks[dst].wait_s += wait;
+      ranks[src].post_s += post;
+      ranks[src].wait_s += wait;
       ranks[src].bytes_sent += bytes;
       ranks[dst].bytes_recv += bytes;
       ++ranks[src].messages;
@@ -122,11 +151,22 @@ StepCost SimCluster::step_cost(const mrpic::BoxArray<DIM>& ba,
   }
 
   std::vector<double> compute_loads(ranks.size());
+  std::size_t critical = 0;
   for (std::size_t r = 0; r < ranks.size(); ++r) {
+    ranks[r].overlap_headroom_s =
+        std::min(ranks[r].wait_s, ranks[r].interior_compute_s);
     cost.compute_s = std::max(cost.compute_s, ranks[r].compute_s);
     cost.comm_s = std::max(cost.comm_s, ranks[r].comm_s);
     cost.retry_s = std::max(cost.retry_s, ranks[r].retry_s);
     compute_loads[r] = ranks[r].compute_s;
+    if (ranks[r].total_s() > ranks[critical].total_s()) { critical = r; }
+  }
+  if (!ranks.empty()) {
+    // Phase timeline of the rank that gates the step.
+    cost.post_s = ranks[critical].post_s;
+    cost.wait_s = ranks[critical].wait_s;
+    cost.interior_compute_s = ranks[critical].interior_compute_s;
+    cost.overlap_headroom_s = ranks[critical].overlap_headroom_s;
   }
   cost.total_s = cost.compute_s + cost.comm_s + cost.detect_s;
   cost.imbalance = dist::max_over_mean(compute_loads);
@@ -137,6 +177,10 @@ StepCost SimCluster::step_cost(const mrpic::BoxArray<DIM>& ba,
     for (std::size_t r = 0; r < ranks.size(); ++r) {
       sections[r] = {{"compute_s", ranks[r].compute_s},
                      {"comm_s", ranks[r].comm_s},
+                     {"post_s", ranks[r].post_s},
+                     {"wait_s", ranks[r].wait_s},
+                     {"interior_compute_s", ranks[r].interior_compute_s},
+                     {"overlap_headroom_s", ranks[r].overlap_headroom_s},
                      {"bytes_sent", static_cast<double>(ranks[r].bytes_sent)},
                      {"bytes_recv", static_cast<double>(ranks[r].bytes_recv)},
                      {"messages", static_cast<double>(ranks[r].messages)},

@@ -29,6 +29,16 @@ struct StepCost {
   double imbalance = 1;        // max/mean compute
   std::int64_t total_bytes = 0;   // bytes crossing rank boundaries
   std::int64_t num_messages = 0;  // inter-rank messages
+  // Halo phase timeline of the critical rank (argmax compute + comm):
+  // comm splits into a nonblocking post sub-span and a blocked wait
+  // sub-span (post_s + wait_s == that rank's comm_s), interior_compute_s is
+  // its compute on ghost-free interior cells, and overlap_headroom_s =
+  // min(wait_s, interior_compute_s) — the step time a comm/compute overlap
+  // scheme (ROADMAP item 2) could hide.
+  double post_s = 0;
+  double wait_s = 0;
+  double interior_compute_s = 0;
+  double overlap_headroom_s = 0;
   // Fault accounting (all zero / -1 unless FaultHooks are attached).
   double retry_s = 0;          // max over ranks of fault-induced extra comm time
   double detect_s = 0;         // failure-detection stall (a rank died this step)
@@ -48,8 +58,10 @@ public:
 
   // When set, every step_cost() evaluation records into the registry:
   // counters halo_bytes / halo_messages, gauges cluster_compute_s /
-  // cluster_comm_s / cluster_imbalance, plus a per-rank section
-  // (compute_s/comm_s/bytes/messages/boxes per rank) on the in-flight step
+  // cluster_comm_s / cluster_imbalance plus the critical rank's halo phase
+  // timeline (cluster_post_s / cluster_wait_s / cluster_interior_compute_s /
+  // cluster_overlap_headroom_s), and a per-rank section (compute_s/comm_s/
+  // phase split/bytes/messages/boxes per rank) on the in-flight step
   // record. The registry must outlive this cluster (or be detached with
   // nullptr).
   void set_metrics(obs::MetricsRegistry* metrics) { m_metrics = metrics; }

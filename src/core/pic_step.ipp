@@ -115,6 +115,14 @@ void Simulation<DIM>::step() {
       observe_cluster(this_step);
     }
 
+    // 9a. Kernel-grain observability: publish the probe's per-kernel
+    // aggregates and locality model as kernel_* gauges on sampled steps (the
+    // per-invocation records were collected inside advance_particles).
+    if (m_kernel_probe && m_kernel_probe->due(this_step)) {
+      auto t = m_profiler.scope("kernel_obs");
+      observe_kernels(this_step);
+    }
+
     m_time += m_dt;
     ++m_step;
 
@@ -218,37 +226,82 @@ void Simulation<DIM>::advance_particles() {
     m_patch->coarse().zero_current();
   }
 
+  // Kernel-grain probing (enable_kernel_obs): on sampled steps each kernel
+  // launch below is bracketed with a steady-clock pair and recorded at
+  // tile/species granularity; off-cadence steps pay only this null check.
+  obs::KernelProbe* probe =
+      m_kernel_probe && m_kernel_probe->due(m_step) ? m_kernel_probe.get() : nullptr;
+  const auto timed = [&](obs::KernelKind kind, const std::string& species_name,
+                         int tile_idx, std::int64_t np, auto&& launch) {
+    if (probe == nullptr) {
+      launch();
+      return;
+    }
+    const auto t0 = obs::Profiler::clock::now();
+    launch();
+    const double dt_s =
+        std::chrono::duration<double>(obs::Profiler::clock::now() - t0).count();
+    probe->record(kind, m_step, species_name, tile_idx, np, dt_s, m_cfg.shape_order,
+                  DIM);
+  };
+
   std::int64_t pushed = 0;
   for (auto& sd : m_species) {
     const Real q = sd.level0.species().charge;
     const Real mass = sd.level0.species().mass;
+    const std::string& sp_name = sd.level0.species().name;
 
     // Level 0: tile-by-tile against the tile's own fab.
     for (int ti = 0; ti < sd.level0.num_tiles(); ++ti) {
       auto& tile = sd.level0.tile(ti);
       if (tile.size() == 0) { continue; }
-      particles::gather_fields<DIM>(m_cfg.shape_order, tile, m_fields.geom(),
-                                    m_fields.E().const_array(ti),
-                                    m_fields.B().const_array(ti), m_gathered);
+      const auto np = static_cast<std::int64_t>(tile.size());
+      // Locality sample before the push: the gather walked exactly this
+      // particle order over the pre-push positions.
+      if (probe != nullptr) {
+        probe->sample_locality<DIM>(tile, m_fields.geom(), sd.level0.box_array()[ti]);
+      }
+      timed(obs::KernelKind::Gather, sp_name, ti, np, [&] {
+        particles::gather_fields<DIM>(m_cfg.shape_order, tile, m_fields.geom(),
+                                      m_fields.E().const_array(ti),
+                                      m_fields.B().const_array(ti), m_gathered);
+      });
       for (int d = 0; d < DIM; ++d) { m_x_old[d] = tile.x[d]; }
-      particles::push_particles<DIM>(m_cfg.pusher, tile, m_gathered, q, mass, m_dt);
-      particles::deposit_current<DIM>(m_cfg.deposition, m_cfg.shape_order, tile, m_x_old,
-                                      m_fields.geom(), m_fields.J().array(ti), q, m_dt);
-      pushed += static_cast<std::int64_t>(tile.size());
+      timed(obs::KernelKind::Push, sp_name, ti, np, [&] {
+        particles::push_particles<DIM>(m_cfg.pusher, tile, m_gathered, q, mass, m_dt);
+      });
+      timed(obs::KernelKind::Deposit, sp_name, ti, np, [&] {
+        particles::deposit_current<DIM>(m_cfg.deposition, m_cfg.shape_order, tile,
+                                        m_x_old, m_fields.geom(), m_fields.J().array(ti),
+                                        q, m_dt);
+      });
+      pushed += np;
     }
 
     // Patch interior: gather from the auxiliary solution, deposit fine.
+    // Probed like a level-0 tile, with index -1 marking the patch tile.
     if (m_patch && m_patch->active() && sd.patch.total_particles() > 0) {
       auto& tile = sd.patch.tile(0);
       const auto& fine_geom = m_patch->fine().geom();
-      particles::gather_fields<DIM>(m_cfg.shape_order, tile, fine_geom,
-                                    m_patch->aux_E().const_array(0),
-                                    m_patch->aux_B().const_array(0), m_gathered);
+      const auto np = static_cast<std::int64_t>(tile.size());
+      if (probe != nullptr) {
+        probe->sample_locality<DIM>(tile, fine_geom, sd.patch.box_array()[0]);
+      }
+      timed(obs::KernelKind::Gather, sp_name, -1, np, [&] {
+        particles::gather_fields<DIM>(m_cfg.shape_order, tile, fine_geom,
+                                      m_patch->aux_E().const_array(0),
+                                      m_patch->aux_B().const_array(0), m_gathered);
+      });
       for (int d = 0; d < DIM; ++d) { m_x_old[d] = tile.x[d]; }
-      particles::push_particles<DIM>(m_cfg.pusher, tile, m_gathered, q, mass, m_dt);
-      particles::deposit_current<DIM>(m_cfg.deposition, m_cfg.shape_order, tile, m_x_old,
-                                      fine_geom, m_patch->fine().J().array(0), q, m_dt);
-      pushed += static_cast<std::int64_t>(tile.size());
+      timed(obs::KernelKind::Push, sp_name, -1, np, [&] {
+        particles::push_particles<DIM>(m_cfg.pusher, tile, m_gathered, q, mass, m_dt);
+      });
+      timed(obs::KernelKind::Deposit, sp_name, -1, np, [&] {
+        particles::deposit_current<DIM>(m_cfg.deposition, m_cfg.shape_order, tile,
+                                        m_x_old, fine_geom, m_patch->fine().J().array(0),
+                                        q, m_dt);
+      });
+      pushed += np;
     }
   }
   m_metrics.counter("particles_pushed").add(pushed);
@@ -798,6 +851,12 @@ void Simulation<DIM>::observe_memory(std::int64_t step) {
   if (m_patch) {
     m_metrics.gauge("mem_mr_savings_factor").set(measured_mr_savings().factor);
   }
+  (void)step;
+}
+
+template <int DIM>
+void Simulation<DIM>::observe_kernels(std::int64_t step) {
+  m_kernel_probe->publish(m_metrics);
   (void)step;
 }
 

@@ -305,6 +305,51 @@ std::vector<std::string> validate_schema(const json::Value& doc) {
                    {"overhead_frac", 'n'},
                    {"overhead_ok", 'n'}},
                   errors);
+  } else if (bench == "kernel_grain") {
+    // bench_kernel_grain: probe aggregates (analytic flops/bytes columns are
+    // deterministic, timings ignored by bench_smoke), the locality model on
+    // synthetic key streams, the halo phase timeline over a rank sweep, and
+    // the <= 1% probe-overhead verdict (0/1 flag, gated).
+    check_records(doc, "kernels",
+                  {{"kernel", 's'},
+                   {"invocations", 'n'},
+                   {"particles", 'n'},
+                   {"flops", 'n'},
+                   {"bytes", 'n'},
+                   {"intensity", 'n'},
+                   {"time_s", 'n'},
+                   {"gbyte_s", 'n'}},
+                  errors);
+    check_records(doc, "locality",
+                  {{"case", 's'},
+                   {"particles", 'n'},
+                   {"pairs", 'n'},
+                   {"inversion_fraction", 'n'},
+                   {"mean_stride_cells", 'n'},
+                   {"p99_stride_cells", 'n'},
+                   {"line_reuse", 'n'},
+                   {"sorted_line_reuse", 'n'},
+                   {"predicted_sort_speedup", 'n'}},
+                  errors);
+    check_records(doc, "overlap",
+                  {{"nranks", 'n'},
+                   {"compute_s", 'n'},
+                   {"comm_s", 'n'},
+                   {"post_s", 'n'},
+                   {"wait_s", 'n'},
+                   {"interior_compute_s", 'n'},
+                   {"overlap_headroom_s", 'n'},
+                   {"split_ok", 'n'}},
+                  errors);
+    check_records(doc, "probe",
+                  {{"steps", 'n'},
+                   {"sample_interval", 'n'},
+                   {"sampled_invocations", 'n'},
+                   {"probe_s", 'n'},
+                   {"step_s", 'n'},
+                   {"overhead_frac", 'n'},
+                   {"overhead_ok", 'n'}},
+                  errors);
   } else if (bench == "mr_savings") {
     // bench_mr_savings --json: one record per (dim, ratio, patch-fraction)
     // point of the analytic affordability model.

@@ -1,0 +1,81 @@
+#pragma once
+
+// obs::locality — sampled particle memory-access locality metrics (ISSUE 9
+// tentpole b): how far the gather/deposit stencils of consecutive particles
+// are from each other in cell-major memory, and how much a cell-binned sort
+// (ROADMAP item 2, paper Sec. V.A.1 "grid tiling and particle sorting")
+// would buy. The metrics are computed over the same cell keys the counting
+// sort in src/particles/sorting.cpp uses (clamped cell index in Fortran
+// order of the tile's valid box), so "0 inversions" here is exactly
+// `is_sorted_by_cell() == true` there.
+//
+// Cache-line model: a field cache line covers kCellsPerCacheLine contiguous
+// cells of the innermost dimension; a consecutive-particle stride below that
+// is assumed to hit the line the previous particle loaded. The predicted
+// sort speedup compares the modeled miss fraction of the observed order
+// against the same tile's keys in sorted order:
+//     speedup = (1 - h * line_reuse) / (1 - h * sorted_line_reuse),
+// with h = 1 - 1/kCellsPerCacheLine the fraction of gather traffic that a
+// reused line saves. It is a bandwidth-bound upper-bound model (no cache
+// capacity term), deliberately simple enough to verify in closed form.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/amr/box.hpp"
+#include "src/amr/geometry.hpp"
+#include "src/particles/particle_container.hpp"
+
+namespace mrpic::obs {
+
+// Cells of the innermost dimension covered by one field cache line
+// (64 B line / 8 B double = 8 cells).
+inline constexpr int kCellsPerCacheLine = 8;
+
+// Fraction of stencil traffic saved when a particle reuses the previous
+// particle's cache line instead of streaming a fresh one.
+inline constexpr double kLineReuseSaving =
+    1.0 - 1.0 / static_cast<double>(kCellsPerCacheLine);
+
+struct TileLocality {
+  std::int64_t particles = 0;  // particles sampled
+  std::int64_t pairs = 0;      // consecutive pairs examined (particles - 1)
+  // Fraction of consecutive pairs in descending cell order (~0 for a
+  // cell-sorted tile, ~0.5 for a random shuffle).
+  double inversion_fraction = 0;
+  // Mean / 99th-percentile |cell-key stride| between consecutive particles.
+  double mean_stride_cells = 0;
+  double p99_stride_cells = 0;
+  // Fraction of pairs with |stride| < kCellsPerCacheLine (modeled line hit),
+  // as observed and for the same keys in sorted order.
+  double line_reuse = 0;
+  double sorted_line_reuse = 0;
+  // Modeled gather-bandwidth speedup of sorting this tile (>= ~1).
+  double predicted_sort_speedup = 1.0;
+};
+
+// Locality metrics of one cell-key sequence in particle order. Fewer than
+// two keys yield an all-zero result (speedup 1).
+TileLocality locality_from_keys(const std::vector<std::int64_t>& keys);
+
+// Pair-weighted merge of `add` into `into` (p99 merges as the max — an
+// upper bound, since the exact percentile needs the pooled strides).
+void merge_locality(TileLocality& into, const TileLocality& add);
+
+// Sample one particle tile: cell keys of the first min(size, max_sample)
+// particles (a contiguous prefix, preserving consecutive-pair adjacency)
+// against the tile's valid box, then locality_from_keys. Keys replicate
+// src/particles/sorting.cpp exactly (clamped cell index, Fortran order).
+template <int DIM>
+TileLocality tile_locality(const particles::ParticleTile<DIM>& tile,
+                           const Geometry<DIM>& geom, const Box<DIM>& valid,
+                           std::size_t max_sample = 4096);
+
+extern template TileLocality tile_locality<2>(const particles::ParticleTile<2>&,
+                                              const Geometry<2>&, const Box<2>&,
+                                              std::size_t);
+extern template TileLocality tile_locality<3>(const particles::ParticleTile<3>&,
+                                              const Geometry<3>&, const Box<3>&,
+                                              std::size_t);
+
+} // namespace mrpic::obs

@@ -124,6 +124,11 @@ bool MetricsRegistry::write_jsonl(const std::string& path) const {
 StepRecord MetricsRegistry::parse_record(const std::string& line) {
   const json::Value v = json::parse(line);
   if (!v.is_object()) { throw std::runtime_error("metrics record is not a JSON object"); }
+  // The "step" member is the schema tag: valid JSON without it (a stray
+  // line from some other JSONL producer) must not silently parse as step 0.
+  if (!v.has("step") || !v["step"].is_number()) {
+    throw std::runtime_error("metrics record lacks the \"step\" schema tag");
+  }
   StepRecord rec;
   rec.step = v["step"].as_int();
   if (v["counters"].is_object()) {
@@ -160,7 +165,9 @@ std::vector<StepRecord> MetricsRegistry::read_jsonl(const std::string& path,
     try {
       out.push_back(parse_record(line));
     } catch (const std::runtime_error&) {
-      ++malformed; // truncated tail or corrupt line: keep what loads
+      // Truncated tail, corrupt line, or valid JSON without the "step"
+      // schema tag: skip and count, keep what loads.
+      ++malformed;
     }
   }
   if (num_malformed != nullptr) { *num_malformed = malformed; }

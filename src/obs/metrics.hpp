@@ -92,8 +92,9 @@ public:
   void write_jsonl(std::ostream& os) const;
   bool write_jsonl(const std::string& path) const;
   static void write_record(const StepRecord& rec, std::ostream& os);
-  // Parse records back. Malformed lines are skipped (and counted into
-  // *num_malformed when given) so a truncated run's metrics file is still
+  // Parse records back. Malformed lines AND valid-JSON lines missing the
+  // "step" schema tag are skipped (and counted into *num_malformed when
+  // given) so a truncated or contaminated run's metrics file is still
   // loadable; throws std::runtime_error only when the file cannot be opened.
   static std::vector<StepRecord> read_jsonl(const std::string& path,
                                             std::size_t* num_malformed = nullptr);

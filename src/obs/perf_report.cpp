@@ -205,6 +205,77 @@ MemorySection summarize_memory(const MemoryLedger& ledger, const Profiler& prof,
   return m;
 }
 
+KernelSection summarize_kernels(const KernelProbe& probe, const Profiler& prof,
+                                const RankRecorder* rec) {
+  KernelSection k;
+  k.enabled = true;
+  k.machine = probe.machine().name;
+  k.dropped_invocations = probe.dropped_invocations();
+
+  const auto aggs = probe.aggregates();
+  for (int i = 0; i < kNumKernelKinds; ++i) {
+    const auto& agg = aggs[std::size_t(i)];
+    k.sampled_invocations += agg.invocations;
+    if (agg.invocations == 0) { continue; }
+    const auto rp = analysis::roofline_point(
+        kernel_kind_name(static_cast<KernelKind>(i)), agg.flops, agg.bytes,
+        probe.machine(), agg.time_s);
+    KernelSection::KernelRow row;
+    row.kernel = rp.kernel;
+    row.invocations = agg.invocations;
+    row.particles = agg.particles;
+    row.time_s = agg.time_s;
+    row.flops = agg.flops;
+    row.bytes = agg.bytes;
+    row.intensity = rp.intensity;
+    row.gbyte_s = agg.gbyte_s();
+    row.roof_tflops = rp.roof_tflops;
+    row.attained_tflops = rp.attained_tflops;
+    row.attainment = rp.attainment;
+    row.memory_bound = rp.memory_bound;
+    k.kernels.push_back(std::move(row));
+  }
+
+  k.locality = probe.locality();
+  k.locality_tiles = probe.locality_tiles();
+
+  // Overlap headroom: mean per-step phase split of the step-critical rank
+  // over the recorder steps that carry phase data.
+  if (rec != nullptr) {
+    for (const auto& step : rec->steps()) {
+      if (step.ranks.empty()) { continue; }
+      const RankStepStats* critical = &step.ranks.front();
+      for (const auto& rs : step.ranks) {
+        if (rs.total_s() > critical->total_s()) { critical = &rs; }
+      }
+      if (critical->post_s + critical->wait_s <= 0) { continue; }
+      k.mean_post_s += critical->post_s;
+      k.mean_wait_s += critical->wait_s;
+      k.mean_interior_compute_s += critical->interior_compute_s;
+      k.mean_overlap_headroom_s += critical->overlap_headroom_s;
+      ++k.overlap_steps;
+    }
+    if (k.overlap_steps > 0) {
+      const auto n = static_cast<double>(k.overlap_steps);
+      k.mean_post_s /= n;
+      k.mean_wait_s /= n;
+      k.mean_interior_compute_s /= n;
+      k.mean_overlap_headroom_s /= n;
+    }
+  }
+
+  k.probe_s = probe.self_time_s();
+  const auto totals = prof.flat_totals();
+  if (const auto it = totals.find("kernel_obs"); it != totals.end()) {
+    k.probe_s += it->second.inclusive_s;
+  }
+  if (const auto it = totals.find("step"); it != totals.end()) {
+    k.step_s = it->second.inclusive_s;
+  }
+  k.probe_overhead = k.step_s > 0 ? k.probe_s / k.step_s : 0;
+  return k;
+}
+
 PerfReport build_perf_report(const RankRecorder& rec, const PerfReportOptions& opt) {
   PerfReport report;
   report.title = opt.title;
@@ -394,6 +465,51 @@ void write_markdown(const PerfReport& report, std::ostream& os) {
     }
   }
 
+  // --- kernel headroom ----------------------------------------------------
+  if (report.kernel.enabled) {
+    const auto& k = report.kernel;
+    os << "## Kernel headroom";
+    if (!k.machine.empty()) { os << " (" << k.machine << ")"; }
+    os << "\n\n";
+    os << k.sampled_invocations << " sampled kernel invocations";
+    if (k.dropped_invocations > 0) {
+      os << " (" << k.dropped_invocations << " dropped at capacity)";
+    }
+    os << ". Probe cost " << fmt3(k.probe_s) << " s of " << fmt3(k.step_s)
+       << " s stepped (" << fmt_pct(k.probe_overhead) << " overhead).\n\n";
+    if (!k.kernels.empty()) {
+      os << "| kernel | invocations | particles | time | GB/s | intensity | "
+            "roof TFlop/s | bound | attainment |\n"
+         << "|---|---:|---:|---:|---:|---:|---:|---|---:|\n";
+      for (const auto& r : k.kernels) {
+        os << "| " << r.kernel << " | " << r.invocations << " | " << r.particles
+           << " | " << fmt_us(r.time_s) << " | " << fmt3(r.gbyte_s) << " | "
+           << fmt3(r.intensity) << " | " << fmt3(r.roof_tflops) << " | "
+           << (r.memory_bound ? "memory" : "compute") << " | "
+           << (r.time_s > 0 ? fmt_pct(r.attainment) : std::string("-")) << " |\n";
+      }
+      os << "\n";
+    }
+    if (k.locality.pairs > 0) {
+      const auto& l = k.locality;
+      os << "Particle access locality (" << k.locality_tiles << " tile samples, "
+         << l.particles << " particles): inversion fraction " << fmt3(l.inversion_fraction)
+         << ", mean gather stride " << fmt3(l.mean_stride_cells) << " cells (p99 "
+         << fmt3(l.p99_stride_cells) << "), cache-line reuse " << fmt_pct(l.line_reuse)
+         << " vs " << fmt_pct(l.sorted_line_reuse)
+         << " if cell-sorted -> predicted sort speedup **"
+         << fmt3(l.predicted_sort_speedup) << "x**.\n\n";
+    }
+    if (k.overlap_steps > 0) {
+      os << "Halo phase timeline (critical rank, mean over " << k.overlap_steps
+         << " steps): post " << fmt_us(k.mean_post_s) << ", wait "
+         << fmt_us(k.mean_wait_s) << ", interior compute "
+         << fmt_us(k.mean_interior_compute_s) << " -> overlap headroom **"
+         << fmt_us(k.mean_overlap_headroom_s) << "** per step (recoverable by "
+         << "overlapping interior work with halo waits).\n\n";
+    }
+  }
+
   // --- roofline -----------------------------------------------------------
   if (!report.roofline.empty()) {
     os << "## Roofline attribution";
@@ -530,6 +646,55 @@ void write_json(const PerfReport& report, std::ostream& os) {
           .field("oom_predicted", m.oom.predicted)
           .field("oom_headroom", m.oom.headroom);
     }
+    w.end_object();
+  }
+
+  if (report.kernel.enabled) {
+    const auto& k = report.kernel;
+    w.begin_object("kernel_headroom")
+        .field("machine", k.machine)
+        .field("sampled_invocations", k.sampled_invocations)
+        .field("dropped_invocations", k.dropped_invocations)
+        .field("probe_s", k.probe_s)
+        .field("step_s", k.step_s)
+        .field("probe_overhead", k.probe_overhead);
+    w.begin_array("kernels");
+    for (const auto& r : k.kernels) {
+      w.begin_object()
+          .field("kernel", r.kernel)
+          .field("invocations", r.invocations)
+          .field("particles", r.particles)
+          .field("time_s", r.time_s)
+          .field("flops", r.flops)
+          .field("bytes", r.bytes)
+          .field("intensity", r.intensity)
+          .field("gbyte_s", r.gbyte_s)
+          .field("roof_tflops", r.roof_tflops)
+          .field("attained_tflops", r.attained_tflops)
+          .field("attainment", r.attainment)
+          .field("memory_bound", r.memory_bound)
+          .end_object();
+    }
+    w.end_array();
+    const auto& l = k.locality;
+    w.begin_object("locality")
+        .field("tiles", k.locality_tiles)
+        .field("particles", l.particles)
+        .field("pairs", l.pairs)
+        .field("inversion_fraction", l.inversion_fraction)
+        .field("mean_stride_cells", l.mean_stride_cells)
+        .field("p99_stride_cells", l.p99_stride_cells)
+        .field("line_reuse", l.line_reuse)
+        .field("sorted_line_reuse", l.sorted_line_reuse)
+        .field("predicted_sort_speedup", l.predicted_sort_speedup)
+        .end_object();
+    w.begin_object("overlap")
+        .field("steps", k.overlap_steps)
+        .field("mean_post_s", k.mean_post_s)
+        .field("mean_wait_s", k.mean_wait_s)
+        .field("mean_interior_compute_s", k.mean_interior_compute_s)
+        .field("mean_overlap_headroom_s", k.mean_overlap_headroom_s)
+        .end_object();
     w.end_object();
   }
 

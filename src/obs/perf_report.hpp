@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/obs/analysis.hpp"
+#include "src/obs/kernel_probe.hpp"
 #include "src/obs/memory.hpp"
 
 namespace mrpic::health {
@@ -136,6 +137,58 @@ MemorySection summarize_memory(const MemoryLedger& ledger, const Profiler& prof,
                                const RankRecorder* rec = nullptr,
                                double budget_bytes = 0);
 
+// Summary of a run's kernel-grain telemetry (obs::KernelProbe + the
+// cluster's halo phase timeline) for the perf report: per-kernel roofline
+// placement over the sampled invocations, the locality model's predicted
+// cell-binned-sort payoff, the mean per-step overlap headroom, and the
+// probe's own cost — the "## Kernel headroom" measuring stick for the
+// sort/SIMD/overlap work of ROADMAP item 2.
+struct KernelSection {
+  bool enabled = false;
+  std::string machine;                 // roofline machine name
+  std::int64_t sampled_invocations = 0;
+  std::int64_t dropped_invocations = 0;
+
+  // Per-kind aggregate placed on the machine roofline (order: gather,
+  // push, deposit; zero-invocation kinds are skipped).
+  struct KernelRow {
+    std::string kernel;
+    std::int64_t invocations = 0;
+    std::int64_t particles = 0;
+    double time_s = 0;
+    double flops = 0;
+    double bytes = 0;
+    double intensity = 0;       // flops/byte (analytic model)
+    double gbyte_s = 0;         // achieved bandwidth
+    double roof_tflops = 0;
+    double attained_tflops = 0;
+    double attainment = 0;
+    bool memory_bound = false;
+  };
+  std::vector<KernelRow> kernels;
+
+  // Merged locality sample + sort-payoff prediction.
+  TileLocality locality;
+  std::int64_t locality_tiles = 0;
+
+  // Mean per-step halo phase split of the critical rank (zeros when no
+  // recorder steps carried phase data).
+  double mean_post_s = 0;
+  double mean_wait_s = 0;
+  double mean_interior_compute_s = 0;
+  double mean_overlap_headroom_s = 0;
+  std::int64_t overlap_steps = 0;      // recorder steps with phase data
+
+  double probe_s = 0;          // probe self time + "kernel_obs" region
+  double step_s = 0;           // total seconds inside the "step" region
+  double probe_overhead = 0;   // probe_s / step_s (0 when step_s == 0)
+};
+
+// Collapse a kernel probe (plus the profiler's "kernel_obs"/"step" totals
+// and, when given, a recorder's halo phase lanes) into a KernelSection.
+KernelSection summarize_kernels(const KernelProbe& probe, const Profiler& prof,
+                                const RankRecorder* rec = nullptr);
+
 struct PerfReportOptions {
   std::string title = "perf report";
   // Wire model used for the latency split (cluster::CommModel::latency_s of
@@ -158,6 +211,7 @@ struct PerfReport {
   HealthSection health;                             // optional (health.enabled)
   BeamPhysicsSection beam;                          // optional (beam.enabled)
   MemorySection memory;                             // optional (memory.enabled)
+  KernelSection kernel;                             // optional (kernel.enabled)
   int top_steps = 5;
 
   // Steps ordered by descending critical-path makespan.

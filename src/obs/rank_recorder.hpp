@@ -28,6 +28,15 @@ struct RankStepStats {
   double compute_s = 0;            // summed cost of the rank's boxes
   double comm_s = 0;               // halo-exchange time charged to the rank
   double retry_s = 0;              // part of comm_s from fault retries/timeouts
+  // Halo phase split (post_s + wait_s == comm_s; zero when the producer
+  // predates the phase timeline): time posting nonblocking sends/recvs vs
+  // time blocked on the wire, plus the compute available for overlap.
+  double post_s = 0;               // nonblocking post sub-span of comm_s
+  double wait_s = 0;               // blocked-on-wire sub-span of comm_s
+  double interior_compute_s = 0;   // part of compute_s on ghost-free interior
+                                   // cells (overlappable with the exchange)
+  double overlap_headroom_s = 0;   // min(wait_s, interior_compute_s): step
+                                   // time a nonblocking overlap could hide
   std::int64_t bytes_sent = 0;     // inter-rank bytes leaving this rank
   std::int64_t bytes_recv = 0;     // inter-rank bytes arriving at this rank
   std::int64_t messages = 0;       // inter-rank messages touching this rank

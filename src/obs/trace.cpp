@@ -79,21 +79,61 @@ void write_rank_lanes(json::Writer& w, const RankRecorder& ranks) {
         w.end_object();
       }
       if (rs.comm_s > 0) {
-        w.begin_object()
-            .field("name", "halo")
-            .field("cat", "rank")
-            .field("ph", "X")
-            .field("ts", t0 + rs.compute_s * 1e6)
-            .field("dur", rs.comm_s * 1e6)
-            .field("pid", rs.rank + 1)
-            .field("tid", 0);
-        w.begin_object("args")
-            .field("step", step.step)
-            .field("bytes_sent", rs.bytes_sent)
-            .field("bytes_recv", rs.bytes_recv)
-            .field("messages", rs.messages)
-            .end_object();
-        w.end_object();
+        // Producers that split comm into phases get back-to-back halo_post /
+        // halo_wait sub-spans (post_s + wait_s == comm_s, so the lane covers
+        // the same interval); legacy recorders keep the single halo slice.
+        const bool phased = rs.post_s + rs.wait_s > 0;
+        if (phased && rs.post_s > 0) {
+          w.begin_object()
+              .field("name", "halo_post")
+              .field("cat", "rank")
+              .field("ph", "X")
+              .field("ts", t0 + rs.compute_s * 1e6)
+              .field("dur", rs.post_s * 1e6)
+              .field("pid", rs.rank + 1)
+              .field("tid", 0);
+          w.begin_object("args")
+              .field("step", step.step)
+              .field("messages", rs.messages)
+              .end_object();
+          w.end_object();
+        }
+        if (phased && rs.wait_s > 0) {
+          w.begin_object()
+              .field("name", "halo_wait")
+              .field("cat", "rank")
+              .field("ph", "X")
+              .field("ts", t0 + (rs.compute_s + rs.post_s) * 1e6)
+              .field("dur", rs.wait_s * 1e6)
+              .field("pid", rs.rank + 1)
+              .field("tid", 0);
+          w.begin_object("args")
+              .field("step", step.step)
+              .field("bytes_sent", rs.bytes_sent)
+              .field("bytes_recv", rs.bytes_recv)
+              .field("messages", rs.messages)
+              .field("interior_compute_s", rs.interior_compute_s)
+              .field("overlap_headroom_s", rs.overlap_headroom_s)
+              .end_object();
+          w.end_object();
+        }
+        if (!phased) {
+          w.begin_object()
+              .field("name", "halo")
+              .field("cat", "rank")
+              .field("ph", "X")
+              .field("ts", t0 + rs.compute_s * 1e6)
+              .field("dur", rs.comm_s * 1e6)
+              .field("pid", rs.rank + 1)
+              .field("tid", 0);
+          w.begin_object("args")
+              .field("step", step.step)
+              .field("bytes_sent", rs.bytes_sent)
+              .field("bytes_recv", rs.bytes_recv)
+              .field("messages", rs.messages)
+              .end_object();
+          w.end_object();
+        }
       }
     }
   }

@@ -54,6 +54,8 @@ ParseResult parse_options(int argc, char** argv, const char* forced_scenario) {
     } else if (std::strcmp(a, "--node-budget-gb") == 0 && i + 1 < argc) {
       r.opt.node_budget_gb = std::atof(argv[++i]);
       r.opt.memory = true;
+    } else if (std::strcmp(a, "--kernel-obs") == 0) {
+      r.opt.kernel_obs = true;
     } else if (std::strcmp(a, "--no-mr") == 0) {
       r.opt.no_mr = true;
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
@@ -111,6 +113,7 @@ void print_usage(const char* prog) {
       "  --insitu              in-situ physics series + streaming exporter\n"
       "  --memory              byte ledger, per-rank memory model, MR savings\n"
       "  --node-budget-gb G    OOM headroom vs a G-GiB per-rank budget (implies --memory)\n"
+      "  --kernel-obs          tile-grain kernel probes + \"Kernel headroom\" section\n"
       "  --no-mr               strip the scenario's MR patch\n"
       "  t_end_fs              end time in femtoseconds (positional)\n",
       prog, prog);
@@ -146,6 +149,7 @@ int run_scenario(const ScenarioSpec& spec_in, const RunOptions& opt,
     mcfg.node_budget_gb = opt.node_budget_gb;
     sim.enable_memory_obs(mcfg);
   }
+  if (opt.kernel_obs) { sim.enable_kernel_obs(); }
   if (opt.health) {
     health::MonitorConfig hcfg = spec.health;
     hcfg.alerts_path = out.path(pfx + "_alerts.jsonl");
@@ -274,6 +278,11 @@ int run_scenario(const ScenarioSpec& spec_in, const RunOptions& opt,
                                           mcfg.budget_bytes());
     sim.rank_recorder().write_memory_heatmap_csv(out.path("memory_heatmap.csv"));
     sections += ", memory";
+  }
+  if (opt.kernel_obs && sim.kernel_probe() != nullptr) {
+    report.kernel = obs::summarize_kernels(*sim.kernel_probe(), sim.profiler(),
+                                           &sim.rank_recorder());
+    sections += ", kernel headroom";
   }
   {
     const auto& rep = sim.last_step_report();

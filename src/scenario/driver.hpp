@@ -8,7 +8,8 @@
 //
 //   mrpic_run --list
 //   mrpic_run --scenario <name> [--steps N] [--outdir DIR] [--health]
-//             [--insitu] [--memory] [--node-budget-gb G] [--no-mr] [t_end_fs]
+//             [--insitu] [--memory] [--node-budget-gb G] [--kernel-obs]
+//             [--no-mr] [t_end_fs]
 
 #include <string>
 
@@ -25,6 +26,7 @@ struct RunOptions {
   bool health = false;       // invariant ledger + watchdog (src/health)
   bool insitu = false;       // physics registry + streaming (src/insitu)
   bool memory = false;       // byte ledger + per-rank model (src/obs/memory)
+  bool kernel_obs = false;   // kernel-grain probes + "Kernel headroom" section
   bool no_mr = false;        // strip the spec's MR patch
   double node_budget_gb = 0; // OOM headroom budget; implies memory
 };

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/obs/bench_history.hpp"
+#include "src/obs/json.hpp"
+
+namespace mrpic::obs {
+namespace {
+
+TEST(BenchHistory, ExtractFiltersBySuffixAllowlist) {
+  const auto doc = json::parse(R"({
+    "bench": "weak_scaling",
+    "title": "noise",
+    "model": [
+      {"machine": "Summit", "nodes": 1, "efficiency": 1.0, "wall_s": 3.2},
+      {"machine": "Summit", "nodes": 8, "efficiency": 0.84, "wall_s": 3.9}
+    ],
+    "probe": [{"overhead_frac": 0.004, "probe_s": 0.12}]
+  })");
+  const auto entry = extract_bench_history(doc, "BENCH_weak_scaling.json");
+  EXPECT_EQ(entry.bench, "weak_scaling");
+  EXPECT_EQ(entry.source, "BENCH_weak_scaling.json");
+  EXPECT_EQ(entry.schema, kBenchHistorySchema);
+  // efficiency / overhead_frac are allowlisted; wall_s / probe_s / nodes and
+  // the string leaves are not.
+  ASSERT_EQ(entry.metrics.size(), 3u);
+  EXPECT_DOUBLE_EQ(entry.metrics.at("model[0].efficiency"), 1.0);
+  EXPECT_DOUBLE_EQ(entry.metrics.at("model[1].efficiency"), 0.84);
+  EXPECT_DOUBLE_EQ(entry.metrics.at("probe[0].overhead_frac"), 0.004);
+
+  // No "bench" tag -> empty bench marks the document unusable.
+  EXPECT_TRUE(extract_bench_history(json::parse("{\"x\": 1}"), "f").bench.empty());
+
+  // The cap keeps records bounded (sorted path order is deterministic).
+  const auto capped = extract_bench_history(doc, "f", 2);
+  EXPECT_EQ(capped.metrics.size(), 2u);
+  EXPECT_EQ(capped.metrics.begin()->first, "model[0].efficiency");
+}
+
+TEST(BenchHistory, LineRoundTrip) {
+  BenchHistoryEntry e;
+  e.bench = "kernel_grain";
+  e.source = "BENCH_kernel_grain.json";
+  e.unix_time = 1754600000;
+  e.metrics["kernels[0].intensity"] = 0.5080645161290323;
+  e.metrics["probe[0].overhead_frac"] = 0.0072;
+
+  const std::string line = bench_history_line(e);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const auto back = parse_bench_history_line(line);
+  EXPECT_EQ(back.schema, kBenchHistorySchema);
+  EXPECT_EQ(back.bench, e.bench);
+  EXPECT_EQ(back.source, e.source);
+  EXPECT_EQ(back.unix_time, e.unix_time);
+  ASSERT_EQ(back.metrics.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.metrics.at("kernels[0].intensity"),
+                   e.metrics.at("kernels[0].intensity"));
+
+  EXPECT_THROW(parse_bench_history_line("not json"), std::runtime_error);
+  EXPECT_THROW(parse_bench_history_line("{\"bench\": \"x\", \"metrics\": {}}"),
+               std::runtime_error); // valid JSON, no schema tag
+  EXPECT_THROW(parse_bench_history_line(
+                   "{\"schema\": \"other/v1\", \"bench\": \"x\", \"metrics\": {}}"),
+               std::runtime_error); // foreign schema
+}
+
+TEST(BenchHistory, AppendReadBackAndSkipForeignLines) {
+  const std::string path = "test_bench_history_tmp.jsonl";
+  std::remove(path.c_str());
+
+  BenchHistoryEntry e;
+  e.bench = "memory";
+  e.source = "a";
+  e.metrics["cases[0].total_bytes"] = 1048576;
+  ASSERT_TRUE(append_bench_history(path, e));
+  e.source = "b";
+  e.metrics["cases[0].total_bytes"] = 2097152;
+  ASSERT_TRUE(append_bench_history(path, e));
+
+  // Contaminate the ledger: garbage, a foreign-schema JSONL stream (e.g. a
+  // metrics file appended to the wrong path) and a blank line.
+  {
+    std::ofstream os(path, std::ios::app);
+    os << "half a reco" << '\n'
+       << "{\"step\": 3, \"counters\": {}}" << '\n'
+       << '\n';
+  }
+  e.source = "c";
+  ASSERT_TRUE(append_bench_history(path, e)); // appends still work after noise
+
+  std::size_t skipped = 0;
+  const auto entries = read_bench_history(path, &skipped);
+  std::remove(path.c_str());
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].source, "a");
+  EXPECT_EQ(entries[1].source, "b");
+  EXPECT_EQ(entries[2].source, "c");
+  EXPECT_DOUBLE_EQ(entries[1].metrics.at("cases[0].total_bytes"), 2097152);
+  EXPECT_EQ(skipped, 2u); // blank lines are not counted, noise lines are
+
+  EXPECT_THROW(read_bench_history("nonexistent_dir_x/ledger.jsonl"),
+               std::runtime_error);
+}
+
+} // namespace
+} // namespace mrpic::obs

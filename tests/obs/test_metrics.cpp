@@ -110,6 +110,11 @@ TEST(Metrics, ReadJsonlSkipsAndCountsMalformedLines) {
     os << first << '\n'
        << "{\"step\": 99, \"counters\": {\"work\"" << '\n' // truncated mid-object
        << second << '\n'
+       // Valid JSON but not a metrics record: no "step" schema tag (e.g. a
+       // foreign JSONL stream concatenated into the same file). These must
+       // be skipped and counted, not parsed as step-0 records.
+       << "{\"counters\": {\"work\": 5}, \"gauges\": {}}" << '\n'
+       << "{\"step\": \"not a number\", \"counters\": {}}" << '\n'
        << "not json at all" << '\n';
   }
   std::size_t malformed = 0;
@@ -118,7 +123,7 @@ TEST(Metrics, ReadJsonlSkipsAndCountsMalformedLines) {
   ASSERT_EQ(back.size(), 2u); // the two good records survive
   EXPECT_EQ(back[0].step, 0);
   EXPECT_EQ(back[1].step, 1);
-  EXPECT_EQ(malformed, 2u);
+  EXPECT_EQ(malformed, 4u);
   // An unopenable file is still a hard error, not "zero records".
   EXPECT_THROW(MetricsRegistry::read_jsonl("nonexistent_dir_x/f.jsonl"),
                std::runtime_error);
