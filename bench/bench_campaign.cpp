@@ -1,0 +1,353 @@
+// Campaign-telemetry bench: (1) the cost of the per-run telemetry trio —
+// run manifest (obs::RunContext), progress heartbeat at the driver's
+// default 5-step cadence, and the durable event timeline — measured
+// directly against the step loop of a thermal plasma sized so one step
+// costs tens of milliseconds (the smallest step the telemetry budget is
+// meaningful against: a production step is far larger, so the measured
+// fraction is an upper bound), gated <= 1% of step time (the ISSUE 10
+// overhead budget). The case is repeated and the best repetition is kept:
+// the telemetry path is ~20 small file operations, so a single rep is at
+// the mercy of transient filesystem latency from unrelated load (e.g. the
+// preceding benches in bench_smoke), and min-over-reps is the standard
+// noise-robust timing estimator; (2) a deterministic aggregation case:
+// a synthetic three-run campaign (two scenarios, one aborted run) is
+// materialized on disk through the same writer APIs the driver uses, then
+// obs::scan_campaign joins it and the resulting counts / pooled percentiles
+// are reported as exact columns.
+//
+// The aggregate columns and the overhead_ok verdict diff exactly against
+// BENCH_campaign.json; the raw telemetry/step seconds and their ratio are
+// host timing noise and are --ignore'd by bench_smoke.
+//
+// Run: ./bench_campaign [--json] [--steps N] [--outdir DIR]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/simulation.hpp"
+#include "src/diag/output_dir.hpp"
+#include "src/insitu/registry.hpp"
+#include "src/obs/campaign.hpp"
+#include "src/obs/event_log.hpp"
+#include "src/obs/heartbeat.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/run_manifest.hpp"
+
+using namespace mrpic;
+
+namespace {
+
+struct OverheadRecord {
+  std::int64_t steps = 0;
+  std::int64_t events = 0;
+  std::int64_t heartbeat_writes = 0;
+  double telemetry_s = 0;
+  double step_s = 0;
+  double overhead_frac = 0;
+  bool overhead_ok = false;
+};
+
+struct AggregateRecord {
+  std::int64_t runs = 0;
+  std::int64_t valid = 0;
+  std::int64_t completed = 0;
+  std::int64_t aborted = 0;
+  std::int64_t failed = 0;
+  std::int64_t scenarios = 0;
+  std::int64_t samples = 0;
+  double step_p50_s = 0;
+  double step_p99_s = 0;
+  std::int64_t critical_events = 0;
+  bool monotone_ok = false;
+};
+
+std::unique_ptr<core::Simulation<2>> make_sim(int n, int ppc) {
+  core::SimulationConfig<2> cfg;
+  cfg.domain = Box2(IntVect2(0, 0), IntVect2(n - 1, n - 1));
+  cfg.prob_lo = RealVect2(0, 0);
+  cfg.prob_hi = RealVect2(n * 1e-7, n * 1e-7);
+  cfg.periodic = {true, true};
+  cfg.max_grid_size = IntVect2(n / 2);
+  cfg.shape_order = 2;
+  auto sim = std::make_unique<core::Simulation<2>>(cfg);
+
+  plasma::InjectorConfig<2> inj;
+  inj.density = plasma::uniform<2>(5e23);
+  inj.ppc = IntVect2(ppc, ppc);
+  inj.temperature_ev = 50.0;
+  sim->add_species(particles::Species::electron(), inj);
+  return sim;
+}
+
+// Drive the real step loop with the full telemetry trio at the driver's
+// default cadences, accumulating the telemetry wall time directly (no A/B
+// runs, so the measurement is immune to run-to-run step noise).
+OverheadRecord run_overhead_case(const std::string& dir, int steps) {
+  std::filesystem::create_directories(dir);
+  auto sim = make_sim(96, 4);  // ~150k particles: tens of ms per step
+  sim->init();
+
+  using clock = std::chrono::steady_clock;
+  const auto timed = [](auto&& fn) {
+    const auto t0 = clock::now();
+    fn();
+    return std::chrono::duration<double>(clock::now() - t0).count();
+  };
+
+  OverheadRecord r;
+  r.steps = steps;
+
+  obs::EventLogConfig ecfg;
+  ecfg.path = dir + "/bench_events.jsonl";
+  auto elog = std::make_unique<obs::EventLog>(ecfg);
+
+  obs::HeartbeatConfig hcfg;
+  hcfg.path = dir + "/progress.json";
+  hcfg.interval_steps = 5;  // the mrpic_run default cadence
+  obs::ProgressHeartbeat hb(hcfg, "bench-campaign-overhead");
+  hb.set_totals(steps, 0);
+
+  obs::RunContext rc("bench-campaign-overhead", "bench_campaign",
+                     dir + "/run.json");
+  rc.add_artifact("events", ecfg.path);
+  rc.add_artifact("progress", hcfg.path);
+
+  r.telemetry_s += timed([&] {
+    rc.start();
+    elog->publish("lifecycle", "run_start", obs::EventSeverity::Info, -1);
+  });
+  sim->enable_event_log(elog.get());
+
+  for (int i = 0; i < steps; ++i) {
+    sim->step();
+    r.telemetry_s += timed([&] {
+      hb.update(sim->step_count(), sim->time(), "step");
+      // Sparse in-loop events at a realistic checkpoint-ish rate.
+      if (sim->step_count() % 10 == 0) {
+        elog->publish("resil", "checkpoint", obs::EventSeverity::Info,
+                      sim->step_count(), "", {{"cost_s", 0.0}});
+      }
+    });
+  }
+  r.telemetry_s += timed([&] {
+    elog->publish("lifecycle", "run_end", obs::EventSeverity::Info,
+                  sim->step_count(), obs::kRunStatusCompleted);
+    hb.finalize(obs::kRunStatusCompleted, sim->step_count(), sim->time());
+    rc.manifest().num_events = elog->num_events();
+    rc.finalize(obs::kRunStatusCompleted, 0, sim->step_count(), sim->time());
+  });
+
+  r.events = elog->num_events();
+  r.heartbeat_writes = hb.writes();
+  for (const auto& [name, stats] : sim->profiler().flat_totals()) {
+    if (name == "step") { r.step_s = stats.inclusive_s; }
+  }
+  r.overhead_frac = r.step_s > 0 ? r.telemetry_s / r.step_s : 0;
+  r.overhead_ok = r.overhead_frac <= 0.01;
+  return r;
+}
+
+OverheadRecord best_overhead_of(const std::string& dir, int steps, int reps) {
+  OverheadRecord best;
+  for (int rep = 0; rep < reps; ++rep) {
+    const OverheadRecord r =
+        run_overhead_case(dir + "/rep_" + std::to_string(rep), steps);
+    if (rep == 0 || r.overhead_frac < best.overhead_frac) { best = r; }
+  }
+  return best;
+}
+
+// Materialize one synthetic run directory through the production writers:
+// manifest + event timeline + metrics JSONL (+ insitu series).
+void write_synthetic_run(const std::string& dir, const std::string& scenario,
+                         const std::string& status, int exit_code,
+                         const std::vector<double>& step_wall_s,
+                         double energy_drift, double emit_ny, double peak_J,
+                         bool critical_event) {
+  std::filesystem::create_directories(dir);
+  const std::string pfx = dir + "/" + scenario;
+
+  obs::EventLogConfig ecfg;
+  ecfg.path = pfx + "_events.jsonl";
+  obs::EventLog elog(ecfg);
+  elog.publish("lifecycle", "run_start", obs::EventSeverity::Info, -1, scenario);
+  elog.publish("lifecycle", "init", obs::EventSeverity::Info, 0);
+  elog.publish("rebalance", "remap", obs::EventSeverity::Info, 2, "",
+               {{"imbalance_before", 1.4}, {"imbalance_after", 1.1}});
+  if (critical_event) {
+    elog.publish("health", "alert", obs::EventSeverity::Critical,
+                 std::int64_t(step_wall_s.size()), "energy drift out of bounds",
+                 {{"value", energy_drift}, {"abort", 1.0}});
+    elog.publish("lifecycle", "abort", obs::EventSeverity::Critical,
+                 std::int64_t(step_wall_s.size()), "energy drift out of bounds");
+  } else {
+    elog.publish("lifecycle", "run_end", obs::EventSeverity::Info,
+                 std::int64_t(step_wall_s.size()), status);
+  }
+
+  obs::MetricsRegistry reg;
+  for (std::size_t i = 0; i < step_wall_s.size(); ++i) {
+    reg.begin_step(std::int64_t(i));
+    reg.gauge("step_wall_s").set(step_wall_s[i]);
+    reg.gauge("health_energy_drift_rate").set(energy_drift);
+    reg.gauge("mem_total_high_water_bytes").set(1.5e6);
+    reg.end_step();
+  }
+  reg.write_jsonl(pfx + "_metrics.jsonl");
+
+  {
+    insitu::Registry ireg;
+    ireg.open_series(pfx + "_insitu.jsonl", false);
+    ireg.add("beam", 1, [emit_ny](insitu::Record& rec) {
+      rec.set("emit_ny_m_rad", emit_ny);
+    });
+    ireg.add("spectrum", 1, [peak_J](insitu::Record& rec) {
+      rec.set("peak_energy_J", peak_J);
+    });
+    ireg.collect(std::int64_t(step_wall_s.size()), 1e-15, /*force=*/true);
+  }
+
+  obs::RunManifest m;
+  m.run_id = std::filesystem::path(dir).filename().string();
+  m.scenario = scenario;
+  m.title = "synthetic " + scenario;
+  m.spec_digest = "feedfacefeedface";
+  m.status = status;
+  m.exit_code = exit_code;
+  m.reason = critical_event ? "energy drift out of bounds" : "";
+  m.start_unix = 1700000000;
+  m.end_unix = 1700000100;
+  m.wall_s = 100;
+  m.steps_done = std::int64_t(step_wall_s.size());
+  m.sim_time_s = 1e-15;
+  m.num_events = elog.num_events();
+  m.num_alerts = critical_event ? 1 : 0;
+  obs::fill_build_info(m);
+  m.artifacts.push_back({"events", scenario + "_events.jsonl",
+                         obs::file_size_bytes(ecfg.path)});
+  m.artifacts.push_back({"metrics", scenario + "_metrics.jsonl",
+                         obs::file_size_bytes(pfx + "_metrics.jsonl")});
+  m.artifacts.push_back({"insitu", scenario + "_insitu.jsonl",
+                         obs::file_size_bytes(pfx + "_insitu.jsonl")});
+  obs::write_manifest_atomic(m, dir + "/run.json");
+}
+
+AggregateRecord run_aggregate_case(const std::string& campaign_dir) {
+  std::vector<double> alpha1, alpha2, beta1;
+  for (int i = 1; i <= 10; ++i) { alpha1.push_back(1e-3 * i); }
+  for (int i = 1; i <= 10; ++i) { alpha2.push_back(2e-3 * i); }
+  for (int i = 1; i <= 4; ++i) { beta1.push_back(5e-3 * i); }
+  write_synthetic_run(campaign_dir + "/run_alpha_1", "alpha",
+                      obs::kRunStatusCompleted, 0, alpha1, 1e-9, 1.2e-7, 1.6e-11,
+                      false);
+  write_synthetic_run(campaign_dir + "/run_alpha_2", "alpha",
+                      obs::kRunStatusCompleted, 0, alpha2, 2e-9, 1.4e-7, 1.9e-11,
+                      false);
+  write_synthetic_run(campaign_dir + "/run_beta_1", "beta", obs::kRunStatusAborted,
+                      1, beta1, 4e-3, 3.0e-7, 0.8e-11, true);
+
+  const auto rep = obs::scan_campaign(campaign_dir);
+  AggregateRecord a;
+  a.runs = rep.runs_total();
+  a.valid = rep.runs_valid();
+  a.completed = rep.runs_with_status(obs::kRunStatusCompleted);
+  a.aborted = rep.runs_with_status(obs::kRunStatusAborted);
+  a.failed = rep.runs_with_status(obs::kRunStatusFailed);
+  a.scenarios = std::int64_t(rep.scenarios.size());
+  a.monotone_ok = true;
+  for (const auto& r : rep.runs) {
+    a.samples += std::int64_t(r.step_wall_samples.size());
+    a.critical_events += r.num_critical;
+    a.monotone_ok = a.monotone_ok && r.events_monotone;
+  }
+  for (const auto& st : rep.scenarios) {
+    if (st.scenario == "alpha") {
+      a.step_p50_s = st.step_p50_s;
+      a.step_p99_s = st.step_p99_s;
+    }
+  }
+  obs::write_campaign_markdown(rep, campaign_dir + "/campaign_report.md");
+  obs::write_campaign_json(rep, campaign_dir + "/campaign_report.json");
+  return a;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const auto out = diag::OutputDir::from_args(argc, argv);
+  bool json_out = false;
+  int steps = 40;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) { json_out = true; }
+    if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
+      steps = std::atoi(argv[i + 1]);
+    }
+  }
+
+  std::printf("campaign telemetry: per-run overhead + aggregator determinism\n\n");
+  const auto oh = best_overhead_of(out.path("campaign_overhead"), steps, 3);
+  std::printf("  overhead: %lld steps, %lld events, %lld heartbeat rewrites\n",
+              static_cast<long long>(oh.steps), static_cast<long long>(oh.events),
+              static_cast<long long>(oh.heartbeat_writes));
+  std::printf("  telemetry %.3f ms vs step %.3f ms -> %.4f%% of step time [%s]\n",
+              oh.telemetry_s * 1e3, oh.step_s * 1e3, 100 * oh.overhead_frac,
+              oh.overhead_ok ? "ok" : "FAIL");
+
+  const auto ag = run_aggregate_case(out.path("campaign_synth"));
+  std::printf("\n  aggregate: %lld runs (%lld valid), %lld completed / %lld aborted "
+              "/ %lld failed, %lld scenarios\n",
+              static_cast<long long>(ag.runs), static_cast<long long>(ag.valid),
+              static_cast<long long>(ag.completed), static_cast<long long>(ag.aborted),
+              static_cast<long long>(ag.failed), static_cast<long long>(ag.scenarios));
+  std::printf("  pooled alpha p50 %.4f ms, p99 %.4f ms over %lld samples; "
+              "%lld critical event(s), ordering %s\n",
+              ag.step_p50_s * 1e3, ag.step_p99_s * 1e3,
+              static_cast<long long>(ag.samples),
+              static_cast<long long>(ag.critical_events),
+              ag.monotone_ok ? "monotone" : "VIOLATED");
+
+  if (json_out) {
+    const std::string json_path = out.path("BENCH_campaign.json");
+    std::ofstream os(json_path);
+    obs::json::Writer w(os);
+    w.begin_object();
+    w.field("bench", "campaign");
+    w.begin_array("overhead");
+    w.begin_object()
+        .field("steps", oh.steps)
+        .field("events", oh.events)
+        .field("heartbeat_writes", oh.heartbeat_writes)
+        .field("telemetry_s", oh.telemetry_s)
+        .field("step_s", oh.step_s)
+        .field("overhead_frac", oh.overhead_frac)
+        .field("overhead_ok", std::int64_t(oh.overhead_ok ? 1 : 0))
+        .end_object();
+    w.end_array();
+    w.begin_array("aggregate");
+    w.begin_object()
+        .field("runs", ag.runs)
+        .field("valid", ag.valid)
+        .field("completed", ag.completed)
+        .field("aborted", ag.aborted)
+        .field("failed", ag.failed)
+        .field("scenarios", ag.scenarios)
+        .field("samples", ag.samples)
+        .field("step_p50_s", ag.step_p50_s)
+        .field("step_p99_s", ag.step_p99_s)
+        .field("critical_events", ag.critical_events)
+        .field("monotone_ok", std::int64_t(ag.monotone_ok ? 1 : 0))
+        .end_object();
+    w.end_array();
+    w.end_object();
+    os << '\n';
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

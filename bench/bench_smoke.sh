@@ -25,6 +25,7 @@ echo "== run benches (--json) into $tmp"
 "$bindir/bench_insitu" --json --outdir "$tmp" > /dev/null
 "$bindir/bench_memory" --json --outdir "$tmp" > /dev/null
 "$bindir/bench_kernel_grain" --json --outdir "$tmp" > /dev/null
+"$bindir/bench_campaign" --json --outdir "$tmp" > /dev/null
 "$bindir/bench_mr_savings" --json --quick --outdir "$tmp" > /dev/null
 "$bindir/bench_kernels" --json --quick --outdir "$tmp" > /dev/null
 
@@ -72,6 +73,15 @@ echo "== compare deterministic benches against baselines"
     --ignore time_s --ignore gbyte_s \
     --ignore probe_s --ignore step_s --ignore overhead_frac \
     "$basedir/BENCH_kernel_grain.json" "$tmp/BENCH_kernel_grain.json"
+# bench_campaign: the synthetic-campaign aggregate (run/scenario/event
+# counts, pooled percentiles over fixed samples) is deterministic and gated,
+# as are the event-ordering and <=1%-overhead verdicts; only the raw
+# telemetry/step seconds and their ratio are host timing noise. The
+# substring "overhead_frac" does not match "overhead_ok" or "monotone_ok",
+# so both verdicts stay gated.
+"$bindir/bench_compare" --rel-tol 0.02 \
+    --ignore telemetry_s --ignore step_s --ignore overhead_frac \
+    "$basedir/BENCH_campaign.json" "$tmp/BENCH_campaign.json"
 # bench_mr_savings --json: pure arithmetic of the analytic memory model.
 "$bindir/bench_compare" --rel-tol 1e-6 \
     "$basedir/BENCH_mr_savings.json" "$tmp/BENCH_mr_savings.json"
@@ -90,6 +100,12 @@ ledger_dir="$basedir/../history"
 mkdir -p "$ledger_dir"
 "$bindir/bench_trend" --append "$ledger_dir/BENCH_history.jsonl" "$tmp"/BENCH_*.json
 "$bindir/bench_trend" "$ledger_dir/BENCH_history.jsonl" --last 5
+# --csv self-check: same window as flat CSV; the header plus at least one
+# data row must come out, and every row must have the 5 columns.
+csv_rows=$("$bindir/bench_trend" "$ledger_dir/BENCH_history.jsonl" --last 5 --csv \
+    | awk -F, 'NF != 5 { exit 1 } END { print NR }') \
+    || { echo "FAIL: bench_trend --csv produced a malformed row"; exit 1; }
+[ "$csv_rows" -ge 2 ] || { echo "FAIL: bench_trend --csv produced no data rows"; exit 1; }
 
 echo "== gate self-checks"
 "$bindir/bench_compare" "$tmp/BENCH_weak_scaling.json" "$tmp/BENCH_weak_scaling.json" \

@@ -3,6 +3,10 @@
 //   bench_trend --append LEDGER BENCH.json...   append one record per file
 //   bench_trend LEDGER [--last N]               print per-bench metric deltas
 //                                               across the last N records
+//   bench_trend LEDGER --csv [--last N]         same window as one flat CSV
+//                                               (bench,metric,record,
+//                                               unix_time,value) for
+//                                               spreadsheets / plotting
 //
 // Append mode is what bench_smoke runs after the regression gate: each
 // produced BENCH_*.json contributes one schema-tagged JSONL line, so the
@@ -31,7 +35,7 @@ namespace {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s --append LEDGER BENCH.json...\n"
-               "       %s LEDGER [--last N]\n",
+               "       %s LEDGER [--last N] [--csv]\n",
                prog, prog);
   return 2;
 }
@@ -71,6 +75,38 @@ int append_mode(const std::string& ledger, const std::vector<std::string>& files
     ++appended;
   }
   std::printf("bench_trend: appended %d record(s) to %s\n", appended, ledger.c_str());
+  return 0;
+}
+
+// Metric names stay bare in the CSV: extract_bench_history paths are
+// [A-Za-z0-9_./]-only, so no quoting/escaping is ever needed.
+int csv_mode(const std::string& ledger, int last) {
+  std::size_t skipped = 0;
+  std::vector<obs::BenchHistoryEntry> entries;
+  try {
+    entries = obs::read_bench_history(ledger, &skipped);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_trend: %s\n", e.what());
+    return 1;
+  }
+  if (skipped > 0) {
+    std::fprintf(stderr, "bench_trend: %zu unrecognized line(s) skipped\n", skipped);
+  }
+
+  std::map<std::string, std::vector<const obs::BenchHistoryEntry*>> by_bench;
+  for (const auto& e : entries) { by_bench[e.bench].push_back(&e); }
+
+  std::printf("bench,metric,record,unix_time,value\n");
+  for (const auto& [bench, hist] : by_bench) {
+    const std::size_t keep = std::min<std::size_t>(hist.size(), std::size_t(last));
+    const std::size_t first = hist.size() - keep;
+    for (std::size_t i = first; i < hist.size(); ++i) {
+      for (const auto& [metric, value] : hist[i]->metrics) {
+        std::printf("%s,%s,%zu,%lld,%.17g\n", bench.c_str(), metric.c_str(), i,
+                    static_cast<long long>(hist[i]->unix_time), value);
+      }
+    }
+  }
   return 0;
 }
 
@@ -139,9 +175,12 @@ int main(int argc, char** argv) {
   }
   std::string ledger;
   int last = 10;
+  bool csv = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--last") == 0 && i + 1 < argc) {
       last = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
     } else if (argv[i][0] != '-') {
       ledger = argv[i];
     } else {
@@ -149,5 +188,5 @@ int main(int argc, char** argv) {
     }
   }
   if (ledger.empty() || last <= 0) { return usage(argv[0]); }
-  return trend_mode(ledger, last);
+  return csv ? csv_mode(ledger, last) : trend_mode(ledger, last);
 }

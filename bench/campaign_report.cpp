@@ -1,0 +1,87 @@
+// campaign_report — the multi-run campaign aggregator CLI (obs::campaign).
+//
+//   campaign_report CAMPAIGN_DIR [--out DIR] [--strict]
+//
+// CAMPAIGN_DIR holds one subdirectory per mrpic_run invocation (each with
+// its run.json manifest; a bare single-run directory also works). The tool
+// validates every manifest, joins each run's final metrics / beam-physics /
+// memory summaries and its event timeline, prints the cross-run Markdown
+// report to stdout and writes campaign_report.{md,json} into --out (default:
+// the campaign directory). With --strict the exit code is nonzero when any
+// manifest fails validation or any event timeline is out of order — the
+// CI-gate mode.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/obs/campaign.hpp"
+
+using namespace mrpic;
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr, "usage: %s CAMPAIGN_DIR [--out DIR] [--strict]\n", prog);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string dir, outdir;
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      outdir = argv[++i];
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      return usage(argv[0]);
+    } else if (argv[i][0] != '-') {
+      dir = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (dir.empty()) { return usage(argv[0]); }
+  if (outdir.empty()) { outdir = dir; }
+
+  obs::CampaignReport rep;
+  try {
+    rep = obs::scan_campaign(dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_report: %s\n", e.what());
+    return 1;
+  }
+  if (rep.runs.empty()) {
+    std::fprintf(stderr, "campaign_report: no run.json found under %s\n", dir.c_str());
+    return 1;
+  }
+
+  obs::write_campaign_markdown(rep, std::cout);
+
+  const std::string md_path = outdir + "/campaign_report.md";
+  const std::string json_path = outdir + "/campaign_report.json";
+  if (!obs::write_campaign_markdown(rep, md_path) ||
+      !obs::write_campaign_json(rep, json_path)) {
+    std::fprintf(stderr, "campaign_report: cannot write into %s\n", outdir.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s and %s\n", md_path.c_str(), json_path.c_str());
+
+  if (strict) {
+    const bool manifests_ok = rep.runs_valid() == rep.runs_total();
+    bool monotone = true;
+    for (const auto& r : rep.runs) { monotone = monotone && r.events_monotone; }
+    if (!manifests_ok || !monotone) {
+      std::fprintf(stderr,
+                   "campaign_report: --strict: %d/%d manifests valid, timeline "
+                   "ordering %s\n",
+                   rep.runs_valid(), rep.runs_total(), monotone ? "ok" : "violated");
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <limits>
 
+#include "src/obs/event_log.hpp"
 #include "src/resil/recovery.hpp"
 
 namespace mrpic::core {
@@ -45,6 +46,7 @@ void Simulation<DIM>::enable_cluster_obs(cluster::CommModel cm, double cost_unit
   m_cluster->set_metrics(&m_metrics);
   m_cluster_cost_unit_s = cost_unit_s;
   m_rank_recorder = obs::RankRecorder(m_cfg.nranks);
+  m_rank_recorder.set_event_log(m_event_log);  // survive the reassignment
   m_lb.set_rank_recorder(&m_rank_recorder);
 }
 
@@ -95,6 +97,17 @@ template <int DIM>
 void Simulation<DIM>::enable_health(health::MonitorConfig cfg) {
   m_health = std::make_unique<health::HealthMonitor>(std::move(cfg));
   m_health->set_metrics(&m_metrics);
+  m_health->set_event_log(m_event_log);
+}
+
+template <int DIM>
+void Simulation<DIM>::enable_event_log(obs::EventLog* log) {
+  m_event_log = log;
+  m_rank_recorder.set_event_log(log);
+  // Rebalance snapshots reach the timeline through the recorder even when
+  // cluster obs is off (count_rebalance publishes via add_rebalance).
+  m_lb.set_rank_recorder(&m_rank_recorder);
+  if (m_health) { m_health->set_event_log(log); }
 }
 
 template <int DIM>
@@ -199,6 +212,13 @@ void Simulation<DIM>::init() {
   if (m_patch) {
     migrate_patch_particles();
     m_patch->build_aux(m_fields);
+  }
+
+  if (m_event_log != nullptr) {
+    m_event_log->publish("lifecycle", "init", obs::EventSeverity::Info, 0, "",
+                         {{"boxes", double(ba.size())},
+                          {"nranks", double(m_cfg.nranks)},
+                          {"particles", double(total_particles())}});
   }
 }
 

@@ -247,6 +247,15 @@ public:
   health::HealthMonitor* health() { return m_health.get(); }
   const health::HealthMonitor* health() const { return m_health.get(); }
 
+  // --- unified event timeline ---------------------------------------------
+  // Route every event emitter through one severity-leveled obs::EventLog
+  // (non-owning; the driver owns it): health alerts, resil fault/checkpoint/
+  // recovery events and rebalance snapshots (both via the RankRecorder), and
+  // an "init" lifecycle event when init() runs. Callable before or after
+  // enable_health()/enable_cluster_obs() — the wiring survives either order.
+  void enable_event_log(obs::EventLog* log);
+  obs::EventLog* event_log() { return m_event_log; }
+
   // --- in-situ physics diagnostics ----------------------------------------
   // Reduced physics diagnostics (insitu::Registry) at the configured
   // cadences: beam moments/emittance, energy-spectrum peak/FWHM, laser
@@ -387,6 +396,7 @@ private:
   std::optional<resil::CheckpointPolicy> m_ckpt_policy;
   CheckpointWriter m_ckpt_writer;
   std::unique_ptr<health::HealthMonitor> m_health; // set by enable_health()
+  obs::EventLog* m_event_log = nullptr;            // set by enable_event_log()
   std::unique_ptr<HealthScratch> m_hscratch;
   bool m_memory_enabled = false;                   // set by enable_memory_obs()
   MemoryObsConfig m_memory_cfg;

@@ -4,7 +4,21 @@
 #include <cstdio>
 #include <fstream>
 
+#include "src/obs/event_log.hpp"
+
 namespace mrpic::health {
+namespace {
+
+obs::EventSeverity event_severity(Severity s) {
+  switch (s) {
+    case Severity::Info: return obs::EventSeverity::Info;
+    case Severity::Warn: return obs::EventSeverity::Warn;
+    case Severity::Critical: return obs::EventSeverity::Critical;
+  }
+  return obs::EventSeverity::Warn;
+}
+
+} // namespace
 
 AbortError::AbortError(Alert alert)
     : std::runtime_error("health watchdog abort at step " + std::to_string(alert.step) +
@@ -19,6 +33,8 @@ void HealthMonitor::set_metrics(obs::MetricsRegistry* m) { m_metrics = m; }
 void HealthMonitor::set_alert_callback(std::function<void(const Alert&)> cb) {
   m_alert_cb = std::move(cb);
 }
+
+void HealthMonitor::set_event_log(obs::EventLog* log) { m_event_log = log; }
 
 void HealthMonitor::add_flush_sink(std::function<void()> sink) {
   m_flush_sinks.push_back(std::move(sink));
@@ -106,6 +122,14 @@ void HealthMonitor::log_alert(const Alert& a) {
       os.flush();
       m_alerts_file_started = true;
     }
+  }
+  if (m_event_log != nullptr) {
+    m_event_log->publish("health", "alert", event_severity(a.severity), a.step,
+                         a.message,
+                         {{"value", a.value},
+                          {"bound", a.bound},
+                          {"checkpoint", a.checkpoint ? 1.0 : 0.0},
+                          {"abort", a.abort ? 1.0 : 0.0}});
   }
 }
 

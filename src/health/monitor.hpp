@@ -32,6 +32,10 @@
 #include "src/health/watchdog.hpp"
 #include "src/obs/metrics.hpp"
 
+namespace mrpic::obs {
+class EventLog;
+}
+
 namespace mrpic::health {
 
 struct MonitorConfig {
@@ -90,6 +94,9 @@ public:
   void set_metrics(obs::MetricsRegistry* m);
   // Invoked for every alert, after it is logged.
   void set_alert_callback(std::function<void(const Alert&)> cb);
+  // Unified event timeline: every alert also publishes a "health" event
+  // with the matching severity (non-owning; nullptr = off).
+  void set_event_log(obs::EventLog* log);
 
   // --- actions ------------------------------------------------------------
   // True once any recorded alert requested a checkpoint; reading consumes
@@ -129,6 +136,7 @@ private:
   MonitorConfig m_cfg;
   Watchdog m_watchdog;
   obs::MetricsRegistry* m_metrics = nullptr;
+  obs::EventLog* m_event_log = nullptr;
   std::function<void(const Alert&)> m_alert_cb;
   std::vector<std::function<void()>> m_flush_sinks;
 

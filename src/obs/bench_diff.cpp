@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "src/obs/campaign.hpp"
+
 namespace mrpic::obs::benchdiff {
 
 void flatten(const json::Value& v, const std::string& prefix,
@@ -179,6 +181,37 @@ std::vector<std::string> validate_schema(const json::Value& doc) {
     errors.push_back("document is not a JSON object");
     return errors;
   }
+  // Besides BENCH_*.json, the gate also validates the campaign aggregator's
+  // report (schema-tagged instead of bench-tagged): per-scenario stats plus
+  // one joined record per run. Booleans and nullable physics columns are
+  // left to campaign_report --strict; this checks the structural contract.
+  if (doc["schema"].is_string() && doc["schema"].as_string() == kCampaignSchema) {
+    for (const char* key : {"runs_total", "runs_valid", "completed", "aborted",
+                            "failed"}) {
+      if (!doc[key].is_number()) {
+        errors.push_back(std::string("missing number field '") + key + "'");
+      }
+    }
+    check_records(doc, "scenarios",
+                  {{"scenario", 's'},
+                   {"runs", 'n'},
+                   {"completed", 'n'},
+                   {"aborted", 'n'},
+                   {"failed", 'n'},
+                   {"step_samples", 'n'}},
+                  errors);
+    check_records(doc, "runs",
+                  {{"dir", 's'},
+                   {"run_id", 's'},
+                   {"scenario", 's'},
+                   {"status", 's'},
+                   {"exit_code", 'n'},
+                   {"steps_done", 'n'},
+                   {"num_events", 'n'},
+                   {"num_critical", 'n'}},
+                  errors);
+    return errors;
+  }
   if (!doc["bench"].is_string()) {
     errors.push_back("missing string field 'bench'");
     return errors;
@@ -349,6 +382,32 @@ std::vector<std::string> validate_schema(const json::Value& doc) {
                    {"step_s", 'n'},
                    {"overhead_frac", 'n'},
                    {"overhead_ok", 'n'}},
+                  errors);
+  } else if (bench == "campaign") {
+    // bench_campaign: the per-run telemetry trio's cost against the step
+    // loop (overhead_ok gated, raw seconds ignored by bench_smoke) and the
+    // deterministic aggregation of a synthetic three-run campaign.
+    check_records(doc, "overhead",
+                  {{"steps", 'n'},
+                   {"events", 'n'},
+                   {"heartbeat_writes", 'n'},
+                   {"telemetry_s", 'n'},
+                   {"step_s", 'n'},
+                   {"overhead_frac", 'n'},
+                   {"overhead_ok", 'n'}},
+                  errors);
+    check_records(doc, "aggregate",
+                  {{"runs", 'n'},
+                   {"valid", 'n'},
+                   {"completed", 'n'},
+                   {"aborted", 'n'},
+                   {"failed", 'n'},
+                   {"scenarios", 'n'},
+                   {"samples", 'n'},
+                   {"step_p50_s", 'n'},
+                   {"step_p99_s", 'n'},
+                   {"critical_events", 'n'},
+                   {"monotone_ok", 'n'}},
                   errors);
   } else if (bench == "mr_savings") {
     // bench_mr_savings --json: one record per (dim, ratio, patch-fraction)

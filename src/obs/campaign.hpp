@@ -1,0 +1,102 @@
+#pragma once
+
+// obs::campaign — the multi-run campaign aggregator (ISSUE 10 tentpole).
+// A campaign directory is one directory per run, each containing the
+// run.json manifest (obs::run_manifest) plus the artifacts it inventories.
+// scan_campaign() walks the directory, validates every manifest, joins each
+// run's final metrics / beam-physics / event-timeline summaries, and the
+// writers render a cross-run Markdown + JSON campaign report: per-scenario
+// p50/p99 step time, energy drift, beam emittance / spectral peak across
+// the scan, and failed-run triage straight from the event timelines. This
+// is the read side the ROADMAP item 3 campaign scheduler schedules against;
+// the campaign_report CLI (bench/) is the command-line wrapper.
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/event_log.hpp"
+#include "src/obs/run_manifest.hpp"
+
+namespace mrpic::obs {
+
+inline constexpr const char* kCampaignSchema = "mrpic.campaign.v1";
+
+// One run directory joined across its telemetry artifacts. Quantities that
+// could not be joined (artifact missing, empty series) stay NaN.
+struct RunSummary {
+  std::string dir;       // run directory (campaign-relative)
+  RunManifest manifest;  // default-constructed when manifest_ok is false
+  bool manifest_found = false;
+  bool manifest_ok = false;             // schema-valid per validate_manifest
+  std::vector<std::string> errors;      // validation / join problems
+
+  // Step-time distribution from the metrics JSONL (step_wall_s gauge).
+  std::int64_t metrics_records = 0;
+  double step_p50_s = std::numeric_limits<double>::quiet_NaN();
+  double step_p99_s = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> step_wall_samples;  // pooled by per-scenario stats
+
+  // Final physics / memory summaries.
+  double energy_drift_rate = std::numeric_limits<double>::quiet_NaN();
+  double emit_ny_m_rad = std::numeric_limits<double>::quiet_NaN();
+  double peak_energy_J = std::numeric_limits<double>::quiet_NaN();
+  double mem_high_water_bytes = std::numeric_limits<double>::quiet_NaN();
+
+  // Event-timeline digest.
+  std::int64_t num_events = 0;
+  std::int64_t num_critical = 0;
+  bool events_monotone = true;  // seq strictly increasing AND wall_s nondecreasing
+  std::vector<Event> triage;    // critical events (bounded), newest last
+};
+
+// Per-scenario aggregate over the campaign (pooled step samples).
+struct ScenarioStats {
+  std::string scenario;
+  int runs = 0;
+  int completed = 0;
+  int aborted = 0;
+  int failed = 0;
+  std::int64_t step_samples = 0;
+  double step_p50_s = std::numeric_limits<double>::quiet_NaN();
+  double step_p99_s = std::numeric_limits<double>::quiet_NaN();
+  double max_abs_energy_drift = std::numeric_limits<double>::quiet_NaN();
+  double emit_ny_min = std::numeric_limits<double>::quiet_NaN();
+  double emit_ny_max = std::numeric_limits<double>::quiet_NaN();
+  double peak_energy_min_J = std::numeric_limits<double>::quiet_NaN();
+  double peak_energy_max_J = std::numeric_limits<double>::quiet_NaN();
+  double mem_high_water_max_bytes = std::numeric_limits<double>::quiet_NaN();
+};
+
+struct CampaignReport {
+  std::string dir;
+  std::vector<RunSummary> runs;      // sorted by run directory name
+  std::vector<ScenarioStats> scenarios;  // sorted by scenario name
+
+  int runs_total() const { return static_cast<int>(runs.size()); }
+  int runs_valid() const;
+  int runs_with_status(const char* status) const;
+};
+
+// Percentile over a copy of `samples` (nearest-rank; NaN when empty).
+double percentile(std::vector<double> samples, double p);
+
+// Join one run directory (expects dir + "/run.json"). Never throws for
+// malformed content: problems land in errors/flags.
+RunSummary summarize_run_dir(const std::string& dir);
+
+// Scan every direct subdirectory of `campaign_dir` that contains a
+// run.json (plus the campaign dir itself if IT holds one), join each, and
+// compute the per-scenario aggregates. Throws std::runtime_error when the
+// campaign directory cannot be read.
+CampaignReport scan_campaign(const std::string& campaign_dir);
+
+// Renderers. Markdown leads with the "## Campaign" section (CI greps it).
+void write_campaign_markdown(const CampaignReport& rep, std::ostream& os);
+bool write_campaign_markdown(const CampaignReport& rep, const std::string& path);
+void write_campaign_json(const CampaignReport& rep, std::ostream& os);
+bool write_campaign_json(const CampaignReport& rep, const std::string& path);
+
+} // namespace mrpic::obs

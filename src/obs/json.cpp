@@ -66,6 +66,11 @@ public:
   }
 
 private:
+  // Container-nesting bound: parse_value recurses per level, so a hostile
+  // "[[[[..." document would otherwise overflow the stack. 200 levels is
+  // far beyond any telemetry document and costs a few KB of stack.
+  static constexpr int kMaxDepth = 200;
+
   [[noreturn]] void fail(const std::string& what) const {
     throw std::runtime_error("json parse error at byte " + std::to_string(m_pos) + ": " +
                              what);
@@ -118,6 +123,7 @@ private:
   }
 
   Value parse_object() {
+    if (++m_depth > kMaxDepth) { fail("nesting deeper than 200 levels"); }
     expect('{');
     Object obj;
     skip_ws();
@@ -131,20 +137,26 @@ private:
       skip_ws();
       if (consume(',')) { continue; }
       expect('}');
+      --m_depth;
       return Value(std::move(obj));
     }
   }
 
   Value parse_array() {
+    if (++m_depth > kMaxDepth) { fail("nesting deeper than 200 levels"); }
     expect('[');
     Array arr;
     skip_ws();
-    if (consume(']')) { return Value(std::move(arr)); }
+    if (consume(']')) {
+      --m_depth;
+      return Value(std::move(arr));
+    }
     while (true) {
       arr.push_back(parse_value());
       skip_ws();
       if (consume(',')) { continue; }
       expect(']');
+      --m_depth;
       return Value(std::move(arr));
     }
   }
@@ -172,29 +184,39 @@ private:
         case 'b': out.push_back('\b'); break;
         case 'f': out.push_back('\f'); break;
         case 'u': {
-          if (m_pos + 4 > m_text.size()) { fail("truncated \\u escape"); }
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = m_text[m_pos++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code += h - '0';
-            } else if (h >= 'a' && h <= 'f') {
-              code += 10 + h - 'a';
-            } else if (h >= 'A' && h <= 'F') {
-              code += 10 + h - 'A';
-            } else {
-              fail("bad hex digit in \\u escape");
+          // Our own writer only emits control-character escapes, but foreign
+          // producers may use the full \uXXXX range including UTF-16
+          // surrogate pairs for astral codepoints; decode everything to
+          // UTF-8. A lone/mispaired surrogate is a hard error (RFC 8259
+          // leaves it undefined; silently passing it through would put
+          // invalid UTF-8 in downstream files).
+          unsigned code = parse_hex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {  // high surrogate
+            if (m_pos + 2 > m_text.size() || m_text[m_pos] != '\\' ||
+                m_text[m_pos + 1] != 'u') {
+              fail("high surrogate not followed by \\u low surrogate");
             }
+            m_pos += 2;
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              fail("high surrogate followed by a non-low-surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("lone low surrogate");
           }
-          // We only emit control-character escapes; decode BMP as UTF-8.
           if (code < 0x80) {
             out.push_back(static_cast<char>(code));
           } else if (code < 0x800) {
             out.push_back(static_cast<char>(0xC0 | (code >> 6)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
+          } else if (code < 0x10000) {
             out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
           }
@@ -203,6 +225,25 @@ private:
         default: fail("unknown escape");
       }
     }
+  }
+
+  unsigned parse_hex4() {
+    if (m_pos + 4 > m_text.size()) { fail("truncated \\u escape"); }
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = m_text[m_pos++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code += h - '0';
+      } else if (h >= 'a' && h <= 'f') {
+        code += 10 + h - 'a';
+      } else if (h >= 'A' && h <= 'F') {
+        code += 10 + h - 'A';
+      } else {
+        fail("bad hex digit in \\u escape");
+      }
+    }
+    return code;
   }
 
   Value parse_number() {
@@ -225,6 +266,7 @@ private:
 
   std::string_view m_text;
   std::size_t m_pos = 0;
+  int m_depth = 0;
 };
 
 } // namespace

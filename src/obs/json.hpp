@@ -3,8 +3,12 @@
 // Minimal JSON support for the observability layer: a writer with correct
 // string escaping / number formatting (Chrome traces, metrics JSONL, bench
 // --json output) and a small recursive-descent parser used by tests and
-// tooling to re-load what we emit. Not a general-purpose JSON library: no
-// \uXXXX escapes beyond what we write, and numbers parse as double.
+// tooling to re-load what we emit — plus foreign telemetry documents: the
+// parser decodes the full \uXXXX range (including UTF-16 surrogate pairs,
+// rejecting lone surrogates) to UTF-8 and bounds container nesting at 200
+// levels (a hostile "[[[[..." fails cleanly instead of overflowing the
+// stack). Still not a general-purpose JSON library: numbers parse as
+// double, and objects are sorted maps (duplicate keys keep the first).
 
 #include <cstdint>
 #include <map>

@@ -5,8 +5,21 @@
 #include <fstream>
 
 #include "src/dist/imbalance.hpp"
+#include "src/obs/event_log.hpp"
 
 namespace mrpic::obs {
+namespace {
+
+EventSeverity fault_event_severity(const std::string& kind) {
+  if (kind == "crash") { return EventSeverity::Critical; }
+  if (kind == "slowdown" || kind == "detect" || kind == "rollback" ||
+      kind == "remap" || kind == "replay") {
+    return EventSeverity::Warn;
+  }
+  return EventSeverity::Info;  // checkpoint / health_checkpoint / unknown
+}
+
+} // namespace
 
 double RankStepBreakdown::max_compute_s() const {
   double m = 0;
@@ -56,11 +69,22 @@ void RankRecorder::set_last_step_resident_bytes(const std::vector<std::int64_t>&
 
 void RankRecorder::add_rebalance(RebalanceRecord rec) {
   if (rec.step < 0) { rec.step = m_step; }
+  if (m_event_log != nullptr) {
+    m_event_log->publish("rebalance", "remap", EventSeverity::Info, rec.step, "",
+                         {{"nranks", double(rec.rank_cost_after.size())},
+                          {"imbalance_before", rec.imbalance_before},
+                          {"imbalance_after", rec.imbalance_after}});
+  }
   m_rebalances.push_back(std::move(rec));
 }
 
 void RankRecorder::add_fault_event(FaultEvent ev) {
   if (ev.step < 0) { ev.step = m_step; }
+  if (m_event_log != nullptr) {
+    m_event_log->publish("resil", ev.kind, fault_event_severity(ev.kind), ev.step,
+                         ev.detail,
+                         {{"rank", double(ev.rank)}, {"cost_s", ev.time_s}});
+  }
   m_fault_events.push_back(std::move(ev));
 }
 

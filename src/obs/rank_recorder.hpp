@@ -22,6 +22,8 @@
 
 namespace mrpic::obs {
 
+class EventLog;
+
 // One rank's share of one recorded step (modeled seconds).
 struct RankStepStats {
   int rank = 0;
@@ -115,6 +117,12 @@ public:
   void set_max_messages(std::size_t n) { m_max_messages = n; }
   std::size_t dropped_messages() const { return m_dropped_messages; }
 
+  // Forward fault events and rebalance snapshots into the unified per-run
+  // event timeline (non-owning; nullptr = off). Fault-event kinds map to
+  // severities there: crash -> Critical; slowdown/detect/rollback/remap/
+  // replay -> Warn; checkpoints and everything else -> Info.
+  void set_event_log(EventLog* log) { m_event_log = log; }
+
   // --- sinks (SimCluster::step_cost / LoadBalancer) ----------------------
   // Append one step's breakdown plus its message log. The breakdown's step
   // tag wins; messages are re-tagged to match.
@@ -156,6 +164,7 @@ public:
 private:
   int m_nranks = 0;
   std::int64_t m_step = -1;
+  EventLog* m_event_log = nullptr;
   std::size_t m_max_messages = std::size_t(1) << 20;
   std::size_t m_dropped_messages = 0;
   std::vector<RankStepBreakdown> m_steps;

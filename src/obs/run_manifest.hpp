@@ -1,0 +1,125 @@
+#pragma once
+
+// obs::RunManifest — the identity card of one run (ISSUE 10 tentpole).
+// Every mrpic_run / example / bench-driver run gets a run id and writes a
+// schema-tagged run.json: scenario name + spec digest, build/machine info,
+// the flags it ran with, start/end wall time, final step / simulated time,
+// exit status (completed | aborted | failed) and an inventory of the
+// trace/metrics/report artifacts it produced. The manifest is written once
+// with status "running" at startup and REWRITTEN ATOMICALLY (tmp + rename)
+// at exit — including when a health::AbortError unwinds — so an external
+// scheduler polling a campaign directory never reads a half-written file
+// and can distinguish a clean completion from an abort from a crash (a
+// crashed run's manifest stays "running" with a stale heartbeat).
+//
+// obs::RunContext is the RAII-ish driver around the struct: construct,
+// start(), add artifacts as they are written, finalize(status). The
+// campaign aggregator (obs::campaign) validates and joins these files.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hpp"
+
+namespace mrpic::obs {
+
+inline constexpr const char* kRunManifestSchema = "mrpic.run.v1";
+
+// Run exit statuses ("running" is the transient startup state).
+inline constexpr const char* kRunStatusRunning = "running";
+inline constexpr const char* kRunStatusCompleted = "completed";
+inline constexpr const char* kRunStatusAborted = "aborted";
+inline constexpr const char* kRunStatusFailed = "failed";
+
+// One produced artifact. `path` is relative to the manifest's directory so
+// a campaign directory can be moved/archived wholesale.
+struct ArtifactInfo {
+  std::string name;  // logical name ("metrics", "events", "trace", ...)
+  std::string path;  // relative path (usually just the filename)
+  std::int64_t bytes = -1;  // stat'ed size at finalize (-1 = missing)
+};
+
+struct RunManifest {
+  std::string run_id;
+  std::string scenario;     // registry name (or binary name for benches)
+  std::string title;
+  std::string spec_digest;  // hex digest of the canonical spec serialization
+  std::string status = kRunStatusRunning;
+  int exit_code = 0;
+  std::string reason;       // abort/failure context ("" for completed)
+
+  std::int64_t start_unix = 0;  // wall-clock bounds [s since epoch]
+  std::int64_t end_unix = 0;
+  double wall_s = 0;            // measured run duration (steady clock)
+
+  std::int64_t steps_done = 0;
+  double sim_time_s = 0;
+  std::int64_t num_events = 0;  // event-timeline entries
+  std::int64_t num_alerts = 0;  // health alerts raised
+
+  std::string build_type;  // "Release"/"Debug" (NDEBUG heuristic)
+  std::string compiler;    // compiler id + version
+
+  std::vector<std::string> flags;  // normalized driver options
+  std::vector<ArtifactInfo> artifacts;
+};
+
+// Process-unique run id: "<scenario>-<unixtime>-<pid>-<counter>".
+std::string generate_run_id(const std::string& scenario);
+
+// Fill build_type/compiler from compile-time facts.
+void fill_build_info(RunManifest& m);
+
+// File size in bytes, -1 when the file does not exist.
+std::int64_t file_size_bytes(const std::string& path);
+
+// Full-document serialization (pretty-free single object).
+std::string manifest_json(const RunManifest& m);
+
+// Write tmp + rename so readers never see a torn manifest. Returns false
+// when the file cannot be written.
+bool write_manifest_atomic(const RunManifest& m, const std::string& path);
+
+// Parse a manifest document; throws std::runtime_error on a missing or
+// foreign schema tag (other fields degrade to defaults — reader tolerance).
+RunManifest parse_manifest(const json::Value& doc);
+RunManifest read_manifest(const std::string& path);  // throws on open/parse
+
+// Structural validation for the campaign aggregator: returns one message
+// per problem (empty = valid). Checks schema tag, run id, scenario, a known
+// status, coherent step/time counters and the artifact inventory shape.
+std::vector<std::string> validate_manifest(const json::Value& doc);
+
+// Driver-side helper owning the manifest lifecycle.
+class RunContext {
+public:
+  // `manifest_path` is where run.json lives; artifact paths added later are
+  // stored relative to its directory.
+  RunContext(std::string run_id, std::string scenario, std::string manifest_path);
+
+  RunManifest& manifest() { return m_manifest; }
+  const RunManifest& manifest() const { return m_manifest; }
+  const std::string& path() const { return m_path; }
+
+  // Record an artifact by absolute-or-relative path; the stored inventory
+  // path is relative to the manifest directory, bytes stat'ed at finalize.
+  void add_artifact(std::string name, const std::string& path);
+
+  // Write the initial "running" manifest.
+  bool start();
+  // Stamp end time / duration / counters, stat the artifact inventory and
+  // atomically rewrite with the final status.
+  bool finalize(const std::string& status, int exit_code, std::int64_t steps_done,
+                double sim_time_s, const std::string& reason = "");
+
+private:
+  RunManifest m_manifest;
+  std::string m_path;
+  std::string m_dir;  // manifest directory ("" = cwd)
+  std::vector<std::string> m_artifact_abs;  // parallel to manifest.artifacts
+  std::chrono::steady_clock::time_point m_t0;
+};
+
+} // namespace mrpic::obs

@@ -32,4 +32,10 @@ std::unique_ptr<core::Simulation<2>> build_simulation(const ScenarioSpec& spec,
 // after init; exposed for callers that build with opts.init = false.
 void apply_species_drifts(core::Simulation<2>& sim, const ScenarioSpec& spec);
 
+// Stable hex digest (FNV-1a) over the spec's physics-defining fields —
+// domain, numerics, species/laser/patch/window/boost parameters, cadences.
+// Two runs with the same digest ran the same workload; the run manifest
+// records it so a campaign can group runs by spec, not just by name.
+std::string spec_digest(const ScenarioSpec& spec);
+
 } // namespace mrpic::scenario

@@ -12,8 +12,11 @@
 #include "src/health/watchdog.hpp"
 #include "src/io/checkpoint.hpp"
 #include "src/obs/analysis.hpp"
+#include "src/obs/event_log.hpp"
+#include "src/obs/heartbeat.hpp"
 #include "src/obs/perf_report.hpp"
 #include "src/obs/rank_recorder_io.hpp"
+#include "src/obs/run_manifest.hpp"
 #include "src/obs/trace.hpp"
 #include "src/particles/deposition.hpp"
 #include "src/particles/gather.hpp"
@@ -58,6 +61,10 @@ ParseResult parse_options(int argc, char** argv, const char* forced_scenario) {
       r.opt.kernel_obs = true;
     } else if (std::strcmp(a, "--no-mr") == 0) {
       r.opt.no_mr = true;
+    } else if (std::strcmp(a, "--run-id") == 0 && i + 1 < argc) {
+      r.opt.run_id = argv[++i];
+    } else if (std::strcmp(a, "--heartbeat") == 0 && i + 1 < argc) {
+      r.opt.heartbeat = std::atoi(argv[++i]);
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       print_usage(argv[0]);
       std::exit(0);
@@ -70,6 +77,24 @@ ParseResult parse_options(int argc, char** argv, const char* forced_scenario) {
     }
   }
   return r;
+}
+
+// Normalized driver options for the run manifest (stable across argv
+// orderings; defaults are omitted).
+std::vector<std::string> normalized_flags(const RunOptions& opt) {
+  std::vector<std::string> f;
+  if (opt.steps > 0) { f.push_back("--steps " + std::to_string(opt.steps)); }
+  if (opt.t_end_fs > 0) { f.push_back("t_end_fs=" + std::to_string(opt.t_end_fs)); }
+  if (opt.health) { f.push_back("--health"); }
+  if (opt.insitu) { f.push_back("--insitu"); }
+  if (opt.memory) { f.push_back("--memory"); }
+  if (opt.node_budget_gb > 0) {
+    f.push_back("--node-budget-gb " + std::to_string(opt.node_budget_gb));
+  }
+  if (opt.kernel_obs) { f.push_back("--kernel-obs"); }
+  if (opt.no_mr) { f.push_back("--no-mr"); }
+  if (opt.heartbeat != 5) { f.push_back("--heartbeat " + std::to_string(opt.heartbeat)); }
+  return f;
 }
 
 // Lab <-> boosted-frame correspondence table for boosted specs: the spec
@@ -115,6 +140,9 @@ void print_usage(const char* prog) {
       "  --node-budget-gb G    OOM headroom vs a G-GiB per-rank budget (implies --memory)\n"
       "  --kernel-obs          tile-grain kernel probes + \"Kernel headroom\" section\n"
       "  --no-mr               strip the scenario's MR patch\n"
+      "  --run-id ID           run id recorded in the run.json manifest (default:\n"
+      "                        generated <scenario>-<time>-<pid>-<n>)\n"
+      "  --heartbeat N         rewrite progress.json every N steps (default 5; 0 = off)\n"
       "  t_end_fs              end time in femtoseconds (positional)\n",
       prog, prog);
 }
@@ -134,6 +162,43 @@ int run_scenario(const ScenarioSpec& spec_in, const RunOptions& opt,
     return 2;
   }
 
+  // Campaign telemetry: every run gets a manifest, an event timeline and a
+  // progress heartbeat regardless of the observability flags.
+  const std::string run_id =
+      opt.run_id.empty() ? obs::generate_run_id(spec.name) : opt.run_id;
+  obs::RunContext rc(run_id, spec.name, out.path("run.json"));
+  rc.manifest().title = spec.title;
+  rc.manifest().spec_digest = spec_digest(spec);
+  rc.manifest().flags = normalized_flags(opt);
+
+  obs::EventLogConfig ecfg;
+  ecfg.path = out.path(pfx + "_events.jsonl");
+  obs::EventLog elog(ecfg);
+
+  obs::HeartbeatConfig hbcfg;
+  hbcfg.interval_steps = opt.heartbeat;
+  if (opt.heartbeat > 0) { hbcfg.path = out.path("progress.json"); }
+  obs::ProgressHeartbeat heartbeat(hbcfg, run_id);
+  heartbeat.set_totals(opt.steps, opt.steps > 0 ? 0.0 : double(t_end));
+
+  // Inventory the artifacts this run will produce (bytes stat'ed at
+  // finalize; never-written ones record -1).
+  rc.add_artifact("events", ecfg.path);
+  if (opt.heartbeat > 0) { rc.add_artifact("progress", hbcfg.path); }
+  rc.add_artifact("history", out.path(pfx + "_history.csv"));
+  rc.add_artifact("field", out.path(pfx + "_field.csv"));
+  rc.add_artifact("trace", out.path(pfx + "_trace.json"));
+  rc.add_artifact("metrics", out.path(pfx + "_metrics.jsonl"));
+  rc.add_artifact("rank_heatmap", out.path("rank_heatmap.csv"));
+  rc.add_artifact("ranks", out.path(pfx + "_ranks.json"));
+  rc.add_artifact("perf_report_md", out.path(pfx + "_perf_report.md"));
+  rc.add_artifact("perf_report_json", out.path(pfx + "_perf_report.json"));
+  if (opt.health) { rc.add_artifact("alerts", out.path(pfx + "_alerts.jsonl")); }
+  if (opt.insitu) { rc.add_artifact("insitu", out.path(pfx + "_insitu.jsonl")); }
+  if (opt.memory) { rc.add_artifact("memory_heatmap", out.path("memory_heatmap.csv")); }
+  rc.start();
+  elog.publish("lifecycle", "run_start", obs::EventSeverity::Info, -1, spec.name);
+
   // Assemble without init so pre-init observability hooks see the setup
   // phase, then enable per-flag observability and init.
   BuildOptions bopt;
@@ -141,6 +206,7 @@ int run_scenario(const ScenarioSpec& spec_in, const RunOptions& opt,
   auto sim_ptr = build_simulation(spec, bopt);
   core::Simulation<2>& sim = *sim_ptr;
   sim.enable_cluster_obs();
+  sim.enable_event_log(&elog);
   sim.profiler().set_tracing(true);
 
   if (opt.memory) {
@@ -150,10 +216,14 @@ int run_scenario(const ScenarioSpec& spec_in, const RunOptions& opt,
     sim.enable_memory_obs(mcfg);
   }
   if (opt.kernel_obs) { sim.enable_kernel_obs(); }
+  std::string last_alert_severity;
   if (opt.health) {
     health::MonitorConfig hcfg = spec.health;
     hcfg.alerts_path = out.path(pfx + "_alerts.jsonl");
     sim.enable_health(hcfg);
+    sim.health()->set_alert_callback([&last_alert_severity](const health::Alert& a) {
+      last_alert_severity = health::to_string(a.severity);
+    });
   }
   {
     insitu::InsituConfig icfg = spec.insitu;
@@ -213,10 +283,13 @@ int run_scenario(const ScenarioSpec& spec_in, const RunOptions& opt,
                      sim.fields().E().max_abs(fields::X) / 1e9});
   };
   int exit_code = 0;
+  std::string status = obs::kRunStatusCompleted;
+  std::string reason;
   try {
     for (;;) {
       if (opt.steps > 0 ? sim.step_count() >= opt.steps : sim.time() >= t_end) { break; }
       sim.step();
+      heartbeat.update(sim.step_count(), sim.time(), "step", last_alert_severity);
       if (spec.cadences.diagnostics.due(sim.step_count())) {
         record_row();
         std::printf("t = %7.1f fs  step %6lld  E_x = %8.2f GV/m  particles %lld\n",
@@ -229,6 +302,17 @@ int run_scenario(const ScenarioSpec& spec_in, const RunOptions& opt,
     std::fprintf(stderr, "scenario %s aborted by health watchdog: %s\n",
                  spec.name.c_str(), e.what());
     exit_code = 1;
+    status = obs::kRunStatusAborted;
+    reason = e.what();
+    elog.publish("lifecycle", "abort", obs::EventSeverity::Critical, sim.step_count(),
+                 reason);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scenario %s failed: %s\n", spec.name.c_str(), e.what());
+    exit_code = 3;
+    status = obs::kRunStatusFailed;
+    reason = e.what();
+    elog.publish("lifecycle", "failure", obs::EventSeverity::Critical, sim.step_count(),
+                 reason);
   }
   record_row();
 
@@ -305,11 +389,23 @@ int run_scenario(const ScenarioSpec& spec_in, const RunOptions& opt,
   obs::write_markdown(report, out.path(pfx + "_perf_report.md"));
   obs::write_json(report, out.path(pfx + "_perf_report.json"));
 
+  // Terminal lifecycle event + final heartbeat + manifest finalize, so a
+  // campaign scheduler sees the outcome atomically.
+  elog.publish("lifecycle", "run_end", obs::EventSeverity::Info, sim.step_count(),
+               status);
+  heartbeat.finalize(status, sim.step_count(), sim.time());
+  rc.manifest().num_events = elog.num_events();
+  if (opt.health) { rc.manifest().num_alerts = sim.health()->num_alerts(); }
+  rc.finalize(status, exit_code, sim.step_count(), sim.time(), reason);
+
   std::printf("wrote %s_{history,field}.csv, %s_trace.json, %s_metrics.jsonl, "
               "%s_ranks.json, %s_perf_report.{md,json} in %s/\n",
               pfx.c_str(), pfx.c_str(), pfx.c_str(), pfx.c_str(), pfx.c_str(),
               out.dir().c_str());
   std::printf("perf report sections: %s\n", sections.c_str());
+  std::printf("run %s: status %s (%lld timeline events), manifest %s\n", run_id.c_str(),
+              status.c_str(), static_cast<long long>(elog.num_events()),
+              rc.path().c_str());
   const auto& rep = sim.last_step_report();
   std::printf("last step %lld: %.3f ms wall, %lld particles, %lld cells\n",
               static_cast<long long>(rep.step), rep.wall_s * 1e3,

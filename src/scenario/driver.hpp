@@ -9,7 +9,15 @@
 //   mrpic_run --list
 //   mrpic_run --scenario <name> [--steps N] [--outdir DIR] [--health]
 //             [--insitu] [--memory] [--node-budget-gb G] [--kernel-obs]
-//             [--no-mr] [t_end_fs]
+//             [--no-mr] [--run-id ID] [--heartbeat N] [t_end_fs]
+//
+// Every run additionally emits campaign telemetry into the outdir: a
+// run.json manifest (obs::RunContext, finalized atomically at exit with
+// status completed/aborted/failed), an atomically-rewritten progress.json
+// heartbeat with EWMA step rate + ETA, and a unified <pfx>_events.jsonl
+// event timeline (health alerts, resil/checkpoint events, rebalances, run
+// lifecycle). obs::campaign / the campaign_report CLI aggregate these
+// across a directory of runs.
 
 #include <string>
 
@@ -29,6 +37,9 @@ struct RunOptions {
   bool kernel_obs = false;   // kernel-grain probes + "Kernel headroom" section
   bool no_mr = false;        // strip the spec's MR patch
   double node_budget_gb = 0; // OOM headroom budget; implies memory
+  // Campaign telemetry (run manifest + event timeline are always on).
+  std::string run_id;        // manifest run id ("" = generate one)
+  int heartbeat = 5;         // progress.json rewrite cadence in steps (0 = off)
 };
 
 // Print the mrpic_run usage text to stderr.
@@ -36,7 +47,8 @@ void print_usage(const char* prog);
 
 // Execute one scenario run end to end. Artifacts land in `out` under
 // spec.output_prefix. Returns the process exit code (0 = completed,
-// 1 = aborted by a health watchdog alert).
+// 1 = aborted by a health watchdog alert, 3 = failed on an unexpected
+// exception); run.json records the matching status either way.
 int run_scenario(const ScenarioSpec& spec, const RunOptions& opt,
                  const diag::OutputDir& out);
 

@@ -1,0 +1,118 @@
+// EventLog is the one telemetry sink shared by every subsystem: health
+// alerts arrive from the watchdog under its own mutex, resil events from the
+// resilient runner, rebalance snapshots from the load balancer, lifecycle
+// transitions from the driver — potentially from different threads in an
+// external harness. Hammer publish() + the read surface concurrently; under
+// -DMRPIC_SANITIZE=thread this is the event_log_concurrency_sanitized ctest.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/obs/event_log.hpp"
+
+namespace mrpic::obs {
+namespace {
+
+TEST(EventLogConcurrency, ConcurrentPublishersKeepSeqDenseAndFileOrdered) {
+  const std::string path = "test_event_log_conc.jsonl";
+  std::remove(path.c_str());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+
+  EventLogConfig cfg;
+  cfg.path = path;
+  EventLog log(cfg);
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  std::vector<std::vector<std::int64_t>> seen(kThreads);
+  const char* cats[] = {"health", "resil", "rebalance", "lifecycle"};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < kPerThread; ++i) {
+        const Event ev =
+            log.publish(cats[t % 4], "tick",
+                        static_cast<EventSeverity>(i % 3), t * kPerThread + i,
+                        "", {{"thread", double(t)}});
+        seen[std::size_t(t)].push_back(ev.seq);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) { th.join(); }
+
+  constexpr std::int64_t kTotal = std::int64_t(kThreads) * kPerThread;
+  EXPECT_EQ(log.num_events(), kTotal);
+  EXPECT_EQ(log.num_events(EventSeverity::Info) + log.num_events(EventSeverity::Warn) +
+                log.num_events(EventSeverity::Critical),
+            kTotal);
+
+  // Every thread saw strictly increasing seqs, and the union is dense
+  // 0..N-1: no duplicates, no gaps.
+  std::set<std::int64_t> all;
+  for (const auto& s : seen) {
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    all.insert(s.begin(), s.end());
+  }
+  ASSERT_EQ(std::int64_t(all.size()), kTotal);
+  EXPECT_EQ(*all.begin(), 0);
+  EXPECT_EQ(*all.rbegin(), kTotal - 1);
+
+  // The in-memory snapshot and the durable file agree on the ordering
+  // contract: seq strictly increasing, wall_s nondecreasing, in disk order.
+  const auto check_ordered = [&](const std::vector<Event>& events) {
+    ASSERT_EQ(std::int64_t(events.size()), kTotal);
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+      EXPECT_GE(events[i].wall_s, events[i - 1].wall_s);
+    }
+  };
+  check_ordered(log.snapshot());
+  std::size_t skipped = 0;
+  check_ordered(EventLog::read_events_jsonl(path, &skipped));
+  EXPECT_EQ(skipped, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(EventLogConcurrency, SnapshotsRaceWithPublishers) {
+  EventLogConfig cfg;
+  cfg.history_limit = 64;  // force drops while snapshots run
+  EventLog log(cfg);
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto snap = log.snapshot();
+      for (std::size_t i = 1; i < snap.size(); ++i) {
+        ASSERT_LT(snap[i - 1].seq, snap[i].seq);
+      }
+      (void)log.num_events();
+      (void)log.num_dropped();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        log.publish("resil", "tick", EventSeverity::Info, i, "",
+                    {{"thread", double(t)}});
+      }
+    });
+  }
+  for (auto& th : writers) { th.join(); }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(log.num_events(), 2000);
+  EXPECT_EQ(log.num_dropped(), 2000 - 64);
+}
+
+} // namespace
+} // namespace mrpic::obs

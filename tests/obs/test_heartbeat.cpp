@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/obs/heartbeat.hpp"
+#include "src/obs/json.hpp"
+
+namespace mrpic::obs {
+namespace {
+
+json::Value read_progress(const std::string& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good());
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return json::parse(ss.str());
+}
+
+TEST(Heartbeat, WritesOnFirstUpdateAndAtCadence) {
+  const std::string path = "test_progress.json";
+  std::remove(path.c_str());
+  HeartbeatConfig cfg;
+  cfg.path = path;
+  cfg.interval_steps = 5;
+  ProgressHeartbeat hb(cfg, "hb-run-1");
+  hb.set_totals(20, 0);
+
+  EXPECT_TRUE(hb.update(1, 1e-16, "step"));   // first call always writes
+  EXPECT_FALSE(hb.update(2, 2e-16, "step"));  // off-cadence
+  EXPECT_FALSE(hb.update(3, 3e-16, "step"));
+  EXPECT_FALSE(hb.update(4, 4e-16, "step"));
+  EXPECT_TRUE(hb.update(5, 5e-16, "step"));   // step % 5 == 0
+  EXPECT_EQ(hb.writes(), 2);
+
+  const auto doc = read_progress(path);
+  EXPECT_EQ(doc["schema"].as_string(), kProgressSchema);
+  EXPECT_EQ(doc["run_id"].as_string(), "hb-run-1");
+  EXPECT_EQ(doc["status"].as_string(), "running");
+  EXPECT_EQ(doc["phase"].as_string(), "step");
+  EXPECT_DOUBLE_EQ(doc["step"].as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(doc["steps_total"].as_number(), 20.0);
+  EXPECT_DOUBLE_EQ(doc["fraction_done"].as_number(), 0.25);
+  EXPECT_GE(doc["steps_per_s"].as_number(), 0.0);
+  EXPECT_GE(doc["wall_s"].as_number(), 0.0);
+  // Atomic rewrite leaves no .tmp behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(Heartbeat, RateEtaAndFinalize) {
+  const std::string path = "test_progress_eta.json";
+  std::remove(path.c_str());
+  HeartbeatConfig cfg;
+  cfg.path = path;
+  cfg.interval_steps = 1;
+  ProgressHeartbeat hb(cfg, "hb-run-2");
+  hb.set_totals(10, 0);
+
+  for (int s = 1; s <= 5; ++s) { hb.update(s, s * 1e-16, "step"); }
+  EXPECT_GT(hb.ewma_steps_per_s(), 0.0);
+  EXPECT_DOUBLE_EQ(hb.fraction_done(), 0.5);
+  // Halfway at a finite positive rate: the ETA is a finite positive number.
+  EXPECT_TRUE(std::isfinite(hb.eta_s()));
+  EXPECT_GT(hb.eta_s(), 0.0);
+
+  for (int s = 6; s <= 10; ++s) { hb.update(s, s * 1e-16, "step"); }
+  EXPECT_DOUBLE_EQ(hb.fraction_done(), 1.0);
+  EXPECT_DOUBLE_EQ(hb.eta_s(), 0.0);
+
+  EXPECT_TRUE(hb.finalize("completed", 10, 1e-15));
+  const auto doc = read_progress(path);
+  EXPECT_EQ(doc["status"].as_string(), "completed");
+  EXPECT_EQ(doc["phase"].as_string(), "done");
+  std::remove(path.c_str());
+}
+
+TEST(Heartbeat, TimeTargetBindsWhenNoStepTarget) {
+  HeartbeatConfig cfg;  // empty path: in-memory only
+  ProgressHeartbeat hb(cfg, "hb-run-3");
+  hb.set_totals(0, 1e-14);
+  EXPECT_FALSE(hb.update(1, 2.5e-15, "step"));  // no path -> never writes
+  EXPECT_DOUBLE_EQ(hb.fraction_done(), 0.25);
+  EXPECT_EQ(hb.writes(), 0);
+}
+
+TEST(Heartbeat, EtaUnknownUntilComputable) {
+  HeartbeatConfig cfg;
+  ProgressHeartbeat hb(cfg, "hb-run-4");
+  hb.set_totals(100, 0);
+  hb.update(1, 1e-16, "step");  // single sample: no rate yet
+  EXPECT_TRUE(std::isnan(hb.eta_s()));
+}
+
+} // namespace
+} // namespace mrpic::obs

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "src/obs/json.hpp"
+#include "src/obs/run_manifest.hpp"
+
+namespace mrpic::obs {
+namespace {
+
+TEST(RunManifest, GeneratedRunIdsAreUniqueAndFilesystemSafe) {
+  std::set<std::string> ids;
+  for (int i = 0; i < 64; ++i) { ids.insert(generate_run_id("lwfa")); }
+  EXPECT_EQ(ids.size(), 64u);
+  // Scenario names are sanitized so the id is safe as a directory name.
+  const std::string id = generate_run_id("a b/c:d");
+  EXPECT_EQ(id.find('/'), std::string::npos);
+  EXPECT_EQ(id.find(' '), std::string::npos);
+  EXPECT_EQ(id.rfind("a_b_c_d-", 0), 0u);
+  EXPECT_EQ(generate_run_id("").rfind("run-", 0), 0u);
+}
+
+TEST(RunManifest, JsonRoundTrip) {
+  RunManifest m;
+  m.run_id = "lwfa-1754600000-123-0";
+  m.scenario = "lwfa";
+  m.title = "Laser-wakefield \"quickstart\"";
+  m.spec_digest = "82ece7b409c271eb";
+  m.status = kRunStatusAborted;
+  m.exit_code = 1;
+  m.reason = "energy drift out of bounds";
+  m.start_unix = 1754600000;
+  m.end_unix = 1754600042;
+  m.wall_s = 41.7;
+  m.steps_done = 120;
+  m.sim_time_s = 3.1e-14;
+  m.num_events = 9;
+  m.num_alerts = 2;
+  fill_build_info(m);
+  m.flags = {"--steps 120", "--health"};
+  m.artifacts.push_back({"events", "lwfa_events.jsonl", 512});
+  m.artifacts.push_back({"metrics", "lwfa_metrics.jsonl", -1});
+
+  const auto doc = json::parse(manifest_json(m));
+  EXPECT_TRUE(validate_manifest(doc).empty());
+  const RunManifest back = parse_manifest(doc);
+  EXPECT_EQ(back.run_id, m.run_id);
+  EXPECT_EQ(back.scenario, m.scenario);
+  EXPECT_EQ(back.title, m.title);
+  EXPECT_EQ(back.spec_digest, m.spec_digest);
+  EXPECT_EQ(back.status, m.status);
+  EXPECT_EQ(back.exit_code, m.exit_code);
+  EXPECT_EQ(back.reason, m.reason);
+  EXPECT_EQ(back.start_unix, m.start_unix);
+  EXPECT_EQ(back.end_unix, m.end_unix);
+  EXPECT_DOUBLE_EQ(back.wall_s, m.wall_s);
+  EXPECT_EQ(back.steps_done, m.steps_done);
+  EXPECT_DOUBLE_EQ(back.sim_time_s, m.sim_time_s);
+  EXPECT_EQ(back.num_events, m.num_events);
+  EXPECT_EQ(back.num_alerts, m.num_alerts);
+  EXPECT_EQ(back.flags, m.flags);
+  ASSERT_EQ(back.artifacts.size(), 2u);
+  EXPECT_EQ(back.artifacts[0].name, "events");
+  EXPECT_EQ(back.artifacts[0].bytes, 512);
+  EXPECT_EQ(back.artifacts[1].bytes, -1);
+}
+
+TEST(RunManifest, ForeignSchemaThrowsOnParseNotOnValidate) {
+  const auto foreign = json::parse("{\"schema\": \"mrpic.metrics.v1\"}");
+  EXPECT_THROW(parse_manifest(foreign), std::runtime_error);
+  EXPECT_FALSE(validate_manifest(foreign).empty());  // reports, never throws
+}
+
+TEST(RunManifest, ValidateCatchesStructuralProblems) {
+  const auto base = json::parse(manifest_json([] {
+    RunManifest m;
+    m.run_id = "r-1";
+    m.scenario = "s";
+    m.status = kRunStatusCompleted;
+    m.start_unix = 1754600000;
+    return m;
+  }()));
+  ASSERT_TRUE(validate_manifest(base).empty());
+
+  const auto expect_invalid = [](const char* text) {
+    const auto errors = validate_manifest(json::parse(text));
+    EXPECT_FALSE(errors.empty()) << text;
+  };
+  expect_invalid("[1, 2]");                                       // not an object
+  expect_invalid(R"({"schema": "mrpic.run.v1", "scenario": "s",
+                     "status": "completed", "start_unix": 1, "steps_done": 0,
+                     "artifacts": []})");                         // no run_id
+  expect_invalid(R"({"schema": "mrpic.run.v1", "run_id": "r", "scenario": "s",
+                     "status": "exploded", "start_unix": 1, "steps_done": 0,
+                     "artifacts": []})");                         // unknown status
+  expect_invalid(R"({"schema": "mrpic.run.v1", "run_id": "r", "scenario": "s",
+                     "status": "completed", "start_unix": 1, "steps_done": -5,
+                     "artifacts": []})");                         // negative steps
+  expect_invalid(R"({"schema": "mrpic.run.v1", "run_id": "r", "scenario": "s",
+                     "status": "completed", "start_unix": 1, "steps_done": 0,
+                     "artifacts": [17]})");                       // bad inventory
+}
+
+TEST(RunManifest, RunContextLifecycle) {
+  const std::string dir = "test_run_ctx";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string manifest_path = dir + "/run.json";
+
+  RunContext rc("demo-1", "demo", manifest_path);
+  rc.manifest().title = "demo title";
+  rc.add_artifact("events", dir + "/demo_events.jsonl");
+  rc.add_artifact("never_written", dir + "/ghost.csv");
+  ASSERT_TRUE(rc.start());
+
+  // The startup manifest is durable and says "running".
+  {
+    const RunManifest running = read_manifest(manifest_path);
+    EXPECT_EQ(running.status, kRunStatusRunning);
+    EXPECT_EQ(running.run_id, "demo-1");
+    EXPECT_GT(running.start_unix, 0);
+  }
+
+  // Produce one artifact, then finalize: bytes are stat'ed, status flips.
+  { std::ofstream(dir + "/demo_events.jsonl") << "{\"x\":1}\n"; }
+  ASSERT_TRUE(rc.finalize(kRunStatusCompleted, 0, 42, 1.5e-14));
+
+  const RunManifest done = read_manifest(manifest_path);
+  EXPECT_EQ(done.status, kRunStatusCompleted);
+  EXPECT_EQ(done.exit_code, 0);
+  EXPECT_EQ(done.steps_done, 42);
+  EXPECT_DOUBLE_EQ(done.sim_time_s, 1.5e-14);
+  EXPECT_GE(done.end_unix, done.start_unix);
+  ASSERT_EQ(done.artifacts.size(), 2u);
+  // Inventory paths are relative to the manifest directory.
+  EXPECT_EQ(done.artifacts[0].path, "demo_events.jsonl");
+  EXPECT_GT(done.artifacts[0].bytes, 0);
+  EXPECT_EQ(done.artifacts[1].bytes, -1);  // ghost.csv was never written
+
+  // Atomic rewrite leaves no .tmp behind.
+  EXPECT_FALSE(std::filesystem::exists(manifest_path + ".tmp"));
+  EXPECT_TRUE(validate_manifest(json::parse([&] {
+                std::ifstream is(manifest_path);
+                return std::string(std::istreambuf_iterator<char>(is), {});
+              }()))
+                  .empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RunManifest, FileSizeBytes) {
+  EXPECT_EQ(file_size_bytes("definitely_missing_file.bin"), -1);
+  const std::string path = "test_size_probe.bin";
+  { std::ofstream(path) << "12345"; }
+  EXPECT_EQ(file_size_bytes(path), 5);
+  std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace mrpic::obs
